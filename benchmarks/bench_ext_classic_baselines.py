@@ -1,0 +1,45 @@
+"""Extension: classic non-neural floors vs the neural baselines.
+
+Not a paper table — context the paper omits.  POP / S-POP / Markov /
+ItemKNN set the floor that any neural SR model must clear, and the
+Markov chain in particular shows how much of the synthetic datasets'
+signal is first-order co-occurrence (the part REKS's ``co_occur``
+edges expose to the KG walk).
+"""
+
+from common import bench_scale, get_world, run_baseline, table, write_result
+from repro.eval.metrics import evaluate_rankings, top_k_from_scores
+from repro.models.neighbors import CLASSIC_BASELINES, create_classic_baseline
+
+METRICS = ("HR@10", "NDCG@10")
+
+
+def test_ext_classic_baselines(benchmark):
+    scale = bench_scale()
+    world = get_world("beauty")
+    dataset = world.dataset
+    targets = [s.target for s in dataset.split.test]
+    results = {}
+
+    def run_all():
+        for name in CLASSIC_BASELINES:
+            model = create_classic_baseline(name, n_items=dataset.n_items)
+            model.fit(dataset.split.train)
+            ranked = top_k_from_scores(
+                model.score_sessions(dataset.split.test), 10)
+            results[name] = evaluate_rankings(ranked, targets, ks=(10,))
+        results["narm (neural)"] = run_baseline(world, "narm",
+                                                scale.seeds[0], ks=(10,))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[name] + [f"{m[k]:.2f}" for k in METRICS]
+            for name, m in results.items()]
+    write_result("ext_classic_baselines",
+                 table(rows, headers=["Method"] + list(METRICS)))
+
+    # Shape: the Markov chain beats pure popularity on sequence data,
+    # and the trained neural model beats raw popularity.
+    assert results["markov"]["HR@10"] > results["pop"]["HR@10"]
+    assert results["narm (neural)"]["HR@10"] > results["pop"]["HR@10"]

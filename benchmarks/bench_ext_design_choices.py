@@ -1,0 +1,94 @@
+"""Extension ablations: implementation design choices beyond the paper.
+
+DESIGN.md calls out several engineering decisions the paper leaves
+open; this bench quantifies each on REKS_GRU4REC / Beauty:
+
+* **action_cap** — PGPR-style pruning of huge action spaces;
+* **final hop beam** — the scale adaptation of the sampling sizes
+  (see ``common.BenchScale.final_beam``);
+* **fallback_to_encoder** — filling top-K slots the paths missed with
+  down-weighted encoder scores;
+* **train_selection** — deterministic top-k (Algorithm 1) vs Gumbel
+  top-k stochastic exploration.
+"""
+
+import numpy as np
+
+from common import bench_scale, get_world, run_reks, table, write_result
+from repro.core import REKSConfig
+from repro.core.beam import beam_diagnostics
+from repro.data.loader import SessionBatcher
+
+METRICS = ("HR@10", "NDCG@10")
+
+
+def test_ext_design_choices(benchmark):
+    scale = bench_scale()
+    world = get_world("beauty")
+    seed = scale.seeds[0]
+    results = {}
+
+    def run_all():
+        for cap in (10, 30, scale.action_cap):
+            results[f"action_cap={cap}"] = run_reks(
+                world, "gru4rec", seed,
+                config=REKSConfig(action_cap=cap))
+        for beam in (1, 4, scale.final_beam):
+            results[f"final_beam={beam}"] = run_reks(
+                world, "gru4rec", seed,
+                config=REKSConfig(sample_sizes=(100, beam)))
+        results["fallback=on"] = run_reks(
+            world, "gru4rec", seed,
+            config=REKSConfig(fallback_to_encoder=True))
+        results["selection=sample"] = run_reks(
+            world, "gru4rec", seed,
+            config=REKSConfig(train_selection="sample"))
+        results["selection=top"] = run_reks(
+            world, "gru4rec", seed, config=REKSConfig())
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[name] + [f"{m[k]:.2f}" for k in METRICS]
+            for name, m in results.items()]
+    write_result("ext_design_choices",
+                 table(rows, headers=["Variant"] + list(METRICS)))
+
+    # Sanity shapes: a tiny action cap strangles the walk; the fallback
+    # never hurts HR (it only adds candidates below real path scores).
+    assert (results[f"action_cap={scale.action_cap}"]["HR@10"]
+            >= results["action_cap=10"]["HR@10"] - 1.0)
+    assert (results["fallback=on"]["HR@10"]
+            >= results["selection=top"]["HR@10"] - 1.0)
+
+
+def test_ext_beam_coverage(benchmark):
+    """Quantify beam coverage vs final-hop width (tuning aid)."""
+    scale = bench_scale()
+    world = get_world("beauty")
+    _, trainer = run_reks(world, "gru4rec", scale.seeds[0],
+                          return_trainer=True)
+    batch = next(iter(SessionBatcher(world.dataset.split.test,
+                                     batch_size=64, shuffle=False)))
+
+    def run_all():
+        out = {}
+        for beam in (1, 2, 4, 8):
+            sizes_backup = trainer.agent.config.sample_sizes
+            trainer.agent.config.sample_sizes = (100, beam)
+            out[beam] = beam_diagnostics(trainer.agent, batch)
+            trainer.agent.config.sample_sizes = sizes_backup
+        return out
+
+    diags = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[beam, f"{d.paths_per_session:.1f}",
+             f"{d.candidates_per_session:.1f}",
+             f"{d.target_reached_rate:.2f}", f"{d.mass_kept:.3f}"]
+            for beam, d in diags.items()]
+    write_result("ext_beam_coverage", table(
+        rows, headers=["final beam", "paths/sess", "candidates/sess",
+                       "target reached", "prob mass"]))
+
+    # Wider beams must reach the target strictly more often (weakly).
+    rates = [diags[b].target_reached_rate for b in (1, 2, 4, 8)]
+    assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,56 @@
+"""Figure 3: loss-function ablation — REKS_R vs REKS_C vs REKS.
+
+``REKS_R`` trains with the reward loss only (Eq. 12), ``REKS_C`` with
+the cross-entropy loss only (Eq. 14), full REKS with both (Eq. 11).
+The paper finds both parts matter, with REKS_R > REKS_C.
+"""
+
+import numpy as np
+
+from common import (
+    MODELS,
+    average_runs,
+    bench_scale,
+    get_world,
+    run_reks,
+    table,
+    write_result,
+)
+from repro.core import REKSConfig
+
+VARIANTS = (("REKS_R", "reward_only"), ("REKS_C", "ce_only"),
+            ("REKS", "joint"))
+METRICS = ("HR@5", "HR@10", "NDCG@5", "NDCG@10")
+
+
+def test_fig3_loss_ablation(benchmark):
+    scale = bench_scale()
+    world = get_world("beauty")
+    results = {}
+
+    def run_all():
+        for model in MODELS:
+            for label, mode in VARIANTS:
+                runs = [run_reks(world, model, seed,
+                                 config=REKSConfig(loss_mode=mode))
+                        for seed in scale.seeds[:2]]
+                results[(model, label)] = average_runs(runs)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[model, label] + [f"{results[(model, label)][m]:.2f}"
+                              for m in METRICS]
+            for model in MODELS for label, _ in VARIANTS]
+    write_result("fig3_loss_ablation",
+                 table(rows, headers=["Model", "Variant"] + list(METRICS)))
+
+    # Paper shape: the joint loss beats both single-loss variants on
+    # average across models (tolerance absorbs smoke-scale saturation
+    # noise; see bench_fig5 for the same caveat).
+    def mean_hr(label):
+        return np.mean([results[(m, label)]["HR@10"] for m in MODELS])
+
+    tolerance = 2.0 if bench_scale().name == "smoke" else 0.5
+    assert mean_hr("REKS") >= mean_hr("REKS_C") - tolerance
+    assert mean_hr("REKS") >= mean_hr("REKS_R") - tolerance

@@ -1,0 +1,65 @@
+"""Figure 5: reward-function ablation — REKS_R1 / -path / -rank / full.
+
+``REKS R1``: bare 0/1 terminal reward; ``REKS-path``: item reward only;
+``REKS-rank``: item + path rewards (rank term removed); ``REKS``: all
+three (Eq. 5).  The paper shows every component contributes.
+"""
+
+import numpy as np
+
+from common import (
+    MODELS,
+    average_runs,
+    bench_scale,
+    get_world,
+    run_reks,
+    table,
+    write_result,
+)
+from repro.core import REKSConfig
+
+VARIANTS = (("REKS_R1", "r1"), ("REKS-path", "item_only"),
+            ("REKS-rank", "no_rank"), ("REKS", "full"))
+METRICS = ("HR@5", "HR@10", "NDCG@5", "NDCG@10")
+
+
+def test_fig5_reward_ablation(benchmark):
+    scale = bench_scale()
+    world = get_world("beauty")
+    results = {}
+
+    def run_all():
+        for model in MODELS:
+            for label, mode in VARIANTS:
+                runs = [run_reks(world, model, seed,
+                                 config=REKSConfig(reward_mode=mode))
+                        for seed in scale.seeds[:2]]
+                results[(model, label)] = average_runs(runs)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[model, label] + [f"{results[(model, label)][m]:.2f}"
+                              for m in METRICS]
+            for model in MODELS for label, _ in VARIANTS]
+    text = table(rows, headers=["Model", "Variant"] + list(METRICS))
+
+    from repro.eval.plots import grouped_bar_chart
+
+    text += "\n\n" + grouped_bar_chart(
+        {model: {label: results[(model, label)]["HR@10"]
+                 for label, _ in VARIANTS} for model in MODELS},
+        title="HR@10 by reward variant (Beauty)")
+    write_result("fig5_reward_ablation", text)
+
+    def mean_hr(label):
+        return np.mean([results[(m, label)]["HR@10"] for m in MODELS])
+
+    # Paper shape: full reward >= the stripped variants on average.  At
+    # smoke scale the tiny datasets saturate (HR@10 near 90%), so the
+    # separation shrinks into run noise — assert with a tolerance here;
+    # REKS_BENCH_SCALE=small reproduces the strict ordering.
+    tolerance = 2.0 if bench_scale().name == "smoke" else 0.5
+    assert mean_hr("REKS") >= mean_hr("REKS_R1") - tolerance
+    assert mean_hr("REKS") >= mean_hr("REKS-path") - tolerance
+    assert mean_hr("REKS") >= mean_hr("REKS-rank") - tolerance

@@ -1,0 +1,55 @@
+"""Figure 6: path-length ablation — length 2 vs 3 vs 4.
+
+Sampling sizes follow the paper: {100,1}, {100,1,1}, {100,1,1,1}.
+Expected shape: length 2 is best (longer paths add noise), and length 4
+tends to beat length 3 because the KG's "item -> attribute -> item"
+structure makes even path lengths end on items.
+"""
+
+import numpy as np
+
+from common import (
+    MODELS,
+    average_runs,
+    bench_scale,
+    get_world,
+    run_reks,
+    table,
+    write_result,
+)
+from repro.core import REKSConfig
+
+VARIANTS = (("REKS_l3", "reks_l3"), ("REKS_l4", "reks_l4"),
+            ("REKS", "reks"))
+METRICS = ("HR@5", "HR@10", "NDCG@5", "NDCG@10")
+
+
+def test_fig6_path_length(benchmark):
+    scale = bench_scale()
+    world = get_world("beauty")
+    results = {}
+
+    def run_all():
+        for model in MODELS:
+            for label, preset in VARIANTS:
+                runs = [run_reks(world, model, seed,
+                                 config=REKSConfig.for_ablation(preset))
+                        for seed in scale.seeds[:2]]
+                results[(model, label)] = average_runs(runs)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[model, label] + [f"{results[(model, label)][m]:.2f}"
+                              for m in METRICS]
+            for model in MODELS for label, _ in VARIANTS]
+    write_result("fig6_path_length",
+                 table(rows, headers=["Model", "Variant"] + list(METRICS)))
+
+    def mean_hr(label):
+        return np.mean([results[(m, label)]["HR@10"] for m in MODELS])
+
+    # Paper shape: length 2 best (tolerance absorbs smoke-scale noise).
+    tolerance = 2.0 if bench_scale().name == "smoke" else 0.5
+    assert mean_hr("REKS") >= mean_hr("REKS_l3") - tolerance
+    assert mean_hr("REKS") >= mean_hr("REKS_l4") - tolerance

@@ -1,0 +1,62 @@
+"""Figure 9: (simulated) questionnaire study over REKS explanations.
+
+Trains REKS_NARM on each Amazon dataset, samples 20 explanation cases
+from the test split, and runs the 50-subject simulated panel over the
+six questionnaire perspectives (see DESIGN.md §3 for the substitution).
+Expected shape: the four positive perspectives score clearly above the
+midpoint, the two reverse-coded ones clearly below.
+"""
+
+import numpy as np
+
+from common import AMAZON_FLAVORS, bench_scale, get_world, run_reks, table, write_result
+from repro.core import Explainer
+from repro.eval.user_study import PERSPECTIVES, UserStudyConfig, simulate_user_study
+
+
+def test_fig9_user_study(benchmark):
+    scale = bench_scale()
+    results = {}
+    all_cases = []
+
+    def run_all():
+        for flavor in AMAZON_FLAVORS:
+            world = get_world(flavor)
+            _, trainer = run_reks(world, "narm", scale.seeds[0],
+                                  return_trainer=True)
+            rng = np.random.default_rng(0)
+            test = world.dataset.split.test
+            picks = rng.choice(len(test), size=min(20, len(test)),
+                               replace=False)
+            cases = Explainer(trainer).explain_sessions(
+                [test[i] for i in picks], k=5)
+            all_cases.extend(cases)
+            results[flavor] = simulate_user_study(
+                cases, UserStudyConfig(seed=2023))
+        results["All"] = simulate_user_study(
+            all_cases, UserStudyConfig(n_cases=len(all_cases), seed=2023))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    columns = list(AMAZON_FLAVORS) + ["All"]
+    rows = []
+    for perspective in PERSPECTIVES:
+        rows.append([perspective] + [
+            f"{results[c][perspective]['mean']:.2f}"
+            f"±{results[c][perspective]['std']:.2f}" for c in columns])
+    text = table(rows, headers=["Perspective"] + columns)
+
+    from repro.eval.plots import likert_chart
+
+    text += "\n\n" + likert_chart(results["All"],
+                                  title="Pooled panel (1-5 Likert)")
+    write_result("fig9_user_study", text)
+
+    # Paper shape: positive perspectives rated favorably, reverse-coded
+    # perspectives rated low, on the pooled panel.
+    pooled = results["All"]
+    for perspective in PERSPECTIVES[:4]:
+        assert pooled[perspective]["mean"] > 3.0, perspective
+    for perspective in PERSPECTIVES[4:]:
+        assert pooled[perspective]["mean"] < 3.0, perspective

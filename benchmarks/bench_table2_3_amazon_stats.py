@@ -1,0 +1,53 @@
+"""Tables II & III: relation and entity statistics of the Amazon KGs.
+
+Regenerates the relation-count and entity-count tables for the three
+synthetic Amazon datasets.  Absolute counts are scaled down from the
+paper (see DESIGN.md §6); the *relative* inventory — which relations
+dominate, Baby's single category — must match.
+"""
+
+from common import AMAZON_FLAVORS, bench_scale, get_world, table, write_result
+from repro.data.stats import entity_statistics, relation_statistics
+
+RELATIONS = ("purchase", "produced_by", "belong_to", "also_bought",
+             "also_viewed", "bought_together", "co_occur")
+ENTITIES = ("user", "product", "brand", "category", "related_product")
+
+
+def test_table2_relation_statistics(benchmark):
+    worlds = {f: get_world(f) for f in AMAZON_FLAVORS}
+
+    def collect():
+        return {f: relation_statistics(w.built.kg)
+                for f, w in worlds.items()}
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [[rel] + [stats[f].get(rel, 0) for f in AMAZON_FLAVORS]
+            for rel in RELATIONS]
+    text = table(rows, headers=["Relation"] + list(AMAZON_FLAVORS))
+    write_result("table2_amazon_relations", text)
+
+    for flavor in AMAZON_FLAVORS:
+        # Table II shape: related-product links dominate the KG.
+        assert stats[flavor]["also_bought"] > stats[flavor]["produced_by"]
+        assert stats[flavor]["co_occur"] > 0
+
+
+def test_table3_entity_statistics(benchmark):
+    worlds = {f: get_world(f) for f in AMAZON_FLAVORS}
+
+    def collect():
+        return {f: entity_statistics(w.built.kg) for f, w in worlds.items()}
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [[ent] + [stats[f].get(ent, 0) for f in AMAZON_FLAVORS]
+            for ent in ENTITIES]
+    text = table(rows, headers=["Entity"] + list(AMAZON_FLAVORS))
+    write_result("table3_amazon_entities", text)
+
+    # Table III shape: Baby has exactly one category; related products
+    # outnumber products; Beauty has the most brands.
+    assert stats["baby"]["category"] == 1
+    for flavor in AMAZON_FLAVORS:
+        assert stats[flavor]["related_product"] >= stats[flavor]["product"]
+    assert stats["beauty"]["brand"] >= stats["baby"]["brand"]

@@ -1,0 +1,34 @@
+"""Tables IV & V: relation and entity statistics of the MovieLens KG."""
+
+from common import get_world, table, write_result
+from repro.data.stats import entity_statistics, relation_statistics
+
+RELATIONS = ("belong_to", "directed_by", "acted_by", "written_by",
+             "narrated_by", "rated", "produced_by", "co_occur")
+ENTITIES = ("movie", "genre", "director", "actor", "writer", "language",
+            "rating", "country")
+
+
+def test_table4_relation_statistics(benchmark):
+    world = get_world("movielens")
+    stats = benchmark.pedantic(
+        lambda: relation_statistics(world.built.kg), rounds=1, iterations=1)
+    rows = [[rel, stats.get(rel, 0)] for rel in RELATIONS]
+    write_result("table4_movielens_relations",
+                 table(rows, headers=["Relation", "#Relations"]))
+    assert set(stats) == set(RELATIONS)
+    assert all(stats[rel] > 0 for rel in RELATIONS)
+
+
+def test_table5_entity_statistics(benchmark):
+    world = get_world("movielens")
+    stats = benchmark.pedantic(
+        lambda: entity_statistics(world.built.kg), rounds=1, iterations=1)
+    rows = [[ent, stats.get(ent, 0)] for ent in ENTITIES]
+    write_result("table5_movielens_entities",
+                 table(rows, headers=["Entity", "#Entities"]))
+    # Table V shape: movies dominate; ratings are a 5-bucket scale; no
+    # user entity exists at all.
+    assert stats["movie"] == max(stats.values())
+    assert stats["rating"] == 5
+    assert "user" not in stats

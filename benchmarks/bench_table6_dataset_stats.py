@@ -1,0 +1,31 @@
+"""Table VI: session statistics of all four datasets (splits, lengths)."""
+
+from common import ALL_DATASETS, get_world, table, write_result
+from repro.data.stats import dataset_statistics
+
+FIELDS = ("#entities", "#relations", "#sessions", "#train sessions",
+          "#validation sessions", "#test sessions", "average length")
+
+
+def test_table6_dataset_statistics(benchmark):
+    worlds = {name: get_world(name) for name in ALL_DATASETS}
+
+    def collect():
+        return {name: dataset_statistics(w.dataset, w.built.kg)
+                for name, w in worlds.items()}
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [[field] + [stats[name][field] for name in ALL_DATASETS]
+            for field in FIELDS]
+    write_result("table6_dataset_stats",
+                 table(rows, headers=["Dataset"] + list(ALL_DATASETS)))
+
+    for name in ALL_DATASETS:
+        s = stats[name]
+        total = (s["#train sessions"] + s["#validation sessions"]
+                 + s["#test sessions"])
+        assert total == s["#sessions"]
+        # 75/10/15 split within rounding.
+        assert abs(s["#train sessions"] / s["#sessions"] - 0.75) < 0.02
+        # Paper sessions average 3.3-3.9 items.
+        assert 2.0 < s["average length"] < 6.0

@@ -1,0 +1,87 @@
+"""Table VIII: overall comparison — 5 baselines vs REKS on 4 datasets.
+
+For every (dataset, model) cell this bench trains the standalone model
+and its REKS-wrapped version over several seeds, reports HR/NDCG at
+{5, 10, 20}, the relative improvement, and the paired-t-test stars —
+the full protocol of §IV-B-1 at reduced scale.
+
+Shape expectations (asserted): REKS improves the average HR@10 for a
+clear majority of (dataset, model) cells.  On synthetic data individual
+cells can be noisy at smoke scale, hence a majority vote rather than a
+per-cell assertion.
+"""
+
+import numpy as np
+
+from common import (
+    ALL_DATASETS,
+    MODELS,
+    average_runs,
+    bench_scale,
+    get_world,
+    run_baseline,
+    run_reks,
+    table,
+    write_result,
+)
+from repro.eval.significance import (
+    improvement_percent,
+    paired_t_test,
+    significance_marker,
+)
+
+METRICS = ("HR@5", "HR@10", "HR@20", "NDCG@5", "NDCG@10", "NDCG@20")
+
+
+def _cell(world, model):
+    scale = bench_scale()
+    base_runs, reks_runs = [], []
+    for seed in scale.seeds:
+        base_runs.append(run_baseline(world, model, seed))
+        reks_runs.append(run_reks(world, model, seed))
+    return base_runs, reks_runs
+
+
+def test_table8_overall_comparison(benchmark):
+    scale = bench_scale()
+    datasets = ALL_DATASETS if scale.name != "smoke" else ALL_DATASETS
+    results = {}
+
+    def run_all():
+        for name in datasets:
+            world = get_world(name)
+            for model in MODELS:
+                results[(name, model)] = _cell(world, model)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    wins = 0
+    cells = 0
+    for name in datasets:
+        for model in MODELS:
+            base_runs, reks_runs = results[(name, model)]
+            base = average_runs(base_runs)
+            reks = average_runs(reks_runs)
+            for metric in METRICS:
+                _, p = paired_t_test([r[metric] for r in base_runs],
+                                     [r[metric] for r in reks_runs])
+                rows.append([
+                    name, model, metric,
+                    f"{base[metric]:.2f}", f"{reks[metric]:.2f}",
+                    f"{improvement_percent(base[metric], reks[metric]):+.2f}%"
+                    + significance_marker(p),
+                ])
+            cells += 1
+            if reks["HR@10"] > base["HR@10"]:
+                wins += 1
+
+    text = table(rows, headers=["Dataset", "Model", "Metric", "Base",
+                                "REKS", "Improv."])
+    text += f"\n\nREKS wins HR@10 in {wins}/{cells} (dataset, model) cells."
+    write_result("table8_overall", text)
+
+    # Paper shape: REKS improves in "almost all cases".
+    assert wins / cells >= 0.7, (
+        f"REKS should beat the baseline in most cells, won {wins}/{cells}")

@@ -1,0 +1,93 @@
+"""Every model family on one dataset: classic floors -> neural -> REKS.
+
+Trains and evaluates, on the same synthetic Beauty split:
+
+1. the classic non-neural floors (POP, S-POP, Markov chain, ItemKNN);
+2. the five neural encoders of the paper, standalone;
+3. REKS wrapping the best standalone model, plus the FGNN extension.
+
+Prints a single leaderboard and a bar chart — the "where does the RL
+framework sit in the landscape" view.
+
+Run:  python examples/all_model_families.py
+"""
+
+import numpy as np
+
+from repro import (
+    AmazonLikeGenerator,
+    REKSConfig,
+    REKSTrainer,
+    StandaloneConfig,
+    StandaloneTrainer,
+    build_kg,
+    create_encoder,
+)
+from repro.data.stats import format_table
+from repro.eval.metrics import evaluate_rankings, top_k_from_scores
+from repro.eval.plots import bar_chart
+from repro.kg import TransE, TransEConfig
+from repro.models.neighbors import CLASSIC_BASELINES, create_classic_baseline
+
+DIM = 24
+NEURAL = ("gru4rec", "narm", "srgnn", "gcsan", "bert4rec")
+
+
+def main() -> None:
+    dataset = AmazonLikeGenerator("beauty", scale="tiny", seed=7).generate()
+    built = build_kg(dataset)
+    transe = TransE(built.kg.num_entities, built.kg.num_relations,
+                    TransEConfig(dim=DIM, epochs=8, seed=13))
+    transe.fit(built.kg)
+    item_init = transe.item_embeddings(built.item_entity)
+    targets = [s.target for s in dataset.split.test]
+
+    leaderboard = {}
+
+    # 1. Classic floors.
+    for name in CLASSIC_BASELINES:
+        model = create_classic_baseline(name, n_items=dataset.n_items)
+        model.fit(dataset.split.train)
+        ranked = top_k_from_scores(
+            model.score_sessions(dataset.split.test), 10)
+        leaderboard[name] = evaluate_rankings(ranked, targets,
+                                              ks=(10,))["HR@10"]
+        print(f"done: {name}")
+
+    # 2. Standalone neural encoders.
+    best_model, best_hr = None, -1.0
+    for name in NEURAL:
+        encoder = create_encoder(name, n_items=dataset.n_items, dim=DIM,
+                                 item_init=item_init,
+                                 rng=np.random.default_rng(0))
+        trainer = StandaloneTrainer(
+            encoder, dataset.split.train, dataset.split.validation,
+            StandaloneConfig(epochs=5, lr=2e-3, patience=2, seed=0))
+        trainer.fit()
+        hr = trainer.evaluate(dataset.split.test, ks=(10,))["HR@10"]
+        leaderboard[name] = hr
+        if hr > best_hr:
+            best_model, best_hr = name, hr
+        print(f"done: {name}")
+
+    # 3. REKS over the best standalone model, plus the FGNN extension.
+    for model in (best_model, "fgnn"):
+        config = REKSConfig(dim=DIM, state_dim=DIM, epochs=5, lr=1e-3,
+                            batch_size=64, sample_sizes=(100, 4), seed=0)
+        trainer = REKSTrainer(dataset, built, model_name=model,
+                              config=config, transe=transe)
+        trainer.fit()
+        hr = trainer.evaluate(dataset.split.test, ks=(10,))["HR@10"]
+        leaderboard[f"REKS_{model}"] = hr
+        print(f"done: REKS_{model}")
+
+    ordered = dict(sorted(leaderboard.items(), key=lambda kv: kv[1]))
+    print()
+    print(format_table([[k, f"{v:.2f}"] for k, v in ordered.items()],
+                       headers=["method", "HR@10 (%)"]))
+    print()
+    print(bar_chart(ordered, title="HR@10 on synthetic Beauty (tiny)"))
+
+
+if __name__ == "__main__":
+    main()

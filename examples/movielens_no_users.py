@@ -1,0 +1,55 @@
+"""Genericity check: REKS on a knowledge graph with no user entities.
+
+The paper's MovieLens KG (Tables IV-V) contains movies, genres,
+directors, actors, writers, languages, ratings, and countries — but no
+users.  REKS still works because paths start at the session's last
+item, not at a user (footnote 2 of the paper).  This script trains
+three different wrapped models on the synthetic MovieLens dataset and
+shows genre/director/franchise-style explanation paths.
+
+Run:  python examples/movielens_no_users.py
+"""
+
+from repro import (
+    Explainer,
+    MovieLensLikeGenerator,
+    REKSConfig,
+    REKSTrainer,
+    build_kg,
+)
+from repro.data.stats import format_table
+
+MODELS = ("gru4rec", "srgnn", "bert4rec")
+
+
+def main() -> None:
+    dataset = MovieLensLikeGenerator(scale="tiny", seed=11).generate()
+    built = build_kg(dataset)
+    assert "user" not in built.kg.entity_type_names
+    print(f"movielens KG (no users): {built.kg}")
+
+    rows = []
+    last_trainer = None
+    for model in MODELS:
+        config = REKSConfig(dim=32, state_dim=32, epochs=4, lr=1e-3,
+                            batch_size=64, sample_sizes=(100, 8), seed=0)
+        trainer = REKSTrainer(dataset, built, model_name=model,
+                              config=config)
+        trainer.fit()
+        metrics = trainer.evaluate(dataset.split.test, ks=(10, 20))
+        rows.append([f"REKS_{model}", f"{metrics['HR@10']:.2f}",
+                     f"{metrics['HR@20']:.2f}", f"{metrics['NDCG@20']:.2f}"])
+        last_trainer = trainer
+
+    print(format_table(rows, headers=["method", "HR@10", "HR@20",
+                                      "NDCG@20"]))
+
+    print("\n--- movie explanation paths ---")
+    explainer = Explainer(last_trainer)
+    for case in explainer.explain_sessions(dataset.split.test[:3], k=3):
+        print()
+        print(explainer.render_case(case))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+PEP 660 editable installs need ``bdist_wheel``; offline boxes that lack
+the ``wheel`` distribution can fall back to the legacy code path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

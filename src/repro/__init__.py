@@ -1,0 +1,75 @@
+"""REKS reproduction: reinforced explainable session-based recommendation.
+
+Reproduces Wu et al., *A Generic Reinforced Explainable Framework with
+Knowledge Graph for Session-based Recommendation* (ICDE 2023) as a
+self-contained Python library: synthetic Amazon/MovieLens datasets, a
+knowledge-graph substrate with TransE, five session recommenders built
+on a numpy autograd engine, and the REKS RL framework that makes any of
+them explainable.
+
+Quickstart::
+
+    from repro import (AmazonLikeGenerator, build_kg, REKSConfig,
+                       REKSTrainer, Explainer)
+
+    dataset = AmazonLikeGenerator("beauty", scale="tiny").generate()
+    built = build_kg(dataset)
+    trainer = REKSTrainer(dataset, built, model_name="narm",
+                          config=REKSConfig(dim=32, epochs=3))
+    trainer.fit()
+    print(trainer.evaluate(dataset.split.test))
+    case = Explainer(trainer).explain_sessions(dataset.split.test[:1])[0]
+"""
+
+from repro.core import (
+    Explainer,
+    Explanation,
+    KGEnvironment,
+    PolicyNetwork,
+    RecommendedItem,
+    REKSAgent,
+    REKSConfig,
+    REKSTrainer,
+    RewardComputer,
+    RewardWeights,
+)
+from repro.data import (
+    AmazonLikeGenerator,
+    MovieLensLikeGenerator,
+    SessionBatcher,
+)
+from repro.kg import KnowledgeGraph, SemanticPath, TransE, TransEConfig, build_kg
+from repro.models import (
+    MODEL_NAMES,
+    StandaloneConfig,
+    StandaloneTrainer,
+    create_encoder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmazonLikeGenerator",
+    "MovieLensLikeGenerator",
+    "SessionBatcher",
+    "KnowledgeGraph",
+    "SemanticPath",
+    "TransE",
+    "TransEConfig",
+    "build_kg",
+    "MODEL_NAMES",
+    "create_encoder",
+    "StandaloneConfig",
+    "StandaloneTrainer",
+    "REKSConfig",
+    "REKSTrainer",
+    "REKSAgent",
+    "RewardComputer",
+    "RewardWeights",
+    "PolicyNetwork",
+    "KGEnvironment",
+    "Explainer",
+    "Explanation",
+    "RecommendedItem",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Minimal numpy-based reverse-mode automatic differentiation.
+
+This subpackage is the numerical substrate for the whole reproduction:
+every session-based recommendation model and the REKS policy network are
+built from :class:`~repro.autograd.tensor.Tensor` operations so that the
+entire system trains end-to-end on CPU without any deep-learning
+framework.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.autograd import functional
+from repro.autograd import init
+from repro.autograd.optim import SGD, Adam, Optimizer, clip_grad_norm
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+]

@@ -1,0 +1,160 @@
+"""Fused/stable functional operations built on the autograd tape.
+
+Softmax-family operations get dedicated backward rules (rather than being
+composed from primitives) for numerical stability and speed: they are on
+the hot path of both the SR encoders and the REKS policy network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, concat, stack  # noqa: F401 (re-export)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / exp.sum(axis=axis, keepdims=True)
+    out = x._make_child(value, (x,), "softmax")
+    if out.requires_grad:
+
+        def _backward() -> None:
+            g = out.grad
+            s = out.data
+            dot = (g * s).sum(axis=axis, keepdims=True)
+            x._accumulate(s * (g - dot))
+
+        out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_sum
+    out = x._make_child(value, (x,), "log_softmax")
+    if out.requires_grad:
+
+        def _backward() -> None:
+            g = out.grad
+            soft = np.exp(out.data)
+            x._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+
+        out._backward = _backward
+    return out
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Categorical cross-entropy from raw logits and integer targets.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, num_classes)`` scores.
+    targets:
+        ``(batch,)`` integer class indices.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    batch = np.arange(targets.shape[0])
+    picked = logp[batch, targets]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def binary_cross_entropy(probs: Tensor, targets: np.ndarray, eps: float = 1e-7,
+                         reduction: str = "sum") -> Tensor:
+    """Binary cross-entropy on probabilities (Eq. 14 of the paper).
+
+    ``Lce = -sum_j [ y_j log(p_j) + (1 - y_j) log(1 - p_j) ]``
+
+    Probabilities are clipped into ``[eps, 1-eps]`` inside the graph via
+    ``clip`` so gradients remain finite at the boundaries.
+    """
+    targets = np.asarray(targets, dtype=probs.dtype)
+    clipped = clip(probs, eps, 1.0 - eps)
+    term = clipped.log() * targets + (1.0 - clipped).log() * (1.0 - targets)
+    loss = -term
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is zero outside."""
+    value = np.clip(x.data, low, high)
+    out = x._make_child(value, (x,), "clip")
+    if out.requires_grad:
+        mask = (x.data >= low) & (x.data <= high)
+
+        def _backward() -> None:
+            x._accumulate(out.grad * mask)
+
+        out._backward = _backward
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask, dtype=x.dtype)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = (x + x.pow(3.0) * 0.044715) * c
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows from an embedding matrix (scatter-add backward)."""
+    return weight[np.asarray(indices, dtype=np.int64)]
+
+
+def scatter_add(src: Tensor, index, shape) -> Tensor:
+    """Dense tensor of ``shape`` with ``src`` summed into ``index`` cells.
+
+    ``index`` is anything ``np.add.at`` accepts (typically a tuple of
+    integer arrays, one per target axis).  Backward gathers the output
+    gradient back at ``index``.  Used to aggregate per-path
+    probabilities into per-(session, item) scores ``ŷ`` (Eq. 14).
+    """
+    data = np.zeros(shape, dtype=src.dtype)
+    np.add.at(data, index, src.data)
+    out = src._make_child(data, (src,), "scatter_add")
+    if out.requires_grad:
+
+        def _backward() -> None:
+            src._accumulate(out.grad[index])
+
+        out._backward = _backward
+    return out

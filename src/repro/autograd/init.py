@@ -1,0 +1,59 @@
+"""Seeded parameter initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+every experiment in the benchmark harness is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import DEFAULT_DTYPE
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+                  gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialization (for ReLU fan-in)."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator,
+           std: float = 0.02) -> np.ndarray:
+    """Plain gaussian initialization (BERT-style)."""
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=DEFAULT_DTYPE)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

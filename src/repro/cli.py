@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands cover the release workflow end to end:
+
+* ``stats``     — dataset/KG statistics (Tables II-VI flavor)
+* ``baseline``  — train + evaluate a standalone SR model
+* ``reks``      — train + evaluate a REKS-wrapped model
+* ``explain``   — print explanation cards for test sessions
+* ``compare``   — baseline vs REKS side by side
+
+Example::
+
+    python -m repro.cli reks --dataset beauty --model narm \
+        --scale tiny --epochs 4 --dim 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro import (
+    Explainer,
+    REKSConfig,
+    REKSTrainer,
+    StandaloneConfig,
+    StandaloneTrainer,
+    build_kg,
+    create_encoder,
+)
+from repro.data import AmazonLikeGenerator, MovieLensLikeGenerator
+from repro.data.stats import (
+    dataset_statistics,
+    entity_statistics,
+    format_table,
+    relation_statistics,
+)
+from repro.kg import TransE, TransEConfig
+
+DATASETS = ("beauty", "cellphones", "baby", "movielens")
+MODELS = ("gru4rec", "narm", "srgnn", "gcsan", "bert4rec")
+
+
+def make_dataset(name: str, scale: str, seed: int):
+    """Generate the requested synthetic dataset."""
+    if name == "movielens":
+        return MovieLensLikeGenerator(scale=scale, seed=seed).generate()
+    return AmazonLikeGenerator(name, scale=scale, seed=seed).generate()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=DATASETS, default="beauty")
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium", "paper"))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--lr", type=float, default=1e-3)
+
+
+def cmd_stats(args) -> int:
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset)
+    print(format_table(
+        sorted(relation_statistics(built.kg).items()),
+        headers=["relation", "#edges"]))
+    print()
+    print(format_table(
+        sorted(entity_statistics(built.kg).items()),
+        headers=["entity type", "#entities"]))
+    print()
+    stats = dataset_statistics(dataset, built.kg)
+    print(format_table(sorted(stats.items()), headers=["field", "value"]))
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset)
+    transe = TransE(built.kg.num_entities, built.kg.num_relations,
+                    TransEConfig(dim=args.dim, epochs=8, seed=13))
+    transe.fit(built.kg)
+    encoder = create_encoder(
+        args.model, n_items=dataset.n_items, dim=args.dim,
+        item_init=transe.item_embeddings(built.item_entity),
+        rng=np.random.default_rng(args.seed))
+    trainer = StandaloneTrainer(
+        encoder, dataset.split.train, dataset.split.validation,
+        StandaloneConfig(epochs=args.epochs, lr=args.lr,
+                         batch_size=args.batch_size, seed=args.seed))
+    trainer.fit(verbose=True)
+    _print_metrics(f"{args.model} (standalone)",
+                   trainer.evaluate(dataset.split.test))
+    return 0
+
+
+def _reks_trainer(args) -> REKSTrainer:
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset, include_users=not args.no_users)
+    config = REKSConfig(dim=args.dim, state_dim=args.dim,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, beta=args.beta,
+                        sample_sizes=(100, args.final_beam),
+                        seed=args.seed)
+    trainer = REKSTrainer(dataset, built, model_name=args.model,
+                          config=config)
+    trainer.fit(verbose=True)
+    return trainer
+
+
+def cmd_reks(args) -> int:
+    trainer = _reks_trainer(args)
+    _print_metrics(f"REKS_{args.model}",
+                   trainer.evaluate(trainer.dataset.split.test))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    trainer = _reks_trainer(args)
+    explainer = Explainer(trainer)
+    cases = explainer.explain_sessions(
+        trainer.dataset.split.test[:args.cases], k=args.top_k)
+    for case in cases:
+        print()
+        print(explainer.render_case(case))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset)
+    transe = TransE(built.kg.num_entities, built.kg.num_relations,
+                    TransEConfig(dim=args.dim, epochs=8, seed=13))
+    transe.fit(built.kg)
+
+    encoder = create_encoder(
+        args.model, n_items=dataset.n_items, dim=args.dim,
+        item_init=transe.item_embeddings(built.item_entity),
+        rng=np.random.default_rng(args.seed))
+    baseline = StandaloneTrainer(
+        encoder, dataset.split.train, dataset.split.validation,
+        StandaloneConfig(epochs=args.epochs, lr=2e-3,
+                         batch_size=args.batch_size, seed=args.seed))
+    baseline.fit()
+    base_metrics = baseline.evaluate(dataset.split.test)
+
+    config = REKSConfig(dim=args.dim, state_dim=args.dim,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, beta=args.beta,
+                        sample_sizes=(100, args.final_beam),
+                        seed=args.seed)
+    reks = REKSTrainer(dataset, built, model_name=args.model,
+                       config=config, transe=transe)
+    reks.fit()
+    reks_metrics = reks.evaluate(dataset.split.test)
+
+    rows = [[metric, f"{base_metrics[metric]:.2f}",
+             f"{reks_metrics[metric]:.2f}"]
+            for metric in ("HR@5", "HR@10", "HR@20",
+                           "NDCG@5", "NDCG@10", "NDCG@20")]
+    print(format_table(rows, headers=["metric", args.model,
+                                      f"REKS_{args.model}"]))
+    return 0
+
+
+def _print_metrics(label: str, metrics: dict) -> None:
+    rows = [[k, f"{v:.2f}"] for k, v in metrics.items()
+            if k.startswith(("HR", "NDCG"))]
+    print(format_table(rows, headers=[label, "%"]))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="dataset/KG statistics")
+    _add_common(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_base = sub.add_parser("baseline", help="train a standalone model")
+    _add_common(p_base)
+    p_base.add_argument("--model", choices=MODELS, default="narm")
+    p_base.set_defaults(func=cmd_baseline)
+
+    for name, func, extra in (("reks", cmd_reks, False),
+                              ("explain", cmd_explain, True)):
+        p = sub.add_parser(name)
+        _add_common(p)
+        p.add_argument("--model", choices=MODELS, default="narm")
+        p.add_argument("--beta", type=float, default=0.2)
+        p.add_argument("--final-beam", type=int, default=4)
+        p.add_argument("--no-users", action="store_true",
+                       help="build the KG without user entities")
+        if extra:
+            p.add_argument("--cases", type=int, default=3)
+            p.add_argument("--top-k", type=int, default=3)
+        p.set_defaults(func=func)
+
+    p_cmp = sub.add_parser("compare", help="baseline vs REKS")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--model", choices=MODELS, default="narm")
+    p_cmp.add_argument("--beta", type=float, default=0.2)
+    p_cmp.add_argument("--final-beam", type=int, default=4)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,282 @@
+"""REKS agent: differentiable KG walk + REINFORCE-with-baseline loss.
+
+One training step (Algorithm 1, lines 4-12):
+
+1. the wrapped SR encoder produces ``Se`` for the batch;
+2. the policy walks ``path_length`` hops from each session's last item,
+   keeping the top-``P_t`` actions per path at hop ``t`` (Table VII:
+   {100, 1}); the summed log-probabilities stay on the autograd tape;
+3. per-path probabilities are scatter-added into ``ŷ`` over the item
+   catalog (paths ending at non-product entities contribute nothing);
+4. rewards are computed (Eq. 5-9) and the loss ``L = β·Lr + Lce``
+   (Eq. 11-14) is backpropagated through both the policy network and
+   the SR encoder — the encoder is "part of the policy network".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F, no_grad
+from repro.autograd.tensor import Tensor
+from repro.core.config import REKSConfig
+from repro.core.environment import KGEnvironment, Rollout
+from repro.core.policy import PolicyNetwork
+from repro.core.rewards import RewardComputer
+from repro.data.loader import SessionBatch
+from repro.kg.paths import SemanticPath
+from repro.models.base import SessionEncoder
+from repro.nn.module import Module
+
+NEG_INF = -1e9
+
+
+@dataclass
+class StepStats:
+    """Diagnostics from one training step."""
+
+    loss: float
+    reward_loss: float
+    ce_loss: float
+    mean_reward: float
+    num_paths: int
+    reward_components: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Recommendations:
+    """Inference output for one batch."""
+
+    scores: np.ndarray                       # (B, n_items + 1)
+    ranked_items: np.ndarray                 # (B, K)
+    paths: Dict[Tuple[int, int], SemanticPath]  # (row, item) -> best path
+
+
+class REKSAgent(Module):
+    """Couples an encoder, a policy network, and the KG environment."""
+
+    def __init__(self, encoder: SessionEncoder, policy: PolicyNetwork,
+                 env: KGEnvironment, rewards: RewardComputer,
+                 config: REKSConfig) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.policy = policy
+        self.env = env
+        self.rewards = rewards
+        self.config = config
+        self.n_items = env.built.n_items
+        self._rng = np.random.default_rng(config.seed + 101)
+
+    # ------------------------------------------------------------------
+    # Rollout
+    # ------------------------------------------------------------------
+    def walk(self, session_repr: Tensor, batch: SessionBatch,
+             sizes: Optional[Tuple[int, ...]] = None,
+             stochastic: bool = False) -> Rollout:
+        """Beam-walk the KG; gradient flows when grad mode is enabled."""
+        cfg = self.config
+        sizes = sizes or cfg.sample_sizes
+        batch_size = batch.batch_size
+        sess_idx = np.arange(batch_size, dtype=np.int64)
+        entities = self.env.start_entities(batch, cfg.start_from)
+        ent_hist = entities[:, None]
+        rel_hist = np.zeros((batch_size, 0), dtype=np.int64)
+        prev_rel: Optional[np.ndarray] = None
+        log_prob: Optional[Tensor] = None
+
+        for hop, k in enumerate(sizes):
+            if len(sess_idx) == 0:
+                break
+            rels, tails, mask = self.env.batched_actions(
+                ent_hist[:, -1], visited=ent_hist)
+            se_paths = session_repr[sess_idx]
+            log_probs = self.policy.step(se_paths, ent_hist[:, -1], prev_rel,
+                                         rels, tails, mask)
+            rows, cols = self._select(log_probs.data, mask, k, stochastic)
+            if len(rows) == 0:
+                sess_idx = sess_idx[:0]
+                break
+            step_logp = log_probs[rows, cols]
+            log_prob = (step_logp if log_prob is None
+                        else log_prob[rows] + step_logp)
+            sess_idx = sess_idx[rows]
+            ent_hist = np.concatenate(
+                [ent_hist[rows], tails[rows, cols][:, None]], axis=1)
+            rel_hist = np.concatenate(
+                [rel_hist[rows], rels[rows, cols][:, None]], axis=1)
+            prev_rel = rel_hist[:, -1]
+
+        prob = (np.exp(log_prob.data.astype(np.float64))
+                if log_prob is not None else np.zeros(0))
+        return Rollout(session_idx=sess_idx, entities=ent_hist,
+                       relations=rel_hist, prob=prob, log_prob=log_prob)
+
+    def _select(self, logp: np.ndarray, mask: np.ndarray, k: int,
+                stochastic: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row top-k (or Gumbel top-k) over valid actions.
+
+        Returns flat (row_index, col_index) arrays of the kept actions.
+        """
+        n, width = logp.shape
+        scores = np.where(mask, logp, NEG_INF)
+        if stochastic:
+            gumbel = -np.log(-np.log(
+                self._rng.random(scores.shape) + 1e-12) + 1e-12)
+            scores = np.where(mask, scores + gumbel, NEG_INF)
+        k_eff = min(k, width)
+        if k_eff >= width:
+            cols = np.broadcast_to(np.arange(width), (n, width))
+        else:
+            cols = np.argpartition(-scores, kth=k_eff - 1, axis=1)[:, :k_eff]
+        rows = np.repeat(np.arange(n), cols.shape[1])
+        cols = cols.reshape(-1)
+        valid = mask[rows, cols]
+        return rows[valid], cols[valid]
+
+    # ------------------------------------------------------------------
+    # ŷ aggregation (Eq. 14's predicted probabilities)
+    # ------------------------------------------------------------------
+    def aggregate_scores(self, rollout: Rollout, batch_size: int) -> Tensor:
+        """Scatter path probabilities into ``(B, n_items + 1)`` scores."""
+        if rollout.log_prob is None:
+            raise RuntimeError("aggregate_scores needs a grad-mode rollout")
+        items = self.env.built.items_of_entities(rollout.terminals)
+        probs = rollout.log_prob.exp()
+        # Non-item terminals fall into column 0, which is masked out of
+        # the loss and never recommended.
+        return F.scatter_add(probs, (rollout.session_idx, items),
+                             (batch_size, self.n_items + 1))
+
+    def aggregate_scores_numpy(self, rollout: Rollout,
+                               batch_size: int) -> np.ndarray:
+        items = self.env.built.items_of_entities(rollout.terminals)
+        scores = np.zeros((batch_size, self.n_items + 1), dtype=np.float64)
+        np.add.at(scores, (rollout.session_idx, items), rollout.prob)
+        scores[:, 0] = 0.0
+        return scores
+
+    # ------------------------------------------------------------------
+    # Losses
+    # ------------------------------------------------------------------
+    def losses(self, batch: SessionBatch) -> Tuple[Tensor, StepStats]:
+        """Forward pass producing ``L = β·Lr + Lce`` plus diagnostics."""
+        cfg = self.config
+        session_repr = self.encoder.encode(batch)
+        rollout = self.walk(session_repr, batch,
+                            stochastic=(cfg.train_selection == "sample"
+                                        and self.training))
+        batch_size = batch.batch_size
+        if rollout.num_paths == 0:
+            raise RuntimeError(
+                "rollout produced no paths; the KG has isolated start "
+                "entities — check co_occur/metadata edge construction")
+
+        yhat = self.aggregate_scores(rollout, batch_size)
+        yhat_np = yhat.data.copy()
+        yhat_np[:, 0] = 0.0
+
+        discounted, components = self.rewards.compute(
+            rollout, batch.targets, session_repr.data, yhat_np)
+
+        # REINFORCE with a per-session mean baseline (self-critical).
+        counts = np.bincount(rollout.session_idx, minlength=batch_size)
+        sums = np.bincount(rollout.session_idx, weights=discounted,
+                           minlength=batch_size)
+        baseline = sums / np.maximum(counts, 1)
+        advantage = discounted - baseline[rollout.session_idx]
+
+        reward_loss = -(rollout.log_prob
+                        * Tensor(advantage.astype(np.float32))).sum() \
+            * (1.0 / batch_size)
+        if cfg.entropy_weight > 0:
+            # Entropy bonus over kept actions (extension, off by default).
+            reward_loss = reward_loss + (rollout.log_prob.exp()
+                                         * rollout.log_prob).sum() \
+                * (cfg.entropy_weight / batch_size)
+
+        targets_dense = np.zeros((batch_size, self.n_items + 1),
+                                 dtype=np.float32)
+        targets_dense[np.arange(batch_size), batch.targets] = 1.0
+        bce = F.binary_cross_entropy(yhat, targets_dense, reduction="none")
+        col_mask = np.ones(self.n_items + 1, dtype=np.float32)
+        col_mask[0] = 0.0
+        ce_loss = (bce * Tensor(col_mask)).sum() * (1.0 / batch_size)
+
+        if cfg.loss_mode == "reward_only":
+            loss = reward_loss * cfg.beta
+        elif cfg.loss_mode == "ce_only":
+            loss = ce_loss
+        else:
+            loss = reward_loss * cfg.beta + ce_loss
+
+        stats = StepStats(
+            loss=float(loss.item()),
+            reward_loss=float(reward_loss.item()),
+            ce_loss=float(ce_loss.item()),
+            mean_reward=float(discounted.mean()),
+            num_paths=rollout.num_paths,
+            reward_components={k: float(v.mean())
+                               for k, v in components.items()},
+        )
+        return loss, stats
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def recommend(self, batch: SessionBatch, k: int = 20,
+                  sizes: Optional[Tuple[int, ...]] = None) -> Recommendations:
+        """Top-``k`` items plus the best explanation path per item."""
+        self.eval()
+        cfg = self.config
+        with no_grad():
+            session_repr = self.encoder.encode(batch)
+            rollout = self.walk(session_repr, batch, sizes=sizes)
+            scores = self.aggregate_scores_numpy(rollout, batch.batch_size)
+            if cfg.fallback_to_encoder:
+                scores = self._encoder_fallback(scores, session_repr)
+        ranked = _top_k(scores, k)
+        paths = self._best_paths(rollout)
+        return Recommendations(scores=scores, ranked_items=ranked, paths=paths)
+
+    def _encoder_fallback(self, scores: np.ndarray,
+                          session_repr: Tensor) -> np.ndarray:
+        """Fill unreached items with down-scaled encoder scores."""
+        logits = self.encoder.score_items(session_repr).data
+        probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        floor = scores[scores > 0].min() if (scores > 0).any() else 1.0
+        unreached = scores <= 0
+        out = scores.copy()
+        out[unreached] = 1e-6 * floor * probs[unreached]
+        out[:, 0] = 0.0
+        return out
+
+    def _best_paths(self, rollout: Rollout
+                    ) -> Dict[Tuple[int, int], SemanticPath]:
+        items = self.env.built.items_of_entities(rollout.terminals)
+        best: Dict[Tuple[int, int], int] = {}
+        for p in range(rollout.num_paths):
+            if items[p] == 0:
+                continue
+            key = (int(rollout.session_idx[p]), int(items[p]))
+            if key not in best or rollout.prob[p] > rollout.prob[best[key]]:
+                best[key] = p
+        out: Dict[Tuple[int, int], SemanticPath] = {}
+        for key, p in best.items():
+            out[key] = SemanticPath(
+                entities=[int(e) for e in rollout.entities[p]],
+                relations=[int(r) for r in rollout.relations[p]],
+                prob=float(rollout.prob[p]),
+            )
+        return out
+
+
+def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    k = min(k, scores.shape[1] - 1)
+    part = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    row_scores = np.take_along_axis(scores, part, axis=1)
+    order = np.argsort(-row_scores, axis=1, kind="stable")
+    return np.take_along_axis(part, order, axis=1)

@@ -1,0 +1,99 @@
+"""Beam-search diagnostics and an exhaustive-path oracle.
+
+The differentiable beam walk lives in :meth:`REKSAgent.walk`; this
+module provides the tooling around it:
+
+* :func:`enumerate_paths` — exhaustive (oracle) path enumeration used
+  to verify the beam only ever returns genuine KG walks and to measure
+  what fraction of the reachable item set the beam covers;
+* :func:`beam_diagnostics` — per-batch statistics (paths kept,
+  candidate items, target-reached rate) for tuning sampling sizes and
+  action caps at new dataset scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.data.loader import SessionBatch
+from repro.kg.builder import BuiltKG
+from repro.kg.paths import SemanticPath
+
+
+def enumerate_paths(built: BuiltKG, start: int, length: int,
+                    max_paths: int = 100_000) -> List[SemanticPath]:
+    """All simple paths of exactly ``length`` hops from ``start``.
+
+    Exhaustive, so only suitable for small KGs / short lengths; raises
+    if the path count exceeds ``max_paths`` (a fan-out guard).
+    """
+    paths: List[SemanticPath] = []
+    stack: List[Tuple[List[int], List[int]]] = [([start], [])]
+    while stack:
+        entities, relations = stack.pop()
+        if len(relations) == length:
+            paths.append(SemanticPath(entities=list(entities),
+                                      relations=list(relations), prob=0.0))
+            if len(paths) > max_paths:
+                raise RuntimeError(
+                    f"more than {max_paths} paths from entity {start}")
+            continue
+        rels, tails = built.kg.neighbors(entities[-1])
+        visited = set(entities)
+        for r, t in zip(rels.tolist(), tails.tolist()):
+            if t in visited:
+                continue
+            stack.append((entities + [t], relations + [r]))
+    return paths
+
+
+def reachable_items(built: BuiltKG, start: int, length: int) -> Set[int]:
+    """Item ids reachable at exactly ``length`` hops (simple paths)."""
+    items: Set[int] = set()
+    for path in enumerate_paths(built, start, length):
+        item = int(built.items_of_entities(np.array([path.terminal]))[0])
+        if item > 0:
+            items.add(item)
+    return items
+
+
+@dataclass
+class BeamDiagnostics:
+    """Aggregate beam statistics over one batch."""
+
+    paths_per_session: float
+    candidates_per_session: float
+    target_reached_rate: float
+    dead_end_rate: float
+    mass_kept: float  # mean total path probability per session
+
+
+def beam_diagnostics(agent, batch: SessionBatch) -> BeamDiagnostics:
+    """Run the inference beam and report coverage statistics."""
+    with no_grad():
+        session_repr = agent.encoder.encode(batch)
+        rollout = agent.walk(session_repr, batch)
+    batch_size = batch.batch_size
+    counts = np.bincount(rollout.session_idx, minlength=batch_size)
+    items = agent.env.built.items_of_entities(rollout.terminals)
+
+    candidates = np.zeros(batch_size)
+    reached = np.zeros(batch_size, dtype=bool)
+    for row in range(batch_size):
+        mask = rollout.session_idx == row
+        row_items = set(items[mask].tolist()) - {0}
+        candidates[row] = len(row_items)
+        reached[row] = batch.targets[row] in row_items
+    mass = np.bincount(rollout.session_idx, weights=rollout.prob,
+                       minlength=batch_size)
+    return BeamDiagnostics(
+        paths_per_session=float(counts.mean()),
+        candidates_per_session=float(candidates.mean()),
+        target_reached_rate=float(reached.mean()),
+        dead_end_rate=float((counts == 0).mean()),
+        mass_kept=float(mass.mean()),
+    )

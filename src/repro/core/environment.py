@@ -1,0 +1,127 @@
+"""MDP environment over the session knowledge graph (paper §III-B-2).
+
+States are (session, current KG position) pairs; the *action space* of
+an entity is its outgoing edge set minus already-visited entities
+(self-loops back along the path are forbidden); transitions are
+deterministic (Eq. 10).  This module owns the vectorized action-space
+construction: per-entity neighbor arrays are precomputed once (pruned
+to ``action_cap`` edges PGPR-style) and batches of frontier entities
+are padded into rectangular ``(N, A)`` arrays for the policy network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.loader import SessionBatch
+from repro.kg.builder import BuiltKG
+
+
+@dataclass
+class Rollout:
+    """Result of walking ``path_length`` hops for a batch of sessions.
+
+    ``entities`` has one column per visited node (hop 0 = start) and
+    ``relations`` one column per hop taken.  ``session_idx`` maps every
+    surviving path back to its source session row.  ``log_prob`` is the
+    tensor of summed per-hop log probabilities (tape-free when produced
+    under ``no_grad``; None only for hand-built rollouts); ``prob`` is
+    its exponential as plain numpy.
+    """
+
+    session_idx: np.ndarray      # (P,)
+    entities: np.ndarray         # (P, hops + 1)
+    relations: np.ndarray        # (P, hops)
+    prob: np.ndarray             # (P,)
+    log_prob: Optional[object] = None  # Tensor (P,) when grad is enabled
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.session_idx)
+
+    @property
+    def terminals(self) -> np.ndarray:
+        return self.entities[:, -1]
+
+
+class KGEnvironment:
+    """Precomputed, capped adjacency with batched action-space queries."""
+
+    def __init__(self, built: BuiltKG, action_cap: int = 250,
+                 seed: int = 0) -> None:
+        self.built = built
+        self.kg = built.kg
+        self.action_cap = action_cap
+        rng = np.random.default_rng(seed)
+        self._rels: List[np.ndarray] = []
+        self._tails: List[np.ndarray] = []
+        for entity in range(self.kg.num_entities):
+            rels, tails = self.kg.neighbors(entity)
+            if len(tails) > action_cap:
+                # Uniform subsample keeps the relation-type mix unbiased
+                # (a head-truncation would drop whole relation blocks).
+                pick = rng.choice(len(tails), size=action_cap, replace=False)
+                pick.sort()
+                rels, tails = rels[pick], tails[pick]
+            self._rels.append(np.ascontiguousarray(rels))
+            self._tails.append(np.ascontiguousarray(tails))
+        self._degrees = np.array([len(t) for t in self._tails], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def degree(self, entity: int) -> int:
+        return int(self._degrees[entity])
+
+    def actions_of(self, entity: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(relations, tails) of one entity after capping."""
+        return self._rels[entity], self._tails[entity]
+
+    def batched_actions(self, entities: np.ndarray, visited: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Padded action arrays for a frontier.
+
+        Parameters
+        ----------
+        entities:
+            ``(N,)`` current entity per path.
+        visited:
+            ``(N, V)`` entities already on each path (including the
+            current one); matching tails are masked out.
+
+        Returns
+        -------
+        (relations, tails, mask):
+            ``(N, A)`` arrays; ``mask`` is True for legal actions.
+        """
+        entities = np.asarray(entities, dtype=np.int64)
+        n = len(entities)
+        width = int(self._degrees[entities].max()) if n else 0
+        width = max(width, 1)
+        rels = np.zeros((n, width), dtype=np.int64)
+        tails = np.zeros((n, width), dtype=np.int64)
+        mask = np.zeros((n, width), dtype=bool)
+        for i, entity in enumerate(entities):
+            deg = self._degrees[entity]
+            if deg == 0:
+                continue
+            rels[i, :deg] = self._rels[entity]
+            tails[i, :deg] = self._tails[entity]
+            mask[i, :deg] = True
+        for col in range(visited.shape[1]):
+            mask &= tails != visited[:, col:col + 1]
+        return rels, tails, mask
+
+    # ------------------------------------------------------------------
+    def start_entities(self, batch: SessionBatch, start_from: str) -> np.ndarray:
+        """Hop-0 entities: the last item of every prefix, or the user."""
+        if start_from == "last_item":
+            return self.built.entities_of_items(batch.last_items)
+        if start_from == "user":
+            if self.built.user_entity is None:
+                raise ValueError(
+                    "start_from='user' requires a KG built with users "
+                    "(include_users=True and an Amazon-domain dataset)")
+            return self.built.user_entity[batch.users]
+        raise ValueError(f"unknown start_from {start_from!r}")

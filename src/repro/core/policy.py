@@ -1,0 +1,89 @@
+"""The REKS policy network (Eq. 3-4).
+
+``s_t = MLP(Se ⊕ Sp)`` fuses the session representation from the
+wrapped SR model with the current path context ``Sp = x_et + x_rt``;
+actions ``(r, e)`` are embedded as ``x_r + x_e`` and scored by
+``(x_r + x_e)ᵀ (W1 s_t)``, masked to the legal action set, softmaxed.
+
+KG entity/relation embeddings default to the frozen TransE tables
+(PGPR convention); ``finetune=True`` makes them trainable parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear, MLP
+from repro.nn.module import Module
+
+NEG_INF = -1e9
+
+
+class PolicyNetwork(Module):
+    """State featurizer + action scorer."""
+
+    def __init__(self, session_dim: int, kg_dim: int, state_dim: int,
+                 entity_table: np.ndarray, relation_table: np.ndarray,
+                 dropout: float = 0.0, finetune: bool = False,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.session_dim = session_dim
+        self.kg_dim = kg_dim
+        self.state_dim = state_dim
+        self.entity_emb = Embedding.from_pretrained(entity_table,
+                                                    trainable=finetune)
+        self.relation_emb = Embedding.from_pretrained(relation_table,
+                                                      trainable=finetune)
+        self.state_mlp = MLP([session_dim + kg_dim, state_dim, state_dim],
+                             rng=rng)
+        self.w1 = Linear(state_dim, kg_dim, bias=False, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    # ------------------------------------------------------------------
+    def path_context(self, entities: np.ndarray,
+                     relations: Optional[np.ndarray]) -> Tensor:
+        """``Sp``: current entity embedding plus last relation (if any)."""
+        sp = self.entity_emb(entities)
+        if relations is not None:
+            sp = sp + self.relation_emb(relations)
+        return sp
+
+    def state(self, session_repr: Tensor, sp: Tensor) -> Tensor:
+        """``s_t = MLP(Se ⊕ Sp)`` (Eq. 3)."""
+        fused = F.concat([session_repr, sp], axis=-1)
+        return self.state_mlp(self.drop(fused))
+
+    def action_embeddings(self, rels: np.ndarray, tails: np.ndarray) -> Tensor:
+        """``x_r + x_e`` for a padded ``(N, A)`` action grid."""
+        return self.relation_emb(rels) + self.entity_emb(tails)
+
+    def action_log_probs(self, state: Tensor, rels: np.ndarray,
+                         tails: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Masked log-softmax over the action grid (Eq. 4).
+
+        ``state`` is ``(N, state_dim)``; returns ``(N, A)``.  Rows whose
+        mask is empty yield a uniform distribution — callers must drop
+        those paths (the environment reports them as dead ends).
+        """
+        proj = self.w1(state)                         # (N, kg_dim)
+        action_emb = self.action_embeddings(rels, tails)  # (N, A, kg_dim)
+        n, width = rels.shape
+        logits = action_emb.matmul(proj.reshape(n, self.kg_dim, 1))
+        logits = logits.reshape(n, width)
+        logits = logits.masked_fill(~mask, NEG_INF)
+        return F.log_softmax(logits, axis=-1)
+
+    def step(self, session_repr: Tensor, entities: np.ndarray,
+             relations: Optional[np.ndarray], rels: np.ndarray,
+             tails: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Full hop: context -> state -> masked action log-probs."""
+        sp = self.path_context(entities, relations)
+        st = self.state(session_repr, sp)
+        return self.action_log_probs(st, rels, tails, mask)

@@ -1,0 +1,54 @@
+"""Dataset substrate: synthetic Amazon/MovieLens generators and sessions.
+
+The paper evaluates on Amazon Beauty / Cellphones / Baby and on
+MovieLens-1M joined with a Satori knowledge graph.  Those dumps are not
+available offline, so this package generates synthetic datasets with the
+same entity/relation inventory and — crucially — the same *predictive
+structure*: next-session-items correlate with catalog metadata and
+co-purchase links, which is the signal REKS's KG paths exploit.
+"""
+
+from repro.data.schema import (
+    AmazonDataset,
+    Interaction,
+    MovieMeta,
+    MovieLensDataset,
+    ProductMeta,
+    Session,
+    SessionDataset,
+    SessionSplit,
+)
+from repro.data.synthetic import AmazonLikeGenerator, AMAZON_PRESETS
+from repro.data.movielens import MovieLensLikeGenerator, MOVIELENS_PRESETS
+from repro.data.real import load_amazon, load_movielens
+from repro.data.sessions import build_sessions, filter_and_split
+from repro.data.loader import SessionBatch, SessionBatcher
+from repro.data.stats import (
+    dataset_statistics,
+    entity_statistics,
+    relation_statistics,
+)
+
+__all__ = [
+    "AmazonDataset",
+    "Interaction",
+    "MovieMeta",
+    "MovieLensDataset",
+    "ProductMeta",
+    "Session",
+    "SessionDataset",
+    "SessionSplit",
+    "AmazonLikeGenerator",
+    "AMAZON_PRESETS",
+    "MovieLensLikeGenerator",
+    "MOVIELENS_PRESETS",
+    "build_sessions",
+    "filter_and_split",
+    "SessionBatch",
+    "SessionBatcher",
+    "dataset_statistics",
+    "entity_statistics",
+    "relation_statistics",
+    "load_amazon",
+    "load_movielens",
+]

@@ -1,0 +1,147 @@
+"""Dataset containers shared by the generators, sessionizer, and KG builder.
+
+Item ids are 1-based everywhere (0 is the padding index used by the
+session batcher and the model embedding tables).  User, brand, category
+and related-product ids are 0-based within their own namespaces; the KG
+builder assigns globally unique entity ids per type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One user-item interaction event."""
+
+    user_id: int
+    item_id: int
+    timestamp: float  # fractional days since epoch of the dataset
+
+
+@dataclass
+class ProductMeta:
+    """Amazon-style product metadata (Table II/III entity inventory)."""
+
+    item_id: int
+    name: str
+    brand_id: int
+    category_id: int
+    also_bought: List[int] = field(default_factory=list)
+    also_viewed: List[int] = field(default_factory=list)
+    bought_together: List[int] = field(default_factory=list)
+
+
+@dataclass
+class MovieMeta:
+    """MovieLens-style movie metadata (Table IV/V entity inventory)."""
+
+    item_id: int
+    name: str
+    genre_ids: List[int] = field(default_factory=list)
+    director_id: Optional[int] = None
+    actor_ids: List[int] = field(default_factory=list)
+    writer_id: Optional[int] = None
+    language_id: Optional[int] = None
+    rating_id: Optional[int] = None
+    country_id: Optional[int] = None
+
+
+@dataclass
+class Session:
+    """An (anonymous) session: ordered item ids plus provenance."""
+
+    items: List[int]
+    user_id: int
+    day: int
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def prefix(self) -> List[int]:
+        """All items but the last (the model input)."""
+        return self.items[:-1]
+
+    @property
+    def target(self) -> int:
+        """The last item (the prediction target)."""
+        return self.items[-1]
+
+
+@dataclass
+class SessionSplit:
+    """Train/validation/test partition of sessions."""
+
+    train: List[Session]
+    validation: List[Session]
+    test: List[Session]
+
+    def __iter__(self):
+        return iter((self.train, self.validation, self.test))
+
+
+@dataclass
+class SessionDataset:
+    """Everything downstream components need about one dataset."""
+
+    name: str
+    domain: str  # "amazon" or "movielens"
+    n_users: int
+    n_items: int  # item ids are 1..n_items
+    interactions: List[Interaction]
+    sessions: List[Session]
+    split: SessionSplit
+    item_names: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def average_session_length(self) -> float:
+        if not self.sessions:
+            return 0.0
+        return sum(len(s) for s in self.sessions) / len(self.sessions)
+
+
+@dataclass
+class AmazonDataset(SessionDataset):
+    """Session dataset plus Amazon-style metadata."""
+
+    products: Dict[int, ProductMeta] = field(default_factory=dict)
+    n_brands: int = 0
+    n_categories: int = 0
+    n_related: int = 0
+    brand_names: Dict[int, str] = field(default_factory=dict)
+    category_names: Dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class MovieLensDataset(SessionDataset):
+    """Session dataset plus MovieLens-style metadata."""
+
+    movies: Dict[int, MovieMeta] = field(default_factory=dict)
+    n_genres: int = 0
+    n_directors: int = 0
+    n_actors: int = 0
+    n_writers: int = 0
+    n_languages: int = 0
+    n_ratings: int = 0
+    n_countries: int = 0
+
+
+def validate_dataset(dataset: SessionDataset) -> List[str]:
+    """Sanity-check invariants; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    for session in dataset.sessions:
+        if len(session) < 2:
+            problems.append(f"session shorter than 2: {session}")
+        for item in session.items:
+            if not 1 <= item <= dataset.n_items:
+                problems.append(f"item id {item} out of range 1..{dataset.n_items}")
+    split_total = (len(dataset.split.train) + len(dataset.split.validation)
+                   + len(dataset.split.test))
+    if split_total != len(dataset.sessions):
+        problems.append(
+            f"split sizes {split_total} != total sessions {len(dataset.sessions)}"
+        )
+    return problems

@@ -1,0 +1,93 @@
+"""Sessionization, support filtering, and the 75/10/15 split.
+
+Follows the paper's protocol (§IV-A-1): interactions of one user within
+one day form a session; items with fewer than ``min_item_support``
+interactions and sessions shorter than 2 are dropped (iterated to a
+fixed point, since dropping items can shorten sessions below 2); the
+surviving sessions are randomly split 75% / 10% / 15%.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import Interaction, Session, SessionSplit
+
+
+def build_sessions(interactions: Sequence[Interaction]) -> List[Session]:
+    """Group interactions into (user, day) sessions, ordered by time."""
+    grouped: Dict[Tuple[int, int], List[Interaction]] = defaultdict(list)
+    for inter in interactions:
+        grouped[(inter.user_id, int(inter.timestamp))].append(inter)
+    sessions: List[Session] = []
+    for (user, day), events in sorted(grouped.items()):
+        events.sort(key=lambda e: e.timestamp)
+        items = [e.item_id for e in events]
+        sessions.append(Session(items=items, user_id=user, day=day))
+    return sessions
+
+
+def filter_sessions(sessions: Sequence[Session], min_item_support: int = 5,
+                    min_session_length: int = 2) -> Tuple[List[Session], Dict[int, int]]:
+    """Iteratively drop rare items and short sessions; remap ids to 1..n.
+
+    Returns the filtered (remapped) sessions and the old->new item map.
+    """
+    current = [Session(list(s.items), s.user_id, s.day) for s in sessions]
+    while True:
+        support: Counter = Counter()
+        for session in current:
+            support.update(session.items)
+        keep = {item for item, count in support.items() if count >= min_item_support}
+        next_sessions: List[Session] = []
+        changed = False
+        for session in current:
+            items = [i for i in session.items if i in keep]
+            if len(items) != len(session.items):
+                changed = True
+            if len(items) >= min_session_length:
+                next_sessions.append(Session(items, session.user_id, session.day))
+            else:
+                changed = True
+        current = next_sessions
+        if not changed:
+            break
+    old_ids = sorted({item for s in current for item in s.items})
+    remap = {old: new for new, old in enumerate(old_ids, start=1)}
+    remapped = [
+        Session([remap[i] for i in s.items], s.user_id, s.day) for s in current
+    ]
+    return remapped, remap
+
+
+def split_sessions(sessions: Sequence[Session],
+                   ratios: Tuple[float, float, float] = (0.75, 0.10, 0.15),
+                   rng: Optional[np.random.Generator] = None) -> SessionSplit:
+    """Randomly partition sessions into train/validation/test."""
+    if abs(sum(ratios) - 1.0) > 1e-6:
+        raise ValueError(f"split ratios must sum to 1, got {ratios}")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(len(sessions))
+    n_train = int(round(ratios[0] * len(sessions)))
+    n_val = int(round(ratios[1] * len(sessions)))
+    train_idx = order[:n_train]
+    val_idx = order[n_train:n_train + n_val]
+    test_idx = order[n_train + n_val:]
+    sessions = list(sessions)
+    return SessionSplit(
+        train=[sessions[i] for i in train_idx],
+        validation=[sessions[i] for i in val_idx],
+        test=[sessions[i] for i in test_idx],
+    )
+
+
+def filter_and_split(sessions: Sequence[Session], min_item_support: int = 5,
+                     ratios: Tuple[float, float, float] = (0.75, 0.10, 0.15),
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Tuple[SessionSplit, Dict[int, int]]:
+    """Convenience pipeline: filter then split."""
+    filtered, remap = filter_sessions(sessions, min_item_support=min_item_support)
+    return split_sessions(filtered, ratios=ratios, rng=rng), remap

@@ -1,0 +1,69 @@
+"""Dataset and KG statistics mirroring paper Tables II–VI."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, TYPE_CHECKING
+
+from repro.data.schema import (
+    AmazonDataset,
+    MovieLensDataset,
+    SessionDataset,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kg.graph import KnowledgeGraph
+
+
+def relation_statistics(kg: "KnowledgeGraph") -> Dict[str, int]:
+    """Edge counts per relation name (Tables II and IV).
+
+    Counts directed edges, which matches the paper's convention of
+    reporting each bidirectional metadata relation once per direction.
+    """
+    counts: Counter = Counter()
+    for rel_id, name in enumerate(kg.relation_names):
+        counts[name] += int(kg.count_edges_for_relation(rel_id))
+    return dict(counts)
+
+
+def entity_statistics(kg: "KnowledgeGraph") -> Dict[str, int]:
+    """Entity counts per type (Tables III and V)."""
+    counts: Counter = Counter()
+    for type_name in kg.entity_type_names:
+        counts[type_name] = kg.count_entities_of_type(type_name)
+    return dict(counts)
+
+
+def dataset_statistics(dataset: SessionDataset,
+                       kg: "KnowledgeGraph" = None) -> Dict[str, object]:
+    """Session-level statistics (Table VI)."""
+    stats: Dict[str, object] = {
+        "dataset": dataset.name,
+        "#sessions": len(dataset.sessions),
+        "#train sessions": len(dataset.split.train),
+        "#validation sessions": len(dataset.split.validation),
+        "#test sessions": len(dataset.split.test),
+        "average length": round(dataset.average_session_length, 2),
+        "#items": dataset.n_items,
+        "#users": dataset.n_users,
+    }
+    if kg is not None:
+        stats["#entities"] = kg.num_entities
+        stats["#relations"] = kg.num_triples
+    return stats
+
+
+def format_table(rows, headers=None) -> str:
+    """Plain-text table renderer used by the benchmark harness."""
+    rows = [[str(c) for c in row] for row in rows]
+    if headers:
+        rows = [list(map(str, headers))] + rows
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for r, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if headers and r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

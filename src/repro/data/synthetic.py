@@ -1,0 +1,326 @@
+"""Synthetic Amazon-like catalog and session generator.
+
+The real Amazon Beauty/Cellphones/Baby dumps are unavailable offline, so
+this module builds a catalog whose *statistical structure* matches what
+the REKS knowledge graph exploits (see DESIGN.md §3):
+
+* products live in latent **clusters** nested inside **topics**;
+* categories and brands align with topics/clusters, so metadata paths
+  (``belong_to``/``produced_by``) connect substitutable products;
+* each cluster owns a pool of **related-product** entities, and products
+  link into their cluster pool via ``also_bought`` / ``also_viewed`` /
+  ``bought_together``, so 2-hop related-product paths connect products
+  that co-occur in sessions;
+* sessions are random walks biased toward the current item's complement
+  list (same cluster), so the *last* item genuinely predicts the next —
+  the property motivating REKS's last-item starting point.
+
+Each preset (beauty / cellphones / baby) scales the entity ratios of
+paper Tables II–III; "baby" keeps the quirk of having a single category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.schema import AmazonDataset, Interaction, ProductMeta
+from repro.data.sessions import build_sessions, filter_and_split
+
+
+@dataclass
+class AmazonPreset:
+    """Size/shape knobs for one synthetic Amazon flavor."""
+
+    name: str
+    n_users: int
+    n_products: int
+    n_brands: int
+    n_categories: int
+    n_related: int
+    n_sessions: int
+    n_topics: int = 8
+    clusters_per_topic: int = 4
+    mean_session_length: float = 3.5
+    max_session_length: int = 10
+    complement_degree: int = 6
+    also_bought_degree: int = 8
+    also_viewed_degree: int = 5
+    bought_together_degree: int = 2
+    p_complement: float = 0.62
+    p_cluster: float = 0.22
+    p_topic: float = 0.12
+    zipf_exponent: float = 1.1
+    min_item_support: int = 5
+    seed_offset: int = 0
+
+
+def _scaled(flavor: str, scale: str) -> AmazonPreset:
+    """Presets mirror Table II/III entity ratios at several scales."""
+    scales = {
+        "tiny": 0.012,
+        "small": 0.055,
+        "medium": 0.17,
+        "paper": 1.0,
+    }
+    if scale not in scales:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(scales)}")
+    s = scales[scale]
+    base = {
+        # name: (users, products, brands, categories, related, sessions)
+        "beauty": (15438, 11673, 2008, 238, 160281, 20830),
+        "cellphones": (17933, 9805, 904, 107, 96674, 24013),
+        "baby": (13655, 6860, 716, 1, 68168, 18907),
+    }
+    if flavor not in base:
+        raise ValueError(f"unknown flavor {flavor!r}; choose from {sorted(base)}")
+    users, products, brands, categories, related, sessions = base[flavor]
+
+    def scaled(x: int, minimum: int) -> int:
+        return max(minimum, int(round(x * s)))
+
+    return AmazonPreset(
+        name=flavor,
+        n_users=scaled(users, 40),
+        n_products=scaled(products, 60),
+        n_brands=scaled(brands, 8),
+        n_categories=1 if categories == 1 else scaled(categories, 4),
+        # Related-product pools grow too fast at paper ratios; cap their
+        # multiple of products so the small KG stays path-dense.
+        n_related=min(scaled(related, 80), 4 * scaled(products, 60)),
+        n_sessions=scaled(sessions, 300),
+        seed_offset={"beauty": 0, "cellphones": 1, "baby": 2}[flavor],
+    )
+
+
+AMAZON_PRESETS = {
+    (flavor, scale): _scaled(flavor, scale)
+    for flavor in ("beauty", "cellphones", "baby")
+    for scale in ("tiny", "small", "medium", "paper")
+}
+
+
+class AmazonLikeGenerator:
+    """Generate an :class:`AmazonDataset` from a preset.
+
+    Parameters
+    ----------
+    preset:
+        Either an :class:`AmazonPreset` or a flavor name plus ``scale``.
+    seed:
+        Master seed; every random choice derives from it.
+    """
+
+    def __init__(self, preset="beauty", scale: str = "small",
+                 seed: int = 7) -> None:
+        if isinstance(preset, str):
+            preset = _scaled(preset, scale)
+        self.preset = preset
+        self.seed = seed + preset.seed_offset
+
+    # ------------------------------------------------------------------
+    def generate(self) -> AmazonDataset:
+        p = self.preset
+        rng = np.random.default_rng(self.seed)
+
+        n_clusters = p.n_topics * p.clusters_per_topic
+        cluster_topic = np.repeat(np.arange(p.n_topics), p.clusters_per_topic)
+
+        # --- catalog ---------------------------------------------------
+        product_cluster = rng.integers(0, n_clusters, size=p.n_products)
+        product_topic = cluster_topic[product_cluster]
+        popularity = self._zipf_weights(p.n_products, p.zipf_exponent, rng)
+
+        category_topic = (np.arange(p.n_categories) % p.n_topics
+                          if p.n_categories > 1 else np.zeros(1, dtype=np.int64))
+        brand_topic = np.arange(p.n_brands) % p.n_topics
+        related_cluster = rng.integers(0, n_clusters, size=p.n_related)
+
+        product_category = self._assign_aligned(
+            product_topic, category_topic, rng, loyal=0.9)
+        product_brand = self._assign_aligned(
+            product_topic, brand_topic, rng, loyal=0.75)
+
+        cluster_members: List[np.ndarray] = [
+            np.where(product_cluster == c)[0] for c in range(n_clusters)
+        ]
+        topic_members: List[np.ndarray] = [
+            np.where(product_topic == t)[0] for t in range(p.n_topics)
+        ]
+        cluster_related: List[np.ndarray] = [
+            np.where(related_cluster == c)[0] for c in range(n_clusters)
+        ]
+
+        complements = self._sample_complements(
+            product_cluster, cluster_members, popularity, p.complement_degree, rng)
+
+        products: Dict[int, ProductMeta] = {}
+        for raw in range(p.n_products):
+            pool = cluster_related[product_cluster[raw]]
+            topic_pool = np.concatenate(
+                [cluster_related[c] for c in range(n_clusters)
+                 if cluster_topic[c] == product_topic[raw]]
+            ) if p.n_related else np.array([], dtype=np.int64)
+            products[raw + 1] = ProductMeta(
+                item_id=raw + 1,
+                name=f"{p.name}-product-{raw + 1}",
+                brand_id=int(product_brand[raw]),
+                category_id=int(product_category[raw]),
+                also_bought=self._pick(pool, p.also_bought_degree, rng),
+                also_viewed=self._pick(topic_pool, p.also_viewed_degree, rng),
+                bought_together=self._pick(pool, p.bought_together_degree, rng),
+            )
+
+        # --- users and sessions -----------------------------------------
+        user_topic_pref = rng.dirichlet(np.full(p.n_topics, 0.35), size=p.n_users)
+        interactions = self._simulate_sessions(
+            rng, user_topic_pref, cluster_topic, cluster_members, topic_members,
+            popularity, complements, product_cluster, product_topic)
+
+        sessions = build_sessions(interactions)
+        kept_sessions, remap = filter_and_split(
+            sessions, min_item_support=p.min_item_support, rng=rng)
+
+        # Remap product metadata to surviving item ids.
+        remapped_products = {}
+        item_names = {}
+        for old_id, new_id in remap.items():
+            meta = products[old_id]
+            remapped_products[new_id] = ProductMeta(
+                item_id=new_id,
+                name=meta.name,
+                brand_id=meta.brand_id,
+                category_id=meta.category_id,
+                also_bought=meta.also_bought,
+                also_viewed=meta.also_viewed,
+                bought_together=meta.bought_together,
+            )
+            item_names[new_id] = meta.name
+
+        all_sessions = (kept_sessions.train + kept_sessions.validation
+                        + kept_sessions.test)
+        kept_interactions = [
+            Interaction(s.user_id, item, float(s.day) + i / 100.0)
+            for s in all_sessions for i, item in enumerate(s.items)
+        ]
+        return AmazonDataset(
+            name=p.name,
+            domain="amazon",
+            n_users=p.n_users,
+            n_items=len(remap),
+            interactions=kept_interactions,
+            sessions=all_sessions,
+            split=kept_sessions,
+            item_names=item_names,
+            products=remapped_products,
+            n_brands=p.n_brands,
+            n_categories=p.n_categories,
+            n_related=p.n_related,
+            brand_names={b: f"{p.name}-brand-{b}" for b in range(p.n_brands)},
+            category_names={c: f"{p.name}-category-{c}"
+                            for c in range(p.n_categories)},
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _zipf_weights(n: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+        ranks = rng.permutation(n) + 1
+        weights = 1.0 / np.power(ranks, exponent)
+        return weights / weights.sum()
+
+    @staticmethod
+    def _assign_aligned(item_topic: np.ndarray, attr_topic: np.ndarray,
+                        rng: np.random.Generator, loyal: float) -> np.ndarray:
+        """Assign each item an attribute, usually one matching its topic."""
+        n_attr = len(attr_topic)
+        out = np.empty(len(item_topic), dtype=np.int64)
+        by_topic = {t: np.where(attr_topic == t)[0] for t in np.unique(attr_topic)}
+        for i, topic in enumerate(item_topic):
+            pool = by_topic.get(topic)
+            if pool is not None and len(pool) and rng.random() < loyal:
+                out[i] = rng.choice(pool)
+            else:
+                out[i] = rng.integers(0, n_attr)
+        return out
+
+    @staticmethod
+    def _pick(pool: np.ndarray, k: int, rng: np.random.Generator) -> List[int]:
+        if len(pool) == 0 or k == 0:
+            return []
+        k = min(k, len(pool))
+        return sorted(int(x) for x in rng.choice(pool, size=k, replace=False))
+
+    @staticmethod
+    def _sample_complements(product_cluster: np.ndarray,
+                            cluster_members: List[np.ndarray],
+                            popularity: np.ndarray,
+                            degree: int,
+                            rng: np.random.Generator) -> List[np.ndarray]:
+        complements: List[np.ndarray] = []
+        for raw, cluster in enumerate(product_cluster):
+            members = cluster_members[cluster]
+            others = members[members != raw]
+            if len(others) == 0:
+                complements.append(np.array([raw], dtype=np.int64))
+                continue
+            weights = popularity[others]
+            weights = weights / weights.sum()
+            k = min(degree, len(others))
+            chosen = rng.choice(others, size=k, replace=False, p=weights)
+            complements.append(np.asarray(chosen, dtype=np.int64))
+        return complements
+
+    def _simulate_sessions(self, rng, user_topic_pref, cluster_topic,
+                           cluster_members, topic_members, popularity,
+                           complements, product_cluster, product_topic
+                           ) -> List[Interaction]:
+        p = self.preset
+        interactions: List[Interaction] = []
+        n_clusters = len(cluster_topic)
+        user_day = np.zeros(p.n_users, dtype=np.int64)
+        for _ in range(p.n_sessions):
+            user = int(rng.integers(0, p.n_users))
+            topic = int(rng.choice(p.n_topics, p=user_topic_pref[user]))
+            topic_clusters = np.where(cluster_topic == topic)[0]
+            cluster = int(rng.choice(topic_clusters))
+            members = cluster_members[cluster]
+            if len(members) == 0:
+                members = topic_members[topic]
+            if len(members) == 0:
+                continue
+            length = 2 + min(rng.poisson(max(p.mean_session_length - 2.0, 0.1)),
+                             p.max_session_length - 2)
+            weights = popularity[members] / popularity[members].sum()
+            current = int(rng.choice(members, p=weights))
+            day = int(user_day[user])
+            user_day[user] += 1 + int(rng.integers(0, 3))
+            items = [current]
+            for _step in range(length - 1):
+                roll = rng.random()
+                if roll < p.p_complement and len(complements[current]):
+                    nxt = int(rng.choice(complements[current]))
+                elif roll < p.p_complement + p.p_cluster:
+                    pool = cluster_members[product_cluster[current]]
+                    nxt = int(rng.choice(pool)) if len(pool) else current
+                elif roll < p.p_complement + p.p_cluster + p.p_topic:
+                    pool = topic_members[product_topic[current]]
+                    nxt = int(rng.choice(pool)) if len(pool) else current
+                else:
+                    nxt = int(rng.integers(0, p.n_products))
+                if nxt == current:
+                    continue
+                items.append(nxt)
+                current = nxt
+            if len(items) < 2:
+                continue
+            for offset, raw_item in enumerate(items):
+                interactions.append(Interaction(
+                    user_id=user,
+                    item_id=raw_item + 1,  # item ids are 1-based
+                    timestamp=float(day) + offset / 100.0,
+                ))
+        return interactions

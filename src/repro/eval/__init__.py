@@ -1,0 +1,26 @@
+"""Evaluation: accuracy metrics, significance tests, and the user study."""
+
+from repro.eval.metrics import (
+    evaluate_rankings,
+    hit_rate_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    top_k_from_scores,
+)
+from repro.eval.significance import paired_t_test, significance_marker
+from repro.eval.evaluator import evaluate_encoder, evaluate_reks
+from repro.eval.user_study import UserStudyConfig, simulate_user_study
+
+__all__ = [
+    "evaluate_rankings",
+    "hit_rate_at_k",
+    "mrr_at_k",
+    "ndcg_at_k",
+    "top_k_from_scores",
+    "paired_t_test",
+    "significance_marker",
+    "evaluate_encoder",
+    "evaluate_reks",
+    "UserStudyConfig",
+    "simulate_user_study",
+]

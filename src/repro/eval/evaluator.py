@@ -1,0 +1,42 @@
+"""High-level evaluation entry points used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.data.schema import Session
+from repro.eval.metrics import top_k_from_scores
+
+
+def evaluate_encoder(encoder,
+                     train_sessions: Sequence[Session],
+                     val_sessions: Sequence[Session],
+                     test_sessions: Sequence[Session],
+                     config=None,
+                     ks=(5, 10, 20), verbose: bool = False) -> Dict[str, float]:
+    """Train a standalone encoder and report test metrics (in percent)."""
+    # Imported lazily: repro.models.standalone itself uses eval.metrics.
+    from repro.models.standalone import StandaloneTrainer
+
+    trainer = StandaloneTrainer(encoder, train_sessions, val_sessions,
+                                config=config)
+    trainer.fit(verbose=verbose)
+    return trainer.evaluate(test_sessions, ks=ks)
+
+
+def evaluate_reks(reks_trainer, test_sessions: Sequence[Session],
+                  ks=(5, 10, 20)) -> Dict[str, float]:
+    """Evaluate a fitted REKS trainer on test sessions (in percent).
+
+    Thin indirection so benchmark code reads symmetrically for both
+    columns of every comparison; delegates to
+    :meth:`repro.core.trainer.REKSTrainer.evaluate`.
+    """
+    return reks_trainer.evaluate(test_sessions, ks=ks)
+
+
+def rank_full_catalog(scores: np.ndarray, ks=(5, 10, 20)):
+    """Ranked top-max(k) item ids from a dense score matrix."""
+    return top_k_from_scores(scores, max(ks))

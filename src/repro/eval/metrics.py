@@ -1,0 +1,66 @@
+"""Ranking accuracy metrics: HR@K, NDCG@K (paper §IV-A-3) and MRR@K.
+
+All metrics take *ranked item lists* (highest score first) so they work
+identically for the standalone baselines (full-catalog softmax ranking)
+and for REKS (path-probability ranking over reached items).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def top_k_from_scores(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the top-``k`` columns per row, highest score first.
+
+    ``scores`` is ``(B, n)``; column 0 (padding) should already be
+    masked to -inf by the caller when it is not a real item.
+    """
+    k = min(k, scores.shape[1])
+    part = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    row_scores = np.take_along_axis(scores, part, axis=1)
+    order = np.argsort(-row_scores, axis=1, kind="stable")
+    return np.take_along_axis(part, order, axis=1)
+
+
+def hit_rate_at_k(ranked: Sequence[Sequence[int]], targets: Sequence[int],
+                  k: int) -> float:
+    """Fraction of sessions whose target appears in the top-``k``."""
+    hits = sum(1 for row, t in zip(ranked, targets) if t in list(row)[:k])
+    return hits / max(1, len(targets))
+
+
+def ndcg_at_k(ranked: Sequence[Sequence[int]], targets: Sequence[int],
+              k: int) -> float:
+    """NDCG@K with a single relevant item (so IDCG = 1)."""
+    total = 0.0
+    for row, t in zip(ranked, targets):
+        row = list(row)[:k]
+        if t in row:
+            rank = row.index(t)
+            total += float(1.0 / np.log2(rank + 2.0))
+    return total / max(1, len(targets))
+
+
+def mrr_at_k(ranked: Sequence[Sequence[int]], targets: Sequence[int],
+             k: int) -> float:
+    """Mean reciprocal rank, truncated at ``k`` (extension metric)."""
+    total = 0.0
+    for row, t in zip(ranked, targets):
+        row = list(row)[:k]
+        if t in row:
+            total += 1.0 / (row.index(t) + 1.0)
+    return total / max(1, len(targets))
+
+
+def evaluate_rankings(ranked: Sequence[Sequence[int]], targets: Sequence[int],
+                      ks: Iterable[int] = (5, 10, 20)) -> Dict[str, float]:
+    """HR/NDCG/MRR at each cutoff, in percent (paper convention)."""
+    out: Dict[str, float] = {}
+    for k in ks:
+        out[f"HR@{k}"] = 100.0 * hit_rate_at_k(ranked, targets, k)
+        out[f"NDCG@{k}"] = 100.0 * ndcg_at_k(ranked, targets, k)
+        out[f"MRR@{k}"] = 100.0 * mrr_at_k(ranked, targets, k)
+    return out

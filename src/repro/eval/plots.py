@@ -1,0 +1,94 @@
+"""Terminal-friendly figure rendering (bar and line charts in text).
+
+The paper's Figures 3-7 and 9 are bar/line charts; the benchmark
+harness prints these text renderings alongside the numeric tables so
+``benchmarks/results/`` captures the figures too.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def bar_chart(values: Mapping[str, float], width: int = 40,
+              title: str = "", fmt: str = "{:.2f}") -> str:
+    """Horizontal bar chart: one row per labeled value."""
+    if not values:
+        return title
+    longest = max(len(str(label)) for label in values)
+    peak = max(abs(v) for v in values.values()) or 1.0
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "█" * max(1, int(round(width * abs(value) / peak)))
+        lines.append(f"{str(label).ljust(longest)} |{bar} "
+                     + fmt.format(value))
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Mapping[str, Mapping[str, float]],
+                      width: int = 30, title: str = "",
+                      fmt: str = "{:.2f}") -> str:
+    """Grouped bars: ``{group: {series: value}}`` (Fig. 3-6 layout)."""
+    lines = [title] if title else []
+    peak = max((abs(v) for g in groups.values() for v in g.values()),
+               default=1.0) or 1.0
+    series = []
+    for group in groups.values():
+        for name in group:
+            if name not in series:
+                series.append(name)
+    longest = max((len(s) for s in series), default=0)
+    for group_name, group in groups.items():
+        lines.append(f"{group_name}:")
+        for name in series:
+            if name not in group:
+                continue
+            value = group[name]
+            bar = "█" * max(1, int(round(width * abs(value) / peak)))
+            lines.append(f"  {name.ljust(longest)} |{bar} "
+                         + fmt.format(value))
+    return "\n".join(lines)
+
+
+def line_chart(xs: Sequence[float], series: Mapping[str, Sequence[float]],
+               height: int = 10, width: int = 60, title: str = "") -> str:
+    """Multi-series ASCII line chart (Fig. 7 layout).
+
+    Marks each series with a distinct glyph on a character grid.
+    """
+    glyphs = "ox+*#@"
+    all_values = [v for vs in series.values() for v in vs]
+    if not all_values or not xs:
+        return title
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, values) in enumerate(series.items()):
+        glyph = glyphs[s_idx % len(glyphs)]
+        for i, value in enumerate(values):
+            col = int(round(i * (width - 1) / max(len(values) - 1, 1)))
+            row = int(round((hi - value) / span * (height - 1)))
+            grid[row][col] = glyph
+    lines = [title] if title else []
+    lines.append(f"{hi:.2f} ┐")
+    for row in grid:
+        lines.append("       │" + "".join(row))
+    lines.append(f"{lo:.2f} ┴" + "─" * width)
+    labels = "  ".join(f"{glyphs[i % len(glyphs)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append("x: " + ", ".join(str(x) for x in xs))
+    lines.append("series: " + labels)
+    return "\n".join(lines)
+
+
+def likert_chart(results: Mapping[str, Mapping[str, float]],
+                 width: int = 30, title: str = "") -> str:
+    """Fig. 9 layout: mean±std bars on the 1-5 Likert scale."""
+    lines = [title] if title else []
+    longest = max(len(p) for p in results)
+    for perspective, stats in results.items():
+        mean, std = stats["mean"], stats["std"]
+        bar = "█" * max(1, int(round(width * (mean - 1.0) / 4.0)))
+        lines.append(f"{perspective.ljust(longest)} |{bar} "
+                     f"{mean:.2f}±{std:.2f}")
+    return "\n".join(lines)

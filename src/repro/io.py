@@ -1,0 +1,70 @@
+"""Checkpoint serialization for models and trainers.
+
+State dictionaries (dotted-name -> numpy array) are stored in ``.npz``
+archives together with a JSON header describing what produced them, so
+a checkpoint can be validated before loading.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+HEADER_KEY = "__repro_header__"
+FORMAT_VERSION = 1
+
+
+def save_state_dict(path, state: Dict[str, np.ndarray],
+                    meta: Optional[dict] = None) -> Path:
+    """Write a state dict (plus a metadata header) to ``path``."""
+    path = Path(path)
+    header = {"format_version": FORMAT_VERSION, "meta": meta or {},
+              "keys": sorted(state)}
+    payload = dict(state)
+    payload[HEADER_KEY] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez(handle, **payload)
+    return path
+
+
+def load_state_dict(path, expected_meta: Optional[dict] = None
+                    ) -> Dict[str, np.ndarray]:
+    """Read a state dict; optionally validate header metadata.
+
+    ``expected_meta`` entries must match the stored header exactly —
+    loading a GRU4REC checkpoint into a NARM model fails fast instead
+    of at the first shape mismatch.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if HEADER_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        header = json.loads(bytes(archive[HEADER_KEY]).decode("utf-8"))
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {header.get('format_version')} "
+                f"unsupported (expected {FORMAT_VERSION})")
+        if expected_meta:
+            stored = header.get("meta", {})
+            for key, value in expected_meta.items():
+                if stored.get(key) != value:
+                    raise ValueError(
+                        f"checkpoint mismatch for {key!r}: stored "
+                        f"{stored.get(key)!r}, expected {value!r}")
+        return {key: archive[key] for key in archive.files
+                if key != HEADER_KEY}
+
+
+def save_module(path, module, **meta) -> Path:
+    """Save any :class:`repro.nn.Module`'s parameters."""
+    return save_state_dict(path, module.state_dict(), meta=meta)
+
+
+def load_module(path, module, **expected_meta) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    module.load_state_dict(load_state_dict(path, expected_meta or None))

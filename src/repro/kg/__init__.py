@@ -1,0 +1,17 @@
+"""Knowledge-graph substrate: typed graph store, builders, TransE, paths."""
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.builder import build_amazon_kg, build_movielens_kg, build_kg
+from repro.kg.transe import TransE, TransEConfig
+from repro.kg.paths import SemanticPath, render_path
+
+__all__ = [
+    "KnowledgeGraph",
+    "build_amazon_kg",
+    "build_movielens_kg",
+    "build_kg",
+    "TransE",
+    "TransEConfig",
+    "SemanticPath",
+    "render_path",
+]

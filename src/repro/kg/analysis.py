@@ -1,0 +1,113 @@
+"""Knowledge-graph diagnostics (networkx-backed).
+
+Tools for sanity-checking a built KG before training: connectivity,
+degree profiles per entity type, hub detection, and relation-pattern
+mining over generated explanation paths.  Used by the extension
+benchmarks and handy when tuning synthetic generators.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.paths import SemanticPath
+
+
+def to_networkx(kg: KnowledgeGraph) -> nx.MultiDiGraph:
+    """Materialize the KG as a networkx multigraph (small KGs only)."""
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(range(kg.num_entities))
+    heads, rels, tails = kg.triples()
+    for h, r, t in zip(heads.tolist(), rels.tolist(), tails.tolist()):
+        graph.add_edge(h, t, relation=kg.relation_names[r])
+    return graph
+
+
+def connectivity_report(kg: KnowledgeGraph) -> Dict[str, object]:
+    """Weak-connectivity summary: components, isolated entities."""
+    graph = to_networkx(kg)
+    undirected = graph.to_undirected()
+    components = sorted(
+        (len(c) for c in nx.connected_components(undirected)), reverse=True)
+    isolated = [n for n in graph.nodes if graph.degree(n) == 0]
+    return {
+        "num_components": len(components),
+        "largest_component": components[0] if components else 0,
+        "largest_fraction": (components[0] / kg.num_entities
+                             if components else 0.0),
+        "isolated_entities": len(isolated),
+    }
+
+
+def degree_profile(kg: KnowledgeGraph) -> Dict[str, Dict[str, float]]:
+    """Per-entity-type out-degree statistics."""
+    profile: Dict[str, Dict[str, float]] = {}
+    for type_name in kg.entity_type_names:
+        start, count = kg.type_range(type_name)
+        degrees = np.array([kg.out_degree(e)
+                            for e in range(start, start + count)])
+        profile[type_name] = {
+            "count": int(count),
+            "mean_degree": float(degrees.mean()) if count else 0.0,
+            "max_degree": int(degrees.max()) if count else 0,
+            "zero_degree": int((degrees == 0).sum()),
+        }
+    return profile
+
+
+def find_hubs(kg: KnowledgeGraph, top: int = 10) -> List[Tuple[int, str, int]]:
+    """Entities with the largest out-degree: ``(entity, type, degree)``.
+
+    Hubs matter for REKS because the action-space cap subsamples their
+    edges; a KG dominated by a few mega-hubs walks poorly.
+    """
+    degrees = [(e, kg.entity_type(e), kg.out_degree(e))
+               for e in range(kg.num_entities)]
+    degrees.sort(key=lambda x: -x[2])
+    return degrees[:top]
+
+
+def reachable_within(kg: KnowledgeGraph, source: int, hops: int) -> set:
+    """Entities reachable from ``source`` in at most ``hops`` hops."""
+    frontier = {source}
+    seen = {source}
+    for _ in range(hops):
+        nxt = set()
+        for entity in frontier:
+            _, tails = kg.neighbors(entity)
+            nxt.update(int(t) for t in tails)
+        frontier = nxt - seen
+        seen |= nxt
+    return seen
+
+
+def two_hop_target_reachability(built, sessions: Sequence,
+                                max_sessions: int = 200) -> float:
+    """Fraction of sessions whose target is 2-hop reachable from the
+    last prefix item — an upper bound on REKS's HR at path length 2."""
+    hits = 0
+    total = 0
+    for session in list(sessions)[:max_sessions]:
+        if len(session.items) < 2:
+            continue
+        start = int(built.item_entity[session.items[-2]])
+        target = int(built.item_entity[session.items[-1]])
+        total += 1
+        if target in reachable_within(built.kg, start, hops=2):
+            hits += 1
+    return hits / max(total, 1)
+
+
+def pattern_statistics(paths: Sequence[SemanticPath],
+                       kg: KnowledgeGraph) -> Dict[Tuple[str, ...], int]:
+    """Count relation patterns over explanation paths (Fig. 10 flavor:
+    how often do brand paths vs co-purchase paths explain items?)."""
+    counts: Counter = Counter()
+    for path in paths:
+        counts[path.pattern(kg)] += 1
+    return dict(counts)

@@ -1,0 +1,205 @@
+"""Construct the session knowledge graph from a dataset (paper §III-B-1).
+
+Conventions reproduced from the paper:
+
+* metadata relations get a **bidirectional** edge pair (one edge per
+  direction, same relation name), e.g. ``product -belong_to-> category``
+  and ``category -belong_to-> product``;
+* ``purchase`` (user -> product) is likewise bidirectional, which is what
+  lets 2-hop paths of the form ``product -> user -> product`` appear in
+  the Figure-10 case studies;
+* ``co_occur`` is **directed**: for consecutive items ``v_i, v_{i+1}`` in
+  a *training* session the edge ``v_i -co_occur-> v_{i+1}`` is added —
+  validation/test session behavior never leaks into the KG;
+* the Amazon KG can be built without user entities (Table IX ablation),
+  and the MovieLens KG never has them (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.schema import AmazonDataset, MovieLensDataset, SessionDataset
+from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass
+class BuiltKG:
+    """A finalized KG plus the item/user <-> entity id mappings."""
+
+    kg: KnowledgeGraph
+    item_entity: np.ndarray      # (n_items + 1,) item id -> entity id (-1 pad)
+    entity_item: np.ndarray      # (n_entities,) entity id -> item id (0 if none)
+    user_entity: Optional[np.ndarray] = None  # (n_users,) or None
+    include_users: bool = True
+
+    def entities_of_items(self, items: np.ndarray) -> np.ndarray:
+        return self.item_entity[np.asarray(items, dtype=np.int64)]
+
+    def items_of_entities(self, entities: np.ndarray) -> np.ndarray:
+        return self.entity_item[np.asarray(entities, dtype=np.int64)]
+
+    @property
+    def n_items(self) -> int:
+        return len(self.item_entity) - 1
+
+
+def build_kg(dataset: SessionDataset, include_users: bool = True) -> BuiltKG:
+    """Dispatch on the dataset domain."""
+    if dataset.domain == "amazon":
+        return build_amazon_kg(dataset, include_users=include_users)
+    if dataset.domain == "movielens":
+        return build_movielens_kg(dataset)
+    raise ValueError(f"unknown dataset domain {dataset.domain!r}")
+
+
+def build_amazon_kg(dataset: AmazonDataset, include_users: bool = True) -> BuiltKG:
+    """Amazon KG with the Table II relation inventory."""
+    kg = KnowledgeGraph()
+    product_start, _ = kg.add_entity_type("product", dataset.n_items)
+    brand_start, _ = kg.add_entity_type("brand", dataset.n_brands)
+    category_start, _ = kg.add_entity_type("category", dataset.n_categories)
+    related_start, _ = kg.add_entity_type("related_product", dataset.n_related)
+    user_start = None
+    if include_users:
+        user_start, _ = kg.add_entity_type("user", dataset.n_users)
+
+    produced_by = kg.add_relation("produced_by")
+    belong_to = kg.add_relation("belong_to")
+    also_bought = kg.add_relation("also_bought")
+    also_viewed = kg.add_relation("also_viewed")
+    bought_together = kg.add_relation("bought_together")
+    co_occur = kg.add_relation("co_occur")
+    purchase = kg.add_relation("purchase") if include_users else None
+
+    def product_entity(item: int) -> int:
+        return product_start + item - 1
+
+    heads: Dict[int, List[int]] = {}
+
+    for item, meta in dataset.products.items():
+        p = product_entity(item)
+        _add_bidirectional(kg, produced_by, [p], [brand_start + meta.brand_id])
+        _add_bidirectional(kg, belong_to, [p], [category_start + meta.category_id])
+        for rel, targets in ((also_bought, meta.also_bought),
+                             (also_viewed, meta.also_viewed),
+                             (bought_together, meta.bought_together)):
+            if targets:
+                tails = [related_start + r for r in targets]
+                _add_bidirectional(kg, rel, [p] * len(tails), tails)
+
+    # Session-derived edges use only the training split.
+    co_heads: List[int] = []
+    co_tails: List[int] = []
+    purchase_users: List[int] = []
+    purchase_items: List[int] = []
+    for session in dataset.split.train:
+        for src, dst in zip(session.items[:-1], session.items[1:]):
+            if src != dst:
+                co_heads.append(product_entity(src))
+                co_tails.append(product_entity(dst))
+        if include_users:
+            for item in session.items:
+                purchase_users.append(user_start + session.user_id)
+                purchase_items.append(product_entity(item))
+    kg.add_triples(co_heads, co_occur, co_tails)
+    if include_users and purchase_users:
+        _add_bidirectional(kg, purchase, purchase_users, purchase_items)
+
+    kg.finalize()
+    _name_amazon_entities(kg, dataset, product_start, brand_start,
+                          category_start, related_start, user_start)
+    return _finish(kg, dataset, product_start, user_start, include_users)
+
+
+def build_movielens_kg(dataset: MovieLensDataset) -> BuiltKG:
+    """MovieLens KG with the Table IV relation inventory (no users)."""
+    kg = KnowledgeGraph()
+    movie_start, _ = kg.add_entity_type("movie", dataset.n_items)
+    genre_start, _ = kg.add_entity_type("genre", dataset.n_genres)
+    director_start, _ = kg.add_entity_type("director", dataset.n_directors)
+    actor_start, _ = kg.add_entity_type("actor", dataset.n_actors)
+    writer_start, _ = kg.add_entity_type("writer", dataset.n_writers)
+    language_start, _ = kg.add_entity_type("language", dataset.n_languages)
+    rating_start, _ = kg.add_entity_type("rating", dataset.n_ratings)
+    country_start, _ = kg.add_entity_type("country", dataset.n_countries)
+
+    belong_to = kg.add_relation("belong_to")
+    directed_by = kg.add_relation("directed_by")
+    acted_by = kg.add_relation("acted_by")
+    written_by = kg.add_relation("written_by")
+    narrated_by = kg.add_relation("narrated_by")
+    rated = kg.add_relation("rated")
+    produced_by = kg.add_relation("produced_by")
+    co_occur = kg.add_relation("co_occur")
+
+    def movie_entity(item: int) -> int:
+        return movie_start + item - 1
+
+    for item, meta in dataset.movies.items():
+        m = movie_entity(item)
+        if meta.genre_ids:
+            tails = [genre_start + g for g in meta.genre_ids]
+            _add_bidirectional(kg, belong_to, [m] * len(tails), tails)
+        if meta.director_id is not None:
+            _add_bidirectional(kg, directed_by, [m], [director_start + meta.director_id])
+        if meta.actor_ids:
+            tails = [actor_start + a for a in meta.actor_ids]
+            _add_bidirectional(kg, acted_by, [m] * len(tails), tails)
+        if meta.writer_id is not None:
+            _add_bidirectional(kg, written_by, [m], [writer_start + meta.writer_id])
+        if meta.language_id is not None:
+            _add_bidirectional(kg, narrated_by, [m], [language_start + meta.language_id])
+        if meta.rating_id is not None:
+            _add_bidirectional(kg, rated, [m], [rating_start + meta.rating_id])
+        if meta.country_id is not None:
+            _add_bidirectional(kg, produced_by, [m], [country_start + meta.country_id])
+
+    co_heads: List[int] = []
+    co_tails: List[int] = []
+    for session in dataset.split.train:
+        for src, dst in zip(session.items[:-1], session.items[1:]):
+            if src != dst:
+                co_heads.append(movie_entity(src))
+                co_tails.append(movie_entity(dst))
+    kg.add_triples(co_heads, co_occur, co_tails)
+
+    kg.finalize()
+    for item, name in dataset.item_names.items():
+        kg.entity_names[movie_entity(item)] = name
+    return _finish(kg, dataset, movie_start, None, include_users=False)
+
+
+# ----------------------------------------------------------------------
+def _add_bidirectional(kg: KnowledgeGraph, relation: int,
+                       heads: List[int], tails: List[int]) -> None:
+    kg.add_triples(heads, relation, tails)
+    kg.add_triples(tails, relation, heads)
+
+
+def _finish(kg: KnowledgeGraph, dataset: SessionDataset, item_type_start: int,
+            user_start: Optional[int], include_users: bool) -> BuiltKG:
+    item_entity = np.full(dataset.n_items + 1, -1, dtype=np.int64)
+    item_entity[1:] = item_type_start + np.arange(dataset.n_items)
+    entity_item = np.zeros(kg.num_entities, dtype=np.int64)
+    entity_item[item_entity[1:]] = np.arange(1, dataset.n_items + 1)
+    user_entity = None
+    if include_users and user_start is not None:
+        user_entity = user_start + np.arange(dataset.n_users, dtype=np.int64)
+    return BuiltKG(kg=kg, item_entity=item_entity, entity_item=entity_item,
+                   user_entity=user_entity, include_users=include_users)
+
+
+def _name_amazon_entities(kg: KnowledgeGraph, dataset: AmazonDataset,
+                          product_start: int, brand_start: int,
+                          category_start: int, related_start: int,
+                          user_start: Optional[int]) -> None:
+    for item, name in dataset.item_names.items():
+        kg.entity_names[product_start + item - 1] = name
+    for brand, name in dataset.brand_names.items():
+        kg.entity_names[brand_start + brand] = name
+    for cat, name in dataset.category_names.items():
+        kg.entity_names[category_start + cat] = name

@@ -1,0 +1,77 @@
+"""Semantic path datatypes and rendering (paper §III-A, §IV-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass
+class SemanticPath:
+    """A KG path ``e0 -r1-> e1 -r2-> ... -rh-> eh`` with its probability.
+
+    ``prob`` is the product of per-step policy probabilities (the beam
+    score); ``reward`` is the composite RL reward when computed.
+    """
+
+    entities: List[int]
+    relations: List[int]
+    prob: float = 0.0
+    reward: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if len(self.entities) != len(self.relations) + 1:
+            raise ValueError(
+                f"path with {len(self.entities)} entities needs "
+                f"{len(self.entities) - 1} relations, got {len(self.relations)}"
+            )
+
+    @property
+    def terminal(self) -> int:
+        return self.entities[-1]
+
+    @property
+    def hops(self) -> int:
+        return len(self.relations)
+
+    def pattern(self, kg: KnowledgeGraph) -> Tuple[str, ...]:
+        """The relation-name signature, e.g. ('belong_to', 'belong_to')."""
+        return tuple(kg.relation_names[r] for r in self.relations)
+
+    def is_simple(self) -> bool:
+        """True when no entity repeats (the MDP's visited-set invariant)."""
+        return len(set(self.entities)) == len(self.entities)
+
+    def render(self, kg: KnowledgeGraph) -> str:
+        return render_path(self, kg)
+
+
+def render_path(path: SemanticPath, kg: KnowledgeGraph) -> str:
+    """Human-readable arrow form used in the case studies (Fig. 10)."""
+    parts = [kg.entity_name(path.entities[0])]
+    for rel, ent in zip(path.relations, path.entities[1:]):
+        parts.append(f"--{kg.relation_names[rel]}-->")
+        parts.append(kg.entity_name(ent))
+    return " ".join(parts)
+
+
+def path_diversity(paths: List[SemanticPath], kg: KnowledgeGraph) -> float:
+    """Fraction of distinct relation patterns among ``paths`` (extension)."""
+    if not paths:
+        return 0.0
+    patterns = {p.pattern(kg) for p in paths}
+    return len(patterns) / len(paths)
+
+
+def mean_path_embedding(entity_table: np.ndarray, relation_table: np.ndarray,
+                        path: SemanticPath) -> np.ndarray:
+    """``P = mean(x_e0, x_r1, ..., x_rT, x_eT)`` (Eq. 9)."""
+    rows = [entity_table[path.entities[0]]]
+    for rel, ent in zip(path.relations, path.entities[1:]):
+        rows.append(relation_table[rel])
+        rows.append(entity_table[ent])
+    return np.mean(rows, axis=0)

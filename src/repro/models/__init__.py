@@ -1,0 +1,45 @@
+"""The five non-explainable session-based recommenders REKS wraps.
+
+Each model is a :class:`~repro.models.base.SessionEncoder`: it maps a
+batch of padded session prefixes to a dense session representation
+``Se`` (Eq. 2) and scores the item catalog by inner product with the
+(tied) item embedding table.  REKS consumes ``Se`` inside its policy
+network; the standalone trainer turns any encoder into the paper's
+baseline column.
+"""
+
+from repro.models.base import SessionEncoder
+from repro.models.gru4rec import GRU4REC
+from repro.models.narm import NARM
+from repro.models.srgnn import SRGNN
+from repro.models.gcsan import GCSAN
+from repro.models.bert4rec import BERT4REC
+from repro.models.registry import MODEL_NAMES, create_encoder
+from repro.models.standalone import StandaloneTrainer, StandaloneConfig
+from repro.models.neighbors import (
+    CLASSIC_BASELINES,
+    ItemKNNRecommender,
+    MarkovChainRecommender,
+    PopRecommender,
+    SessionPopRecommender,
+    create_classic_baseline,
+)
+
+__all__ = [
+    "SessionEncoder",
+    "GRU4REC",
+    "NARM",
+    "SRGNN",
+    "GCSAN",
+    "BERT4REC",
+    "MODEL_NAMES",
+    "create_encoder",
+    "StandaloneTrainer",
+    "StandaloneConfig",
+    "CLASSIC_BASELINES",
+    "PopRecommender",
+    "SessionPopRecommender",
+    "MarkovChainRecommender",
+    "ItemKNNRecommender",
+    "create_classic_baseline",
+]

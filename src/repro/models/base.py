@@ -1,0 +1,70 @@
+"""Common interface for session encoders."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.loader import SessionBatch
+from repro.nn.embedding import Embedding
+from repro.nn.module import Module
+
+NEG_INF = -1e9
+
+
+class SessionEncoder(Module):
+    """Base class: item embeddings + ``encode`` -> session representation.
+
+    Parameters
+    ----------
+    n_items:
+        Catalog size; item ids are 1..n_items and 0 is padding.
+    dim:
+        Embedding and session representation dimension (the paper uses
+        d0 = d1, which :class:`repro.core.agent.REKSAgent` relies on).
+    item_init:
+        Optional ``(n_items + 1, dim)`` initial item embedding matrix,
+        normally the TransE product vectors (Eq. 2's ``X0_V``).
+    """
+
+    name = "base"
+
+    def __init__(self, n_items: int, dim: int,
+                 item_init: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.n_items = n_items
+        self.dim = dim
+        self.item_embedding = Embedding(n_items + 1, dim, padding_idx=0, rng=rng)
+        if item_init is not None:
+            if item_init.shape != (n_items + 1, dim):
+                raise ValueError(
+                    f"item_init shape {item_init.shape} != {(n_items + 1, dim)}"
+                )
+            self.item_embedding.weight.data[...] = item_init
+            self.item_embedding.weight.data[0] = 0.0
+
+    # ------------------------------------------------------------------
+    def encode(self, batch: SessionBatch) -> Tensor:  # pragma: no cover
+        """Return the session representation ``Se`` of shape (B, dim)."""
+        raise NotImplementedError
+
+    def score_items(self, session_repr: Tensor) -> Tensor:
+        """Catalog logits ``(B, n_items + 1)``; padding column is -inf."""
+        logits = session_repr.matmul(self.item_embedding.weight.transpose())
+        mask = np.zeros(self.n_items + 1, dtype=bool)
+        mask[0] = True
+        return logits.masked_fill(mask, NEG_INF)
+
+    def forward(self, batch: SessionBatch) -> Tuple[Tensor, Tensor]:
+        """``(session_repr, catalog_logits)`` for one batch."""
+        session_repr = self.encode(batch)
+        return session_repr, self.score_items(session_repr)
+
+    # ------------------------------------------------------------------
+    def embed_sessions(self, batch: SessionBatch) -> Tensor:
+        """Shared helper: item embeddings ``(B, T, dim)`` for a batch."""
+        return self.item_embedding(batch.items)

@@ -1,0 +1,96 @@
+"""BERT4REC (Sun et al., CIKM 2019): bidirectional transformer encoder.
+
+Items plus learned positions feed a bidirectional self-attention stack.
+As the REKS session encoder we read the representation at the last real
+position; the standalone trainer additionally supports the original
+Cloze objective (random positions replaced by a ``[MASK]`` token whose
+output must reproduce the hidden item).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.loader import SessionBatch
+from repro.models.base import SessionEncoder
+from repro.nn.dropout import Dropout
+from repro.nn.norm import LayerNorm
+from repro.nn.transformer import LearnedPositionalEmbedding, TransformerEncoder
+
+
+class BERT4REC(SessionEncoder):
+    """Bidirectional self-attention session encoder.
+
+    The item vocabulary is extended with one ``[MASK]`` token at index
+    ``n_items + 1`` used only by the Cloze objective.
+    """
+
+    name = "bert4rec"
+
+    def __init__(self, n_items: int, dim: int, num_heads: int = 2,
+                 num_layers: int = 2, max_len: int = 50,
+                 dropout: float = 0.5,
+                 item_init: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng()
+        super().__init__(n_items, dim, item_init=None, rng=rng)
+        # Rebuild the embedding with a [MASK] row, then restore TransE init.
+        from repro.nn.embedding import Embedding
+
+        self.item_embedding = Embedding(n_items + 2, dim, padding_idx=0, rng=rng)
+        if item_init is not None:
+            if item_init.shape != (n_items + 1, dim):
+                raise ValueError(
+                    f"item_init shape {item_init.shape} != {(n_items + 1, dim)}"
+                )
+            self.item_embedding.weight.data[:n_items + 1] = item_init
+            self.item_embedding.weight.data[0] = 0.0
+        self.mask_token = n_items + 1
+        self.positions = LearnedPositionalEmbedding(max_len, dim, rng=rng)
+        self.input_norm = LayerNorm(dim)
+        self.input_drop = Dropout(dropout, rng=rng)
+        self.encoder = TransformerEncoder(dim, num_heads, num_layers,
+                                          dropout=dropout, rng=rng)
+
+    def _encode_tokens(self, items: np.ndarray, mask: np.ndarray) -> Tensor:
+        embedded = self.item_embedding(items)
+        hidden = self.input_drop(self.input_norm(self.positions(embedded)))
+        return self.encoder(hidden, mask=mask)
+
+    def encode(self, batch: SessionBatch) -> Tensor:
+        hidden = self._encode_tokens(batch.items, batch.mask)
+        idx = np.arange(batch.batch_size)
+        return hidden[idx, batch.lengths - 1]
+
+    def score_items(self, session_repr: Tensor) -> Tensor:
+        """Logits over the real catalog (drops the [MASK] column)."""
+        logits = session_repr.matmul(
+            self.item_embedding.weight[:self.n_items + 1].transpose())
+        mask = np.zeros(self.n_items + 1, dtype=bool)
+        mask[0] = True
+        return logits.masked_fill(mask, -1e9)
+
+    # ------------------------------------------------------------------
+    def cloze_forward(self, batch: SessionBatch, mask_prob: float,
+                      rng: np.random.Generator
+                      ) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+        """Cloze-task forward pass (original BERT4REC objective).
+
+        Randomly replaces real positions with ``[MASK]`` (at least one
+        per session) and returns ``(logits_at_masked, targets, rows)``.
+        """
+        items = batch.items.copy()
+        cloze_mask = (rng.random(items.shape) < mask_prob) & (batch.mask > 0)
+        # Guarantee at least one masked position per row.
+        for b in range(items.shape[0]):
+            if not cloze_mask[b].any():
+                cloze_mask[b, int(batch.lengths[b]) - 1] = True
+        targets = batch.items[cloze_mask]
+        items[cloze_mask] = self.mask_token
+        hidden = self._encode_tokens(items, batch.mask)
+        rows, cols = np.where(cloze_mask)
+        picked = hidden[rows, cols]
+        return self.score_items(picked), targets, rows

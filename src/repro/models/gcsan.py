@@ -1,0 +1,55 @@
+"""GCSAN (Xu et al., IJCAI 2019): graph contextualized self-attention.
+
+A gated GNN captures local (graph) dependencies and a multi-head
+self-attention stack captures long-range dependencies; the session
+representation blends the self-attention output at the last position
+with the GNN hidden of the last item via a weight ``omega``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.loader import SessionBatch
+from repro.models.base import SessionEncoder
+from repro.models.srgnn import batch_session_graphs
+from repro.nn.graph import GatedGraphConv
+from repro.nn.transformer import TransformerEncoder
+
+
+class GCSAN(SessionEncoder):
+    """GGNN + self-attention session encoder."""
+
+    name = "gcsan"
+
+    def __init__(self, n_items: int, dim: int, gnn_steps: int = 1,
+                 num_heads: int = 1, num_layers: int = 1,
+                 omega: float = 0.5, dropout: float = 0.5,
+                 item_init: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng()
+        super().__init__(n_items, dim, item_init=item_init, rng=rng)
+        if not 0.0 <= omega <= 1.0:
+            raise ValueError(f"omega must be in [0, 1], got {omega}")
+        self.omega = omega
+        self.gnn = GatedGraphConv(dim, num_steps=gnn_steps, rng=rng)
+        self.san = TransformerEncoder(dim, num_heads, num_layers,
+                                      dropout=dropout, rng=rng)
+
+    def encode(self, batch: SessionBatch) -> Tensor:
+        node_ids, _, adj_in, adj_out, alias = batch_session_graphs(batch.items)
+        node_emb = self.item_embedding(node_ids)
+        node_hidden = self.gnn(node_emb, adj_in, adj_out)
+
+        rows = np.arange(batch.batch_size)[:, None]
+        seq_hidden = node_hidden[rows, alias]  # (B, T, d)
+        attended = self.san(seq_hidden, mask=batch.mask)
+
+        idx = np.arange(batch.batch_size)
+        last_pos = batch.lengths - 1
+        f_last = attended[idx, last_pos]
+        h_last = seq_hidden[idx, last_pos]
+        return f_last * self.omega + h_last * (1.0 - self.omega)

@@ -1,0 +1,41 @@
+"""GRU4REC (Hidasi et al., ICLR 2016).
+
+A multi-layer GRU over the session items; the final hidden state is the
+session representation.  The original paper trains with ranking losses
+(BPR/TOP1) on parallel mini-batches; following the REKS experimental
+setup (and common practice in later comparisons) the standalone trainer
+uses full-softmax cross-entropy, which performs comparably at this
+catalog scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.loader import SessionBatch
+from repro.models.base import SessionEncoder
+from repro.nn.dropout import Dropout
+from repro.nn.rnn import GRU
+
+
+class GRU4REC(SessionEncoder):
+    """RNN-based session encoder."""
+
+    name = "gru4rec"
+
+    def __init__(self, n_items: int, dim: int, num_layers: int = 1,
+                 dropout: float = 0.5,
+                 item_init: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng()
+        super().__init__(n_items, dim, item_init=item_init, rng=rng)
+        self.gru = GRU(dim, dim, num_layers=num_layers, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def encode(self, batch: SessionBatch) -> Tensor:
+        embedded = self.drop(self.embed_sessions(batch))
+        _, final_hidden = self.gru(embedded, mask=batch.mask)
+        return final_hidden

@@ -1,0 +1,49 @@
+"""NARM (Li et al., CIKM 2017): neural attentive session recommendation.
+
+A GRU encoder provides (i) a *global* representation — the final hidden
+state summarizing the whole session — and (ii) a *local* representation —
+an additive-attention blend of all hidden states queried by the final
+one, capturing the session's main purpose.  Their concatenation is
+compressed back to ``dim`` so downstream REKS components see a single
+``Se`` vector (standing in for NARM's bilinear decoder).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.data.loader import SessionBatch
+from repro.models.base import SessionEncoder
+from repro.nn.attention import AdditiveAttention
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.rnn import GRU
+
+
+class NARM(SessionEncoder):
+    """Hybrid (global + local attention) session encoder."""
+
+    name = "narm"
+
+    def __init__(self, n_items: int, dim: int, dropout: float = 0.5,
+                 item_init: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng()
+        super().__init__(n_items, dim, item_init=item_init, rng=rng)
+        self.gru = GRU(dim, dim, rng=rng)
+        self.attention = AdditiveAttention(dim, rng=rng)
+        self.combine = Linear(2 * dim, dim, bias=False, rng=rng)
+        self.embed_drop = Dropout(dropout, rng=rng)
+        self.repr_drop = Dropout(dropout, rng=rng)
+
+    def encode(self, batch: SessionBatch) -> Tensor:
+        embedded = self.embed_drop(self.embed_sessions(batch))
+        outputs, final_hidden = self.gru(embedded, mask=batch.mask)
+        c_global = final_hidden
+        c_local, _ = self.attention(final_hidden, outputs, mask=batch.mask)
+        combined = F.concat([c_global, c_local], axis=-1)
+        return self.combine(self.repr_drop(combined))

@@ -1,0 +1,166 @@
+"""Non-neural session-based baselines (extensions beyond the paper).
+
+The paper's related-work section (§II-A) grounds SR in frequency- and
+Markov-chain methods before the five deep models it evaluates.  These
+classic baselines are cheap sanity floors for any experiment and are
+standard in open-source SR suites:
+
+* :class:`PopRecommender` — global popularity.
+* :class:`SessionPopRecommender` — popularity within the session, then
+  global (S-POP).
+* :class:`MarkovChainRecommender` — first-order item-to-item
+  transition counts (the MC family of Shani et al. / FPMC's MC part).
+* :class:`ItemKNNRecommender` — cosine co-occurrence similarity to the
+  last item.
+
+All share the interface: ``fit(sessions)`` then
+``score_sessions(sessions) -> (n, n_items + 1)`` so the evaluation
+stack treats them exactly like the neural encoders.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.data.schema import Session
+
+
+class _CountBasedRecommender:
+    """Shared scaffolding: fit counts over training sessions."""
+
+    def __init__(self, n_items: int) -> None:
+        self.n_items = n_items
+        self._fitted = False
+
+    def fit(self, sessions: Sequence[Session]) -> "_CountBasedRecommender":
+        self._fit(sessions)
+        self._fitted = True
+        return self
+
+    def _fit(self, sessions: Sequence[Session]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def score_sessions(self, sessions: Sequence[Session]) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("call fit() before score_sessions()")
+        scores = np.zeros((len(sessions), self.n_items + 1), dtype=np.float64)
+        for row, session in enumerate(sessions):
+            self._score_one(session.prefix, scores[row])
+        scores[:, 0] = -np.inf
+        return scores
+
+    def _score_one(self, prefix, out) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class PopRecommender(_CountBasedRecommender):
+    """Rank items by global training popularity."""
+
+    def _fit(self, sessions: Sequence[Session]) -> None:
+        counts = Counter(i for s in sessions for i in s.items)
+        self.popularity = np.zeros(self.n_items + 1, dtype=np.float64)
+        for item, count in counts.items():
+            self.popularity[item] = count
+
+    def _score_one(self, prefix, out) -> None:
+        out[:] = self.popularity
+
+
+class SessionPopRecommender(_CountBasedRecommender):
+    """S-POP: items already in the session first, by in-session count,
+    tie-broken (and backfilled) by global popularity."""
+
+    def _fit(self, sessions: Sequence[Session]) -> None:
+        counts = Counter(i for s in sessions for i in s.items)
+        total = sum(counts.values()) or 1
+        self.popularity = np.zeros(self.n_items + 1, dtype=np.float64)
+        for item, count in counts.items():
+            self.popularity[item] = count / total  # in (0, 1)
+
+    def _score_one(self, prefix, out) -> None:
+        out[:] = self.popularity
+        for item, count in Counter(prefix).items():
+            out[item] += count  # integer in-session counts dominate
+
+
+class MarkovChainRecommender(_CountBasedRecommender):
+    """First-order Markov chain over consecutive training items."""
+
+    def __init__(self, n_items: int, popularity_smoothing: float = 1e-3
+                 ) -> None:
+        super().__init__(n_items)
+        self.popularity_smoothing = popularity_smoothing
+
+    def _fit(self, sessions: Sequence[Session]) -> None:
+        transitions: Dict[int, Counter] = defaultdict(Counter)
+        counts: Counter = Counter()
+        for session in sessions:
+            counts.update(session.items)
+            for src, dst in zip(session.items[:-1], session.items[1:]):
+                transitions[src][dst] += 1
+        self.transitions = {
+            src: dict(dsts) for src, dsts in transitions.items()
+        }
+        self.popularity = np.zeros(self.n_items + 1, dtype=np.float64)
+        for item, count in counts.items():
+            self.popularity[item] = count
+        if self.popularity.max() > 0:
+            self.popularity /= self.popularity.max()
+
+    def _score_one(self, prefix, out) -> None:
+        out[:] = self.popularity_smoothing * self.popularity
+        last = prefix[-1]
+        for dst, count in self.transitions.get(last, {}).items():
+            out[dst] += count
+
+
+class ItemKNNRecommender(_CountBasedRecommender):
+    """Cosine item-item co-occurrence similarity to the last item."""
+
+    def __init__(self, n_items: int, regularization: float = 20.0) -> None:
+        super().__init__(n_items)
+        self.regularization = regularization
+
+    def _fit(self, sessions: Sequence[Session]) -> None:
+        cooc: Dict[int, Counter] = defaultdict(Counter)
+        support: Counter = Counter()
+        for session in sessions:
+            distinct = sorted(set(session.items))
+            support.update(distinct)
+            for i, a in enumerate(distinct):
+                for b in distinct[i + 1:]:
+                    cooc[a][b] += 1
+                    cooc[b][a] += 1
+        self.support = support
+        self.similarity: Dict[int, Dict[int, float]] = {}
+        for a, row in cooc.items():
+            sims = {}
+            for b, count in row.items():
+                denom = np.sqrt(support[a] * support[b]) + self.regularization
+                sims[b] = count / denom
+            self.similarity[a] = sims
+
+    def _score_one(self, prefix, out) -> None:
+        last = prefix[-1]
+        for item, sim in self.similarity.get(last, {}).items():
+            out[item] = sim
+
+
+CLASSIC_BASELINES = {
+    "pop": PopRecommender,
+    "spop": SessionPopRecommender,
+    "markov": MarkovChainRecommender,
+    "itemknn": ItemKNNRecommender,
+}
+
+
+def create_classic_baseline(name: str, n_items: int, **kwargs):
+    """Instantiate one of the classic baselines by name."""
+    key = name.lower()
+    if key not in CLASSIC_BASELINES:
+        raise KeyError(f"unknown classic baseline {name!r}; "
+                       f"choose from {sorted(CLASSIC_BASELINES)}")
+    return CLASSIC_BASELINES[key](n_items=n_items, **kwargs)

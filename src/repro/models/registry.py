@@ -1,0 +1,47 @@
+"""Name-based construction of the five encoders."""
+
+from __future__ import annotations
+
+import inspect
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import SessionEncoder
+from repro.models.bert4rec import BERT4REC
+from repro.models.fgnn import FGNN
+from repro.models.gcsan import GCSAN
+from repro.models.gru4rec import GRU4REC
+from repro.models.narm import NARM
+from repro.models.srgnn import SRGNN
+
+_REGISTRY = {
+    "gru4rec": GRU4REC,
+    "narm": NARM,
+    "srgnn": SRGNN,
+    "sr-gnn": SRGNN,
+    "gcsan": GCSAN,
+    "bert4rec": BERT4REC,
+    "fgnn": FGNN,
+}
+
+# The paper's evaluated five; FGNN is an extension instantiation.
+MODEL_NAMES = ("gru4rec", "narm", "srgnn", "gcsan", "bert4rec")
+EXTENSION_MODELS = ("fgnn",)
+
+
+def create_encoder(name: str, n_items: int, dim: int,
+                   item_init: Optional[np.ndarray] = None,
+                   rng: Optional[np.random.Generator] = None,
+                   **kwargs) -> SessionEncoder:
+    """Instantiate an encoder by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+    cls = _REGISTRY[key]
+    # Keep only kwargs the specific constructor accepts, so callers can
+    # pass a uniform knob set (e.g. dropout) across all five models.
+    accepted = set(inspect.signature(cls.__init__).parameters)
+    filtered = {k: v for k, v in kwargs.items() if k in accepted}
+    return cls(n_items=n_items, dim=dim, item_init=item_init, rng=rng,
+               **filtered)

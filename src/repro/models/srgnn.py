@@ -1,0 +1,85 @@
+"""SR-GNN (Wu et al., AAAI 2019): session graphs + gated GNN.
+
+Each session becomes a small directed graph over its distinct items; a
+gated graph network propagates along normalized in/out adjacency, a
+soft-attention layer (queried by the last item's node state) produces a
+global vector, and the session representation is a linear blend of the
+last item's state and that global vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.tensor import Tensor
+from repro.data.loader import SessionBatch
+from repro.models.base import SessionEncoder
+from repro.nn.graph import GatedGraphConv, build_session_graph
+from repro.nn.linear import Linear
+from repro.nn.module import Parameter
+
+
+def batch_session_graphs(items: np.ndarray) -> Tuple[np.ndarray, np.ndarray,
+                                                     np.ndarray, np.ndarray,
+                                                     np.ndarray]:
+    """Build padded per-session graphs for a ``(B, T)`` item matrix.
+
+    Returns ``(node_ids, node_mask, adj_in, adj_out, alias)`` where
+    ``alias[b, t]`` maps sequence position ``t`` to its node index (0 for
+    padded positions; combine with the batch mask before use).
+    """
+    batch = items.shape[0]
+    graphs = [build_session_graph(items[b]) for b in range(batch)]
+    n_max = max(len(g[0]) for g in graphs)
+    width = items.shape[1]
+    node_ids = np.zeros((batch, n_max), dtype=np.int64)
+    node_mask = np.zeros((batch, n_max), dtype=np.float32)
+    adj_in = np.zeros((batch, n_max, n_max), dtype=np.float32)
+    adj_out = np.zeros((batch, n_max, n_max), dtype=np.float32)
+    alias = np.zeros((batch, width), dtype=np.int64)
+    for b, (nodes, a_in, a_out, al) in enumerate(graphs):
+        n = len(nodes)
+        node_ids[b, :n] = nodes
+        node_mask[b, :n] = 1.0
+        adj_in[b, :n, :n] = a_in
+        adj_out[b, :n, :n] = a_out
+        alias[b, :len(al)] = al
+    return node_ids, node_mask, adj_in, adj_out, alias
+
+
+class SRGNN(SessionEncoder):
+    """Gated-graph session encoder with soft attention readout."""
+
+    name = "srgnn"
+
+    def __init__(self, n_items: int, dim: int, gnn_steps: int = 1,
+                 item_init: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng()
+        super().__init__(n_items, dim, item_init=item_init, rng=rng)
+        self.gnn = GatedGraphConv(dim, num_steps=gnn_steps, rng=rng)
+        self.w1 = Linear(dim, dim, rng=rng)
+        self.w2 = Linear(dim, dim, rng=rng)
+        self.q_vec = Parameter(init.xavier_uniform((dim, 1), rng))
+        self.w3 = Linear(2 * dim, dim, bias=False, rng=rng)
+
+    def encode(self, batch: SessionBatch) -> Tensor:
+        node_ids, _, adj_in, adj_out, alias = batch_session_graphs(batch.items)
+        node_emb = self.item_embedding(node_ids)
+        node_hidden = self.gnn(node_emb, adj_in, adj_out)
+
+        rows = np.arange(batch.batch_size)[:, None]
+        seq_hidden = node_hidden[rows, alias]  # (B, T, d)
+        last = node_hidden[np.arange(batch.batch_size),
+                           alias[np.arange(batch.batch_size),
+                                 batch.lengths - 1]]  # (B, d)
+
+        scores = (self.w1(last).reshape(batch.batch_size, 1, self.dim)
+                  + self.w2(seq_hidden)).sigmoid().matmul(self.q_vec)
+        weights = scores * Tensor(batch.mask[:, :, None])
+        s_global = (weights * seq_hidden).sum(axis=1)
+        return self.w3(F.concat([last, s_global], axis=-1))

@@ -1,0 +1,146 @@
+"""Standalone (non-explainable) training for the baseline columns.
+
+Trains any :class:`SessionEncoder` with full-softmax cross-entropy on
+next-item prediction, validates HR@K each epoch, restores the best
+checkpoint, and exposes full-catalog scoring for evaluation.  This is
+the "vanilla model" side of every paper comparison; the inputs (TransE
+item initialization and identical session splits) match the REKS side,
+as required for the paper's fairness protocol (§IV-A-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Adam, clip_grad_norm, functional as F, no_grad
+from repro.data.loader import SessionBatch, SessionBatcher
+from repro.data.schema import Session
+from repro.eval.metrics import evaluate_rankings, top_k_from_scores
+from repro.models.base import SessionEncoder
+from repro.models.bert4rec import BERT4REC
+
+
+@dataclass
+class StandaloneConfig:
+    """Training knobs for a standalone encoder."""
+
+    epochs: int = 10
+    batch_size: int = 128
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    max_grad_norm: float = 5.0
+    max_session_length: int = 10
+    augment: bool = True
+    patience: int = 3
+    eval_k: int = 10
+    cloze_prob: float = 0.0  # > 0 switches BERT4REC to Cloze training
+    seed: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss and validation accuracy."""
+
+    losses: List[float] = field(default_factory=list)
+    val_metrics: List[Dict[str, float]] = field(default_factory=list)
+    best_epoch: int = -1
+
+
+class StandaloneTrainer:
+    """Fit/evaluate one encoder on one dataset split."""
+
+    def __init__(self, encoder: SessionEncoder,
+                 train_sessions: Sequence[Session],
+                 val_sessions: Sequence[Session],
+                 config: Optional[StandaloneConfig] = None) -> None:
+        self.encoder = encoder
+        self.config = config or StandaloneConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.train_batcher = SessionBatcher(
+            train_sessions, batch_size=self.config.batch_size,
+            max_length=self.config.max_session_length,
+            augment=self.config.augment, shuffle=True,
+            rng=np.random.default_rng(self.config.seed + 1))
+        self.val_sessions = list(val_sessions)
+        self.optimizer = Adam(encoder.parameters(), lr=self.config.lr,
+                              weight_decay=self.config.weight_decay)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    def fit(self, verbose: bool = False) -> TrainingHistory:
+        cfg = self.config
+        best_score = -np.inf
+        best_state = None
+        bad_epochs = 0
+        for epoch in range(cfg.epochs):
+            self.encoder.train()
+            total_loss, total_examples = 0.0, 0
+            for batch in self.train_batcher:
+                loss = self._train_step(batch)
+                total_loss += loss * batch.batch_size
+                total_examples += batch.batch_size
+            epoch_loss = total_loss / max(1, total_examples)
+            self.history.losses.append(epoch_loss)
+
+            metrics = self.evaluate(self.val_sessions, ks=(cfg.eval_k,))
+            self.history.val_metrics.append(metrics)
+            score = metrics[f"HR@{cfg.eval_k}"]
+            if verbose:
+                print(f"[{self.encoder.name}] epoch {epoch + 1}: "
+                      f"loss={epoch_loss:.4f} HR@{cfg.eval_k}={score:.2f}")
+            if score > best_score:
+                best_score = score
+                best_state = self.encoder.state_dict()
+                self.history.best_epoch = epoch
+                bad_epochs = 0
+            else:
+                bad_epochs += 1
+                if bad_epochs > cfg.patience:
+                    break
+        if best_state is not None:
+            self.encoder.load_state_dict(best_state)
+        return self.history
+
+    def _train_step(self, batch: SessionBatch) -> float:
+        cfg = self.config
+        self.optimizer.zero_grad()
+        if cfg.cloze_prob > 0 and isinstance(self.encoder, BERT4REC):
+            logits, targets, _ = self.encoder.cloze_forward(
+                batch, cfg.cloze_prob, self.rng)
+            loss = F.cross_entropy(logits, targets)
+        else:
+            _, logits = self.encoder(batch)
+            loss = F.cross_entropy(logits, batch.targets)
+        loss.backward()
+        clip_grad_norm(self.encoder.parameters(), cfg.max_grad_norm)
+        self.optimizer.step()
+        return float(loss.item())
+
+    # ------------------------------------------------------------------
+    def score_sessions(self, sessions: Sequence[Session],
+                       batch_size: int = 256) -> np.ndarray:
+        """Full-catalog scores ``(len(sessions), n_items + 1)``."""
+        self.encoder.eval()
+        batcher = SessionBatcher(sessions, batch_size=batch_size,
+                                 max_length=self.config.max_session_length,
+                                 augment=False, shuffle=False)
+        chunks = []
+        with no_grad():
+            for batch in batcher:
+                _, logits = self.encoder(batch)
+                chunks.append(logits.numpy().copy())
+        return np.concatenate(chunks, axis=0)
+
+    def evaluate(self, sessions: Sequence[Session],
+                 ks=(5, 10, 20)) -> Dict[str, float]:
+        """HR/NDCG/MRR over full-catalog rankings."""
+        if not sessions:
+            return {f"{m}@{k}": 0.0 for k in ks for m in ("HR", "NDCG", "MRR")}
+        scores = self.score_sessions(sessions)
+        max_k = max(ks)
+        ranked = top_k_from_scores(scores, max_k)
+        targets = [s.target for s in sessions]
+        return evaluate_rankings(ranked, targets, ks=ks)

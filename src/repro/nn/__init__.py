@@ -1,0 +1,46 @@
+"""Neural-network layers built on :mod:`repro.autograd`.
+
+The layer inventory is exactly what the five session-based recommenders
+and the REKS policy network need: linear/MLP, embeddings, GRUs, additive
+and multi-head attention, transformer encoders, layer normalization,
+dropout, and the gated graph convolution used by SR-GNN and GCSAN.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.linear import Linear, MLP
+from repro.nn.embedding import Embedding
+from repro.nn.rnn import GRUCell, GRU
+from repro.nn.norm import LayerNorm
+from repro.nn.dropout import Dropout
+from repro.nn.attention import (
+    AdditiveAttention,
+    MultiHeadAttention,
+    scaled_dot_product_attention,
+)
+from repro.nn.transformer import (
+    LearnedPositionalEmbedding,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from repro.nn.graph import GatedGraphConv
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "MLP",
+    "Embedding",
+    "GRUCell",
+    "GRU",
+    "LayerNorm",
+    "Dropout",
+    "AdditiveAttention",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+    "LearnedPositionalEmbedding",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "GatedGraphConv",
+]

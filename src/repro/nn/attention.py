@@ -1,0 +1,99 @@
+"""Attention mechanisms: additive (NARM) and scaled dot-product / multi-head."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.autograd import init
+
+NEG_INF = -1e9
+
+
+class AdditiveAttention(Module):
+    """NARM-style additive attention.
+
+    ``alpha_j = v^T sigmoid(A1 h_last + A2 h_j)`` followed by a weighted
+    sum of the encoder states.
+    """
+
+    def __init__(self, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.query_proj = Linear(hidden_size, hidden_size, bias=False, rng=rng)
+        self.key_proj = Linear(hidden_size, hidden_size, bias=False, rng=rng)
+        self.score_vec = Parameter(init.xavier_uniform((hidden_size, 1), rng))
+
+    def forward(self, query: Tensor, keys: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tuple[Tensor, Tensor]:
+        """Attend ``query (B, d)`` over ``keys (B, T, d)``.
+
+        Returns ``(context (B, d), weights (B, T))``.
+        """
+        batch, steps, dim = keys.shape
+        q = self.query_proj(query).reshape(batch, 1, dim)
+        k = self.key_proj(keys)
+        energy = (q + k).sigmoid().matmul(self.score_vec).reshape(batch, steps)
+        if mask is not None:
+            energy = energy.masked_fill(~np.asarray(mask, dtype=bool), NEG_INF)
+        weights = F.softmax(energy, axis=-1)
+        context = (weights.reshape(batch, steps, 1) * keys).sum(axis=1)
+        return context, weights
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
+                                 mask: Optional[np.ndarray] = None) -> Tuple[Tensor, Tensor]:
+    """Attention(Q, K, V) = softmax(QK^T / sqrt(d)) V.
+
+    ``q, k, v`` are ``(..., T, d)``; ``mask`` broadcasts against the
+    ``(..., Tq, Tk)`` score matrix with True marking *valid* positions.
+    """
+    dim = q.shape[-1]
+    scores = q.matmul(k.swapaxes(-1, -2)) * (1.0 / np.sqrt(dim))
+    if mask is not None:
+        scores = scores.masked_fill(~np.asarray(mask, dtype=bool), NEG_INF)
+    weights = F.softmax(scores, axis=-1)
+    return weights.matmul(v), weights
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention (the BERT4REC/GCSAN substrate)."""
+
+    def __init__(self, dim: int, num_heads: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def _split(self, x: Tensor, batch: int, steps: int) -> Tensor:
+        return x.reshape(batch, steps, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Self-attention over ``x (B, T, d)``.
+
+        ``mask (B, T)`` marks valid key positions; it is broadcast to all
+        heads and query positions.
+        """
+        batch, steps, _ = x.shape
+        q = self._split(self.q_proj(x), batch, steps)
+        k = self._split(self.k_proj(x), batch, steps)
+        v = self._split(self.v_proj(x), batch, steps)
+        attn_mask = None
+        if mask is not None:
+            attn_mask = np.asarray(mask, dtype=bool).reshape(batch, 1, 1, steps)
+        context, _ = scaled_dot_product_attention(q, k, v, mask=attn_mask)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, steps, self.dim)
+        return self.out_proj(merged)

@@ -1,0 +1,57 @@
+"""Embedding table with scatter-add backward."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import init
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class Embedding(Module):
+    """Dense lookup table ``(num_embeddings, dim)``.
+
+    ``padding_idx`` rows are zeroed at construction and re-zeroed after
+    every lookup's backward via gradient masking is unnecessary: the
+    optimizer may update them, so callers that rely on a true zero pad
+    should call :meth:`zero_padding` after optimizer steps (the session
+    batcher in this project masks padded positions explicitly instead).
+    """
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 padding_idx: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 std: float = 0.05) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.padding_idx = padding_idx
+        self.weight = Parameter(init.normal((num_embeddings, dim), rng, std=std))
+        if padding_idx is not None:
+            self.weight.data[padding_idx] = 0.0
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})"
+            )
+        return self.weight[indices]
+
+    def zero_padding(self) -> None:
+        if self.padding_idx is not None:
+            self.weight.data[self.padding_idx] = 0.0
+
+    @classmethod
+    def from_pretrained(cls, weights: np.ndarray, trainable: bool = True,
+                        padding_idx: Optional[int] = None) -> "Embedding":
+        """Build a table from an existing matrix (e.g. TransE output)."""
+        table = cls(weights.shape[0], weights.shape[1], padding_idx=padding_idx,
+                    rng=np.random.default_rng(0))
+        table.weight.data[...] = weights.astype(table.weight.data.dtype)
+        table.weight.requires_grad = trainable
+        return table

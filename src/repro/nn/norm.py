@@ -1,0 +1,25 @@
+"""Layer normalization."""
+
+from __future__ import annotations
+
+from repro.autograd import init
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalize the last axis to zero mean / unit variance, then affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gain = Parameter(init.ones((dim,)))
+        self.bias = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps).pow(-0.5)
+        return normed * self.gain + self.bias

@@ -1,0 +1,94 @@
+"""Gated recurrent units (the GRU4REC / NARM substrate)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class GRUCell(Module):
+    """Single GRU step following the torch gate layout (r, z, n)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((3 * hidden_size, input_size), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((3 * hidden_size, hidden_size), rng))
+        self.bias_ih = Parameter(init.zeros((3 * hidden_size,)))
+        self.bias_hh = Parameter(init.zeros((3 * hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hs = self.hidden_size
+        gi = x.matmul(self.weight_ih.transpose()) + self.bias_ih
+        gh = h.matmul(self.weight_hh.transpose()) + self.bias_hh
+        i_r, i_z, i_n = gi[:, :hs], gi[:, hs:2 * hs], gi[:, 2 * hs:]
+        h_r, h_z, h_n = gh[:, :hs], gh[:, hs:2 * hs], gh[:, 2 * hs:]
+        reset = (i_r + h_r).sigmoid()
+        update = (i_z + h_z).sigmoid()
+        candidate = (i_n + reset * h_n).tanh()
+        return (1.0 - update) * candidate + update * h
+
+
+class GRU(Module):
+    """Batched multi-step GRU with padding masks.
+
+    Processes ``(batch, time, input)`` sequences; padded positions keep
+    the previous hidden state so a left- or right-padded batch yields the
+    same per-session representation as unpadded processing.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self._cells = []
+        for layer in range(num_layers):
+            cell = GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng=rng)
+            name = f"cell{layer}"
+            setattr(self, name, cell)
+            self._cells.append(name)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None,
+                h0: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        """Run the GRU; returns ``(outputs, final_hidden)``.
+
+        Parameters
+        ----------
+        x:
+            ``(batch, time, input)`` inputs.
+        mask:
+            ``(batch, time)`` float/bool array, 1 for real positions.
+        """
+        batch, steps, _ = x.shape
+        if mask is None:
+            mask = np.ones((batch, steps), dtype=np.float32)
+        mask = np.asarray(mask, dtype=np.float32)
+        layer_input = x
+        final_hidden = None
+        for name in self._cells:
+            cell: GRUCell = getattr(self, name)
+            h = h0 if (h0 is not None and name == self._cells[0]) else None
+            if h is None:
+                h = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+            outputs = []
+            for t in range(steps):
+                x_t = layer_input[:, t, :]
+                h_new = cell(x_t, h)
+                keep = Tensor(mask[:, t:t + 1])
+                h = keep * h_new + (1.0 - keep) * h
+                outputs.append(h)
+            layer_input = F.stack(outputs, axis=1)
+            final_hidden = h
+        return layer_input, final_hidden

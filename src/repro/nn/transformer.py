@@ -1,0 +1,75 @@
+"""Transformer encoder stack (BERT4REC substrate)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.nn.norm import LayerNorm
+
+
+class LearnedPositionalEmbedding(Module):
+    """Learned absolute position embeddings added to item embeddings."""
+
+    def __init__(self, max_len: int, dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.max_len = max_len
+        self.table = Embedding(max_len, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        steps = x.shape[1]
+        if steps > self.max_len:
+            raise ValueError(f"sequence length {steps} exceeds max_len {self.max_len}")
+        positions = np.arange(steps, dtype=np.int64)
+        return x + self.table(positions)
+
+
+class TransformerEncoderLayer(Module):
+    """Post-norm transformer block: MHA -> Add&Norm -> FFN -> Add&Norm."""
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: Optional[int] = None,
+                 dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        ffn_dim = ffn_dim or 4 * dim
+        self.attention = MultiHeadAttention(dim, num_heads, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.drop(self.attention(x, mask=mask))
+        x = self.norm1(x + attended)
+        hidden = self.ffn_out(F.gelu(self.ffn_in(x)))
+        return self.norm2(x + self.drop(hidden))
+
+
+class TransformerEncoder(Module):
+    """A stack of encoder layers."""
+
+    def __init__(self, dim: int, num_heads: int, num_layers: int,
+                 ffn_dim: Optional[int] = None, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = ModuleList([
+            TransformerEncoderLayer(dim, num_heads, ffn_dim, dropout, rng=rng)
+            for _ in range(num_layers)
+        ])
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x

@@ -1,0 +1,67 @@
+"""Session-scoped fixtures: tiny datasets, KGs, and TransE embeddings.
+
+Everything here is deterministic and small so the full suite stays fast;
+fixtures are shared across test modules to avoid regenerating data.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.data import AmazonLikeGenerator, MovieLensLikeGenerator
+from repro.kg import TransE, TransEConfig, build_kg
+
+
+@pytest.fixture(scope="session")
+def beauty_tiny():
+    """Tiny synthetic Amazon-Beauty dataset."""
+    return AmazonLikeGenerator("beauty", scale="tiny", seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def baby_tiny():
+    """Tiny synthetic Amazon-Baby dataset (single category quirk)."""
+    return AmazonLikeGenerator("baby", scale="tiny", seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def movielens_tiny():
+    """Tiny synthetic MovieLens dataset (no user entities in its KG)."""
+    return MovieLensLikeGenerator(scale="tiny", seed=3).generate()
+
+
+@pytest.fixture(scope="session")
+def beauty_kg(beauty_tiny):
+    """Finalized Beauty KG bundle with users."""
+    return build_kg(beauty_tiny)
+
+
+@pytest.fixture(scope="session")
+def beauty_kg_no_users(beauty_tiny):
+    """Beauty KG without user entities (Table IX ablation)."""
+    return build_kg(beauty_tiny, include_users=False)
+
+
+@pytest.fixture(scope="session")
+def movielens_kg(movielens_tiny):
+    return build_kg(movielens_tiny)
+
+
+@pytest.fixture(scope="session")
+def beauty_transe(beauty_kg):
+    """Pre-trained TransE on the Beauty KG (dim 16, shared for speed)."""
+    model = TransE(beauty_kg.kg.num_entities, beauty_kg.kg.num_relations,
+                   TransEConfig(dim=16, epochs=5, seed=5))
+    model.fit(beauty_kg.kg)
+    return model
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

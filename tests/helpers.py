@@ -1,0 +1,52 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], Tensor], param: Tensor,
+                       eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``param``."""
+    grad = np.zeros_like(param.data, dtype=np.float64)
+    flat = param.data.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = float(fn().data)
+        flat[i] = original - eps
+        low = float(fn().data)
+        flat[i] = original
+        out[i] = (high - low) / (2.0 * eps)
+    return grad
+
+
+def assert_grad_close(fn: Callable[[], Tensor], params: Sequence[Tensor],
+                      rtol: float = 1e-2, atol: float = 1e-3) -> None:
+    """Check autograd gradients of scalar ``fn()`` against finite diffs.
+
+    ``fn`` must rebuild the graph on every call (so the numerical probe
+    sees perturbed parameters).
+    """
+    for p in params:
+        p.grad = None
+    loss = fn()
+    loss.backward()
+    for i, p in enumerate(params):
+        assert p.grad is not None, f"param {i} received no gradient"
+        numeric = numerical_gradient(fn, p)
+        np.testing.assert_allclose(
+            p.grad.astype(np.float64), numeric, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for parameter {i}")
+
+
+def make_tensor(rng: np.random.Generator, *shape: int,
+                requires_grad: bool = True, scale: float = 1.0) -> Tensor:
+    """Random float64 tensor (float64 keeps finite differences accurate)."""
+    data = rng.standard_normal(shape) * scale
+    return Tensor(data, requires_grad=requires_grad, dtype=np.float64)

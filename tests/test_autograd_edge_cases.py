@@ -1,0 +1,117 @@
+"""Autograd edge cases: dtype discipline, detach mid-graph, empties."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd import functional as F
+
+
+class TestDtypeDiscipline:
+    def test_float32_default_preserved_through_ops(self):
+        a = Tensor(np.ones((2, 2)))
+        out = (a * 2.0 + 1.0).sigmoid().matmul(a)
+        assert out.dtype == np.float32
+
+    def test_float64_opt_in_preserved(self):
+        a = Tensor(np.ones(3), dtype=np.float64)
+        assert (a.exp() + a).dtype == np.float64
+
+    def test_grad_dtype_matches_data(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert a.grad.dtype == np.float32
+
+
+class TestDetachMidGraph:
+    def test_gradient_stops_at_detach(self):
+        a = Tensor([2.0], requires_grad=True, dtype=np.float64)
+        b = (a * 3.0).detach()
+        c = Tensor([1.0], requires_grad=True, dtype=np.float64)
+        (b * c).sum().backward()
+        assert a.grad is None
+        np.testing.assert_allclose(c.grad, [6.0])
+
+    def test_detach_shares_memory(self):
+        a = Tensor([1.0, 2.0])
+        b = a.detach()
+        b.data[0] = 9.0
+        assert a.data[0] == 9.0
+
+
+class TestEmptyAndScalar:
+    def test_empty_tensor_ops(self):
+        a = Tensor(np.zeros((0, 3)), requires_grad=True)
+        out = (a * 2.0).sum()
+        out.backward()
+        assert a.grad.shape == (0, 3)
+
+    def test_zero_dim_scalar_tensor(self):
+        a = Tensor(np.float32(2.5), requires_grad=True)
+        (a * a).backward()
+        assert a.grad == pytest.approx(5.0)
+
+    def test_sum_of_empty_is_zero(self):
+        a = Tensor(np.zeros(0))
+        assert a.sum().item() == 0.0
+
+
+class TestRepr:
+    def test_repr_mentions_shape_and_grad(self):
+        a = Tensor(np.zeros((2, 3)), requires_grad=True)
+        text = repr(a)
+        assert "(2, 3)" in text
+        assert "requires_grad=True" in text
+        assert "leaf" in text
+
+    def test_repr_mentions_op(self):
+        a = Tensor(np.zeros(2), requires_grad=True)
+        assert "op=mul" in repr(a * 2.0)
+
+
+class TestNoGradInteractions:
+    def test_parameters_created_inside_no_grad_stay_frozen(self):
+        with no_grad():
+            p = Tensor(np.ones(2), requires_grad=True)
+        assert not p.requires_grad
+
+    def test_mixed_graph_partial_grad(self):
+        a = Tensor([1.0], requires_grad=True, dtype=np.float64)
+        with no_grad():
+            frozen = a * 5.0
+        live = a * 2.0
+        (frozen + live).sum().backward()
+        # Only the live branch contributes.
+        np.testing.assert_allclose(a.grad, [2.0])
+
+
+class TestScatterAddEdges:
+    def test_empty_source(self):
+        src = Tensor(np.zeros(0), requires_grad=True, dtype=np.float64)
+        out = F.scatter_add(src, (np.zeros(0, dtype=np.int64),), (4,))
+        np.testing.assert_allclose(out.data, np.zeros(4))
+        out.sum().backward()
+        assert src.grad.shape == (0,)
+
+    def test_all_to_one_bucket(self):
+        src = Tensor(np.ones(5), requires_grad=True, dtype=np.float64)
+        out = F.scatter_add(src, (np.zeros(5, dtype=np.int64),), (2,))
+        np.testing.assert_allclose(out.data, [5.0, 0.0])
+        (out * Tensor([2.0, 3.0], dtype=np.float64)).sum().backward()
+        np.testing.assert_allclose(src.grad, np.full(5, 2.0))
+
+
+class TestMaskedFillEdges:
+    def test_all_true_mask(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True, dtype=np.float64)
+        out = a.masked_fill(np.ones((2, 2), dtype=bool), -1.0)
+        np.testing.assert_allclose(out.data, -1.0)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.zeros((2, 2)))
+
+    def test_broadcast_mask(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True, dtype=np.float64)
+        mask = np.array([True, False, False, True])
+        out = a.masked_fill(mask, 0.0)
+        np.testing.assert_allclose(out.data[:, 0], 0.0)
+        np.testing.assert_allclose(out.data[:, 1], 1.0)

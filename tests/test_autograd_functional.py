@@ -1,0 +1,162 @@
+"""Unit tests for fused functional ops (softmax family, losses, dropout)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+from helpers import assert_grad_close, make_tensor
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = make_tensor(rng, 4, 7, requires_grad=False)
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_shift_invariance(self, rng):
+        x = make_tensor(rng, 3, 5, requires_grad=False)
+        shifted = Tensor(x.data + 1000.0, dtype=np.float64)
+        np.testing.assert_allclose(F.softmax(x).data, F.softmax(shifted).data,
+                                   rtol=1e-6)
+
+    def test_gradient(self, rng):
+        x = make_tensor(rng, 3, 4)
+        w = Tensor(rng.standard_normal((3, 4)), dtype=np.float64)
+        assert_grad_close(lambda: (F.softmax(x, axis=-1) * w).sum(), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = make_tensor(rng, 2, 6, requires_grad=False)
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data), rtol=1e-5)
+
+    def test_log_softmax_gradient(self, rng):
+        x = make_tensor(rng, 3, 4)
+        w = Tensor(rng.standard_normal((3, 4)), dtype=np.float64)
+        assert_grad_close(lambda: (F.log_softmax(x, axis=-1) * w).sum(), [x])
+
+    def test_extreme_values_stay_finite(self):
+        x = Tensor([[1e4, -1e4, 0.0]], dtype=np.float64)
+        assert np.isfinite(F.log_softmax(x).data).all()
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = make_tensor(rng, 4, 6, requires_grad=False)
+        targets = np.array([0, 3, 5, 2])
+        loss = F.cross_entropy(logits, targets)
+        logp = F.log_softmax(logits).data
+        manual = -logp[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-6)
+
+    def test_gradient(self, rng):
+        logits = make_tensor(rng, 3, 5)
+        targets = np.array([1, 4, 0])
+        assert_grad_close(lambda: F.cross_entropy(logits, targets), [logits])
+
+    def test_reductions(self, rng):
+        logits = make_tensor(rng, 4, 3, requires_grad=False)
+        targets = np.array([0, 1, 2, 0])
+        total = F.cross_entropy(logits, targets, reduction="sum").item()
+        mean = F.cross_entropy(logits, targets, reduction="mean").item()
+        assert total == pytest.approx(mean * 4, rel=1e-6)
+        none = F.cross_entropy(logits, targets, reduction="none")
+        assert none.shape == (4,)
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        probs = Tensor([1.0, 0.0], dtype=np.float64)
+        loss = F.binary_cross_entropy(probs, np.array([1.0, 0.0]))
+        assert loss.item() < 1e-5
+
+    def test_matches_manual(self):
+        p = np.array([0.3, 0.8])
+        y = np.array([1.0, 0.0])
+        loss = F.binary_cross_entropy(Tensor(p, dtype=np.float64), y).item()
+        manual = -(np.log(0.3) + np.log(0.2))
+        assert loss == pytest.approx(manual, rel=1e-5)
+
+    def test_gradient(self, rng):
+        raw = make_tensor(rng, 6)
+        y = (rng.random(6) > 0.5).astype(np.float64)
+        assert_grad_close(
+            lambda: F.binary_cross_entropy(raw.sigmoid(), y), [raw])
+
+    def test_out_of_range_is_clipped(self):
+        probs = Tensor([1.5, -0.5], dtype=np.float64)
+        loss = F.binary_cross_entropy(probs, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestClip:
+    def test_values(self):
+        x = Tensor([-2.0, 0.5, 3.0], dtype=np.float64)
+        np.testing.assert_allclose(F.clip(x, 0.0, 1.0).data, [0.0, 0.5, 1.0])
+
+    def test_gradient_zero_outside(self):
+        x = Tensor([-2.0, 0.5, 3.0], requires_grad=True, dtype=np.float64)
+        F.clip(x, 0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = make_tensor(rng, 10, requires_grad=False)
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_zero_p_is_identity(self, rng):
+        x = make_tensor(rng, 10, requires_grad=False)
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones(20000), dtype=np.float64)
+        out = F.dropout(x, 0.3, training=True, rng=np.random.default_rng(0))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.03)
+
+    def test_invalid_p_raises(self, rng):
+        x = make_tensor(rng, 3, requires_grad=False)
+        with pytest.raises(ValueError):
+            F.dropout(x, 1.0, training=True)
+
+
+class TestScatterAdd:
+    def test_values_match_np_add_at(self, rng):
+        src = make_tensor(rng, 8, requires_grad=False)
+        idx = (np.array([0, 1, 1, 2, 0, 2, 2, 1]),
+               np.array([0, 0, 1, 1, 1, 0, 0, 1]))
+        out = F.scatter_add(src, idx, (3, 2))
+        manual = np.zeros((3, 2))
+        np.add.at(manual, idx, src.data)
+        np.testing.assert_allclose(out.data, manual, rtol=1e-6)
+
+    def test_gradient(self, rng):
+        src = make_tensor(rng, 6)
+        idx = (np.array([0, 0, 1, 1, 2, 2]), np.array([0, 1, 0, 1, 0, 1]))
+        w = Tensor(rng.standard_normal((3, 2)), dtype=np.float64)
+        assert_grad_close(
+            lambda: (F.scatter_add(src, idx, (3, 2)) * w).sum(), [src])
+
+
+class TestGelu:
+    def test_values_reasonable(self):
+        x = Tensor([-3.0, 0.0, 3.0], dtype=np.float64)
+        out = F.gelu(x).data
+        assert out[1] == pytest.approx(0.0, abs=1e-6)
+        assert out[2] == pytest.approx(3.0, abs=0.01)
+        assert abs(out[0]) < 0.01
+
+    def test_gradient(self, rng):
+        x = make_tensor(rng, 5)
+        assert_grad_close(lambda: F.gelu(x).sum(), [x])
+
+
+class TestEmbeddingLookup:
+    def test_gather_and_scatter_grad(self, rng):
+        w = make_tensor(rng, 6, 3)
+        idx = np.array([[0, 2], [2, 5]])
+        out = F.embedding_lookup(w, idx)
+        assert out.shape == (2, 2, 3)
+        assert_grad_close(lambda: F.embedding_lookup(w, idx).sum(), [w])

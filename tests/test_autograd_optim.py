@@ -1,0 +1,117 @@
+"""Unit tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, SGD, Tensor, clip_grad_norm
+from repro.autograd.optim import Optimizer
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    """(p - 3)^2 summed — minimized at p == 3."""
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(4), requires_grad=True, dtype=np.float64)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Tensor(np.zeros(1), requires_grad=True, dtype=np.float64)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.ones(1) * 5.0, requires_grad=True, dtype=np.float64)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero task gradient
+        opt.step()
+        assert p.data[0] < 5.0
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.ones(1), requires_grad=True)
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no backward happened; must not crash
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(3), requires_grad=True, dtype=np.float64)
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction the first Adam step is ~lr regardless of
+        # gradient scale.
+        p = Tensor(np.zeros(1), requires_grad=True, dtype=np.float64)
+        opt = Adam([p], lr=0.05)
+        opt.zero_grad()
+        (p * 1000.0).sum().backward()
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.05, rel=1e-3)
+
+    def test_requires_trainable_params(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.zeros(1))], lr=0.1)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.zeros(2), requires_grad=True, dtype=np.float64)
+        p.grad = np.array([0.3, 0.4])
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_to_max_norm(self):
+        p = Tensor(np.zeros(2), requires_grad=True, dtype=np.float64)
+        p.grad = np.array([3.0, 4.0])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_multiple_params_joint_norm(self):
+        a = Tensor(np.zeros(1), requires_grad=True, dtype=np.float64)
+        b = Tensor(np.zeros(1), requires_grad=True, dtype=np.float64)
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=2.5)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm([a.grad[0], b.grad[0]]) == pytest.approx(2.5)
+
+    def test_ignores_gradless_params(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestOptimizerBase:
+    def test_zero_grad_clears(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_base_step_not_implemented(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(NotImplementedError):
+            Optimizer([p]).step()

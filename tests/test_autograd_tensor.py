@@ -1,0 +1,267 @@
+"""Unit tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled
+from repro.autograd.tensor import _unbroadcast, concat, stack
+
+from helpers import assert_grad_close, make_tensor
+
+
+class TestBasics:
+    def test_construction_defaults_to_float32(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+        assert t.shape == (2,)
+        assert not t.requires_grad
+
+    def test_item_and_len(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        assert b._prev == ()
+
+    def test_backward_requires_scalar(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_on_leaf_without_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3.0).sum().backward()
+        (a * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_taping(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            b = a * 2.0
+        assert is_grad_enabled()
+        assert not b.requires_grad
+        assert b._prev == ()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert _unbroadcast(g, (3, 4)).shape == (3, 4)
+
+    def test_sum_leading_axis(self):
+        g = np.ones((5, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (3,)), np.full(3, 5.0))
+
+    def test_sum_kept_axis(self):
+        g = np.ones((4, 3))
+        out = _unbroadcast(g, (4, 1))
+        np.testing.assert_allclose(out, np.full((4, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 2))
+        np.testing.assert_allclose(_unbroadcast(g, ()), 4.0)
+
+
+class TestElementwiseGrads:
+    @pytest.mark.parametrize("op", [
+        lambda a, b: a + b,
+        lambda a, b: a - b,
+        lambda a, b: a * b,
+        lambda a, b: a / (b + 3.0),
+    ])
+    def test_binary_ops(self, rng, op):
+        a = make_tensor(rng, 3, 4)
+        b = make_tensor(rng, 3, 4)
+        assert_grad_close(lambda: op(a, b).sum(), [a, b])
+
+    def test_broadcast_add(self, rng):
+        a = make_tensor(rng, 3, 4)
+        b = make_tensor(rng, 4)
+        assert_grad_close(lambda: (a + b).sum(), [a, b])
+
+    def test_broadcast_mul_keepdims(self, rng):
+        a = make_tensor(rng, 3, 4)
+        b = make_tensor(rng, 3, 1)
+        assert_grad_close(lambda: (a * b).sum(), [a, b])
+
+    def test_scalar_operand(self, rng):
+        a = make_tensor(rng, 5)
+        assert_grad_close(lambda: (2.5 * a + 1.0).sum(), [a])
+
+    def test_pow(self, rng):
+        a = make_tensor(rng, 4)
+        a.data = np.abs(a.data) + 0.5
+        assert_grad_close(lambda: (a ** 3.0).sum(), [a])
+
+    def test_rsub_rtruediv(self, rng):
+        a = make_tensor(rng, 4)
+        a.data = np.abs(a.data) + 1.0
+        assert_grad_close(lambda: (1.0 - a).sum(), [a])
+        assert_grad_close(lambda: (1.0 / a).sum(), [a])
+
+
+class TestNonlinearityGrads:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu"])
+    def test_unary(self, rng, op):
+        a = make_tensor(rng, 3, 3)
+        if op == "relu":
+            a.data += 0.1 * np.sign(a.data)  # keep away from the kink
+        assert_grad_close(lambda: getattr(a, op)().sum(), [a])
+
+    def test_log_sqrt(self, rng):
+        a = make_tensor(rng, 4)
+        a.data = np.abs(a.data) + 0.5
+        assert_grad_close(lambda: a.log().sum(), [a])
+        assert_grad_close(lambda: a.sqrt().sum(), [a])
+
+
+class TestMatmulGrads:
+    def test_2d(self, rng):
+        a = make_tensor(rng, 3, 4)
+        b = make_tensor(rng, 4, 2)
+        assert_grad_close(lambda: a.matmul(b).sum(), [a, b])
+
+    def test_batched_3d(self, rng):
+        a = make_tensor(rng, 2, 3, 4)
+        b = make_tensor(rng, 2, 4, 2)
+        assert_grad_close(lambda: a.matmul(b).sum(), [a, b])
+
+    def test_broadcast_batched_with_2d(self, rng):
+        a = make_tensor(rng, 2, 3, 4)
+        b = make_tensor(rng, 4, 5)
+        assert_grad_close(lambda: a.matmul(b).sum(), [a, b])
+
+    def test_value_matches_numpy(self, rng):
+        a = make_tensor(rng, 3, 4, requires_grad=False)
+        b = make_tensor(rng, 4, 2, requires_grad=False)
+        np.testing.assert_allclose(a.matmul(b).data, a.data @ b.data)
+
+
+class TestReductionGrads:
+    def test_sum_axis(self, rng):
+        a = make_tensor(rng, 3, 4)
+        assert_grad_close(lambda: a.sum(axis=1).sum(), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = make_tensor(rng, 3, 4)
+        assert_grad_close(lambda: (a.sum(axis=0, keepdims=True) * 2.0).sum(), [a])
+
+    def test_mean(self, rng):
+        a = make_tensor(rng, 6)
+        assert_grad_close(lambda: a.mean(), [a])
+        value = a.mean().item()
+        assert value == pytest.approx(float(a.data.mean()), rel=1e-6)
+
+    def test_mean_axis(self, rng):
+        a = make_tensor(rng, 3, 4)
+        assert_grad_close(lambda: a.mean(axis=0).sum(), [a])
+
+    def test_max(self, rng):
+        a = make_tensor(rng, 3, 4)
+        assert_grad_close(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor([[2.0, 2.0]], requires_grad=True, dtype=np.float64)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+
+class TestShapeOps:
+    def test_reshape_grad(self, rng):
+        a = make_tensor(rng, 3, 4)
+        assert_grad_close(lambda: (a.reshape(4, 3) * 2.0).sum(), [a])
+
+    def test_transpose_grad(self, rng):
+        a = make_tensor(rng, 2, 3, 4)
+        assert_grad_close(lambda: a.transpose(2, 0, 1).sum(), [a])
+
+    def test_swapaxes_negative(self, rng):
+        a = make_tensor(rng, 2, 3, 4, requires_grad=False)
+        assert a.swapaxes(-1, -2).shape == (2, 4, 3)
+
+    def test_getitem_int_array(self, rng):
+        a = make_tensor(rng, 5, 3)
+        idx = np.array([0, 2, 2, 4])
+        assert_grad_close(lambda: a[idx].sum(), [a])
+
+    def test_getitem_duplicate_index_accumulates(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True, dtype=np.float64)
+        a[np.array([1, 1, 1])].sum().backward()
+        np.testing.assert_allclose(a.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(a.grad[0], [0.0, 0.0])
+
+    def test_getitem_tuple_index(self, rng):
+        a = make_tensor(rng, 4, 5)
+        rows = np.array([0, 1, 3])
+        cols = np.array([4, 2, 0])
+        assert_grad_close(lambda: a[rows, cols].sum(), [a])
+
+    def test_masked_fill(self, rng):
+        a = make_tensor(rng, 3, 4)
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[:, 0] = True
+        out = a.masked_fill(mask, -5.0)
+        np.testing.assert_allclose(out.data[:, 0], -5.0)
+        assert_grad_close(lambda: a.masked_fill(mask, -5.0).sum(), [a])
+
+
+class TestConcatStack:
+    def test_concat_values_and_grads(self, rng):
+        a = make_tensor(rng, 2, 3)
+        b = make_tensor(rng, 2, 2)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        assert_grad_close(lambda: concat([a, b], axis=1).sum(), [a, b])
+
+    def test_stack_grads(self, rng):
+        a = make_tensor(rng, 3)
+        b = make_tensor(rng, 3)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        assert_grad_close(lambda: (stack([a, b], axis=1) * 2.0).sum(), [a, b])
+
+    def test_concat_mixed_requires_grad(self, rng):
+        a = make_tensor(rng, 2, 2)
+        b = make_tensor(rng, 2, 2, requires_grad=False)
+        out = concat([a, b], axis=0)
+        out.sum().backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+
+class TestGraphTraversal:
+    def test_diamond_graph(self):
+        a = Tensor([2.0], requires_grad=True, dtype=np.float64)
+        b = a * 3.0
+        c = a * 4.0
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_deep_chain(self):
+        a = Tensor([1.0], requires_grad=True, dtype=np.float64)
+        x = a
+        for _ in range(50):
+            x = x * 1.01
+        x.sum().backward()
+        assert a.grad[0] == pytest.approx(1.01 ** 50, rel=1e-5)
+
+    def test_reuse_same_tensor_twice_in_one_op(self):
+        a = Tensor([3.0], requires_grad=True, dtype=np.float64)
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])

@@ -1,0 +1,60 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+COMMON = ["--scale", "tiny", "--dim", "16", "--epochs", "1",
+          "--batch-size", "64"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--dataset", "books"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["reks"])
+        assert args.dataset == "beauty"
+        assert args.model == "narm"
+        assert args.final_beam == 4
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--dataset", "beauty"] + COMMON) == 0
+        out = capsys.readouterr().out
+        assert "co_occur" in out
+        assert "#sessions" in out
+
+    def test_stats_movielens(self, capsys):
+        assert main(["stats", "--dataset", "movielens"] + COMMON) == 0
+        assert "directed_by" in capsys.readouterr().out
+
+    def test_baseline(self, capsys):
+        assert main(["baseline", "--model", "gru4rec"] + COMMON) == 0
+        assert "HR@10" in capsys.readouterr().out
+
+    def test_reks(self, capsys):
+        assert main(["reks", "--model", "gru4rec"] + COMMON) == 0
+        assert "REKS_gru4rec" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        code = main(["explain", "--model", "gru4rec", "--cases", "2",
+                     "--top-k", "2"] + COMMON)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "session:" in out
+
+    def test_reks_no_users(self, capsys):
+        assert main(["reks", "--model", "gru4rec", "--no-users"]
+                    + COMMON) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--model", "gru4rec"] + COMMON) == 0
+        out = capsys.readouterr().out
+        assert "REKS_gru4rec" in out and "HR@5" in out

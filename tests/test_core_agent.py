@@ -1,0 +1,183 @@
+"""Unit and integration tests for the REKS agent (walk, ŷ, losses)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.core import REKSConfig, REKSTrainer
+from repro.data.loader import SessionBatcher
+
+
+@pytest.fixture(scope="module")
+def trainer(beauty_tiny, beauty_kg, beauty_transe):
+    cfg = REKSConfig(dim=16, state_dim=16, epochs=1, batch_size=32,
+                     action_cap=60, seed=0)
+    return REKSTrainer(beauty_tiny, beauty_kg, model_name="gru4rec",
+                       config=cfg, transe=beauty_transe)
+
+
+@pytest.fixture()
+def batch(beauty_tiny, trainer):
+    batcher = SessionBatcher(beauty_tiny.split.train, batch_size=16,
+                             shuffle=False)
+    return next(iter(batcher))
+
+
+class TestWalk:
+    def test_paths_are_real_kg_edges(self, trainer, batch, beauty_kg):
+        with no_grad():
+            se = trainer.encoder.encode(batch)
+            rollout = trainer.agent.walk(se, batch)
+        kg = beauty_kg.kg
+        for p in range(min(rollout.num_paths, 50)):
+            ents = rollout.entities[p]
+            rels = rollout.relations[p]
+            for h, r, t in zip(ents[:-1], rels, ents[1:]):
+                assert kg.has_edge(int(h), int(r), int(t)), \
+                    f"path used non-edge ({h}, {r}, {t})"
+
+    def test_paths_are_simple(self, trainer, batch):
+        with no_grad():
+            se = trainer.encoder.encode(batch)
+            rollout = trainer.agent.walk(se, batch)
+        for p in range(rollout.num_paths):
+            ents = rollout.entities[p].tolist()
+            assert len(set(ents)) == len(ents)
+
+    def test_paths_start_at_last_item(self, trainer, batch, beauty_kg):
+        with no_grad():
+            se = trainer.encoder.encode(batch)
+            rollout = trainer.agent.walk(se, batch)
+        starts = beauty_kg.item_entity[batch.last_items]
+        np.testing.assert_array_equal(
+            rollout.entities[:, 0], starts[rollout.session_idx])
+
+    def test_hop_count_matches_config(self, trainer, batch):
+        with no_grad():
+            se = trainer.encoder.encode(batch)
+            rollout = trainer.agent.walk(se, batch)
+        assert rollout.entities.shape[1] == 3  # path_length 2 -> 3 nodes
+        assert rollout.relations.shape[1] == 2
+
+    def test_probabilities_valid(self, trainer, batch):
+        with no_grad():
+            se = trainer.encoder.encode(batch)
+            rollout = trainer.agent.walk(se, batch)
+        assert (rollout.prob > 0).all()
+        assert (rollout.prob <= 1.0 + 1e-6).all()
+
+    def test_per_session_mass_at_most_one(self, trainer, batch):
+        with no_grad():
+            se = trainer.encoder.encode(batch)
+            rollout = trainer.agent.walk(se, batch)
+        mass = np.bincount(rollout.session_idx, weights=rollout.prob,
+                           minlength=batch.batch_size)
+        assert (mass <= 1.0 + 1e-4).all()
+
+    def test_custom_sizes(self, trainer, batch):
+        with no_grad():
+            se = trainer.encoder.encode(batch)
+            rollout = trainer.agent.walk(se, batch, sizes=(5, 2))
+        per_session = np.bincount(rollout.session_idx,
+                                  minlength=batch.batch_size)
+        assert per_session.max() <= 10
+
+
+class TestAggregation:
+    def test_tensor_and_numpy_agree(self, trainer, batch):
+        se = trainer.encoder.encode(batch)
+        rollout = trainer.agent.walk(se, batch)
+        dense = trainer.agent.aggregate_scores(rollout, batch.batch_size)
+        dense_np = trainer.agent.aggregate_scores_numpy(
+            rollout, batch.batch_size)
+        got = dense.data.copy()
+        got[:, 0] = 0.0
+        np.testing.assert_allclose(got, dense_np, rtol=1e-4, atol=1e-6)
+
+    def test_tensor_mode_requires_log_prob(self, trainer, batch):
+        from repro.core.environment import Rollout
+
+        stripped = Rollout(session_idx=np.zeros(1, dtype=np.int64),
+                           entities=np.zeros((1, 3), dtype=np.int64),
+                           relations=np.zeros((1, 2), dtype=np.int64),
+                           prob=np.ones(1), log_prob=None)
+        with pytest.raises(RuntimeError):
+            trainer.agent.aggregate_scores(stripped, 1)
+
+
+class TestLosses:
+    def test_losses_finite_and_backward(self, trainer, batch):
+        trainer.agent.train()
+        loss, stats = trainer.agent.losses(batch)
+        assert np.isfinite(stats.loss)
+        assert np.isfinite(stats.reward_loss)
+        assert np.isfinite(stats.ce_loss)
+        loss.backward()
+        grads = [p for p in trainer.agent.parameters() if p.grad is not None]
+        assert grads, "no parameter received a gradient"
+
+    def test_encoder_receives_gradient(self, trainer, batch):
+        trainer.agent.zero_grad()
+        trainer.agent.train()
+        loss, _ = trainer.agent.losses(batch)
+        loss.backward()
+        assert trainer.encoder.item_embedding.weight.grad is not None
+
+    def test_reward_components_reported(self, trainer, batch):
+        _, stats = trainer.agent.losses(batch)
+        assert set(stats.reward_components) == {"item", "rank", "path"}
+        assert stats.num_paths > 0
+
+    def test_loss_modes(self, beauty_tiny, beauty_kg, beauty_transe, batch):
+        outs = {}
+        for mode in ("joint", "reward_only", "ce_only"):
+            cfg = REKSConfig(dim=16, state_dim=16, epochs=1, seed=0,
+                             action_cap=60, loss_mode=mode)
+            t = REKSTrainer(beauty_tiny, beauty_kg, model_name="gru4rec",
+                            config=cfg, transe=beauty_transe)
+            loss, stats = t.agent.losses(batch)
+            outs[mode] = (float(loss.item()), stats)
+        joint_loss = outs["joint"][0]
+        expected = (0.2 * outs["joint"][1].reward_loss
+                    + outs["joint"][1].ce_loss)
+        assert joint_loss == pytest.approx(expected, rel=1e-4)
+
+
+class TestRecommend:
+    def test_output_shapes(self, trainer, batch):
+        rec = trainer.agent.recommend(batch, k=10)
+        assert rec.scores.shape == (batch.batch_size,
+                                    trainer.dataset.n_items + 1)
+        assert rec.ranked_items.shape[0] == batch.batch_size
+        assert rec.ranked_items.shape[1] <= 10
+
+    def test_paths_attach_to_recommended_items(self, trainer, batch):
+        rec = trainer.agent.recommend(batch, k=5)
+        for (row, item), path in rec.paths.items():
+            assert path.terminal == trainer.built.item_entity[item]
+            assert path.prob > 0
+
+    def test_every_positive_item_has_a_path(self, trainer, batch):
+        rec = trainer.agent.recommend(batch, k=5)
+        for row in range(batch.batch_size):
+            for item in rec.ranked_items[row]:
+                item = int(item)
+                if item != 0 and rec.scores[row, item] > 0:
+                    assert (row, item) in rec.paths
+
+    def test_padding_never_recommended_with_positive_score(self, trainer,
+                                                           batch):
+        rec = trainer.agent.recommend(batch, k=5)
+        assert (rec.scores[:, 0] == 0).all()
+
+    def test_stochastic_selection_differs(self, trainer, batch):
+        cfgd = trainer.config
+        with no_grad():
+            se = trainer.encoder.encode(batch)
+            greedy = trainer.agent.walk(se, batch, sizes=(3, 1))
+            trainer.agent.train()
+            stoch = trainer.agent.walk(se, batch, sizes=(3, 1),
+                                       stochastic=True)
+            trainer.agent.eval()
+        assert (greedy.entities.shape != stoch.entities.shape
+                or not np.array_equal(greedy.entities, stoch.entities))

@@ -1,0 +1,47 @@
+"""Integration tests for REKS trainer checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import REKSConfig, REKSTrainer
+
+
+@pytest.fixture(scope="module")
+def fitted(beauty_tiny, beauty_kg, beauty_transe):
+    cfg = REKSConfig(dim=16, state_dim=16, epochs=2, batch_size=64,
+                     action_cap=60, seed=3)
+    trainer = REKSTrainer(beauty_tiny, beauty_kg, model_name="gru4rec",
+                          config=cfg, transe=beauty_transe)
+    trainer.fit()
+    return trainer
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_predictions(self, fitted, beauty_tiny,
+                                              beauty_kg, beauty_transe,
+                                              tmp_path):
+        path = tmp_path / "reks.npz"
+        fitted.save(path)
+        metrics_before = fitted.evaluate(beauty_tiny.split.test[:20],
+                                         ks=(10,))
+
+        cfg = REKSConfig(dim=16, state_dim=16, epochs=2, batch_size=64,
+                         action_cap=60, seed=99)  # different init seed
+        fresh = REKSTrainer(beauty_tiny, beauty_kg, model_name="gru4rec",
+                            config=cfg, transe=beauty_transe)
+        fresh.load(path)
+        metrics_after = fresh.evaluate(beauty_tiny.split.test[:20],
+                                       ks=(10,))
+        assert metrics_after["HR@10"] == pytest.approx(
+            metrics_before["HR@10"], abs=1e-9)
+
+    def test_wrong_model_rejected(self, fitted, beauty_tiny, beauty_kg,
+                                  beauty_transe, tmp_path):
+        path = tmp_path / "reks.npz"
+        fitted.save(path)
+        cfg = REKSConfig(dim=16, state_dim=16, epochs=1, seed=0,
+                         action_cap=60)
+        other = REKSTrainer(beauty_tiny, beauty_kg, model_name="narm",
+                            config=cfg, transe=beauty_transe)
+        with pytest.raises(ValueError):
+            other.load(path)

@@ -1,0 +1,64 @@
+"""Unit tests for REKSConfig validation and ablation presets."""
+
+import pytest
+
+from repro.core.config import REKSConfig
+
+
+class TestValidation:
+    def test_defaults_follow_paper(self):
+        cfg = REKSConfig()
+        assert cfg.path_length == 2
+        assert cfg.sample_sizes == (100, 1)
+        assert cfg.gamma == 0.99
+        assert cfg.reward_weights == (1.0, 2.0, 1.0)
+
+    def test_bad_reward_mode(self):
+        with pytest.raises(ValueError):
+            REKSConfig(reward_mode="bogus")
+
+    def test_bad_loss_mode(self):
+        with pytest.raises(ValueError):
+            REKSConfig(loss_mode="bogus")
+
+    def test_bad_start(self):
+        with pytest.raises(ValueError):
+            REKSConfig(start_from="middle_item")
+
+    def test_sample_sizes_must_match_path_length(self):
+        with pytest.raises(ValueError):
+            REKSConfig(path_length=3, sample_sizes=(100, 1))
+
+    def test_bad_selection(self):
+        with pytest.raises(ValueError):
+            REKSConfig(train_selection="greedy")
+
+
+class TestAblationPresets:
+    def test_loss_variants(self):
+        assert REKSConfig.for_ablation("reks_r").loss_mode == "reward_only"
+        assert REKSConfig.for_ablation("reks_c").loss_mode == "ce_only"
+
+    def test_reward_variants(self):
+        assert REKSConfig.for_ablation("reks_r1").reward_mode == "r1"
+        assert REKSConfig.for_ablation("reks-path").reward_mode == "item_only"
+        assert REKSConfig.for_ablation("reks-rank").reward_mode == "no_rank"
+
+    def test_user_start_uses_paper_settings(self):
+        cfg = REKSConfig.for_ablation("reks_user")
+        assert cfg.start_from == "user"
+        assert cfg.path_length == 3
+        assert cfg.sample_sizes == (100, 10, 1)
+
+    def test_path_length_variants(self):
+        assert REKSConfig.for_ablation("reks_l3").sample_sizes == (100, 1, 1)
+        assert REKSConfig.for_ablation("reks_l4").sample_sizes == (100, 1, 1, 1)
+
+    def test_overrides_apply(self):
+        cfg = REKSConfig.for_ablation("reks", dim=16, beta=0.8)
+        assert cfg.dim == 16
+        assert cfg.beta == 0.8
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            REKSConfig.for_ablation("reks_unknown")

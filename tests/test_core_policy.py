@@ -1,0 +1,88 @@
+"""Unit tests for the policy network."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.policy import PolicyNetwork
+
+
+@pytest.fixture()
+def policy(rng):
+    entity_table = rng.standard_normal((20, 8)).astype(np.float32)
+    relation_table = rng.standard_normal((4, 8)).astype(np.float32)
+    return PolicyNetwork(session_dim=8, kg_dim=8, state_dim=8,
+                         entity_table=entity_table,
+                         relation_table=relation_table,
+                         rng=np.random.default_rng(0))
+
+
+class TestStateFeaturizer:
+    def test_state_shape(self, policy, rng):
+        se = Tensor(rng.standard_normal((3, 8)).astype(np.float32))
+        sp = policy.path_context(np.array([1, 2, 3]), None)
+        st = policy.state(se, sp)
+        assert st.shape == (3, 8)
+
+    def test_path_context_adds_relation(self, policy):
+        without = policy.path_context(np.array([5]), None).data
+        with_rel = policy.path_context(np.array([5]), np.array([2])).data
+        expected = without + policy.relation_emb.weight.data[2]
+        np.testing.assert_allclose(with_rel, expected, rtol=1e-6)
+
+
+class TestActionScoring:
+    def test_log_probs_normalize_over_valid(self, policy, rng):
+        se = Tensor(rng.standard_normal((2, 8)).astype(np.float32))
+        rels = np.zeros((2, 5), dtype=np.int64)
+        tails = np.tile(np.arange(5), (2, 1))
+        mask = np.array([[True, True, True, False, False],
+                         [True, True, True, True, True]])
+        logp = policy.step(se, np.array([1, 2]), None, rels, tails, mask)
+        probs = np.exp(logp.data)
+        np.testing.assert_allclose((probs * mask).sum(axis=1), np.ones(2),
+                                   rtol=1e-4)
+
+    def test_invalid_actions_get_negligible_mass(self, policy, rng):
+        se = Tensor(rng.standard_normal((1, 8)).astype(np.float32))
+        rels = np.zeros((1, 4), dtype=np.int64)
+        tails = np.arange(4)[None, :]
+        mask = np.array([[True, False, True, False]])
+        logp = policy.step(se, np.array([0]), None, rels, tails, mask)
+        probs = np.exp(logp.data[0])
+        assert probs[1] < 1e-6 and probs[3] < 1e-6
+
+    def test_gradients_flow_to_state_mlp(self, policy, rng):
+        se = Tensor(rng.standard_normal((2, 8)).astype(np.float32),
+                    requires_grad=True)
+        rels = np.zeros((2, 3), dtype=np.int64)
+        tails = np.tile(np.arange(3), (2, 1))
+        mask = np.ones((2, 3), dtype=bool)
+        logp = policy.step(se, np.array([0, 1]), None, rels, tails, mask)
+        logp.sum().backward()
+        assert se.grad is not None
+        assert policy.w1.weight.grad is not None
+
+    def test_kg_embeddings_frozen_by_default(self, policy, rng):
+        se = Tensor(rng.standard_normal((1, 8)).astype(np.float32))
+        rels = np.zeros((1, 3), dtype=np.int64)
+        tails = np.arange(3)[None, :]
+        mask = np.ones((1, 3), dtype=bool)
+        logp = policy.step(se, np.array([0]), None, rels, tails, mask)
+        logp.sum().backward()
+        assert policy.entity_emb.weight.grad is None
+        assert not policy.entity_emb.weight.requires_grad
+
+    def test_finetune_flag_enables_kg_grads(self, rng):
+        policy = PolicyNetwork(
+            session_dim=4, kg_dim=4, state_dim=4,
+            entity_table=rng.standard_normal((10, 4)).astype(np.float32),
+            relation_table=rng.standard_normal((2, 4)).astype(np.float32),
+            finetune=True, rng=np.random.default_rng(0))
+        se = Tensor(rng.standard_normal((1, 4)).astype(np.float32))
+        rels = np.zeros((1, 2), dtype=np.int64)
+        tails = np.arange(2)[None, :]
+        logp = policy.step(se, np.array([0]), None, rels, tails,
+                           np.ones((1, 2), dtype=bool))
+        logp.sum().backward()
+        assert policy.entity_emb.weight.grad is not None

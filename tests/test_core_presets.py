@@ -1,0 +1,55 @@
+"""Unit tests for the Table VII presets."""
+
+import pytest
+
+from repro.core.presets import PAPER_DIMS, TABLE_VII, paper_config
+
+
+class TestTableVII:
+    def test_all_twenty_cells_present(self):
+        assert len(TABLE_VII) == 20  # 5 models x 4 datasets
+
+    def test_every_model_dataset_combination(self):
+        models = {m for m, _ in TABLE_VII}
+        datasets = {d for _, d in TABLE_VII}
+        assert models == {"gru4rec", "narm", "srgnn", "gcsan", "bert4rec"}
+        assert datasets == {"beauty", "cellphones", "baby", "movielens"}
+        for m in models:
+            for d in datasets:
+                assert (m, d) in TABLE_VII
+
+    def test_paper_values_spot_checks(self):
+        # Directly from Table VII of the paper.
+        assert TABLE_VII[("gru4rec", "beauty")] == (256, 0.001, 0.5, 0.6)
+        assert TABLE_VII[("gcsan", "cellphones")] == (256, 0.005, 0.5, 1.0)
+        assert TABLE_VII[("bert4rec", "movielens")] == (128, 0.001, 0.2, 0.4)
+
+    def test_dims(self):
+        assert PAPER_DIMS["beauty"] == 400
+        assert PAPER_DIMS["movielens"] == 64
+
+
+class TestPaperConfig:
+    def test_builds_config(self):
+        cfg = paper_config("narm", "beauty")
+        assert cfg.batch_size == 256
+        assert cfg.lr == 0.0005
+        assert cfg.dropout == 0.7
+        assert cfg.beta == 0.2
+        assert cfg.dim == 400
+        assert cfg.sample_sizes == (100, 1)
+
+    def test_model_name_normalization(self):
+        cfg = paper_config("SR-GNN", "baby")
+        assert cfg.lr == 0.0001
+
+    def test_overrides(self):
+        cfg = paper_config("narm", "movielens", dim=16, state_dim=16,
+                           epochs=2)
+        assert cfg.dim == 16
+        assert cfg.epochs == 2
+        assert cfg.lr == 0.0001  # preset survives
+
+    def test_unknown_pair(self):
+        with pytest.raises(KeyError):
+            paper_config("narm", "books")

@@ -1,0 +1,103 @@
+"""Integration tests for the REKS trainer and explainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import Explainer, REKSConfig, REKSTrainer
+
+
+@pytest.fixture(scope="module")
+def fitted(beauty_tiny, beauty_kg, beauty_transe):
+    cfg = REKSConfig(dim=16, state_dim=16, epochs=3, batch_size=64,
+                     lr=2e-3, action_cap=60, patience=5, seed=1)
+    trainer = REKSTrainer(beauty_tiny, beauty_kg, model_name="narm",
+                          config=cfg, transe=beauty_transe)
+    trainer.fit()
+    return trainer
+
+
+class TestFit:
+    def test_history_populated(self, fitted):
+        h = fitted.history
+        assert len(h.losses) >= 1
+        assert len(h.val_metrics) == len(h.losses)
+        assert h.best_epoch >= 0
+
+    def test_beats_random_on_test(self, fitted, beauty_tiny):
+        metrics = fitted.evaluate(beauty_tiny.split.test, ks=(10,))
+        random_hr = 100.0 * 10 / beauty_tiny.n_items
+        assert metrics["HR@10"] > 2 * random_hr
+
+    def test_dim_mismatch_paper_constraint(self, beauty_tiny, beauty_kg,
+                                           beauty_transe):
+        """d0 (TransE) and d1 (encoder) must match; a mismatched TransE
+        is rejected at item-init time."""
+        cfg = REKSConfig(dim=32, state_dim=32, epochs=1, seed=0)
+        with pytest.raises(ValueError):
+            REKSTrainer(beauty_tiny, beauty_kg, model_name="narm",
+                        config=cfg, transe=beauty_transe)  # transe dim 16
+
+    def test_evaluate_empty(self, fitted):
+        metrics = fitted.evaluate([], ks=(5,))
+        assert metrics["HR@5"] == 0.0
+
+
+class TestModelsPlugIn:
+    @pytest.mark.parametrize("name", ["gru4rec", "srgnn", "bert4rec"])
+    def test_one_epoch_runs(self, name, beauty_tiny, beauty_kg,
+                            beauty_transe):
+        cfg = REKSConfig(dim=16, state_dim=16, epochs=1, batch_size=64,
+                         action_cap=40, seed=0)
+        trainer = REKSTrainer(beauty_tiny, beauty_kg, model_name=name,
+                              config=cfg, transe=beauty_transe)
+        history = trainer.fit()
+        assert len(history.losses) == 1
+        assert np.isfinite(history.losses[0])
+
+
+class TestExplainer:
+    def test_cases_structure(self, fitted, beauty_tiny):
+        explainer = Explainer(fitted)
+        cases = explainer.explain_sessions(beauty_tiny.split.test[:4], k=3)
+        assert len(cases) == 4
+        for case in cases:
+            assert case.session_items
+            assert 1 <= case.target <= beauty_tiny.n_items
+            for rec in case.recommendations:
+                assert rec.score > 0
+                if rec.path is not None:
+                    assert 0.0 <= rec.relevance <= 1.0
+
+    def test_paths_terminate_at_recommended_item(self, fitted, beauty_tiny):
+        explainer = Explainer(fitted)
+        cases = explainer.explain_sessions(beauty_tiny.split.test[:4], k=3)
+        for case in cases:
+            for rec in case.recommendations:
+                if rec.path is not None:
+                    terminal_item = fitted.built.items_of_entities(
+                        np.array([rec.path.terminal]))[0]
+                    assert terminal_item == rec.item
+
+    def test_paths_start_at_last_session_item(self, fitted, beauty_tiny):
+        explainer = Explainer(fitted)
+        cases = explainer.explain_sessions(beauty_tiny.split.test[:4], k=3)
+        for case in cases:
+            last = case.session_items[-1]
+            start_entity = fitted.built.item_entity[last]
+            for rec in case.recommendations:
+                if rec.path is not None:
+                    assert rec.path.entities[0] == start_entity
+
+    def test_render_case_text(self, fitted, beauty_tiny):
+        explainer = Explainer(fitted)
+        case = explainer.explain_sessions(beauty_tiny.split.test[:1], k=2)[0]
+        text = explainer.render_case(case)
+        assert "session:" in text
+        assert "ground truth:" in text
+        if case.recommendations and case.recommendations[0].path:
+            assert "-->" in text
+
+    def test_hit_property(self, fitted, beauty_tiny):
+        explainer = Explainer(fitted)
+        cases = explainer.explain_sessions(beauty_tiny.split.test[:10], k=5)
+        assert any(c.hit for c in cases)  # the model does hit sometimes

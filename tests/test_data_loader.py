@@ -1,0 +1,93 @@
+"""Unit tests for the session batcher."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import SessionBatcher
+from repro.data.schema import Session
+
+
+def sessions_of(*item_lists):
+    return [Session(list(items), user_id=i, day=i)
+            for i, items in enumerate(item_lists)]
+
+
+class TestCollation:
+    def test_prefix_target_split(self):
+        batcher = SessionBatcher(sessions_of([1, 2, 3]), batch_size=4,
+                                 shuffle=False)
+        batch = next(iter(batcher))
+        np.testing.assert_array_equal(batch.items, [[1, 2]])
+        np.testing.assert_array_equal(batch.targets, [3])
+        np.testing.assert_array_equal(batch.last_items, [2])
+
+    def test_padding_and_mask(self):
+        batcher = SessionBatcher(sessions_of([1, 2, 3, 4], [5, 6]),
+                                 batch_size=4, shuffle=False)
+        batch = next(iter(batcher))
+        np.testing.assert_array_equal(batch.items, [[1, 2, 3], [5, 0, 0]])
+        np.testing.assert_array_equal(batch.mask, [[1, 1, 1], [1, 0, 0]])
+        np.testing.assert_array_equal(batch.lengths, [3, 1])
+
+    def test_last_item_respects_truncation(self):
+        batcher = SessionBatcher(sessions_of(list(range(1, 30))),
+                                 batch_size=1, max_length=5, shuffle=False)
+        batch = next(iter(batcher))
+        assert batch.items.shape[1] == 5
+        # Prefix is items 1..28, truncated to the most recent 5: 24..28.
+        np.testing.assert_array_equal(batch.items[0], [24, 25, 26, 27, 28])
+        assert batch.targets[0] == 29
+        assert batch.last_items[0] == 28
+
+    def test_users_carried(self):
+        batcher = SessionBatcher(sessions_of([1, 2], [3, 4]), batch_size=4,
+                                 shuffle=False)
+        batch = next(iter(batcher))
+        np.testing.assert_array_equal(batch.users, [0, 1])
+
+
+class TestAugmentation:
+    def test_augment_generates_all_prefixes(self):
+        batcher = SessionBatcher(sessions_of([1, 2, 3, 4]), batch_size=10,
+                                 augment=True, shuffle=False)
+        assert batcher.num_examples == 3  # [1]->2, [1,2]->3, [1,2,3]->4
+
+    def test_no_augment_single_example(self):
+        batcher = SessionBatcher(sessions_of([1, 2, 3, 4]), batch_size=10,
+                                 augment=False)
+        assert batcher.num_examples == 1
+
+    def test_short_sessions_skipped(self):
+        batcher = SessionBatcher(sessions_of([1]), batch_size=4)
+        assert batcher.num_examples == 0
+
+
+class TestIteration:
+    def test_len_counts_batches(self):
+        batcher = SessionBatcher(sessions_of(*[[1, 2]] * 10), batch_size=3,
+                                 shuffle=False)
+        assert len(batcher) == 4
+
+    def test_all_examples_served(self):
+        batcher = SessionBatcher(sessions_of(*[[i + 1, i + 2] for i in range(7)]),
+                                 batch_size=2, shuffle=False)
+        served = sum(b.batch_size for b in batcher)
+        assert served == 7
+
+    def test_shuffle_changes_order_not_content(self):
+        sessions = sessions_of(*[[i + 1, i + 2] for i in range(20)])
+        plain = SessionBatcher(sessions, batch_size=20, shuffle=False)
+        shuffled = SessionBatcher(sessions, batch_size=20, shuffle=True,
+                                  rng=np.random.default_rng(3))
+        t_plain = next(iter(plain)).targets
+        t_shuf = next(iter(shuffled)).targets
+        assert sorted(t_plain.tolist()) == sorted(t_shuf.tolist())
+        assert t_plain.tolist() != t_shuf.tolist()
+
+    def test_reshuffles_each_epoch(self):
+        sessions = sessions_of(*[[i + 1, i + 2] for i in range(30)])
+        batcher = SessionBatcher(sessions, batch_size=30, shuffle=True,
+                                 rng=np.random.default_rng(0))
+        first = next(iter(batcher)).targets.tolist()
+        second = next(iter(batcher)).targets.tolist()
+        assert first != second

@@ -1,0 +1,162 @@
+"""Unit tests for the real-format loaders, using tiny files on disk."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.real import load_amazon, load_movielens
+from repro.data.schema import validate_dataset
+from repro.kg import build_kg
+
+DAY = 86_400
+
+
+@pytest.fixture()
+def amazon_files(tmp_path):
+    """Write a miniature Amazon-format dump: 3 users, 4 products."""
+    reviews = []
+    # Give every product >= 5 interactions by cycling users over days.
+    for day in range(6):
+        for user, items in (("u1", ["A1", "A2"]), ("u2", ["A2", "A3"]),
+                            ("u3", ["A3", "A1", "A4"])):
+            for i, asin in enumerate(items):
+                reviews.append({
+                    "reviewerID": user,
+                    "asin": asin,
+                    "unixReviewTime": day * DAY + i * 60,
+                })
+    meta = [
+        {"asin": "A1", "title": "Shampoo", "brand": "Dove",
+         "categories": [["Beauty", "Hair"]],
+         "related": {"also_bought": ["R1", "R2"],
+                     "bought_together": ["R1"]}},
+        {"asin": "A2", "title": "Conditioner", "brand": "Dove",
+         "categories": [["Beauty", "Hair"]],
+         "related": {"also_bought": ["R1"], "also_viewed": ["R3"]}},
+        {"asin": "A3", "title": "Hair Gel", "brand": "Gels Inc",
+         "categories": [["Beauty", "Styling"]]},
+        {"asin": "A4", "title": "Comb", "categories": [["Beauty"]],
+         "related": {}},
+    ]
+    reviews_path = tmp_path / "reviews.json"
+    meta_path = tmp_path / "meta.json"
+    reviews_path.write_text("\n".join(json.dumps(r) for r in reviews))
+    meta_path.write_text("\n".join(json.dumps(m) for m in meta))
+    return reviews_path, meta_path
+
+
+class TestAmazonLoader:
+    def test_loads_valid_dataset(self, amazon_files):
+        ds = load_amazon(*amazon_files, name="mini")
+        assert validate_dataset(ds) == []
+        assert ds.domain == "amazon"
+        assert ds.n_items >= 3
+
+    def test_metadata_mapped(self, amazon_files):
+        ds = load_amazon(*amazon_files)
+        names = set(ds.item_names.values())
+        assert "Shampoo" in names
+        shampoo = next(m for m in ds.products.values()
+                       if m.name == "Shampoo")
+        conditioner = next(m for m in ds.products.values()
+                           if m.name == "Conditioner")
+        # Shared brand (Dove) must map to the same brand id.
+        assert shampoo.brand_id == conditioner.brand_id
+        # Shared related ASIN R1 must map to the same related id.
+        assert set(shampoo.also_bought) & set(conditioner.also_bought)
+
+    def test_leaf_category_used(self, amazon_files):
+        ds = load_amazon(*amazon_files)
+        shampoo = next(m for m in ds.products.values()
+                       if m.name == "Shampoo")
+        assert ds.category_names[shampoo.category_id] == "Hair"
+
+    def test_sessions_by_user_day(self, amazon_files):
+        ds = load_amazon(*amazon_files)
+        assert all(len(s) >= 2 for s in ds.sessions)
+
+    def test_feeds_kg_builder(self, amazon_files):
+        ds = load_amazon(*amazon_files)
+        built = build_kg(ds)
+        assert built.kg.num_triples > 0
+        assert "co_occur" in built.kg.relation_names
+
+    def test_reviews_without_meta_skipped(self, amazon_files, tmp_path):
+        reviews_path, meta_path = amazon_files
+        extra = {"reviewerID": "u9", "asin": "GHOST",
+                 "unixReviewTime": 0}
+        reviews_path.write_text(reviews_path.read_text() + "\n"
+                                + json.dumps(extra))
+        ds = load_amazon(reviews_path, meta_path)
+        assert all("GHOST" not in n for n in ds.item_names.values())
+
+
+@pytest.fixture()
+def movielens_files(tmp_path):
+    """Write a miniature MovieLens-1M-format dump."""
+    movies = ["1::Toy Story (1995)::Animation|Comedy",
+              "2::Jumanji (1995)::Adventure|Fantasy",
+              "3::Heat (1995)::Action|Crime",
+              "4::Casino (1995)::Drama"]
+    ratings = []
+    for day in range(6):
+        for user, picks in ((1, [1, 2]), (2, [2, 3]), (3, [3, 1, 4])):
+            for i, movie in enumerate(picks):
+                ratings.append(f"{user}::{movie}::4::{day * DAY + i * 60}")
+    movies_path = tmp_path / "movies.dat"
+    ratings_path = tmp_path / "ratings.dat"
+    movies_path.write_text("\n".join(movies), encoding="latin-1")
+    ratings_path.write_text("\n".join(ratings), encoding="latin-1")
+    satori = [
+        {"movie_id": 1, "director": "John Lasseter",
+         "actors": ["Tom Hanks", "Tim Allen"], "writer": "Joss Whedon",
+         "language": "English", "country": "USA"},
+        {"movie_id": 2, "director": "Joe Johnston",
+         "actors": ["Robin Williams"], "language": "English",
+         "country": "USA"},
+    ]
+    satori_path = tmp_path / "satori.json"
+    satori_path.write_text("\n".join(json.dumps(s) for s in satori))
+    return ratings_path, movies_path, satori_path
+
+
+class TestMovieLensLoader:
+    def test_loads_valid_dataset(self, movielens_files):
+        ratings, movies, _ = movielens_files
+        ds = load_movielens(ratings, movies)
+        assert validate_dataset(ds) == []
+        assert ds.domain == "movielens"
+
+    def test_genres_parsed(self, movielens_files):
+        ratings, movies, _ = movielens_files
+        ds = load_movielens(ratings, movies)
+        toy_story = next(m for m in ds.movies.values()
+                         if m.name.startswith("Toy Story"))
+        assert len(toy_story.genre_ids) == 2
+
+    def test_satori_side_table(self, movielens_files):
+        ratings, movies, satori = movielens_files
+        ds = load_movielens(ratings, movies, satori_path=satori)
+        toy_story = next(m for m in ds.movies.values()
+                         if m.name.startswith("Toy Story"))
+        assert toy_story.director_id is not None
+        assert len(toy_story.actor_ids) == 2
+
+    def test_without_satori_attributes_absent(self, movielens_files):
+        ratings, movies, _ = movielens_files
+        ds = load_movielens(ratings, movies)
+        assert all(m.director_id is None for m in ds.movies.values())
+
+    def test_rating_bucket_from_mean(self, movielens_files):
+        ratings, movies, _ = movielens_files
+        ds = load_movielens(ratings, movies)
+        # All ratings are 4 -> bucket index 3 (0-based 1..5 scale).
+        assert all(m.rating_id == 3 for m in ds.movies.values())
+
+    def test_feeds_kg_builder(self, movielens_files):
+        ratings, movies, satori = movielens_files
+        ds = load_movielens(ratings, movies, satori_path=satori)
+        built = build_kg(ds)
+        assert "directed_by" in built.kg.relation_names
+        assert built.kg.num_triples > 0

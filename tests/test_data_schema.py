@@ -1,0 +1,84 @@
+"""Unit tests for dataset schema objects and validation."""
+
+import pytest
+
+from repro.data.schema import (
+    AmazonDataset,
+    Interaction,
+    ProductMeta,
+    Session,
+    SessionDataset,
+    SessionSplit,
+    validate_dataset,
+)
+
+
+def make_dataset(sessions, n_items=5, split=None):
+    split = split or SessionSplit(train=sessions, validation=[], test=[])
+    return SessionDataset(
+        name="t", domain="amazon", n_users=3, n_items=n_items,
+        interactions=[], sessions=sessions, split=split)
+
+
+class TestSession:
+    def test_prefix_and_target(self):
+        s = Session([3, 1, 4], user_id=0, day=0)
+        assert s.prefix == [3, 1]
+        assert s.target == 4
+        assert len(s) == 3
+
+
+class TestSessionSplit:
+    def test_iterable(self):
+        split = SessionSplit(train=[1], validation=[2], test=[3])
+        train, val, test = split
+        assert (train, val, test) == ([1], [2], [3])
+
+
+class TestDatasetProperties:
+    def test_average_session_length(self):
+        ds = make_dataset([Session([1, 2], 0, 0), Session([1, 2, 3, 4], 1, 0)])
+        assert ds.average_session_length == 3.0
+
+    def test_average_empty(self):
+        ds = make_dataset([])
+        assert ds.average_session_length == 0.0
+
+
+class TestValidation:
+    def test_clean_dataset_passes(self):
+        ds = make_dataset([Session([1, 2], 0, 0)])
+        assert validate_dataset(ds) == []
+
+    def test_short_session_flagged(self):
+        ds = make_dataset([Session([1], 0, 0)])
+        problems = validate_dataset(ds)
+        assert any("shorter" in p for p in problems)
+
+    def test_out_of_range_item_flagged(self):
+        ds = make_dataset([Session([1, 99], 0, 0)])
+        problems = validate_dataset(ds)
+        assert any("out of range" in p for p in problems)
+
+    def test_zero_item_flagged(self):
+        ds = make_dataset([Session([0, 1], 0, 0)])
+        assert validate_dataset(ds)
+
+    def test_split_mismatch_flagged(self):
+        sessions = [Session([1, 2], 0, 0), Session([2, 3], 1, 0)]
+        split = SessionSplit(train=sessions[:1], validation=[], test=[])
+        ds = make_dataset(sessions, split=split)
+        problems = validate_dataset(ds)
+        assert any("split sizes" in p for p in problems)
+
+
+class TestMetaDataclasses:
+    def test_product_meta_defaults(self):
+        meta = ProductMeta(item_id=1, name="x", brand_id=0, category_id=0)
+        assert meta.also_bought == []
+        assert meta.bought_together == []
+
+    def test_interaction_frozen(self):
+        inter = Interaction(0, 1, 2.0)
+        with pytest.raises(Exception):
+            inter.item_id = 5

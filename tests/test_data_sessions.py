@@ -1,0 +1,114 @@
+"""Unit tests for sessionization, filtering, and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Interaction, Session
+from repro.data.sessions import (
+    build_sessions,
+    filter_and_split,
+    filter_sessions,
+    split_sessions,
+)
+
+
+def interactions_from(spec):
+    """spec: list of (user, item, timestamp)."""
+    return [Interaction(u, i, t) for u, i, t in spec]
+
+
+class TestBuildSessions:
+    def test_groups_by_user_and_day(self):
+        sessions = build_sessions(interactions_from([
+            (1, 10, 0.1), (1, 11, 0.2),   # user 1, day 0
+            (1, 12, 1.5),                 # user 1, day 1
+            (2, 13, 0.3),                 # user 2, day 0
+        ]))
+        keys = {(s.user_id, s.day): s.items for s in sessions}
+        assert keys[(1, 0)] == [10, 11]
+        assert keys[(1, 1)] == [12]
+        assert keys[(2, 0)] == [13]
+
+    def test_orders_within_session_by_time(self):
+        sessions = build_sessions(interactions_from([
+            (1, 20, 0.9), (1, 10, 0.1), (1, 15, 0.5),
+        ]))
+        assert sessions[0].items == [10, 15, 20]
+
+    def test_empty_input(self):
+        assert build_sessions([]) == []
+
+
+class TestFilterSessions:
+    def test_drops_rare_items(self):
+        sessions = [Session([1, 2], 0, 0)] * 5 + [Session([1, 3], 0, 1)]
+        filtered, remap = filter_sessions(sessions, min_item_support=5)
+        # Item 3 (support 1) must be gone; the [1, 3] session collapses to
+        # length 1 and is dropped.
+        assert len(filtered) == 5
+        assert set(remap.keys()) == {1, 2}
+
+    def test_iterates_to_fixpoint(self):
+        # Item 9 appears 5 times but only in sessions kept alive by item
+        # 8, which is rare; after dropping 8 those sessions shorten and 9
+        # falls below support -> everything cascades away.
+        sessions = ([Session([8, 9], 0, d) for d in range(5)]
+                    + [Session([7, 7], 1, 0)])
+        filtered, remap = filter_sessions(sessions, min_item_support=6)
+        assert filtered == []
+        assert remap == {}
+
+    def test_remap_is_contiguous_from_one(self):
+        sessions = [Session([10, 30], 0, 0)] * 5 + [Session([30, 50], 1, 0)] * 5
+        filtered, remap = filter_sessions(sessions, min_item_support=5)
+        assert sorted(remap.values()) == [1, 2, 3]
+        for s in filtered:
+            assert all(1 <= i <= 3 for i in s.items)
+
+    def test_preserves_order_within_session(self):
+        sessions = [Session([5, 6, 5], 0, 0)] * 5
+        filtered, remap = filter_sessions(sessions, min_item_support=5)
+        expected = [remap[5], remap[6], remap[5]]
+        assert filtered[0].items == expected
+
+
+class TestSplitSessions:
+    def test_ratios_respected(self):
+        sessions = [Session([1, 2], u, 0) for u in range(100)]
+        split = split_sessions(sessions, rng=np.random.default_rng(0))
+        assert len(split.train) == 75
+        assert len(split.validation) == 10
+        assert len(split.test) == 15
+
+    def test_partition_is_exact(self):
+        sessions = [Session([1, 2], u, 0) for u in range(37)]
+        split = split_sessions(sessions, rng=np.random.default_rng(1))
+        total = len(split.train) + len(split.validation) + len(split.test)
+        assert total == 37
+
+    def test_no_overlap(self):
+        sessions = [Session([1, 2], u, 0) for u in range(50)]
+        split = split_sessions(sessions, rng=np.random.default_rng(2))
+        ids = lambda part: {id(s) for s in part}
+        assert not (ids(split.train) & ids(split.test))
+        assert not (ids(split.train) & ids(split.validation))
+
+    def test_bad_ratios_raise(self):
+        with pytest.raises(ValueError):
+            split_sessions([], ratios=(0.5, 0.2, 0.2))
+
+    def test_deterministic_under_seed(self):
+        sessions = [Session([1, 2], u, 0) for u in range(30)]
+        a = split_sessions(sessions, rng=np.random.default_rng(7))
+        b = split_sessions(sessions, rng=np.random.default_rng(7))
+        assert [s.items for s in a.train] == [s.items for s in b.train]
+
+
+class TestFilterAndSplit:
+    def test_pipeline(self):
+        sessions = [Session([1, 2, 3], u % 3, u) for u in range(40)]
+        split, remap = filter_and_split(sessions, min_item_support=5,
+                                        rng=np.random.default_rng(0))
+        assert len(remap) == 3
+        total = len(split.train) + len(split.validation) + len(split.test)
+        assert total == 40

@@ -1,0 +1,62 @@
+"""Unit tests for the statistics helpers (Tables II-VI machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import (
+    dataset_statistics,
+    entity_statistics,
+    format_table,
+    relation_statistics,
+)
+
+
+class TestRelationStatistics:
+    def test_matches_manual_counts(self, beauty_kg):
+        stats = relation_statistics(beauty_kg.kg)
+        heads, rels, tails = beauty_kg.kg.triples()
+        for rel_id, name in enumerate(beauty_kg.kg.relation_names):
+            assert stats[name] == int((rels == rel_id).sum())
+
+    def test_totals_match_triple_count(self, beauty_kg):
+        stats = relation_statistics(beauty_kg.kg)
+        assert sum(stats.values()) == beauty_kg.kg.num_triples
+
+
+class TestEntityStatistics:
+    def test_counts_match_type_ranges(self, beauty_kg):
+        stats = entity_statistics(beauty_kg.kg)
+        total = sum(stats.values())
+        assert total == beauty_kg.kg.num_entities
+        assert stats["product"] == beauty_kg.n_items
+
+
+class TestDatasetStatistics:
+    def test_fields(self, beauty_tiny, beauty_kg):
+        stats = dataset_statistics(beauty_tiny, beauty_kg.kg)
+        assert stats["#sessions"] == len(beauty_tiny.sessions)
+        assert stats["#train sessions"] == len(beauty_tiny.split.train)
+        assert stats["#entities"] == beauty_kg.kg.num_entities
+        assert stats["#relations"] == beauty_kg.kg.num_triples
+        assert stats["average length"] == pytest.approx(
+            beauty_tiny.average_session_length, abs=0.01)
+
+    def test_without_kg(self, beauty_tiny):
+        stats = dataset_statistics(beauty_tiny)
+        assert "#entities" not in stats
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table([["a", 1], ["long-label", 22]],
+                            headers=["name", "n"])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        # Columns align: the numbers start at the same offset.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_no_headers(self):
+        text = format_table([["x", "y"]])
+        assert "---" not in text
+        assert "x" in text

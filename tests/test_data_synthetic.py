@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic Amazon and MovieLens generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import AmazonLikeGenerator, MovieLensLikeGenerator
+from repro.data.schema import validate_dataset
+from repro.data.synthetic import _scaled
+
+
+class TestPresets:
+    def test_flavor_ratios_follow_paper(self):
+        beauty = _scaled("beauty", "small")
+        baby = _scaled("baby", "small")
+        # Beauty has ~238 categories, Baby famously has exactly 1.
+        assert baby.n_categories == 1
+        assert beauty.n_categories > 5
+        assert beauty.n_brands > baby.n_brands
+
+    def test_unknown_flavor_raises(self):
+        with pytest.raises(ValueError):
+            _scaled("garden", "small")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            _scaled("beauty", "huge")
+
+    def test_scales_are_monotone(self):
+        tiny = _scaled("beauty", "tiny")
+        small = _scaled("beauty", "small")
+        assert small.n_products > tiny.n_products
+        assert small.n_sessions > tiny.n_sessions
+
+
+class TestAmazonGeneration:
+    def test_dataset_is_valid(self, beauty_tiny):
+        assert validate_dataset(beauty_tiny) == []
+
+    def test_deterministic_under_seed(self):
+        a = AmazonLikeGenerator("beauty", scale="tiny", seed=9).generate()
+        b = AmazonLikeGenerator("beauty", scale="tiny", seed=9).generate()
+        assert [s.items for s in a.sessions] == [s.items for s in b.sessions]
+        assert a.n_items == b.n_items
+
+    def test_different_seeds_differ(self):
+        a = AmazonLikeGenerator("beauty", scale="tiny", seed=1).generate()
+        b = AmazonLikeGenerator("beauty", scale="tiny", seed=2).generate()
+        assert [s.items for s in a.sessions] != [s.items for s in b.sessions]
+
+    def test_metadata_covers_all_items(self, beauty_tiny):
+        assert set(beauty_tiny.products.keys()) == set(
+            range(1, beauty_tiny.n_items + 1))
+        for meta in beauty_tiny.products.values():
+            assert 0 <= meta.brand_id < beauty_tiny.n_brands
+            assert 0 <= meta.category_id < beauty_tiny.n_categories
+            for rel in meta.also_bought + meta.also_viewed + meta.bought_together:
+                assert 0 <= rel < beauty_tiny.n_related
+
+    def test_min_session_length_two(self, beauty_tiny):
+        assert all(len(s) >= 2 for s in beauty_tiny.sessions)
+
+    def test_item_support_at_least_five(self, beauty_tiny):
+        from collections import Counter
+        support = Counter(i for s in beauty_tiny.sessions for i in s.items)
+        assert min(support.values()) >= 5
+
+    def test_item_names_populated(self, beauty_tiny):
+        assert len(beauty_tiny.item_names) == beauty_tiny.n_items
+        assert all(name.startswith("beauty-product-")
+                   for name in beauty_tiny.item_names.values())
+
+    def test_sessions_have_predictive_structure(self, beauty_tiny):
+        """The next item should repeat the previous item's cluster far
+        more often than chance — this is the signal REKS exploits."""
+        products = beauty_tiny.products
+        same_cat = 0
+        total = 0
+        for s in beauty_tiny.sessions:
+            for a, b in zip(s.items[:-1], s.items[1:]):
+                total += 1
+                shared = (set(products[a].also_bought)
+                          & set(products[b].also_bought))
+                if shared or products[a].category_id == products[b].category_id:
+                    same_cat += 1
+        assert same_cat / total > 0.5
+
+    def test_baby_single_category(self, baby_tiny):
+        cats = {m.category_id for m in baby_tiny.products.values()}
+        assert cats == {0}
+
+
+class TestMovieLensGeneration:
+    def test_dataset_is_valid(self, movielens_tiny):
+        assert validate_dataset(movielens_tiny) == []
+
+    def test_metadata_ranges(self, movielens_tiny):
+        ds = movielens_tiny
+        for meta in ds.movies.values():
+            assert meta.genre_ids and all(0 <= g < ds.n_genres
+                                          for g in meta.genre_ids)
+            assert 0 <= meta.director_id < ds.n_directors
+            assert meta.actor_ids and all(0 <= a < ds.n_actors
+                                          for a in meta.actor_ids)
+            assert 0 <= meta.rating_id < ds.n_ratings
+
+    def test_deterministic(self):
+        a = MovieLensLikeGenerator(scale="tiny", seed=5).generate()
+        b = MovieLensLikeGenerator(scale="tiny", seed=5).generate()
+        assert [s.items for s in a.sessions] == [s.items for s in b.sessions]
+
+    def test_domain_marker(self, movielens_tiny, beauty_tiny):
+        assert movielens_tiny.domain == "movielens"
+        assert beauty_tiny.domain == "amazon"

@@ -1,0 +1,27 @@
+"""Unit tests for the high-level evaluation entry points."""
+
+import numpy as np
+import pytest
+
+from repro.eval.evaluator import evaluate_encoder, rank_full_catalog
+from repro.models import StandaloneConfig, create_encoder
+
+
+class TestEvaluateEncoder:
+    def test_trains_and_reports(self, beauty_tiny):
+        encoder = create_encoder("gru4rec", n_items=beauty_tiny.n_items,
+                                 dim=16, rng=np.random.default_rng(0))
+        metrics = evaluate_encoder(
+            encoder, beauty_tiny.split.train, beauty_tiny.split.validation,
+            beauty_tiny.split.test,
+            config=StandaloneConfig(epochs=2, lr=3e-3, seed=0),
+            ks=(5, 10))
+        assert set(metrics) >= {"HR@5", "HR@10", "NDCG@5", "NDCG@10"}
+        assert all(0.0 <= v <= 100.0 for v in metrics.values())
+
+
+class TestRankFullCatalog:
+    def test_ranks_by_score(self):
+        scores = np.array([[0.0, 0.1, 0.9, 0.5]])
+        ranked = rank_full_catalog(scores, ks=(2,))
+        np.testing.assert_array_equal(ranked[0][:2], [2, 3])

@@ -1,0 +1,80 @@
+"""Unit tests for ranking metrics with hand-computed expectations."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    evaluate_rankings,
+    hit_rate_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    top_k_from_scores,
+)
+
+
+RANKED = [
+    [3, 1, 2],   # target 1 at rank 1 (0-based)
+    [5, 4, 6],   # target 9 missing
+    [7, 8, 9],   # target 7 at rank 0
+]
+TARGETS = [1, 9, 7]
+
+
+class TestHitRate:
+    def test_hand_case(self):
+        assert hit_rate_at_k(RANKED, TARGETS, 3) == pytest.approx(2 / 3)
+
+    def test_k_truncation(self):
+        assert hit_rate_at_k(RANKED, TARGETS, 1) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert hit_rate_at_k([], [], 5) == 0.0
+
+
+class TestNDCG:
+    def test_hand_case(self):
+        expected = (1 / np.log2(3) + 0 + 1 / np.log2(2)) / 3
+        assert ndcg_at_k(RANKED, TARGETS, 3) == pytest.approx(expected)
+
+    def test_rank_zero_gives_one(self):
+        assert ndcg_at_k([[5]], [5], 1) == pytest.approx(1.0)
+
+    def test_monotone_in_k(self):
+        assert ndcg_at_k(RANKED, TARGETS, 1) <= ndcg_at_k(RANKED, TARGETS, 3)
+
+
+class TestMRR:
+    def test_hand_case(self):
+        expected = (1 / 2 + 0 + 1 / 1) / 3
+        assert mrr_at_k(RANKED, TARGETS, 3) == pytest.approx(expected)
+
+
+class TestEvaluateRankings:
+    def test_reports_percent(self):
+        out = evaluate_rankings([[1]], [1], ks=(1,))
+        assert out["HR@1"] == pytest.approx(100.0)
+        assert out["NDCG@1"] == pytest.approx(100.0)
+
+    def test_all_cutoffs_present(self):
+        out = evaluate_rankings(RANKED, TARGETS, ks=(1, 3))
+        assert set(out) == {"HR@1", "NDCG@1", "MRR@1",
+                            "HR@3", "NDCG@3", "MRR@3"}
+
+
+class TestTopK:
+    def test_matches_argsort(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal((6, 30))
+        ranked = top_k_from_scores(scores, 10)
+        full = np.argsort(-scores, axis=1)[:, :10]
+        np.testing.assert_array_equal(ranked, full)
+
+    def test_k_larger_than_columns(self):
+        scores = np.array([[0.1, 0.9, 0.5]])
+        ranked = top_k_from_scores(scores, 10)
+        np.testing.assert_array_equal(ranked, [[1, 2, 0]])
+
+    def test_descending_scores(self):
+        scores = np.array([[5.0, 1.0, 3.0, 4.0]])
+        ranked = top_k_from_scores(scores, 3)
+        np.testing.assert_array_equal(ranked, [[0, 3, 2]])

@@ -1,0 +1,64 @@
+"""Unit tests for the text chart renderers."""
+
+import pytest
+
+from repro.eval.plots import bar_chart, grouped_bar_chart, likert_chart, line_chart
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        out = bar_chart({"REKS": 9.9, "base": 8.7}, title="HR@5")
+        assert "HR@5" in out
+        assert "REKS" in out and "base" in out
+        assert "█" in out
+
+    def test_larger_value_longer_bar(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        bars = {line.split(" |")[0].strip(): line.count("█")
+                for line in out.splitlines()}
+        assert bars["a"] > bars["b"]
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_zero_values_no_crash(self):
+        out = bar_chart({"a": 0.0})
+        assert "a" in out
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        out = grouped_bar_chart({"beauty": {"REKS": 9.9, "base": 8.7},
+                                 "baby": {"REKS": 5.3, "base": 4.8}})
+        assert "beauty:" in out and "baby:" in out
+        assert out.count("REKS") == 2
+
+
+class TestLineChart:
+    def test_contains_series_glyphs(self):
+        out = line_chart([1, 2, 3], {"HR": [5.0, 6.0, 7.0],
+                                     "NDCG": [3.0, 4.0, 5.0]})
+        assert "o" in out and "x" in out
+        assert "o=HR" in out
+
+    def test_bounds_labeled(self):
+        out = line_chart([1, 2], {"m": [2.0, 8.0]})
+        assert "8.00" in out and "2.00" in out
+
+    def test_empty(self):
+        assert line_chart([], {}, title="t") == "t"
+
+
+class TestLikertChart:
+    def test_means_and_stds_shown(self):
+        out = likert_chart({"Satisfaction": {"mean": 4.2, "std": 0.6},
+                            "Unusability": {"mean": 1.8, "std": 0.7}})
+        assert "4.20±0.60" in out
+        assert "1.80±0.70" in out
+
+    def test_higher_mean_longer_bar(self):
+        out = likert_chart({"hi": {"mean": 4.8, "std": 0.1},
+                            "lo": {"mean": 1.2, "std": 0.1}})
+        lines = {line.split(" |")[0].strip(): line.count("█")
+                 for line in out.splitlines()}
+        assert lines["hi"] > lines["lo"]

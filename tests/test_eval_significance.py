@@ -1,0 +1,67 @@
+"""Unit tests for the paired t-test helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    improvement_percent,
+    paired_t_test,
+    significance_marker,
+)
+
+
+class TestPairedTTest:
+    def test_clear_improvement_is_significant(self):
+        base = [10.0, 10.1, 9.9, 10.05, 9.95]
+        treat = [12.0, 12.2, 11.9, 12.1, 11.95]
+        t, p = paired_t_test(base, treat)
+        assert t > 0
+        assert p < 0.01
+
+    def test_no_difference_not_significant(self):
+        base = [10.0, 11.0, 9.0, 10.5, 9.5]
+        t, p = paired_t_test(base, base)
+        assert p == pytest.approx(1.0)
+
+    def test_constant_positive_shift(self):
+        base = [1.0, 2.0, 3.0]
+        treat = [2.0, 3.0, 4.0]
+        t, p = paired_t_test(base, treat)
+        assert np.isinf(t) and t > 0
+        assert p == 0.0
+
+    def test_single_run_returns_nan(self):
+        t, p = paired_t_test([1.0], [2.0])
+        assert np.isnan(t)
+        assert p == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+    def test_symmetry_sign(self):
+        base = [10.0, 10.2, 9.8, 10.1, 9.9]
+        treat = [9.0, 9.2, 8.8, 9.1, 8.9]
+        t, _ = paired_t_test(base, treat)
+        assert t < 0
+
+
+class TestMarkers:
+    @pytest.mark.parametrize("p,marker", [
+        (0.005, "**"), (0.01, "**"), (0.03, "*"), (0.05, "*"),
+        (0.2, ""), (float("nan"), ""),
+    ])
+    def test_star_convention(self, p, marker):
+        assert significance_marker(p) == marker
+
+
+class TestImprovement:
+    def test_basic(self):
+        assert improvement_percent(8.70, 9.91) == pytest.approx(13.91, abs=0.01)
+
+    def test_zero_baseline(self):
+        assert improvement_percent(0.0, 1.0) == float("inf")
+        assert improvement_percent(0.0, 0.0) == 0.0
+
+    def test_negative(self):
+        assert improvement_percent(10.0, 9.0) == pytest.approx(-10.0)

@@ -1,0 +1,93 @@
+"""Unit tests for the simulated user study (Fig. 9 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import Explanation, RecommendedItem
+from repro.eval.user_study import (
+    PERSPECTIVES,
+    UserStudyConfig,
+    case_quality_features,
+    simulate_user_study,
+)
+from repro.kg.paths import SemanticPath
+
+
+def good_case():
+    path = SemanticPath(entities=[1, 2, 3], relations=[0, 1], prob=0.4)
+    recs = [RecommendedItem(item=5, score=0.4, path=path, relevance=0.9),
+            RecommendedItem(item=6, score=0.3, path=path, relevance=0.85)]
+    return Explanation(session_items=[1, 2], user_id=0, target=5,
+                       recommendations=recs)
+
+
+def bad_case():
+    recs = [RecommendedItem(item=5, score=0.1, path=None, relevance=0.0)]
+    return Explanation(session_items=[1], user_id=0, target=9,
+                       recommendations=recs)
+
+
+class TestFeatures:
+    def test_good_case_features(self):
+        f = case_quality_features(good_case())
+        assert f["validity"] == 1.0
+        assert f["hit"] == 1.0
+        assert f["relevance"] > 0.8
+        assert f["readability"] == 1.0
+
+    def test_bad_case_features(self):
+        f = case_quality_features(bad_case())
+        assert f["validity"] == 0.0
+        assert f["hit"] == 0.0
+
+    def test_empty_recommendations(self):
+        e = Explanation(session_items=[1], user_id=0, target=2,
+                        recommendations=[])
+        f = case_quality_features(e)
+        assert all(v == 0.0 for v in f.values())
+
+    def test_long_paths_hurt_readability(self):
+        long_path = SemanticPath(entities=[1, 2, 3, 4, 5],
+                                 relations=[0, 0, 0, 0])
+        e = Explanation(session_items=[1], user_id=0, target=9,
+                        recommendations=[RecommendedItem(
+                            item=5, score=0.1, path=long_path,
+                            relevance=0.5)])
+        assert case_quality_features(e)["readability"] == pytest.approx(0.5)
+
+
+class TestSimulation:
+    def test_all_perspectives_reported(self):
+        out = simulate_user_study([good_case()] * 5,
+                                  UserStudyConfig(n_subjects=10, seed=1))
+        assert set(out) == set(PERSPECTIVES)
+        for stats in out.values():
+            assert 1.0 <= stats["mean"] <= 5.0
+            assert stats["std"] >= 0.0
+
+    def test_good_cases_score_well(self):
+        out = simulate_user_study([good_case()] * 10,
+                                  UserStudyConfig(n_subjects=20, seed=2))
+        assert out["Satisfaction"]["mean"] > 3.5
+        assert out["Transparency"]["mean"] > 3.5
+        assert out["Unusability"]["mean"] < 2.5
+        assert out["Difficult to understand"]["mean"] < 2.5
+
+    def test_bad_cases_score_poorly(self):
+        good = simulate_user_study([good_case()] * 10,
+                                   UserStudyConfig(n_subjects=20, seed=3))
+        bad = simulate_user_study([bad_case()] * 10,
+                                  UserStudyConfig(n_subjects=20, seed=3))
+        assert bad["Satisfaction"]["mean"] < good["Satisfaction"]["mean"]
+        assert bad["Unusability"]["mean"] > good["Unusability"]["mean"]
+
+    def test_deterministic_under_seed(self):
+        a = simulate_user_study([good_case()] * 3,
+                                UserStudyConfig(n_subjects=5, seed=9))
+        b = simulate_user_study([good_case()] * 3,
+                                UserStudyConfig(n_subjects=5, seed=9))
+        assert a == b
+
+    def test_empty_cases_raise(self):
+        with pytest.raises(ValueError):
+            simulate_user_study([])

@@ -1,0 +1,159 @@
+"""Failure-injection tests: degenerate KGs, dead ends, edge-case sessions.
+
+The REKS walk must degrade gracefully — never crash, never emit an
+invalid path — when the graph or the sessions are pathological.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.core import REKSConfig, REKSTrainer
+from repro.core.environment import KGEnvironment
+from repro.core.policy import PolicyNetwork
+from repro.core.rewards import RewardComputer, RewardWeights
+from repro.core.agent import REKSAgent
+from repro.data.loader import SessionBatcher
+from repro.data.schema import Session
+from repro.kg.builder import BuiltKG
+from repro.kg.graph import KnowledgeGraph
+from repro.models import create_encoder
+
+
+def build_sparse_world(n_items=6, dead_end_item=3):
+    """A hand-built KG where one item has a single dead-end neighbor.
+
+    Layout: items 1..n connect bidirectionally to brand 0 except
+    ``dead_end_item`` which points only at brand 1, and brand 1 has no
+    outgoing edges at all (a true dead end after the visited filter).
+    """
+    kg = KnowledgeGraph()
+    kg.add_entity_type("product", n_items)
+    kg.add_entity_type("brand", 2)
+    produced_by = kg.add_relation("produced_by")
+    brand0 = kg.entity_id("brand", 0)
+    brand1 = kg.entity_id("brand", 1)
+    for item in range(1, n_items + 1):
+        product = item - 1
+        if item == dead_end_item:
+            kg.add_triples([product], produced_by, [brand1])
+            # brand1 deliberately has no outgoing edges.
+        else:
+            kg.add_triples([product], produced_by, [brand0])
+            kg.add_triples([brand0], produced_by, [product])
+    kg.finalize()
+
+    item_entity = np.full(n_items + 1, -1, dtype=np.int64)
+    item_entity[1:] = np.arange(n_items)
+    entity_item = np.zeros(kg.num_entities, dtype=np.int64)
+    entity_item[:n_items] = np.arange(1, n_items + 1)
+    return BuiltKG(kg=kg, item_entity=item_entity, entity_item=entity_item,
+                   user_entity=None, include_users=False)
+
+
+def make_agent(built, n_items, seed=0):
+    rng = np.random.default_rng(seed)
+    dim = 8
+    entity_table = rng.standard_normal(
+        (built.kg.num_entities, dim)).astype(np.float32)
+    relation_table = rng.standard_normal(
+        (built.kg.num_relations, dim)).astype(np.float32)
+    encoder = create_encoder("gru4rec", n_items=n_items, dim=dim, rng=rng)
+    policy = PolicyNetwork(dim, dim, dim, entity_table, relation_table,
+                           rng=rng)
+    env = KGEnvironment(built, action_cap=10, seed=seed)
+    rewards = RewardComputer(built, entity_table, relation_table,
+                             weights=RewardWeights(), mode="full")
+    cfg = REKSConfig(dim=dim, state_dim=dim, seed=seed)
+    return REKSAgent(encoder, policy, env, rewards, cfg)
+
+
+class TestDeadEnds:
+    def test_dead_end_paths_dropped_not_crashed(self):
+        built = build_sparse_world()
+        agent = make_agent(built, n_items=6)
+        sessions = [Session([3, 1], 0, 0),   # prefix [3] -> dead end
+                    Session([1, 2], 1, 0)]   # healthy prefix [1]
+        batch = next(iter(SessionBatcher(sessions, batch_size=4,
+                                         shuffle=False)))
+        with no_grad():
+            se = agent.encoder.encode(batch)
+            rollout = agent.walk(se, batch)
+        # The dead-end session contributes no 2-hop paths; the healthy
+        # one does.  No invalid entities anywhere.
+        assert 1 in rollout.session_idx
+        assert 0 not in rollout.session_idx
+        assert (rollout.entities < built.kg.num_entities).all()
+
+    def test_recommend_with_dead_ends(self):
+        built = build_sparse_world()
+        agent = make_agent(built, n_items=6)
+        sessions = [Session([3, 1], 0, 0)]
+        batch = next(iter(SessionBatcher(sessions, batch_size=2,
+                                         shuffle=False)))
+        rec = agent.recommend(batch, k=5)
+        # No reachable items -> zero scores, empty-ish ranking, no paths.
+        assert (rec.scores[0] == 0).all()
+        assert rec.paths == {}
+
+    def test_losses_raise_when_every_path_dies(self):
+        # All sessions end at the dead-end item: walk returns nothing,
+        # which is a data/KG bug the agent must report loudly.
+        built = build_sparse_world()
+        agent = make_agent(built, n_items=6)
+        sessions = [Session([3, 1], 0, 0), Session([3, 2], 1, 0)]
+        batch = next(iter(SessionBatcher(sessions, batch_size=4,
+                                         shuffle=False)))
+        with pytest.raises(RuntimeError, match="no paths"):
+            agent.losses(batch)
+
+
+class TestDegenerateSessions:
+    def test_single_item_prefixes(self, beauty_tiny, beauty_kg,
+                                  beauty_transe):
+        cfg = REKSConfig(dim=16, state_dim=16, epochs=1, batch_size=16,
+                         action_cap=40, seed=0)
+        trainer = REKSTrainer(beauty_tiny, beauty_kg,
+                              model_name="gru4rec", config=cfg,
+                              transe=beauty_transe)
+        sessions = [Session([1, 2], 0, 0), Session([5, 3], 1, 0)]
+        metrics = trainer.evaluate(sessions, ks=(5,))
+        assert 0.0 <= metrics["HR@5"] <= 100.0
+
+    def test_repeated_item_sessions(self, beauty_tiny, beauty_kg,
+                                    beauty_transe):
+        cfg = REKSConfig(dim=16, state_dim=16, epochs=1, batch_size=16,
+                         action_cap=40, seed=0)
+        trainer = REKSTrainer(beauty_tiny, beauty_kg,
+                              model_name="gru4rec", config=cfg,
+                              transe=beauty_transe)
+        sessions = [Session([4, 4, 4, 4], 0, 0)]
+        metrics = trainer.evaluate(sessions, ks=(5,))
+        assert np.isfinite(metrics["HR@5"])
+
+    def test_long_session_truncated_not_crashed(self, beauty_tiny,
+                                                beauty_kg, beauty_transe):
+        cfg = REKSConfig(dim=16, state_dim=16, epochs=1, batch_size=16,
+                         action_cap=40, max_session_length=5, seed=0)
+        trainer = REKSTrainer(beauty_tiny, beauty_kg,
+                              model_name="gru4rec", config=cfg,
+                              transe=beauty_transe)
+        long_session = Session(list(range(1, 30)), 0, 0)
+        metrics = trainer.evaluate([long_session], ks=(5,))
+        assert np.isfinite(metrics["HR@5"])
+
+
+class TestEnvironmentEdgeCases:
+    def test_zero_degree_entity_in_batch(self):
+        built = build_sparse_world()
+        env = KGEnvironment(built, action_cap=10, seed=0)
+        brand1 = built.kg.entity_id("brand", 1)
+        rels, tails, mask = env.batched_actions(
+            np.array([brand1]), np.array([[brand1]]))
+        assert not mask.any()
+
+    def test_action_cap_one(self):
+        built = build_sparse_world()
+        env = KGEnvironment(built, action_cap=1, seed=0)
+        for entity in range(built.kg.num_entities):
+            assert env.degree(entity) <= 1

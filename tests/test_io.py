@@ -1,0 +1,61 @@
+"""Unit tests for checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro import create_encoder
+from repro.io import load_module, load_state_dict, save_module, save_state_dict
+
+
+class TestStateDictRoundTrip:
+    def test_round_trip(self, tmp_path):
+        state = {"a.weight": np.arange(6.0).reshape(2, 3),
+                 "b": np.ones(4, dtype=np.float32)}
+        path = save_state_dict(tmp_path / "ckpt.npz", state,
+                               meta={"model": "toy"})
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        for key in state:
+            np.testing.assert_allclose(loaded[key], state[key])
+
+    def test_meta_validation(self, tmp_path):
+        path = save_state_dict(tmp_path / "c.npz", {"w": np.ones(2)},
+                               meta={"model": "narm", "dim": 16})
+        load_state_dict(path, expected_meta={"model": "narm"})  # fine
+        with pytest.raises(ValueError):
+            load_state_dict(path, expected_meta={"model": "gru4rec"})
+
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "raw.npz"
+        np.savez(path, w=np.ones(2))
+        with pytest.raises(ValueError):
+            load_state_dict(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_state_dict(tmp_path / "deep" / "nested" / "c.npz",
+                               {"w": np.ones(1)})
+        assert path.exists()
+
+
+class TestModuleCheckpoints:
+    def test_encoder_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        a = create_encoder("gru4rec", n_items=10, dim=8, rng=rng)
+        b = create_encoder("gru4rec", n_items=10, dim=8,
+                           rng=np.random.default_rng(1))
+        assert not np.allclose(a.item_embedding.weight.data,
+                               b.item_embedding.weight.data)
+        path = save_module(tmp_path / "enc.npz", a, model="gru4rec")
+        load_module(path, b, model="gru4rec")
+        np.testing.assert_allclose(a.item_embedding.weight.data,
+                                   b.item_embedding.weight.data)
+
+    def test_wrong_architecture_fails_cleanly(self, tmp_path):
+        rng = np.random.default_rng(0)
+        gru = create_encoder("gru4rec", n_items=10, dim=8, rng=rng)
+        narm = create_encoder("narm", n_items=10, dim=8, rng=rng)
+        path = save_module(tmp_path / "enc.npz", gru, model="gru4rec")
+        with pytest.raises(ValueError):
+            load_module(path, narm, model="narm")  # meta mismatch
+        with pytest.raises(KeyError):
+            load_module(path, narm)  # structural mismatch

@@ -1,0 +1,88 @@
+"""Unit tests for KG diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.kg.analysis import (
+    connectivity_report,
+    degree_profile,
+    find_hubs,
+    pattern_statistics,
+    reachable_within,
+    to_networkx,
+    two_hop_target_reachability,
+)
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.paths import SemanticPath
+
+
+@pytest.fixture()
+def chain_kg():
+    """0 -> 1 -> 2 plus isolated entity 3."""
+    kg = KnowledgeGraph()
+    kg.add_entity_type("n", 4)
+    r = kg.add_relation("r")
+    kg.add_triples([0, 1], r, [1, 2])
+    kg.finalize()
+    return kg
+
+
+class TestConversion:
+    def test_to_networkx_counts(self, chain_kg):
+        g = to_networkx(chain_kg)
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 2
+        assert g["0" if False else 0][1][0]["relation"] == "r"
+
+
+class TestConnectivity:
+    def test_report(self, chain_kg):
+        rep = connectivity_report(chain_kg)
+        assert rep["num_components"] == 2
+        assert rep["largest_component"] == 3
+        assert rep["isolated_entities"] == 1
+        assert rep["largest_fraction"] == pytest.approx(0.75)
+
+    def test_real_kg_mostly_connected(self, beauty_kg):
+        # Isolated entities exist (related products of filtered items,
+        # users without train sessions), but the bulk of the graph —
+        # and every product — must sit in one component.
+        rep = connectivity_report(beauty_kg.kg)
+        assert rep["largest_fraction"] > 0.7
+        prof = degree_profile(beauty_kg.kg)
+        assert prof["product"]["zero_degree"] == 0
+
+
+class TestDegrees:
+    def test_profile(self, chain_kg):
+        prof = degree_profile(chain_kg)
+        assert prof["n"]["count"] == 4
+        assert prof["n"]["max_degree"] == 1
+        assert prof["n"]["zero_degree"] == 2  # entity 2 and 3
+
+    def test_hubs_sorted(self, beauty_kg):
+        hubs = find_hubs(beauty_kg.kg, top=5)
+        degrees = [d for _, _, d in hubs]
+        assert degrees == sorted(degrees, reverse=True)
+        assert len(hubs) == 5
+
+
+class TestReachability:
+    def test_reachable_within(self, chain_kg):
+        assert reachable_within(chain_kg, 0, 1) == {0, 1}
+        assert reachable_within(chain_kg, 0, 2) == {0, 1, 2}
+        assert reachable_within(chain_kg, 3, 2) == {3}
+
+    def test_two_hop_target_reachability(self, beauty_kg, beauty_tiny):
+        frac = two_hop_target_reachability(beauty_kg,
+                                           beauty_tiny.split.test)
+        assert 0.5 < frac <= 1.0  # the synthetic KG is path-dense
+
+
+class TestPatterns:
+    def test_pattern_statistics(self, chain_kg):
+        p1 = SemanticPath(entities=[0, 1, 2], relations=[0, 0])
+        p2 = SemanticPath(entities=[0, 1], relations=[0])
+        stats = pattern_statistics([p1, p1, p2], chain_kg)
+        assert stats[("r", "r")] == 2
+        assert stats[("r",)] == 1

@@ -1,0 +1,114 @@
+"""Unit tests for the Amazon / MovieLens KG builders."""
+
+import numpy as np
+import pytest
+
+
+class TestAmazonBuilder:
+    def test_relation_inventory_matches_table2(self, beauty_kg):
+        names = set(beauty_kg.kg.relation_names)
+        assert names == {"purchase", "produced_by", "belong_to",
+                         "also_bought", "also_viewed", "bought_together",
+                         "co_occur"}
+
+    def test_entity_inventory_matches_table3(self, beauty_kg):
+        assert set(beauty_kg.kg.entity_type_names) == {
+            "user", "product", "brand", "category", "related_product"}
+
+    def test_metadata_edges_bidirectional(self, beauty_kg, beauty_tiny):
+        kg = beauty_kg.kg
+        rel = kg.relation_id("produced_by")
+        meta = beauty_tiny.products[1]
+        product = beauty_kg.item_entity[1]
+        brand = kg.entity_id("brand", meta.brand_id)
+        assert kg.has_edge(product, rel, brand)
+        assert kg.has_edge(brand, rel, product)
+
+    def test_co_occur_directed_from_train_sessions(self, beauty_kg,
+                                                   beauty_tiny):
+        kg = beauty_kg.kg
+        co = kg.relation_id("co_occur")
+        session = next(s for s in beauty_tiny.split.train
+                       if len(set(s.items)) >= 2 and s.items[0] != s.items[1])
+        head = beauty_kg.item_entity[session.items[0]]
+        tail = beauty_kg.item_entity[session.items[1]]
+        assert kg.has_edge(head, co, tail)
+
+    def test_test_sessions_not_leaked(self, beauty_kg, beauty_tiny):
+        """co_occur edges must come only from the training split."""
+        kg = beauty_kg.kg
+        co = kg.relation_id("co_occur")
+        train_pairs = set()
+        for s in beauty_tiny.split.train:
+            for a, b in zip(s.items[:-1], s.items[1:]):
+                if a != b:
+                    train_pairs.add((a, b))
+        heads, rels, tails = kg.triples()
+        co_mask = rels == co
+        for h, t in zip(heads[co_mask], tails[co_mask]):
+            pair = (int(beauty_kg.entity_item[h]),
+                    int(beauty_kg.entity_item[t]))
+            assert pair in train_pairs
+
+    def test_purchase_edges_bidirectional(self, beauty_kg, beauty_tiny):
+        kg = beauty_kg.kg
+        purchase = kg.relation_id("purchase")
+        session = beauty_tiny.split.train[0]
+        user = beauty_kg.user_entity[session.user_id]
+        product = beauty_kg.item_entity[session.items[0]]
+        assert kg.has_edge(user, purchase, product)
+        assert kg.has_edge(product, purchase, user)
+
+    def test_item_entity_mapping_roundtrip(self, beauty_kg, beauty_tiny):
+        items = np.arange(1, beauty_tiny.n_items + 1)
+        entities = beauty_kg.entities_of_items(items)
+        back = beauty_kg.items_of_entities(entities)
+        np.testing.assert_array_equal(back, items)
+
+    def test_non_item_entities_map_to_zero(self, beauty_kg):
+        kg = beauty_kg.kg
+        brand = kg.entity_id("brand", 0)
+        assert beauty_kg.items_of_entities(np.array([brand]))[0] == 0
+
+
+class TestNoUserVariant:
+    def test_no_user_entities(self, beauty_kg_no_users):
+        assert "user" not in beauty_kg_no_users.kg.entity_type_names
+        assert beauty_kg_no_users.user_entity is None
+
+    def test_no_purchase_relation(self, beauty_kg_no_users):
+        assert "purchase" not in beauty_kg_no_users.kg.relation_names
+
+    def test_smaller_than_full_kg(self, beauty_kg, beauty_kg_no_users):
+        assert (beauty_kg_no_users.kg.num_entities
+                < beauty_kg.kg.num_entities)
+        assert beauty_kg_no_users.kg.num_triples < beauty_kg.kg.num_triples
+
+
+class TestMovieLensBuilder:
+    def test_relation_inventory_matches_table4(self, movielens_kg):
+        assert set(movielens_kg.kg.relation_names) == {
+            "belong_to", "directed_by", "acted_by", "written_by",
+            "narrated_by", "rated", "produced_by", "co_occur"}
+
+    def test_entity_inventory_matches_table5_no_users(self, movielens_kg):
+        types = set(movielens_kg.kg.entity_type_names)
+        assert types == {"movie", "genre", "director", "actor", "writer",
+                         "language", "rating", "country"}
+        assert "user" not in types
+
+    def test_genre_edges_bidirectional(self, movielens_kg, movielens_tiny):
+        kg = movielens_kg.kg
+        rel = kg.relation_id("belong_to")
+        meta = movielens_tiny.movies[1]
+        movie = movielens_kg.item_entity[1]
+        genre = kg.entity_id("genre", meta.genre_ids[0])
+        assert kg.has_edge(movie, rel, genre)
+        assert kg.has_edge(genre, rel, movie)
+
+    def test_unknown_domain_raises(self, beauty_tiny):
+        from repro.kg import build_kg
+        beauty_tiny_bad = type(beauty_tiny)(
+            **{**beauty_tiny.__dict__, "domain": "alien"})
+        with pytest.raises(ValueError):
+            build_kg(beauty_tiny_bad)

@@ -1,0 +1,41 @@
+"""Unit tests for TransE link-prediction diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.kg import TransE, TransEConfig
+
+
+class TestLinkPrediction:
+    def test_metric_ranges(self, beauty_kg, beauty_transe):
+        metrics = beauty_transe.link_prediction_metrics(beauty_kg.kg,
+                                                        sample_size=100)
+        assert 0.0 <= metrics["hits@1"] <= metrics["hits@10"] <= 1.0
+        assert 0.0 < metrics["mrr"] <= 1.0
+        assert metrics["mean_rank"] >= 1.0
+
+    def test_training_improves_over_random(self, beauty_kg, beauty_transe):
+        untrained = TransE(beauty_kg.kg.num_entities,
+                           beauty_kg.kg.num_relations,
+                           TransEConfig(dim=16, epochs=0, seed=5))
+        random_metrics = untrained.link_prediction_metrics(
+            beauty_kg.kg, sample_size=150)
+        trained_metrics = beauty_transe.link_prediction_metrics(
+            beauty_kg.kg, sample_size=150)
+        assert trained_metrics["mrr"] > random_metrics["mrr"]
+        assert trained_metrics["mean_rank"] < random_metrics["mean_rank"]
+
+    def test_deterministic_under_seed(self, beauty_kg, beauty_transe):
+        a = beauty_transe.link_prediction_metrics(beauty_kg.kg, seed=3)
+        b = beauty_transe.link_prediction_metrics(beauty_kg.kg, seed=3)
+        assert a == b
+
+    def test_empty_kg(self):
+        from repro.kg.graph import KnowledgeGraph
+
+        kg = KnowledgeGraph()
+        kg.add_entity_type("n", 3)
+        kg.finalize()
+        model = TransE(3, 1, TransEConfig(dim=4, epochs=0))
+        metrics = model.link_prediction_metrics(kg)
+        assert metrics["mrr"] == 0.0

@@ -1,0 +1,76 @@
+"""Unit tests for semantic path utilities."""
+
+import numpy as np
+import pytest
+
+from repro.kg.paths import (
+    SemanticPath,
+    mean_path_embedding,
+    path_diversity,
+    render_path,
+)
+from repro.kg.graph import KnowledgeGraph
+
+
+@pytest.fixture()
+def named_kg():
+    kg = KnowledgeGraph()
+    kg.add_entity_type("product", 3)
+    kg.add_entity_type("category", 1)
+    kg.add_relation("belong_to")
+    kg.add_triples([0, 1], 0, [3, 3])
+    kg.add_triples([3, 3], 0, [0, 1])
+    kg.finalize()
+    kg.entity_names[0] = "Shampoo"
+    kg.entity_names[1] = "Conditioner"
+    kg.entity_names[3] = "HairCare"
+    return kg
+
+
+class TestSemanticPath:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            SemanticPath(entities=[1, 2, 3], relations=[0])
+
+    def test_properties(self):
+        p = SemanticPath(entities=[0, 3, 1], relations=[0, 0], prob=0.5)
+        assert p.terminal == 1
+        assert p.hops == 2
+        assert p.is_simple()
+
+    def test_non_simple_detected(self):
+        p = SemanticPath(entities=[0, 3, 0], relations=[0, 0])
+        assert not p.is_simple()
+
+    def test_pattern(self, named_kg):
+        p = SemanticPath(entities=[0, 3, 1], relations=[0, 0])
+        assert p.pattern(named_kg) == ("belong_to", "belong_to")
+
+
+class TestRendering:
+    def test_render_uses_names(self, named_kg):
+        p = SemanticPath(entities=[0, 3, 1], relations=[0, 0])
+        text = render_path(p, named_kg)
+        assert text == ("Shampoo --belong_to--> HairCare "
+                        "--belong_to--> Conditioner")
+
+    def test_render_falls_back_to_type_local(self, named_kg):
+        p = SemanticPath(entities=[2, 3, 1], relations=[0, 0])
+        assert render_path(p, named_kg).startswith("product:2 ")
+
+
+class TestEmbeddingsAndDiversity:
+    def test_mean_path_embedding(self):
+        entities = np.arange(12, dtype=np.float64).reshape(4, 3)
+        relations = np.ones((2, 3), dtype=np.float64)
+        p = SemanticPath(entities=[0, 1, 2], relations=[0, 0])
+        emb = mean_path_embedding(entities, relations, p)
+        manual = (entities[0] + relations[0] + entities[1]
+                  + relations[0] + entities[2]) / 5.0
+        np.testing.assert_allclose(emb, manual)
+
+    def test_path_diversity(self, named_kg):
+        a = SemanticPath(entities=[0, 3, 1], relations=[0, 0])
+        b = SemanticPath(entities=[1, 3, 0], relations=[0, 0])
+        assert path_diversity([a, b], named_kg) == pytest.approx(0.5)
+        assert path_diversity([], named_kg) == 0.0

@@ -1,0 +1,129 @@
+"""Unit tests shared across the five session encoders."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import SessionBatcher
+from repro.data.schema import Session
+from repro.models import MODEL_NAMES, create_encoder
+from repro.models.bert4rec import BERT4REC
+
+N_ITEMS = 20
+DIM = 8
+
+
+@pytest.fixture()
+def batch():
+    sessions = [Session([1, 2, 3, 4], 0, 0), Session([5, 6], 1, 0),
+                Session([7, 8, 9], 2, 0)]
+    batcher = SessionBatcher(sessions, batch_size=8, shuffle=False)
+    return next(iter(batcher))
+
+
+def build(name, rng=None, **kw):
+    rng = rng or np.random.default_rng(0)
+    return create_encoder(name, n_items=N_ITEMS, dim=DIM, rng=rng, **kw)
+
+
+class TestAllEncoders:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_session_repr_shape(self, name, batch):
+        enc = build(name)
+        enc.eval()
+        se = enc.encode(batch)
+        assert se.shape == (3, DIM)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_logits_shape_and_padding_mask(self, name, batch):
+        enc = build(name)
+        enc.eval()
+        _, logits = enc(batch)
+        assert logits.shape == (3, N_ITEMS + 1)
+        assert (logits.data[:, 0] <= -1e8).all()
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_gradients_reach_item_embeddings(self, name, batch):
+        enc = build(name)
+        enc.train()
+        _, logits = enc(batch)
+        logits.sum().backward()
+        assert enc.item_embedding.weight.grad is not None
+        assert np.abs(enc.item_embedding.weight.grad).sum() > 0
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_deterministic_in_eval_mode(self, name, batch):
+        enc = build(name)
+        enc.eval()
+        a = enc.encode(batch).data.copy()
+        b = enc.encode(batch).data.copy()
+        np.testing.assert_allclose(a, b)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_item_init_respected(self, name):
+        init = np.random.default_rng(1).standard_normal(
+            (N_ITEMS + 1, DIM)).astype(np.float32)
+        init[0] = 0.0
+        enc = build(name, item_init=init)
+        np.testing.assert_allclose(
+            enc.item_embedding.weight.data[1], init[1], rtol=1e-6)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_item_init_shape_check(self, name):
+        bad = np.zeros((N_ITEMS + 5, DIM), dtype=np.float32)
+        with pytest.raises(ValueError):
+            build(name, item_init=bad)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_padding_invariance(self, name):
+        """Adding a second (longer) session to the batch must not change
+        the first session's representation in eval mode."""
+        enc = build(name)
+        enc.eval()
+        s1 = Session([1, 2, 3], 0, 0)
+        s2 = Session([4, 5, 6, 7, 8], 1, 0)
+        solo = next(iter(SessionBatcher([s1], batch_size=2, shuffle=False)))
+        both = next(iter(SessionBatcher([s1, s2], batch_size=2,
+                                        shuffle=False)))
+        se_solo = enc.encode(solo).data[0]
+        se_both = enc.encode(both).data[0]
+        np.testing.assert_allclose(se_solo, se_both, rtol=1e-4, atol=1e-5)
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            create_encoder("mystery", n_items=5, dim=4)
+
+    def test_alias_sr_gnn(self):
+        enc = create_encoder("sr-gnn", n_items=5, dim=4,
+                             rng=np.random.default_rng(0))
+        assert enc.name == "srgnn"
+
+    def test_extra_kwargs_filtered(self):
+        # srgnn does not accept dropout; registry must not crash.
+        enc = create_encoder("srgnn", n_items=5, dim=4,
+                             rng=np.random.default_rng(0), dropout=0.7)
+        assert enc.name == "srgnn"
+
+
+class TestBert4RecSpecifics:
+    def test_mask_token_reserved(self):
+        enc = build("bert4rec")
+        assert enc.mask_token == N_ITEMS + 1
+        assert enc.item_embedding.num_embeddings == N_ITEMS + 2
+
+    def test_cloze_forward(self, batch):
+        enc = build("bert4rec")
+        enc.train()
+        rng = np.random.default_rng(0)
+        logits, targets, rows = enc.cloze_forward(batch, 0.3, rng)
+        assert logits.shape[0] == len(targets) == len(rows)
+        assert logits.shape[1] == N_ITEMS + 1
+        assert len(targets) >= batch.batch_size  # >= 1 mask per session
+        assert (targets >= 1).all()
+
+    def test_score_items_excludes_mask_token(self, batch):
+        enc = build("bert4rec")
+        enc.eval()
+        _, logits = enc(batch)
+        assert logits.shape == (3, N_ITEMS + 1)

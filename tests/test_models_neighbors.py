@@ -1,0 +1,120 @@
+"""Unit tests for the classic (non-neural) baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Session
+from repro.eval.metrics import top_k_from_scores
+from repro.models.neighbors import (
+    CLASSIC_BASELINES,
+    ItemKNNRecommender,
+    MarkovChainRecommender,
+    PopRecommender,
+    SessionPopRecommender,
+    create_classic_baseline,
+)
+
+TRAIN = [
+    Session([1, 2, 3], 0, 0),
+    Session([1, 2], 1, 0),
+    Session([2, 3], 2, 0),
+    Session([4, 5], 3, 0),
+    Session([1, 2], 4, 0),
+]
+N_ITEMS = 5
+
+
+class TestPop:
+    def test_popularity_ordering(self):
+        model = PopRecommender(N_ITEMS).fit(TRAIN)
+        scores = model.score_sessions([Session([4, 1], 9, 0)])
+        ranked = top_k_from_scores(scores, 3)[0]
+        # Item 2 appears 4x, item 1 3x, item 3 2x.
+        np.testing.assert_array_equal(ranked, [2, 1, 3])
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PopRecommender(N_ITEMS).score_sessions([Session([1, 2], 0, 0)])
+
+    def test_padding_excluded(self):
+        model = PopRecommender(N_ITEMS).fit(TRAIN)
+        scores = model.score_sessions([Session([1, 2], 0, 0)])
+        assert scores[0, 0] == -np.inf
+
+
+class TestSessionPop:
+    def test_in_session_items_dominate(self):
+        model = SessionPopRecommender(N_ITEMS).fit(TRAIN)
+        # Prefix [4]: item 4 is rare globally but in-session.
+        scores = model.score_sessions([Session([4, 1], 9, 0)])
+        ranked = top_k_from_scores(scores, 1)[0]
+        assert ranked[0] == 4
+
+    def test_global_backfill(self):
+        model = SessionPopRecommender(N_ITEMS).fit(TRAIN)
+        scores = model.score_sessions([Session([4, 1], 9, 0)])
+        ranked = top_k_from_scores(scores, 3)[0].tolist()
+        assert ranked[0] == 4          # session item first
+        assert ranked[1] == 2          # then global popularity
+
+
+class TestMarkov:
+    def test_transition_scores(self):
+        model = MarkovChainRecommender(N_ITEMS).fit(TRAIN)
+        # After item 1, item 2 followed 3 times.
+        scores = model.score_sessions([Session([1, 99], 9, 0)])
+        ranked = top_k_from_scores(scores, 1)[0]
+        assert ranked[0] == 2
+
+    def test_unseen_last_item_falls_back_to_popularity(self):
+        model = MarkovChainRecommender(N_ITEMS).fit(TRAIN)
+        scores = model.score_sessions([Session([5, 99], 9, 0)])
+        # 5 -> nothing observed except 5->? (4,5 session has 4->5 only),
+        # so scores are the smoothed popularity: argmax is item 2.
+        ranked = top_k_from_scores(scores, 1)[0]
+        assert ranked[0] == 2
+
+    def test_chain_beats_popularity_on_structured_data(self):
+        model = MarkovChainRecommender(N_ITEMS).fit(TRAIN)
+        scores = model.score_sessions([Session([2, 99], 9, 0)])
+        ranked = top_k_from_scores(scores, 1)[0]
+        assert ranked[0] == 3  # 2 -> 3 twice; popularity would say 2
+
+
+class TestItemKNN:
+    def test_cooccurring_items_score(self):
+        model = ItemKNNRecommender(N_ITEMS, regularization=0.0).fit(TRAIN)
+        scores = model.score_sessions([Session([1, 99], 9, 0)])
+        assert scores[0, 2] > 0          # 1 and 2 co-occur 3 times
+        assert scores[0, 3] > 0          # via session [1,2,3]
+        assert scores[0, 5] == 0         # never co-occurs with 1
+
+    def test_similarity_symmetric(self):
+        model = ItemKNNRecommender(N_ITEMS, regularization=0.0).fit(TRAIN)
+        assert model.similarity[1][2] == pytest.approx(model.similarity[2][1])
+
+    def test_regularization_dampens_rare_pairs(self):
+        tight = ItemKNNRecommender(N_ITEMS, regularization=0.0).fit(TRAIN)
+        loose = ItemKNNRecommender(N_ITEMS, regularization=50.0).fit(TRAIN)
+        assert loose.similarity[4][5] < tight.similarity[4][5]
+
+
+class TestFactoryAndAccuracy:
+    def test_factory(self):
+        for name in CLASSIC_BASELINES:
+            model = create_classic_baseline(name, n_items=N_ITEMS)
+            assert model.n_items == N_ITEMS
+        with pytest.raises(KeyError):
+            create_classic_baseline("svd", n_items=N_ITEMS)
+
+    def test_markov_beats_random_on_synthetic(self, beauty_tiny):
+        from repro.eval.metrics import evaluate_rankings
+
+        model = MarkovChainRecommender(beauty_tiny.n_items)
+        model.fit(beauty_tiny.split.train)
+        scores = model.score_sessions(beauty_tiny.split.test)
+        ranked = top_k_from_scores(scores, 10)
+        targets = [s.target for s in beauty_tiny.split.test]
+        metrics = evaluate_rankings(ranked, targets, ks=(10,))
+        random_hr = 100.0 * 10 / beauty_tiny.n_items
+        assert metrics["HR@10"] > random_hr

@@ -1,0 +1,89 @@
+"""Unit tests for the standalone next-item trainer."""
+
+import numpy as np
+import pytest
+
+from repro.models import StandaloneConfig, StandaloneTrainer, create_encoder
+
+
+@pytest.fixture()
+def small_world(beauty_tiny):
+    enc = create_encoder("gru4rec", n_items=beauty_tiny.n_items, dim=16,
+                         rng=np.random.default_rng(0))
+    cfg = StandaloneConfig(epochs=3, batch_size=64, lr=3e-3, patience=5,
+                           seed=0)
+    trainer = StandaloneTrainer(enc, beauty_tiny.split.train,
+                                beauty_tiny.split.validation, cfg)
+    return trainer, beauty_tiny
+
+
+class TestTraining:
+    def test_loss_decreases(self, small_world):
+        trainer, _ = small_world
+        history = trainer.fit()
+        assert history.losses[-1] < history.losses[0]
+
+    def test_history_records_val_metrics(self, small_world):
+        trainer, _ = small_world
+        history = trainer.fit()
+        assert len(history.val_metrics) == len(history.losses)
+        assert history.best_epoch >= 0
+
+    def test_best_state_restored(self, small_world):
+        trainer, ds = small_world
+        history = trainer.fit()
+        best = history.val_metrics[history.best_epoch]["HR@10"]
+        current = trainer.evaluate(ds.split.validation, ks=(10,))["HR@10"]
+        assert current == pytest.approx(best, abs=1e-9)
+
+    def test_early_stopping(self, beauty_tiny):
+        enc = create_encoder("gru4rec", n_items=beauty_tiny.n_items, dim=8,
+                             rng=np.random.default_rng(0))
+        cfg = StandaloneConfig(epochs=50, batch_size=64, lr=0.0,
+                               patience=1, seed=0)
+        trainer = StandaloneTrainer(enc, beauty_tiny.split.train,
+                                    beauty_tiny.split.validation, cfg)
+        history = trainer.fit()
+        # lr=0 -> no improvement after epoch 1 -> stop well before 50.
+        assert len(history.losses) <= 4
+
+
+class TestScoring:
+    def test_score_matrix_shape(self, small_world):
+        trainer, ds = small_world
+        scores = trainer.score_sessions(ds.split.test)
+        assert scores.shape == (len(ds.split.test), ds.n_items + 1)
+
+    def test_evaluate_keys_and_ranges(self, small_world):
+        trainer, ds = small_world
+        trainer.fit()
+        metrics = trainer.evaluate(ds.split.test, ks=(5, 10))
+        for key in ("HR@5", "NDCG@5", "HR@10", "NDCG@10", "MRR@5"):
+            assert key in metrics
+            assert 0.0 <= metrics[key] <= 100.0
+        assert metrics["HR@5"] <= metrics["HR@10"]
+        assert metrics["NDCG@5"] <= metrics["NDCG@10"]
+
+    def test_empty_sessions(self, small_world):
+        trainer, _ = small_world
+        metrics = trainer.evaluate([], ks=(5,))
+        assert metrics["HR@5"] == 0.0
+
+    def test_beats_random_after_training(self, small_world):
+        trainer, ds = small_world
+        trainer.fit()
+        metrics = trainer.evaluate(ds.split.test, ks=(10,))
+        random_hr = 100.0 * 10 / ds.n_items
+        assert metrics["HR@10"] > random_hr
+
+
+class TestClozeMode:
+    def test_bert4rec_cloze_training(self, beauty_tiny):
+        enc = create_encoder("bert4rec", n_items=beauty_tiny.n_items, dim=16,
+                             rng=np.random.default_rng(0))
+        cfg = StandaloneConfig(epochs=2, batch_size=64, lr=3e-3,
+                               cloze_prob=0.3, patience=5, seed=0)
+        trainer = StandaloneTrainer(enc, beauty_tiny.split.train,
+                                    beauty_tiny.split.validation, cfg)
+        history = trainer.fit()
+        assert history.losses[-1] < history.losses[0]

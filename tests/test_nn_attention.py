@@ -1,0 +1,88 @@
+"""Unit tests for additive / scaled-dot / multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.nn.attention import scaled_dot_product_attention
+
+
+class TestAdditiveAttention:
+    def test_context_shape(self, rng):
+        attn = nn.AdditiveAttention(6, rng=rng)
+        q = Tensor(rng.standard_normal((3, 6)).astype(np.float32))
+        keys = Tensor(rng.standard_normal((3, 5, 6)).astype(np.float32))
+        context, weights = attn(q, keys)
+        assert context.shape == (3, 6)
+        assert weights.shape == (3, 5)
+
+    def test_weights_sum_to_one(self, rng):
+        attn = nn.AdditiveAttention(4, rng=rng)
+        q = Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+        keys = Tensor(rng.standard_normal((2, 7, 4)).astype(np.float32))
+        _, weights = attn(q, keys)
+        np.testing.assert_allclose(weights.data.sum(axis=1), np.ones(2),
+                                   rtol=1e-5)
+
+    def test_mask_zeroes_padded_positions(self, rng):
+        attn = nn.AdditiveAttention(4, rng=rng)
+        q = Tensor(rng.standard_normal((1, 4)).astype(np.float32))
+        keys = Tensor(rng.standard_normal((1, 4, 4)).astype(np.float32))
+        mask = np.array([[1, 1, 0, 0]], dtype=bool)
+        _, weights = attn(q, keys, mask=mask)
+        np.testing.assert_allclose(weights.data[0, 2:], [0.0, 0.0], atol=1e-6)
+        assert weights.data[0, :2].sum() == pytest.approx(1.0, rel=1e-5)
+
+    def test_single_key_gets_full_weight(self, rng):
+        attn = nn.AdditiveAttention(4, rng=rng)
+        q = Tensor(rng.standard_normal((1, 4)).astype(np.float32))
+        keys = Tensor(rng.standard_normal((1, 1, 4)).astype(np.float32))
+        context, weights = attn(q, keys)
+        assert weights.data[0, 0] == pytest.approx(1.0, rel=1e-6)
+        np.testing.assert_allclose(context.data, keys.data[:, 0], rtol=1e-5)
+
+
+class TestScaledDotProduct:
+    def test_uniform_when_scores_equal(self):
+        q = Tensor(np.zeros((1, 2, 4), dtype=np.float32))
+        k = Tensor(np.ones((1, 3, 4), dtype=np.float32))
+        v = Tensor(np.arange(12, dtype=np.float32).reshape(1, 3, 4))
+        out, weights = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(weights.data, np.full((1, 2, 3), 1 / 3),
+                                   rtol=1e-5)
+        np.testing.assert_allclose(out.data[0, 0], v.data[0].mean(axis=0),
+                                   rtol=1e-5)
+
+    def test_mask_blocks_positions(self, rng):
+        q = Tensor(rng.standard_normal((1, 2, 4)).astype(np.float32))
+        k = Tensor(rng.standard_normal((1, 3, 4)).astype(np.float32))
+        v = Tensor(rng.standard_normal((1, 3, 4)).astype(np.float32))
+        mask = np.array([[[True, False, True]]])  # broadcast to (1, 2, 3)
+        _, weights = scaled_dot_product_attention(q, k, v, mask=mask)
+        np.testing.assert_allclose(weights.data[:, :, 1], 0.0, atol=1e-6)
+
+
+class TestMultiHeadAttention:
+    def test_dim_divisibility_check(self, rng):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(7, 2, rng=rng)
+
+    def test_output_shape(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((3, 5, 8)).astype(np.float32))
+        assert mha(x).shape == (3, 5, 8)
+
+    def test_padding_mask_changes_output(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 8)).astype(np.float32))
+        full = mha(x).data
+        masked = mha(x, mask=np.array([[1, 1, 0, 0]])).data
+        assert not np.allclose(full[:, 0], masked[:, 0])
+
+    def test_gradients_reach_projections(self, rng):
+        mha = nn.MultiHeadAttention(4, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32))
+        mha(x).sum().backward()
+        assert mha.q_proj.weight.grad is not None
+        assert mha.out_proj.weight.grad is not None

@@ -1,0 +1,82 @@
+"""Unit tests for session-graph construction and gated graph conv."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.nn.graph import build_session_graph
+
+
+class TestBuildSessionGraph:
+    def test_simple_chain(self):
+        nodes, adj_in, adj_out, alias = build_session_graph(
+            np.array([3, 5, 7]))
+        np.testing.assert_array_equal(nodes, [3, 5, 7])
+        np.testing.assert_array_equal(alias, [0, 1, 2])
+        # Edge 3->5: out adjacency row 0 has 1 at col 1.
+        assert adj_out[0, 1] == 1.0
+        assert adj_out[1, 2] == 1.0
+        # In adjacency is the transpose view (normalized).
+        assert adj_in[1, 0] == 1.0
+        assert adj_in[2, 1] == 1.0
+
+    def test_repeated_item_deduplicated(self):
+        nodes, adj_in, adj_out, alias = build_session_graph(
+            np.array([2, 4, 2, 6]))
+        np.testing.assert_array_equal(nodes, [2, 4, 6])
+        np.testing.assert_array_equal(alias, [0, 1, 0, 2])
+        assert adj_out[0, 1] == pytest.approx(0.5)  # 2->4 and 2->6 share mass
+        assert adj_out[0, 2] == pytest.approx(0.5)
+        assert adj_out[1, 0] == 1.0  # 4->2
+
+    def test_padding_ignored(self):
+        nodes, _, _, alias = build_session_graph(np.array([5, 9, 0, 0]))
+        np.testing.assert_array_equal(nodes, [5, 9])
+        assert len(alias) == 2
+
+    def test_first_appearance_order(self):
+        nodes, _, _, _ = build_session_graph(np.array([9, 3, 7]))
+        np.testing.assert_array_equal(nodes, [9, 3, 7])
+
+    def test_in_degree_normalization(self):
+        # Both 1 and 2 point at 3: in-degree of 3 is 2, each weight 0.5.
+        _, adj_in, _, _ = build_session_graph(np.array([1, 3, 2, 3]))
+        row_three = adj_in[1]  # node index of item 3 is 1
+        assert row_three.sum() == pytest.approx(1.0)
+
+
+class TestGatedGraphConv:
+    def test_output_shape(self, rng):
+        conv = nn.GatedGraphConv(6, num_steps=2, rng=rng)
+        hidden = Tensor(rng.standard_normal((3, 4, 6)).astype(np.float32))
+        adj = np.zeros((3, 4, 4), dtype=np.float32)
+        out = conv(hidden, adj, adj)
+        assert out.shape == (3, 4, 6)
+
+    def test_no_edges_still_updates(self, rng):
+        conv = nn.GatedGraphConv(4, rng=rng)
+        hidden = Tensor(rng.standard_normal((1, 2, 4)).astype(np.float32))
+        adj = np.zeros((1, 2, 2), dtype=np.float32)
+        out = conv(hidden, adj, adj)
+        assert out.shape == (1, 2, 4)
+
+    def test_messages_propagate_along_edges(self, rng):
+        conv = nn.GatedGraphConv(4, rng=rng)
+        h = np.zeros((1, 2, 4), dtype=np.float32)
+        h[0, 0] = 5.0  # only node 0 carries signal
+        adj_edge = np.zeros((1, 2, 2), dtype=np.float32)
+        adj_edge[0, 1, 0] = 1.0  # node 1 receives from node 0
+        no_edge = np.zeros_like(adj_edge)
+        out_with = conv(Tensor(h), adj_edge, no_edge).data
+        out_without = conv(Tensor(h), no_edge, no_edge).data
+        assert not np.allclose(out_with[0, 1], out_without[0, 1])
+
+    def test_gradients(self, rng):
+        conv = nn.GatedGraphConv(3, rng=rng)
+        hidden = Tensor(rng.standard_normal((2, 3, 3)).astype(np.float32),
+                        requires_grad=True)
+        adj = np.full((2, 3, 3), 1 / 3, dtype=np.float32)
+        conv(hidden, adj, adj).sum().backward()
+        assert hidden.grad is not None
+        assert conv.weight_ih.grad is not None

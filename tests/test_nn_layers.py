@@ -1,0 +1,135 @@
+"""Unit tests for Linear, MLP, Embedding, LayerNorm, Dropout layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+from helpers import assert_grad_close, make_tensor
+
+
+class TestLinear:
+    def test_output_shape_2d_and_3d(self, rng):
+        layer = nn.Linear(4, 6, rng=rng)
+        assert layer(Tensor(np.ones((2, 4), dtype=np.float32))).shape == (2, 6)
+        assert layer(Tensor(np.ones((2, 3, 4), dtype=np.float32))).shape == (2, 3, 6)
+
+    def test_matches_manual_affine(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        out = layer(Tensor(x))
+        manual = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, manual, rtol=1e-5)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        layer.weight.data = layer.weight.data.astype(np.float64)
+        layer.bias.data = layer.bias.data.astype(np.float64)
+        x = make_tensor(rng, 4, 3, requires_grad=False)
+        assert_grad_close(lambda: layer(x).sum(),
+                          [layer.weight, layer.bias])
+
+
+class TestMLP:
+    def test_needs_two_sizes(self, rng):
+        with pytest.raises(ValueError):
+            nn.MLP([4], rng=rng)
+
+    def test_hidden_activation_applied(self, rng):
+        mlp = nn.MLP([3, 5, 2], rng=rng)
+        out = mlp(Tensor(np.ones((2, 3), dtype=np.float32)))
+        assert out.shape == (2, 2)
+
+    def test_final_activation_flag(self, rng):
+        mlp = nn.MLP([3, 2], final_activation=True, rng=rng)
+        out = mlp(Tensor(-100 * np.ones((1, 3), dtype=np.float32)))
+        assert (out.data >= 0).all()  # relu clamps the output
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_padding_row_zeroed(self, rng):
+        emb = nn.Embedding(10, 4, padding_idx=0, rng=rng)
+        np.testing.assert_allclose(emb(np.array([0])).data, np.zeros((1, 4)))
+
+    def test_out_of_range_raises(self, rng):
+        emb = nn.Embedding(5, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_scatter(self, rng):
+        emb = nn.Embedding(6, 3, rng=rng)
+        emb.weight.data = emb.weight.data.astype(np.float64)
+        idx = np.array([2, 2, 5])
+        assert_grad_close(lambda: emb(idx).sum(), [emb.weight])
+
+    def test_from_pretrained(self):
+        table = np.arange(12, dtype=np.float32).reshape(4, 3)
+        emb = nn.Embedding.from_pretrained(table, trainable=False)
+        np.testing.assert_allclose(emb(np.array([2])).data, table[2:3])
+        assert not emb.weight.requires_grad
+
+    def test_zero_padding_after_update(self, rng):
+        emb = nn.Embedding(4, 2, padding_idx=0, rng=rng)
+        emb.weight.data += 1.0
+        emb.zero_padding()
+        np.testing.assert_allclose(emb.weight.data[0], [0.0, 0.0])
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        ln = nn.LayerNorm(8)
+        x = Tensor(rng.standard_normal((4, 8)) * 10 + 3, dtype=np.float32)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_affine_parameters(self):
+        ln = nn.LayerNorm(4)
+        ln.gain.data[...] = 2.0
+        ln.bias.data[...] = 1.0
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4)),
+                   dtype=np.float32)
+        out = ln(x).data
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_gradients(self, rng):
+        ln = nn.LayerNorm(5)
+        ln.gain.data = ln.gain.data.astype(np.float64)
+        ln.bias.data = ln.bias.data.astype(np.float64)
+        x = make_tensor(rng, 3, 5, requires_grad=False)
+        assert_grad_close(lambda: (ln(x) * ln(x)).sum(),
+                          [ln.gain, ln.bias], rtol=2e-2)
+
+
+class TestDropoutLayer:
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_eval_identity(self, rng):
+        drop = nn.Dropout(0.9, rng=rng)
+        drop.eval()
+        x = Tensor(np.ones(100, dtype=np.float32))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_train_zeroes_some(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones(1000, dtype=np.float32))
+        out = drop(x).data
+        assert (out == 0).sum() > 300
+        assert (out > 1.0).any()  # kept values are scaled up

@@ -1,0 +1,110 @@
+"""Unit tests for Module/Parameter containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class Toy(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = nn.Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.fc(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        m = Toy()
+        names = dict(m.named_parameters())
+        assert set(names) == {"fc.weight", "fc.bias", "scale"}
+
+    def test_num_parameters(self):
+        m = Toy()
+        assert m.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_plain_attributes_not_registered(self):
+        m = Toy()
+        m.not_a_param = Tensor(np.zeros(5))
+        assert "not_a_param" not in dict(m.named_parameters())
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        m = Toy()
+        assert m.training and m.fc.training
+        m.eval()
+        assert not m.training and not m.fc.training
+        m.train()
+        assert m.training and m.fc.training
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a, b = Toy(), Toy()
+        b.fc.weight.data[...] = 7.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b.fc.weight.data, a.fc.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        m = Toy()
+        state = m.state_dict()
+        state["scale"][...] = 99.0
+        assert not np.allclose(m.scale.data, 99.0)
+
+    def test_missing_key_raises(self):
+        m = Toy()
+        state = m.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        m = Toy()
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        m = Toy()
+        state = m.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.Linear(8, 2, rng=rng))
+        out = seq(Tensor(np.ones((3, 4), dtype=np.float32)))
+        assert out.shape == (3, 2)
+        assert len(seq) == 2
+        assert isinstance(seq[0], nn.Linear)
+
+    def test_sequential_registers_children(self):
+        rng = np.random.default_rng(0)
+        seq = nn.Sequential(nn.Linear(2, 2, rng=rng))
+        assert len(seq.parameters()) == 2
+
+    def test_module_list(self):
+        rng = np.random.default_rng(0)
+        ml = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(list(iter(ml))) == 3
+        ml.append(nn.Linear(2, 2, rng=rng))
+        assert len(ml) == 4
+        assert len(ml.parameters()) == 8
+
+    def test_zero_grad(self):
+        m = Toy()
+        out = m(Tensor(np.ones((1, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert m.fc.weight.grad is not None
+        m.zero_grad()
+        assert m.fc.weight.grad is None

@@ -1,0 +1,99 @@
+"""Unit tests for GRUCell / GRU, including padding-mask invariance."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+def manual_gru_step(cell: nn.GRUCell, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Reference GRU computation with numpy (torch gate layout)."""
+    hs = cell.hidden_size
+    gi = x @ cell.weight_ih.data.T + cell.bias_ih.data
+    gh = h @ cell.weight_hh.data.T + cell.bias_hh.data
+
+    def sig(v):
+        return 1.0 / (1.0 + np.exp(-v))
+
+    r = sig(gi[:, :hs] + gh[:, :hs])
+    z = sig(gi[:, hs:2 * hs] + gh[:, hs:2 * hs])
+    n = np.tanh(gi[:, 2 * hs:] + r * gh[:, 2 * hs:])
+    return (1.0 - z) * n + z * h
+
+
+class TestGRUCell:
+    def test_matches_manual(self, rng):
+        cell = nn.GRUCell(4, 3, rng=rng)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        h = rng.standard_normal((5, 3)).astype(np.float32)
+        out = cell(Tensor(x), Tensor(h)).data
+        np.testing.assert_allclose(out, manual_gru_step(cell, x, h),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_output_shape(self, rng):
+        cell = nn.GRUCell(4, 7, rng=rng)
+        out = cell(Tensor(np.zeros((2, 4), dtype=np.float32)),
+                   Tensor(np.zeros((2, 7), dtype=np.float32)))
+        assert out.shape == (2, 7)
+
+    def test_gradients_flow_to_weights(self, rng):
+        cell = nn.GRUCell(3, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3)), dtype=np.float32)
+        h = Tensor(np.zeros((2, 3), dtype=np.float32))
+        cell(x, h).sum().backward()
+        assert cell.weight_ih.grad is not None
+        assert cell.weight_hh.grad is not None
+
+
+class TestGRU:
+    def test_output_shapes(self, rng):
+        gru = nn.GRU(4, 6, rng=rng)
+        x = Tensor(rng.standard_normal((3, 5, 4)).astype(np.float32))
+        outputs, final = gru(x)
+        assert outputs.shape == (3, 5, 6)
+        assert final.shape == (3, 6)
+
+    def test_final_hidden_is_last_output(self, rng):
+        gru = nn.GRU(4, 6, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 4)).astype(np.float32))
+        outputs, final = gru(x)
+        np.testing.assert_allclose(outputs.data[:, -1], final.data, rtol=1e-6)
+
+    def test_padding_mask_preserves_hidden(self, rng):
+        """A right-padded sequence must yield the same final state as the
+        unpadded version of the same sequence."""
+        gru = nn.GRU(3, 5, rng=rng)
+        short = rng.standard_normal((1, 2, 3)).astype(np.float32)
+        padded = np.concatenate(
+            [short, np.zeros((1, 3, 3), dtype=np.float32)], axis=1)
+        mask = np.array([[1, 1, 0, 0, 0]], dtype=np.float32)
+        _, final_short = gru(Tensor(short))
+        _, final_padded = gru(Tensor(padded), mask=mask)
+        np.testing.assert_allclose(final_padded.data, final_short.data,
+                                   rtol=1e-5)
+
+    def test_multi_layer(self, rng):
+        gru = nn.GRU(4, 4, num_layers=2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32))
+        outputs, final = gru(x)
+        assert outputs.shape == (2, 3, 4)
+        assert final.shape == (2, 4)
+
+    def test_initial_hidden_state(self, rng):
+        gru = nn.GRU(3, 3, rng=rng)
+        x = Tensor(np.zeros((1, 1, 3), dtype=np.float32))
+        h0 = Tensor(np.ones((1, 3), dtype=np.float32) * 0.3)
+        _, with_h0 = gru(x, h0=h0)
+        _, without = gru(x)
+        assert not np.allclose(with_h0.data, without.data)
+
+    def test_gradients_through_time(self, rng):
+        gru = nn.GRU(2, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6, 2)).astype(np.float32),
+                   requires_grad=True)
+        _, final = gru(x)
+        final.sum().backward()
+        assert x.grad is not None
+        # Early timesteps must receive gradient (no vanishing to exactly 0).
+        assert np.abs(x.grad[:, 0]).sum() > 0

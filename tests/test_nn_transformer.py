@@ -1,0 +1,60 @@
+"""Unit tests for the transformer encoder stack."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class TestPositionalEmbedding:
+    def test_adds_position_information(self, rng):
+        pos = nn.LearnedPositionalEmbedding(10, 4, rng=rng)
+        x = Tensor(np.zeros((1, 3, 4), dtype=np.float32))
+        out = pos(x).data
+        # Different positions must differ (embeddings are random nonzero).
+        assert not np.allclose(out[0, 0], out[0, 1])
+
+    def test_length_check(self, rng):
+        pos = nn.LearnedPositionalEmbedding(4, 4, rng=rng)
+        with pytest.raises(ValueError):
+            pos(Tensor(np.zeros((1, 5, 4), dtype=np.float32)))
+
+
+class TestEncoderLayer:
+    def test_shape_preserved(self, rng):
+        layer = nn.TransformerEncoderLayer(8, 2, rng=rng)
+        layer.eval()
+        x = Tensor(rng.standard_normal((2, 5, 8)).astype(np.float32))
+        assert layer(x).shape == (2, 5, 8)
+
+    def test_mask_respected(self, rng):
+        layer = nn.TransformerEncoderLayer(8, 2, dropout=0.0, rng=rng)
+        layer.eval()
+        x = Tensor(rng.standard_normal((1, 4, 8)).astype(np.float32))
+        out_full = layer(x).data
+        out_masked = layer(x, mask=np.array([[1, 1, 1, 0]])).data
+        assert not np.allclose(out_full[:, 0], out_masked[:, 0])
+
+    def test_gradients(self, rng):
+        layer = nn.TransformerEncoderLayer(4, 1, dropout=0.0, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32),
+                   requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert layer.ffn_in.weight.grad is not None
+
+
+class TestEncoderStack:
+    def test_multiple_layers(self, rng):
+        enc = nn.TransformerEncoder(8, 2, num_layers=3, dropout=0.0, rng=rng)
+        enc.eval()
+        x = Tensor(rng.standard_normal((2, 4, 8)).astype(np.float32))
+        assert enc(x).shape == (2, 4, 8)
+        assert len(enc.layers) == 3
+
+    def test_layers_have_distinct_parameters(self, rng):
+        enc = nn.TransformerEncoder(4, 1, num_layers=2, rng=rng)
+        w0 = enc.layers[0].ffn_in.weight.data
+        w1 = enc.layers[1].ffn_in.weight.data
+        assert not np.allclose(w0, w1)

@@ -1,0 +1,110 @@
+"""Property-based tests for session filtering, splitting, and metrics."""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.loader import SessionBatcher
+from repro.data.schema import Session
+from repro.data.sessions import filter_sessions, split_sessions
+from repro.eval.metrics import (
+    hit_rate_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    top_k_from_scores,
+)
+
+
+@st.composite
+def session_lists(draw):
+    n = draw(st.integers(0, 30))
+    sessions = []
+    for i in range(n):
+        length = draw(st.integers(2, 6))
+        items = [draw(st.integers(1, 12)) for _ in range(length)]
+        sessions.append(Session(items, user_id=i % 5, day=i))
+    return sessions
+
+
+class TestFilterInvariants:
+    @given(session_lists(), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_support_invariant_holds(self, sessions, min_support):
+        filtered, remap = filter_sessions(sessions,
+                                          min_item_support=min_support)
+        support = Counter(i for s in filtered for i in s.items)
+        assert all(c >= min_support for c in support.values())
+
+    @given(session_lists(), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_all_sessions_long_enough(self, sessions, min_support):
+        filtered, _ = filter_sessions(sessions, min_item_support=min_support)
+        assert all(len(s) >= 2 for s in filtered)
+
+    @given(session_lists(), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_remap_contiguous(self, sessions, min_support):
+        filtered, remap = filter_sessions(sessions,
+                                          min_item_support=min_support)
+        if remap:
+            assert sorted(remap.values()) == list(range(1, len(remap) + 1))
+
+    @given(session_lists(), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_filtering_is_idempotent(self, sessions, min_support):
+        once, _ = filter_sessions(sessions, min_item_support=min_support)
+        twice, remap = filter_sessions(once, min_item_support=min_support)
+        assert [s.items for s in twice] == [
+            [remap[i] for i in s.items] for s in once]
+
+
+class TestSplitInvariants:
+    @given(st.integers(0, 200), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_split_partitions_exactly(self, n, seed):
+        sessions = [Session([1, 2], u, 0) for u in range(n)]
+        split = split_sessions(sessions, rng=np.random.default_rng(seed))
+        assert (len(split.train) + len(split.validation)
+                + len(split.test)) == n
+
+
+class TestBatcherInvariants:
+    @given(session_lists(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_every_example_served_once(self, sessions, batch_size):
+        batcher = SessionBatcher(sessions, batch_size=batch_size,
+                                 shuffle=False)
+        served = sum(b.batch_size for b in batcher)
+        assert served == batcher.num_examples
+
+    @given(session_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_mask_consistent_with_items(self, sessions):
+        batcher = SessionBatcher(sessions, batch_size=8, shuffle=False)
+        for batch in batcher:
+            np.testing.assert_array_equal(batch.mask > 0, batch.items != 0)
+            np.testing.assert_array_equal(batch.lengths,
+                                          batch.mask.sum(axis=1))
+
+
+class TestMetricInvariants:
+    @given(st.integers(1, 20), st.integers(1, 10), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_metric_ordering(self, n_rows, k, seed):
+        rng = np.random.default_rng(seed)
+        ranked = [rng.permutation(30)[:k].tolist() for _ in range(n_rows)]
+        targets = rng.integers(0, 30, size=n_rows).tolist()
+        hr = hit_rate_at_k(ranked, targets, k)
+        ndcg = ndcg_at_k(ranked, targets, k)
+        mrr = mrr_at_k(ranked, targets, k)
+        assert 0.0 <= mrr <= ndcg <= hr <= 1.0
+
+    @given(st.integers(1, 10), st.integers(1, 15), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_top_k_sorted_descending(self, rows, k, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.standard_normal((rows, 20))
+        ranked = top_k_from_scores(scores, k)
+        picked = np.take_along_axis(scores, ranked, axis=1)
+        assert (np.diff(picked, axis=1) <= 1e-12).all()

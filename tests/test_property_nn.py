@@ -1,0 +1,94 @@
+"""Property-based tests at the nn and KG-builder level."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.data.schema import Session
+from repro.data.loader import SessionBatcher
+from repro.kg.builder import build_amazon_kg
+from repro.nn.graph import build_session_graph
+from repro.nn.rnn import GRU
+
+
+class TestGRUMaskProperty:
+    @given(st.integers(1, 6), st.integers(1, 5), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_right_padding_never_changes_final_state(self, length, pad,
+                                                     seed):
+        rng = np.random.default_rng(seed)
+        gru = GRU(4, 5, rng=rng)
+        x = rng.standard_normal((1, length, 4)).astype(np.float32)
+        padded = np.concatenate(
+            [x, np.zeros((1, pad, 4), dtype=np.float32)], axis=1)
+        mask = np.concatenate([np.ones((1, length), dtype=np.float32),
+                               np.zeros((1, pad), dtype=np.float32)],
+                              axis=1)
+        _, clean = gru(Tensor(x))
+        _, masked = gru(Tensor(padded), mask=mask)
+        np.testing.assert_allclose(masked.data, clean.data,
+                                   rtol=1e-4, atol=1e-5)
+
+
+class TestSessionGraphProperties:
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_rows_normalized(self, items):
+        arr = np.array(items, dtype=np.int64)
+        _, adj_in, adj_out, _ = build_session_graph(arr)
+        for row in adj_out:
+            total = row.sum()
+            assert total == 0 or abs(total - 1.0) < 1e-5
+        for row in adj_in:
+            total = row.sum()
+            assert total == 0 or abs(total - 1.0) < 1e-5
+
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_alias_maps_into_nodes(self, items):
+        arr = np.array(items, dtype=np.int64)
+        nodes, _, _, alias = build_session_graph(arr)
+        assert len(alias) == len(arr)
+        for pos, node_idx in enumerate(alias):
+            assert nodes[node_idx] == arr[pos]
+
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_nodes_are_distinct(self, items):
+        nodes, _, _, _ = build_session_graph(np.array(items))
+        assert len(set(nodes.tolist())) == len(nodes)
+
+
+class TestBatcherTruncationProperty:
+    @given(st.lists(st.integers(1, 20), min_size=2, max_size=30),
+           st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_last_item_always_prefix_tail(self, items, max_length):
+        session = Session(items, user_id=0, day=0)
+        batcher = SessionBatcher([session], batch_size=1,
+                                 max_length=max_length, shuffle=False)
+        batch = next(iter(batcher))
+        assert batch.last_items[0] == items[-2]
+        assert batch.targets[0] == items[-1]
+        assert batch.items.shape[1] <= max_length
+
+
+class TestKGBuilderProperty:
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_metadata_edges_symmetric(self, seed):
+        from repro.data import AmazonLikeGenerator
+
+        ds = AmazonLikeGenerator("beauty", scale="tiny",
+                                 seed=seed % 1000).generate()
+        built = build_amazon_kg(ds)
+        kg = built.kg
+        heads, rels, tails = kg.triples()
+        co = kg.relation_id("co_occur")
+        # Every non-co_occur edge must have its mirror.
+        sample = np.random.default_rng(seed % 97).choice(
+            len(heads), size=min(300, len(heads)), replace=False)
+        for i in sample:
+            if rels[i] == co:
+                continue
+            assert kg.has_edge(int(tails[i]), int(rels[i]), int(heads[i]))

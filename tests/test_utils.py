@@ -1,0 +1,44 @@
+"""Unit tests for shared utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Stopwatch, batched, make_rng, spawn_rngs
+
+
+class TestRngs:
+    def test_make_rng_deterministic(self):
+        a = make_rng(5).random(3)
+        b = make_rng(5).random(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, 3)
+        assert len(rngs) == 3
+        draws = [r.random(4) for r in rngs]
+        assert not np.allclose(draws[0], draws[1])
+
+    def test_spawn_reproducible(self):
+        a = [r.random(2) for r in spawn_rngs(1, 2)]
+        b = [r.random(2) for r in spawn_rngs(1, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x, y)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+
+
+class TestBatched:
+    def test_chunks(self):
+        chunks = list(batched(np.arange(7), 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        np.testing.assert_array_equal(np.concatenate(chunks), np.arange(7))
+
+    def test_empty(self):
+        assert list(batched(np.arange(0), 4)) == []

@@ -32,6 +32,7 @@ from repro.core import (
     REKSTrainer,
     RewardComputer,
     RewardWeights,
+    RolloutWorkspace,
 )
 from repro.data import (
     AmazonLikeGenerator,
@@ -68,6 +69,7 @@ __all__ = [
     "RewardWeights",
     "PolicyNetwork",
     "KGEnvironment",
+    "RolloutWorkspace",
     "Explainer",
     "Explanation",
     "RecommendedItem",

@@ -23,7 +23,11 @@ import numpy as np
 from repro.autograd import functional as F, no_grad
 from repro.autograd.tensor import Tensor
 from repro.core.config import REKSConfig
-from repro.core.environment import KGEnvironment, Rollout
+from repro.core.environment import (
+    KGEnvironment,
+    Rollout,
+    RolloutWorkspace,
+)
 from repro.core.policy import PolicyNetwork
 from repro.core.rewards import RewardComputer
 from repro.data.loader import SessionBatch
@@ -60,7 +64,8 @@ class REKSAgent(Module):
 
     def __init__(self, encoder: SessionEncoder, policy: PolicyNetwork,
                  env: KGEnvironment, rewards: RewardComputer,
-                 config: REKSConfig) -> None:
+                 config: REKSConfig,
+                 workspace: Optional[RolloutWorkspace] = None) -> None:
         super().__init__()
         self.encoder = encoder
         self.policy = policy
@@ -68,6 +73,8 @@ class REKSAgent(Module):
         self.rewards = rewards
         self.config = config
         self.n_items = env.built.n_items
+        self.workspace = workspace if workspace is not None \
+            else RolloutWorkspace()
         self._rng = np.random.default_rng(config.seed + 101)
 
     # ------------------------------------------------------------------
@@ -90,27 +97,49 @@ class REKSAgent(Module):
         for hop, k in enumerate(sizes):
             if len(sess_idx) == 0:
                 break
-            rels, tails, mask = self.env.batched_actions(
-                ent_hist[:, -1], visited=ent_hist)
-            se_paths = session_repr[sess_idx]
-            log_probs = self.policy.step(se_paths, ent_hist[:, -1], prev_rel,
-                                         rels, tails, mask)
-            rows, cols = self._select(log_probs.data, mask, k, stochastic)
-            if len(rows) == 0:
+            sel_rows, sel_rels, sel_tails, logp_parts = [], [], [], []
+            # Buckets are consumed one at a time so the workspace's
+            # scratch buffers can be recycled between them.
+            for bucket in self.env.iter_frontier_buckets(
+                    ent_hist[:, -1], visited=ent_hist,
+                    num_buckets=cfg.frontier_buckets,
+                    workspace=self.workspace):
+                rows_g = bucket.rows
+                se_paths = session_repr[sess_idx[rows_g]]
+                prev = None if prev_rel is None else prev_rel[rows_g]
+                log_probs = self.policy.step(
+                    se_paths, ent_hist[rows_g, -1], prev,
+                    bucket.rels, bucket.tails, bucket.mask)
+                rows, cols = self._select(log_probs.data, bucket.mask, k,
+                                          stochastic)
+                if len(rows) == 0:
+                    continue
+                logp_parts.append(log_probs[rows, cols])
+                sel_rows.append(rows_g[rows])
+                sel_rels.append(bucket.rels[rows, cols])
+                sel_tails.append(bucket.tails[rows, cols])
+            if not sel_rows:
+                # Every surviving path dead-ended: return a rollout
+                # that is empty but shape-consistent.
                 sess_idx = sess_idx[:0]
+                ent_hist = ent_hist[:0]
+                rel_hist = rel_hist[:0]
+                log_prob = None
                 break
-            step_logp = log_probs[rows, cols]
+            rows = np.concatenate(sel_rows)
+            step_logp = (logp_parts[0] if len(logp_parts) == 1
+                         else F.concat(logp_parts, axis=0))
             log_prob = (step_logp if log_prob is None
                         else log_prob[rows] + step_logp)
             sess_idx = sess_idx[rows]
             ent_hist = np.concatenate(
-                [ent_hist[rows], tails[rows, cols][:, None]], axis=1)
+                [ent_hist[rows], np.concatenate(sel_tails)[:, None]], axis=1)
             rel_hist = np.concatenate(
-                [rel_hist[rows], rels[rows, cols][:, None]], axis=1)
+                [rel_hist[rows], np.concatenate(sel_rels)[:, None]], axis=1)
             prev_rel = rel_hist[:, -1]
 
         prob = (np.exp(log_prob.data.astype(np.float64))
-                if log_prob is not None else np.zeros(0))
+                if log_prob is not None else np.zeros(len(sess_idx)))
         return Rollout(session_idx=sess_idx, entities=ent_hist,
                        relations=rel_hist, prob=prob, log_prob=log_prob)
 

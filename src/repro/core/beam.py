@@ -29,18 +29,19 @@ def enumerate_paths(built: BuiltKG, start: int, length: int,
     """All simple paths of exactly ``length`` hops from ``start``.
 
     Exhaustive, so only suitable for small KGs / short lengths; raises
-    if the path count exceeds ``max_paths`` (a fan-out guard).
+    as soon as the path count would exceed ``max_paths`` (a fan-out
+    guard) — at most ``max_paths`` paths are ever accumulated.
     """
     paths: List[SemanticPath] = []
     stack: List[Tuple[List[int], List[int]]] = [([start], [])]
     while stack:
         entities, relations = stack.pop()
         if len(relations) == length:
-            paths.append(SemanticPath(entities=list(entities),
-                                      relations=list(relations), prob=0.0))
-            if len(paths) > max_paths:
+            if len(paths) >= max_paths:
                 raise RuntimeError(
                     f"more than {max_paths} paths from entity {start}")
+            paths.append(SemanticPath(entities=list(entities),
+                                      relations=list(relations), prob=0.0))
             continue
         rels, tails = built.kg.neighbors(entities[-1])
         visited = set(entities)
@@ -81,13 +82,19 @@ def beam_diagnostics(agent, batch: SessionBatch) -> BeamDiagnostics:
     counts = np.bincount(rollout.session_idx, minlength=batch_size)
     items = agent.env.built.items_of_entities(rollout.terminals)
 
+    # Vectorized per-session tallies: unique (session, item) pairs give
+    # the candidate counts; a target hit is any path whose terminal
+    # item equals its session's target.  No Python loop over the batch.
     candidates = np.zeros(batch_size)
     reached = np.zeros(batch_size, dtype=bool)
-    for row in range(batch_size):
-        mask = rollout.session_idx == row
-        row_items = set(items[mask].tolist()) - {0}
-        candidates[row] = len(row_items)
-        reached[row] = batch.targets[row] in row_items
+    valid = items > 0
+    if valid.any():
+        pairs = np.unique(
+            np.stack([rollout.session_idx[valid], items[valid]], axis=1),
+            axis=0)
+        candidates += np.bincount(pairs[:, 0], minlength=batch_size)
+        hits = items == np.asarray(batch.targets)[rollout.session_idx]
+        reached[rollout.session_idx[hits & valid]] = True
     mass = np.bincount(rollout.session_idx, weights=rollout.prob,
                        minlength=batch_size)
     return BeamDiagnostics(

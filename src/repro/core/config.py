@@ -32,6 +32,11 @@ class REKSConfig:
     sample_sizes: Tuple[int, ...] = (100, 1)
     action_cap: int = 250          # prune huge action spaces (PGPR-style)
     start_from: str = "last_item"  # or "user" (Fig. 4 ablation)
+    # Degree-bucketed frontier padding: split each hop's frontier into
+    # this many degree-quantile buckets so a single hub entity doesn't
+    # inflate the pad width for the whole batch.  1 = one rectangle
+    # per hop (the paper's layout and the default).
+    frontier_buckets: int = 1
 
     # Reward (Eq. 5): weights of (item, rank, path) components.
     reward_weights: Tuple[float, float, float] = (1.0, 2.0, 1.0)
@@ -83,6 +88,9 @@ class REKSConfig:
                 f"{self.path_length} but sample_sizes={self.sample_sizes}")
         if self.train_selection not in ("top", "sample"):
             raise ValueError("train_selection must be 'top' or 'sample'")
+        if self.frontier_buckets < 1:
+            raise ValueError(
+                f"frontier_buckets must be >= 1, got {self.frontier_buckets}")
 
     @classmethod
     def for_ablation(cls, name: str, **overrides) -> "REKSConfig":

@@ -3,16 +3,37 @@
 States are (session, current KG position) pairs; the *action space* of
 an entity is its outgoing edge set minus already-visited entities
 (self-loops back along the path are forbidden); transitions are
-deterministic (Eq. 10).  This module owns the vectorized action-space
-construction: per-entity neighbor arrays are precomputed once (pruned
-to ``action_cap`` edges PGPR-style) and batches of frontier entities
-are padded into rectangular ``(N, A)`` arrays for the policy network.
+deterministic (Eq. 10).
+
+This module owns the vectorized action-space construction.  The capped
+adjacency (pruned to ``action_cap`` edges PGPR-style) is stored as one
+flat **CSR** triple — ``indptr`` / ``rels`` / ``tails`` int32 arrays
+built once from :class:`~repro.kg.builder.BuiltKG` — so a whole
+frontier of entities is padded into rectangular ``(N, A)`` arrays by a
+single gather + broadcast mask, with no Python loop over the frontier:
+
+* ``indptr[e]:indptr[e + 1]`` delimits entity ``e``'s outgoing edges
+  inside the flat ``rels``/``tails`` arrays (``actions_of`` is two
+  O(1) slices);
+* ``batched_actions`` broadcasts ``indptr[frontier] + arange(A)``
+  against the per-row degrees to build the gather index and legality
+  mask in one shot; padded cells read a sentinel slot and are zeroed.
+
+Two scale features sit on top of the CSR core:
+
+* **degree-bucketed frontiers** (:meth:`KGEnvironment.iter_frontier_buckets`)
+  group frontier rows by degree quantile so one mega-hub entity does
+  not inflate the pad width ``A`` for the entire batch — each bucket
+  gets its own rectangle, sized to its own largest degree;
+* a :class:`RolloutWorkspace` recycles the per-hop gather/mask scratch
+  buffers across :meth:`REKSAgent.walk` calls instead of reallocating
+  them every hop (see the class docstring for the aliasing contract).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -47,40 +68,122 @@ class Rollout:
         return self.entities[:, -1]
 
 
+@dataclass
+class FrontierBucket:
+    """One degree-homogeneous slice of a frontier.
+
+    ``rows`` indexes back into the frontier this bucket was cut from;
+    the action arrays are rectangular over this bucket only, so the pad
+    width equals the bucket's (not the whole frontier's) max degree.
+    """
+
+    rows: np.ndarray     # (M,) frontier-row indices covered
+    rels: np.ndarray     # (M, A_bucket)
+    tails: np.ndarray    # (M, A_bucket)
+    mask: np.ndarray     # (M, A_bucket) True for legal actions
+
+
+class RolloutWorkspace:
+    """Grow-only scratch buffers recycled across frontier constructions.
+
+    ``batched_actions`` materializes each frontier as rectangular
+    ``(N, A)`` arrays; at serving scale those allocations dominate the
+    per-hop cost.  A workspace keeps one buffer per role — rows grow
+    geometrically, columns track the max width seen (bounded by
+    ``action_cap``) — and hands out ``(N, A)`` views.
+
+    Aliasing contract: arrays returned by a workspace-backed
+    ``batched_actions`` call are views into these buffers and are
+    valid only until the next call with the same workspace — consume
+    (or copy out of) each frontier before requesting the next one,
+    which is exactly how :meth:`REKSAgent.walk` iterates buckets.
+    Recycling is safe even on the autograd tape because no backward
+    closure ever captures a buffer: ``masked_fill`` retains the fresh
+    ``~mask`` inversion rather than ``mask``, the gather index never
+    reaches the tape, and embedding lookups upcast the int32
+    ``rels``/``tails`` views to fresh int64 arrays before the
+    scatter-add closure retains them (``tests/test_env_differential``
+    pins that invariant end-to-end).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def buffer(self, name: str, n: int, width: int, dtype) -> np.ndarray:
+        """A ``(n, width)`` view of the named buffer, growing if needed."""
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape[0] < n or buf.shape[1] < width:
+            # Rows grow geometrically; columns grow exact-fit to the
+            # running max width.  Over-allocating columns would make
+            # every handed-out view row-strided (non-contiguous),
+            # slowing all downstream ufuncs; width is bounded by
+            # action_cap and saturates after the first few frontiers,
+            # so exact-fit reallocations are finitely bounded while
+            # views stay contiguous whenever width == buffer width.
+            rows = n if buf is None else max(n, 2 * buf.shape[0])
+            cols = width if buf is None else max(width, buf.shape[1])
+            buf = np.empty((max(rows, 1), max(cols, 1)), dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:n, :width]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
 class KGEnvironment:
-    """Precomputed, capped adjacency with batched action-space queries."""
+    """Flat-CSR capped adjacency with batched action-space queries."""
 
     def __init__(self, built: BuiltKG, action_cap: int = 250,
                  seed: int = 0) -> None:
         self.built = built
         self.kg = built.kg
         self.action_cap = action_cap
+        indptr, rels, tails = built.adjacency_csr()
+        degrees = np.diff(indptr).astype(np.int64)
         rng = np.random.default_rng(seed)
-        self._rels: List[np.ndarray] = []
-        self._tails: List[np.ndarray] = []
-        for entity in range(self.kg.num_entities):
-            rels, tails = self.kg.neighbors(entity)
-            if len(tails) > action_cap:
+        over = np.flatnonzero(degrees > action_cap)
+        if over.size:
+            keep = np.ones(rels.shape[0], dtype=bool)
+            for entity in over:  # hubs only — a one-time build cost
+                start, stop = int(indptr[entity]), int(indptr[entity + 1])
                 # Uniform subsample keeps the relation-type mix unbiased
                 # (a head-truncation would drop whole relation blocks).
-                pick = rng.choice(len(tails), size=action_cap, replace=False)
+                pick = rng.choice(stop - start, size=action_cap,
+                                  replace=False)
                 pick.sort()
-                rels, tails = rels[pick], tails[pick]
-            self._rels.append(np.ascontiguousarray(rels))
-            self._tails.append(np.ascontiguousarray(tails))
-        self._degrees = np.array([len(t) for t in self._tails], dtype=np.int64)
+                block = np.zeros(stop - start, dtype=bool)
+                block[pick] = True
+                keep[start:stop] = block
+            rels, tails = rels[keep], tails[keep]
+            degrees = np.minimum(degrees, action_cap)
+        # int32 throughout: halves the memory traffic of the per-hop
+        # gathers, and no KG here approaches 2^31 entities or edges.
+        self._degrees = degrees.astype(np.int32)
+        # Slot 0 of the flat arrays is a zero sentinel; real edges
+        # start at 1, so ``indptr`` is offset by one and the batched
+        # gather can redirect every padded cell to slot 0 with a single
+        # ``idx *= mask`` — bounds-safe and zero-padded in one pass.
+        self._indptr = np.concatenate(
+            [[1], 1 + np.cumsum(degrees)]).astype(np.int32)
+        self._flat_rels = np.concatenate(
+            [np.zeros(1, dtype=np.int32), rels.astype(np.int32)])
+        self._flat_tails = np.concatenate(
+            [np.zeros(1, dtype=np.int32), tails.astype(np.int32)])
 
     # ------------------------------------------------------------------
     def degree(self, entity: int) -> int:
         return int(self._degrees[entity])
 
     def actions_of(self, entity: int) -> Tuple[np.ndarray, np.ndarray]:
-        """(relations, tails) of one entity after capping."""
-        return self._rels[entity], self._tails[entity]
+        """(relations, tails) of one entity after capping (CSR slices)."""
+        start, stop = self._indptr[entity], self._indptr[entity + 1]
+        return self._flat_rels[start:stop], self._flat_tails[start:stop]
 
-    def batched_actions(self, entities: np.ndarray, visited: np.ndarray
+    def batched_actions(self, entities: np.ndarray, visited: np.ndarray,
+                        workspace: Optional[RolloutWorkspace] = None
                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Padded action arrays for a frontier.
+        """Padded action arrays for a frontier — one gather, no row loop.
 
         Parameters
         ----------
@@ -89,29 +192,125 @@ class KGEnvironment:
         visited:
             ``(N, V)`` entities already on each path (including the
             current one); matching tails are masked out.
+        workspace:
+            Optional scratch-buffer pool.  When given, the returned
+            arrays are views into its buffers, valid only until the
+            next call with the same workspace (see
+            :class:`RolloutWorkspace` for why that is tape-safe).
 
         Returns
         -------
         (relations, tails, mask):
-            ``(N, A)`` arrays; ``mask`` is True for legal actions.
+            ``(N, A)`` arrays with ``A = max(frontier degrees, 1)``;
+            ``mask`` is True for legal actions and padded cells hold 0.
         """
         entities = np.asarray(entities, dtype=np.int64)
         n = len(entities)
-        width = int(self._degrees[entities].max()) if n else 0
-        width = max(width, 1)
-        rels = np.zeros((n, width), dtype=np.int64)
-        tails = np.zeros((n, width), dtype=np.int64)
-        mask = np.zeros((n, width), dtype=bool)
-        for i, entity in enumerate(entities):
-            deg = self._degrees[entity]
-            if deg == 0:
-                continue
-            rels[i, :deg] = self._rels[entity]
-            tails[i, :deg] = self._tails[entity]
-            mask[i, :deg] = True
-        for col in range(visited.shape[1]):
-            mask &= tails != visited[:, col:col + 1]
+
+        # Beam frontiers repeat entities heavily (wide beams fan into
+        # shared hub tails), so when the frontier is duplicate-rich we
+        # gather the grid once per *distinct* entity and row-expand —
+        # the dominant random gather shrinks to the unique count and
+        # the expansion is a contiguous row copy.  Only attempted when
+        # the pigeonhole bound guarantees a >= 2x duplication factor,
+        # so the sort inside np.unique can never be wasted work.
+        uniq = inverse = None
+        if n >= 64 and n >= 2 * self.kg.num_entities:
+            uniq, inverse = np.unique(entities, return_inverse=True)
+        if uniq is None:
+            rels, tails, mask = self._gather_grid(entities, workspace)
+            width = rels.shape[1]
+        else:
+            rels_u, tails_u, mask_u = self._gather_grid(uniq, None)
+            width = rels_u.shape[1]
+            if workspace is not None:
+                rels = workspace.buffer("rels", n, width, np.int32)
+                tails = workspace.buffer("tails", n, width, np.int32)
+                mask = workspace.buffer("mask", n, width, bool)
+                np.take(rels_u, inverse, axis=0, out=rels)
+                np.take(tails_u, inverse, axis=0, out=tails)
+                np.take(mask_u, inverse, axis=0, out=mask)
+            else:
+                rels = np.take(rels_u, inverse, axis=0)
+                tails = np.take(tails_u, inverse, axis=0)
+                mask = np.take(mask_u, inverse, axis=0)
+
+        if workspace is not None:
+            scratch = workspace.buffer("scratch", n, width, bool)
+        else:
+            scratch = np.empty((n, width), dtype=bool)
+        visited = np.asarray(visited)
+        if visited.dtype != np.int32:
+            visited = visited.astype(np.int32)  # (N, V) — tiny copy
+        for col in range(visited.shape[1]):  # path length, not frontier
+            np.not_equal(tails, visited[:, col:col + 1], out=scratch)
+            np.logical_and(mask, scratch, out=mask)
         return rels, tails, mask
+
+    def _gather_grid(self, entities: np.ndarray,
+                     workspace: Optional[RolloutWorkspace]
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Visited-agnostic ``(N, A)`` action grid for given entities."""
+        n = len(entities)
+        degs = np.take(self._degrees, entities)
+        width = int(degs.max()) if n else 0
+        width = max(width, 1)
+
+        if workspace is not None:
+            idx = workspace.buffer("idx", n, width, np.int32)
+            mask = workspace.buffer("mask", n, width, bool)
+            rels = workspace.buffer("rels", n, width, np.int32)
+            tails = workspace.buffer("tails", n, width, np.int32)
+        else:
+            idx = np.empty((n, width), dtype=np.int32)
+            mask = np.empty((n, width), dtype=bool)
+            rels = np.empty((n, width), dtype=np.int32)
+            tails = np.empty((n, width), dtype=np.int32)
+
+        cols = np.arange(width, dtype=np.int32)
+        np.less(cols[None, :], degs[:, None], out=mask)
+        np.add(np.take(self._indptr, entities)[:, None], cols[None, :],
+               out=idx)
+        # One pass redirects every padded cell to the zero-sentinel
+        # slot 0: the gather stays in bounds and pads read as 0.
+        np.multiply(idx, mask, out=idx)
+        np.take(self._flat_rels, idx, out=rels)
+        np.take(self._flat_tails, idx, out=tails)
+        return rels, tails, mask
+
+    def iter_frontier_buckets(self, entities: np.ndarray,
+                              visited: np.ndarray, num_buckets: int = 1,
+                              workspace: Optional[RolloutWorkspace] = None
+                              ) -> Iterator[FrontierBucket]:
+        """Yield the frontier as degree-quantile buckets.
+
+        With ``num_buckets <= 1`` (the default) this is a single bucket
+        covering every row — identical arrays to ``batched_actions``.
+        With more buckets, rows are grouped by degree quantile so each
+        rectangle is padded only to its own bucket's max degree; a lone
+        mega-hub then costs one narrow bucket instead of widening the
+        whole batch.
+
+        Buckets are yielded lazily and may share ``workspace`` buffers:
+        consume each bucket fully before advancing the iterator.
+        """
+        entities = np.asarray(entities, dtype=np.int64)
+        n = len(entities)
+        if num_buckets <= 1 or n <= num_buckets:
+            rels, tails, mask = self.batched_actions(
+                entities, visited, workspace=workspace)
+            yield FrontierBucket(rows=np.arange(n, dtype=np.int64),
+                                 rels=rels, tails=tails, mask=mask)
+            return
+        order = np.argsort(self._degrees[entities], kind="stable")
+        for chunk in np.array_split(order, num_buckets):
+            if chunk.size == 0:
+                continue
+            rows = np.sort(chunk)
+            rels, tails, mask = self.batched_actions(
+                entities[rows], visited[rows], workspace=workspace)
+            yield FrontierBucket(rows=rows, rels=rels, tails=tails,
+                                 mask=mask)
 
     # ------------------------------------------------------------------
     def start_entities(self, batch: SessionBatch, start_from: str) -> np.ndarray:

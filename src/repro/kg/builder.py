@@ -42,6 +42,18 @@ class BuiltKG:
     def items_of_entities(self, entities: np.ndarray) -> np.ndarray:
         return self.entity_item[np.asarray(entities, dtype=np.int64)]
 
+    def adjacency_csr(self) -> tuple:
+        """``(indptr, rels, tails)`` CSR view of the finalized adjacency.
+
+        ``indptr`` has ``num_entities + 1`` offsets; entity ``e``'s
+        outgoing edges are ``rels[indptr[e]:indptr[e + 1]]`` /
+        ``tails[indptr[e]:indptr[e + 1]]``.  This is the layout the
+        REKS environment consumes directly — edges are sorted by head
+        (the graph's finalize order), so within-entity edge order
+        matches :meth:`KnowledgeGraph.neighbors`.
+        """
+        return self.kg.adjacency_csr()
+
     @property
     def n_items(self) -> int:
         return len(self.item_entity) - 1

@@ -155,6 +155,16 @@ class KnowledgeGraph:
         self._require_finalized()
         return self._heads_flat, self._adj_rels, self._adj_tails
 
+    def adjacency_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(offsets, rels, tails)`` — the finalized CSR arrays.
+
+        Views of the internal adjacency (no copy): entity ``e``'s
+        outgoing edges are ``rels[offsets[e]:offsets[e + 1]]`` /
+        ``tails[offsets[e]:offsets[e + 1]]``, in finalize order.
+        """
+        self._require_finalized()
+        return self._offsets, self._adj_rels, self._adj_tails
+
     def neighbors(self, entity: int) -> Tuple[np.ndarray, np.ndarray]:
         """Outgoing ``(relations, tails)`` of ``entity`` (views, no copy)."""
         self._require_finalized()

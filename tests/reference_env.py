@@ -1,0 +1,72 @@
+"""Loop-based reference implementation of the KG environment.
+
+This is the pre-CSR ``KGEnvironment`` kept verbatim as a differential
+oracle: per-entity neighbor lists built one entity at a time, and
+``batched_actions`` padding the frontier with a Python loop over its
+rows.  It is deliberately slow and deliberately unchanged — the CSR
+environment in :mod:`repro.core.environment` must return the same
+legal-action sets (see ``test_env_differential.py``), and the micro
+benchmark measures its throughput against the vectorized version.
+
+Both implementations consume the action-cap subsampling RNG in the
+same order (entities ascending, one draw per over-cap entity), so with
+equal seeds the capped adjacencies are bit-identical, not merely
+equivalent up to reordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kg.builder import BuiltKG
+
+
+class ReferenceKGEnvironment:
+    """Per-entity-list adjacency with loop-padded action-space queries."""
+
+    def __init__(self, built: BuiltKG, action_cap: int = 250,
+                 seed: int = 0) -> None:
+        self.built = built
+        self.kg = built.kg
+        self.action_cap = action_cap
+        rng = np.random.default_rng(seed)
+        self._rels: List[np.ndarray] = []
+        self._tails: List[np.ndarray] = []
+        for entity in range(self.kg.num_entities):
+            rels, tails = self.kg.neighbors(entity)
+            if len(tails) > action_cap:
+                pick = rng.choice(len(tails), size=action_cap, replace=False)
+                pick.sort()
+                rels, tails = rels[pick], tails[pick]
+            self._rels.append(np.ascontiguousarray(rels))
+            self._tails.append(np.ascontiguousarray(tails))
+        self._degrees = np.array([len(t) for t in self._tails],
+                                 dtype=np.int64)
+
+    def degree(self, entity: int) -> int:
+        return int(self._degrees[entity])
+
+    def actions_of(self, entity: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._rels[entity], self._tails[entity]
+
+    def batched_actions(self, entities: np.ndarray, visited: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        entities = np.asarray(entities, dtype=np.int64)
+        n = len(entities)
+        width = int(self._degrees[entities].max()) if n else 0
+        width = max(width, 1)
+        rels = np.zeros((n, width), dtype=np.int64)
+        tails = np.zeros((n, width), dtype=np.int64)
+        mask = np.zeros((n, width), dtype=bool)
+        for i, entity in enumerate(entities):
+            deg = self._degrees[entity]
+            if deg == 0:
+                continue
+            rels[i, :deg] = self._rels[entity]
+            tails[i, :deg] = self._tails[entity]
+            mask[i, :deg] = True
+        for col in range(visited.shape[1]):
+            mask &= tails != visited[:, col:col + 1]
+        return rels, tails, mask

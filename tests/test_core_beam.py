@@ -43,6 +43,18 @@ class TestEnumeration:
         with pytest.raises(RuntimeError):
             enumerate_paths(beauty_kg, start, length=2, max_paths=3)
 
+    def test_fanout_guard_boundary(self, beauty_kg):
+        """The guard fires *before* the list exceeds ``max_paths``."""
+        start = int(beauty_kg.item_entity[1])
+        total = len(enumerate_paths(beauty_kg, start, length=2))
+        # Exactly at the limit: succeeds with exactly `total` paths.
+        assert len(enumerate_paths(beauty_kg, start, length=2,
+                                   max_paths=total)) == total
+        # One below: raises rather than accumulating total paths first.
+        with pytest.raises(RuntimeError):
+            enumerate_paths(beauty_kg, start, length=2,
+                            max_paths=total - 1)
+
     def test_reachable_items_are_items(self, beauty_kg, beauty_tiny):
         start = int(beauty_kg.item_entity[1])
         items = reachable_items(beauty_kg, start, length=2)

@@ -33,6 +33,13 @@ class TestValidation:
         with pytest.raises(ValueError):
             REKSConfig(train_selection="greedy")
 
+    def test_frontier_buckets_default_off(self):
+        assert REKSConfig().frontier_buckets == 1
+
+    def test_bad_frontier_buckets(self):
+        with pytest.raises(ValueError):
+            REKSConfig(frontier_buckets=0)
+
 
 class TestAblationPresets:
     def test_loss_variants(self):

@@ -1,0 +1,5 @@
+"""Benchmark harness package (enables ``python -m benchmarks.<name>``).
+
+Benchmarks remain directly runnable as scripts and collectable by
+pytest; this package marker only adds the ``-m`` entry points.
+"""

@@ -1,0 +1,105 @@
+"""Load benchmark for the request-coalescing serving subsystem.
+
+Measures naive one-session-per-call throughput against the coalescing
+:class:`~repro.serving.RecommendationServer` (cold cache) and the
+cache-warm replay, across a concurrency sweep, and writes
+``benchmarks/results/BENCH_serving.json``.
+
+Run it any of three ways::
+
+    python -m benchmarks.bench_serving --quick   # single quick config
+    python benchmarks/bench_serving.py           # full sweep
+    pytest benchmarks/bench_serving.py -m slow -s # sweep as a test
+
+The pytest sweep is marked ``slow`` (excluded from tier-1); the quick
+mode is the same configuration the ``serve-bench --quick`` CLI
+acceptance run uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RESULTS_DIR, bench_scale, get_world  # noqa: E402
+from repro import REKSConfig, REKSTrainer  # noqa: E402
+from repro.serving.bench import (  # noqa: E402
+    check_determinism,
+    emit,
+    format_report,
+    run_serving_bench,
+)
+
+CONCURRENCY_SWEEP = (1, 8, 32)
+SPEEDUP_FLOOR = 2.0  # acceptance bar at concurrency 32
+
+
+def make_trainer() -> REKSTrainer:
+    """An inference-ready REKS stack (training does not affect
+    serving throughput, so none is run)."""
+    scale = bench_scale()
+    world = get_world("beauty")
+    dim = world.transe.config.dim
+    config = REKSConfig(dim=dim, state_dim=dim,
+                        sample_sizes=(100, scale.final_beam),
+                        action_cap=scale.action_cap,
+                        frontier_buckets=scale.frontier_buckets, seed=0)
+    return REKSTrainer(world.dataset, world.built, model_name="narm",
+                       config=config, transe=world.transe)
+
+
+def run_sweep(trainer: REKSTrainer, quick: bool = False) -> dict:
+    sessions = [s for s in trainer.dataset.split.test
+                if len(s.items) >= 2]
+    assert check_determinism(trainer, sessions[:64], k=10), \
+        "coalesced results diverge from recommend_sessions"
+    sweep = (32,) if quick else CONCURRENCY_SWEEP
+    min_requests = 384 if quick else 1024
+    runs = []
+    for concurrency in sweep:
+        payload = run_serving_bench(
+            trainer, sessions, concurrency=concurrency, k=10,
+            min_requests=min_requests, naive_sessions=64)
+        print(format_report(payload))
+        runs.append(payload)
+    return {"benchmark": "serving_sweep",
+            "scale": bench_scale().name,
+            "runs": runs}
+
+
+def emit_results(payload: dict) -> Path:
+    out = emit(payload, RESULTS_DIR / "BENCH_serving.json")
+    print(f"-> {out}")
+    return out
+
+
+@pytest.mark.slow
+def test_serving_load_sweep():
+    """Full concurrency sweep; >= 2x naive at concurrency 32."""
+    payload = run_sweep(make_trainer(), quick=False)
+    emit_results(payload)
+    top = [r for r in payload["runs"] if r["concurrency"] == 32][0]
+    assert top["speedup_vs_naive"] >= SPEEDUP_FLOOR, (
+        f"coalesced speedup {top['speedup_vs_naive']:.2f}x < "
+        f"{SPEEDUP_FLOOR}x at concurrency 32")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="single concurrency-32 run with a "
+                             "shorter request stream")
+    args = parser.parse_args(argv)
+    payload = run_sweep(make_trainer(), quick=args.quick)
+    emit_results(payload)
+    top = [r for r in payload["runs"] if r["concurrency"] == 32][0]
+    return 0 if top["speedup_vs_naive"] >= SPEEDUP_FLOOR else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from repro.models import (
     StandaloneTrainer,
     create_encoder,
 )
+from repro.serving import RecommendationServer, ServedResult
 
 __version__ = "1.0.0"
 
@@ -73,5 +74,7 @@ __all__ = [
     "Explainer",
     "Explanation",
     "RecommendedItem",
+    "RecommendationServer",
+    "ServedResult",
     "__version__",
 ]

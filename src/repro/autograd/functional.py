@@ -11,7 +11,30 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, concat, stack  # noqa: F401 (re-export)
+from repro.autograd.tensor import (  # noqa: F401 (re-export)
+    Tensor,
+    concat,
+    is_grad_enabled,
+    stack,
+)
+
+
+def coerce_indices(indices: np.ndarray, detach: bool) -> np.ndarray:
+    """Index array ready for a table gather, preserving integer width.
+
+    Integer inputs keep their dtype (int32 lookups stay int32 — no
+    per-lookup upcast copy); anything else is cast to int64.  With
+    ``detach=True`` the result never aliases the input: callers that
+    record a backward closure retaining the indices (the scatter-add
+    backward of an embedding gather) must not hold a view into a
+    recycled :class:`~repro.core.environment.RolloutWorkspace` buffer.
+    """
+    indices = np.asarray(indices)
+    if indices.dtype.kind not in "iu":
+        return indices.astype(np.int64)
+    if detach:
+        return indices.copy()
+    return indices
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -136,8 +159,14 @@ def relu(x: Tensor) -> Tensor:
 
 
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
-    """Gather rows from an embedding matrix (scatter-add backward)."""
-    return weight[np.asarray(indices, dtype=np.int64)]
+    """Gather rows from an embedding matrix (scatter-add backward).
+
+    Integer index arrays keep their dtype (int32 stays int32); the
+    copy detaching the indices from any recycled workspace buffer is
+    only taken when a backward closure will retain them.
+    """
+    return weight[coerce_indices(
+        indices, detach=weight.requires_grad and is_grad_enabled())]
 
 
 def scatter_add(src: Tensor, index, shape) -> Tensor:

@@ -14,34 +14,48 @@ original shape by :func:`_unbroadcast`.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 DEFAULT_DTYPE = np.float32
 
-_GRAD_ENABLED = True
+
+class _GradState(threading.local):
+    """Per-thread grad-mode flag.
+
+    Thread-local so concurrent ``no_grad`` blocks (e.g. several
+    serving workers plus the submitting thread) cannot restore each
+    other's flag mid-walk — each thread owns its own, defaulting to
+    enabled.  Module train/eval mode is *not* per-thread, so this does
+    not make training and serving the same model concurrently safe.
+    """
+
+    enabled = True
+
+
+_GRAD_STATE = _GradState()
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient tracking is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient tracking is enabled in this thread."""
+    return _GRAD_STATE.enabled
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction (this thread).
 
     Used for evaluation/inference so that no backward closures are
     recorded and intermediate buffers can be freed eagerly.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _GRAD_STATE.enabled
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -85,11 +99,12 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
+        grad_enabled = _GRAD_STATE.enabled
         self.data = np.asarray(data, dtype=dtype or DEFAULT_DTYPE)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and grad_enabled
         self._backward: Optional[Callable[[], None]] = None
-        self._prev = _prev if _GRAD_ENABLED else ()
+        self._prev = _prev if grad_enabled else ()
         self._op = _op
 
     # ------------------------------------------------------------------
@@ -140,7 +155,7 @@ class Tensor:
     # Graph machinery
     # ------------------------------------------------------------------
     def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_STATE.enabled and any(p.requires_grad for p in parents)
         out = Tensor.__new__(Tensor)
         out.data = data
         out.grad = None
@@ -454,7 +469,7 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = list(tensors)
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = _GRAD_STATE.enabled and any(t.requires_grad for t in tensors)
     out = Tensor.__new__(Tensor)
     out.data = data
     out.grad = None
@@ -481,7 +496,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient support."""
     tensors = list(tensors)
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = _GRAD_STATE.enabled and any(t.requires_grad for t in tensors)
     out = Tensor.__new__(Tensor)
     out.data = data
     out.grad = None

@@ -2,11 +2,12 @@
 
 Subcommands cover the release workflow end to end:
 
-* ``stats``     — dataset/KG statistics (Tables II-VI flavor)
-* ``baseline``  — train + evaluate a standalone SR model
-* ``reks``      — train + evaluate a REKS-wrapped model
-* ``explain``   — print explanation cards for test sessions
-* ``compare``   — baseline vs REKS side by side
+* ``stats``       — dataset/KG statistics (Tables II-VI flavor)
+* ``baseline``    — train + evaluate a standalone SR model
+* ``reks``        — train + evaluate a REKS-wrapped model
+* ``explain``     — print explanation cards for test sessions
+* ``compare``     — baseline vs REKS side by side
+* ``serve-bench`` — load-test the request-coalescing serving layer
 
 Example::
 
@@ -168,6 +169,57 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """Closed-loop load generation over a dataset's test sessions.
+
+    Builds an (untrained unless ``--epochs > 0``-and-``--fit``) REKS
+    stack, verifies the coalescing determinism contract, then measures
+    naive vs coalesced vs cache-warm throughput and emits
+    ``BENCH_serving.json``.
+    """
+    from repro.serving.bench import (
+        check_determinism,
+        emit,
+        format_report,
+        run_serving_bench,
+    )
+
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset, include_users=not args.no_users)
+    config = REKSConfig(dim=args.dim, state_dim=args.dim,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, sample_sizes=(100, args.final_beam),
+                        transe_epochs=2 if args.quick else 10,
+                        serve_max_batch=args.max_batch,
+                        serve_max_wait_ms=args.max_wait_ms,
+                        serve_workers=args.workers,
+                        seed=args.seed)
+    trainer = REKSTrainer(dataset, built, model_name=args.model,
+                          config=config)
+    if args.fit:
+        trainer.fit(verbose=True)
+
+    sessions = [s for s in dataset.split.test if len(s.items) >= 2]
+    if args.quick:
+        sessions = sessions[:256]
+    if not check_determinism(trainer, sessions[:64], k=args.top_k):
+        print("FAIL: coalesced results diverge from recommend_sessions")
+        return 1
+    print("determinism: coalesced == recommend_sessions")
+    payload = run_serving_bench(
+        trainer, sessions, concurrency=args.concurrency, k=args.top_k,
+        min_requests=(384 if args.quick else 1024),
+        naive_sessions=(64 if args.quick else None))
+    path = emit(payload, args.out)
+    print(format_report(payload))
+    print(f"-> {path}")
+    if payload["speedup_vs_naive"] < args.speedup_floor:
+        print(f"FAIL: speedup {payload['speedup_vs_naive']:.2f}x < "
+              f"floor {args.speedup_floor:.1f}x")
+        return 1
+    return 0
+
+
 def _print_metrics(label: str, metrics: dict) -> None:
     rows = [[k, f"{v:.2f}"] for k, v in metrics.items()
             if k.startswith(("HR", "NDCG"))]
@@ -212,6 +264,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--beta", type=float, default=0.2)
     p_cmp.add_argument("--final-beam", type=int, default=4)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_srv = sub.add_parser(
+        "serve-bench",
+        help="load-test the request-coalescing serving layer")
+    _add_common(p_srv)
+    p_srv.add_argument("--model", choices=MODELS, default="narm")
+    p_srv.add_argument("--final-beam", type=int, default=4)
+    p_srv.add_argument("--no-users", action="store_true")
+    p_srv.add_argument("--fit", action="store_true",
+                       help="train before benchmarking (serving "
+                            "throughput does not depend on it)")
+    p_srv.add_argument("--quick", action="store_true",
+                       help="bounded request count + short TransE "
+                            "pre-training")
+    p_srv.add_argument("--concurrency", type=int, default=32,
+                       help="closed-loop client threads")
+    p_srv.add_argument("--top-k", type=int, default=10)
+    p_srv.add_argument("--max-batch", type=int, default=32)
+    p_srv.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_srv.add_argument("--workers", type=int, default=2)
+    p_srv.add_argument("--speedup-floor", type=float, default=2.0,
+                       help="fail below this coalesced/naive ratio")
+    p_srv.add_argument("--out", default="BENCH_serving.json")
+    p_srv.set_defaults(func=cmd_serve_bench)
 
     return parser
 

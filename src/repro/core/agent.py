@@ -82,10 +82,17 @@ class REKSAgent(Module):
     # ------------------------------------------------------------------
     def walk(self, session_repr: Tensor, batch: SessionBatch,
              sizes: Optional[Tuple[int, ...]] = None,
-             stochastic: bool = False) -> Rollout:
-        """Beam-walk the KG; gradient flows when grad mode is enabled."""
+             stochastic: bool = False,
+             workspace: Optional[RolloutWorkspace] = None) -> Rollout:
+        """Beam-walk the KG; gradient flows when grad mode is enabled.
+
+        ``workspace`` overrides the agent's own scratch buffers for
+        this walk — serving workers each pin their own workspace so
+        concurrent walks over one shared agent never collide.
+        """
         cfg = self.config
         sizes = sizes or cfg.sample_sizes
+        workspace = workspace if workspace is not None else self.workspace
         batch_size = batch.batch_size
         sess_idx = np.arange(batch_size, dtype=np.int64)
         entities = self.env.start_entities(batch, cfg.start_from)
@@ -103,7 +110,7 @@ class REKSAgent(Module):
             for bucket in self.env.iter_frontier_buckets(
                     ent_hist[:, -1], visited=ent_hist,
                     num_buckets=cfg.frontier_buckets,
-                    workspace=self.workspace):
+                    workspace=workspace):
                 rows_g = bucket.rows
                 se_paths = session_repr[sess_idx[rows_g]]
                 prev = None if prev_rel is None else prev_rel[rows_g]
@@ -256,13 +263,24 @@ class REKSAgent(Module):
     # Inference
     # ------------------------------------------------------------------
     def recommend(self, batch: SessionBatch, k: int = 20,
-                  sizes: Optional[Tuple[int, ...]] = None) -> Recommendations:
-        """Top-``k`` items plus the best explanation path per item."""
-        self.eval()
+                  sizes: Optional[Tuple[int, ...]] = None,
+                  workspace: Optional[RolloutWorkspace] = None
+                  ) -> Recommendations:
+        """Top-``k`` items plus the best explanation path per item.
+
+        ``workspace`` pins this call's rollout scratch buffers (see
+        :meth:`walk`); required when several threads share the agent.
+        Note the train/eval flag is module state, not per-thread:
+        serving an agent while another thread trains it is not
+        supported (grad mode is thread-local, dropout mode is not).
+        """
+        if self.training:
+            self.eval()
         cfg = self.config
         with no_grad():
             session_repr = self.encoder.encode(batch)
-            rollout = self.walk(session_repr, batch, sizes=sizes)
+            rollout = self.walk(session_repr, batch, sizes=sizes,
+                                workspace=workspace)
             scores = self.aggregate_scores_numpy(rollout, batch.batch_size)
             if cfg.fallback_to_encoder:
                 scores = self._encoder_fallback(scores, session_repr)

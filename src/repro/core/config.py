@@ -70,6 +70,15 @@ class REKSConfig:
     entropy_weight: float = 0.0
     fallback_to_encoder: bool = False  # fill top-K with encoder scores
 
+    # Serving (repro.serving): request-coalescing server defaults.
+    # ``REKSTrainer.serve()`` builds a RecommendationServer from these;
+    # they have no effect on training.
+    serve_max_batch: int = 32      # flush a micro-batch at this size...
+    serve_max_wait_ms: float = 2.0  # ...or when the oldest request ages out
+    serve_workers: int = 2         # batch-executing threads (one workspace each)
+    serve_cache_size: int = 2048   # LRU explanation-cache entries (0 = off)
+    serve_default_k: int = 20      # top-K when a request doesn't specify one
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -91,6 +100,21 @@ class REKSConfig:
         if self.frontier_buckets < 1:
             raise ValueError(
                 f"frontier_buckets must be >= 1, got {self.frontier_buckets}")
+        if self.serve_max_batch < 1:
+            raise ValueError(
+                f"serve_max_batch must be >= 1, got {self.serve_max_batch}")
+        if self.serve_max_wait_ms < 0:
+            raise ValueError(
+                f"serve_max_wait_ms must be >= 0, got {self.serve_max_wait_ms}")
+        if self.serve_workers < 1:
+            raise ValueError(
+                f"serve_workers must be >= 1, got {self.serve_workers}")
+        if self.serve_cache_size < 0:
+            raise ValueError(
+                f"serve_cache_size must be >= 0, got {self.serve_cache_size}")
+        if self.serve_default_k < 1:
+            raise ValueError(
+                f"serve_default_k must be >= 1, got {self.serve_default_k}")
 
     @classmethod
     def for_ablation(cls, name: str, **overrides) -> "REKSConfig":

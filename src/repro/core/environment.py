@@ -100,14 +100,43 @@ class RolloutWorkspace:
     Recycling is safe even on the autograd tape because no backward
     closure ever captures a buffer: ``masked_fill`` retains the fresh
     ``~mask`` inversion rather than ``mask``, the gather index never
-    reaches the tape, and embedding lookups upcast the int32
-    ``rels``/``tails`` views to fresh int64 arrays before the
-    scatter-add closure retains them (``tests/test_env_differential``
-    pins that invariant end-to-end).
+    reaches the tape, and embedding lookups copy the int32
+    ``rels``/``tails`` views (dtype-preserving — see
+    ``repro.nn.embedding.coerce_indices``) before the scatter-add
+    closure retains them (``tests/test_env_differential`` pins that
+    invariant end-to-end).
+
+    A workspace is **single-owner** scratch: two concurrent walks
+    sharing one would silently corrupt each other's frontiers.  The
+    :meth:`checkout` / :meth:`release` hooks make ownership explicit —
+    ``repro.serving.WorkspacePool`` checks a workspace out to exactly
+    one worker at a time, and a double checkout raises instead of
+    corrupting.
     """
 
     def __init__(self) -> None:
         self._buffers: Dict[str, np.ndarray] = {}
+        self._checked_out = False
+        self.checkouts = 0
+
+    def checkout(self) -> "RolloutWorkspace":
+        """Mark this workspace as owned by one rollout/worker.
+
+        Raises if it is already checked out — the recycled buffers are
+        single-owner, so a second concurrent user means corruption.
+        """
+        if self._checked_out:
+            raise RuntimeError(
+                "RolloutWorkspace is already checked out; scratch "
+                "buffers are single-owner — use one workspace per "
+                "concurrent walk (see repro.serving.WorkspacePool)")
+        self._checked_out = True
+        self.checkouts += 1
+        return self
+
+    def release(self) -> None:
+        """Return a checked-out workspace (buffers stay warm)."""
+        self._checked_out = False
 
     def buffer(self, name: str, n: int, width: int, dtype) -> np.ndarray:
         """A ``(n, width)`` view of the named buffer, growing if needed."""

@@ -158,10 +158,28 @@ class REKSTrainer:
     def recommend_sessions(self, sessions: Sequence[Session], k: int = 20,
                            batch_size: int = 256) -> List[Recommendations]:
         """Batch inference over a session list."""
+        sessions = list(sessions)
+        if not sessions:
+            # Match evaluate's empty-input guard instead of building a
+            # degenerate zero-example SessionBatcher.
+            return []
         batcher = SessionBatcher(sessions, batch_size=batch_size,
                                  max_length=self.config.max_session_length,
                                  augment=False, shuffle=False)
         return [self.agent.recommend(batch, k=k) for batch in batcher]
+
+    def serve(self, **overrides):
+        """A request-coalescing :class:`RecommendationServer` over this
+        trainer's agent.
+
+        Server knobs default to the ``serve_*`` fields of the config;
+        keyword ``overrides`` (``max_batch``, ``max_wait_ms``,
+        ``workers``, ``cache_size``, ``default_k``) win.  The caller
+        owns shutdown — use it as a context manager.
+        """
+        from repro.serving import RecommendationServer
+
+        return RecommendationServer.from_trainer(self, **overrides)
 
     def evaluate_prefixes(self, sessions: Sequence[Session],
                           ks=(5, 10, 20)) -> Dict[str, float]:
@@ -179,15 +197,31 @@ class REKSTrainer:
         return self.evaluate(expanded, ks=ks)
 
     def evaluate(self, sessions: Sequence[Session],
-                 ks=(5, 10, 20)) -> Dict[str, float]:
-        """HR/NDCG/MRR over path-based rankings (in percent)."""
-        sessions = list(sessions)
+                 ks=(5, 10, 20), server=None) -> Dict[str, float]:
+        """HR/NDCG/MRR over path-based rankings (in percent).
+
+        With ``server`` (a :class:`repro.serving.RecommendationServer`
+        wrapping this trainer's agent) rankings are produced through
+        its coalescing ``recommend_many`` path instead of the local
+        synchronous batcher; results are identical by the serving
+        determinism contract.
+
+        Sessions with fewer than 2 items carry no (prefix, target)
+        example and are dropped from both rankings and targets — the
+        batcher already skipped them, so counting their targets would
+        misalign every following row.
+        """
+        sessions = [s for s in sessions if len(s.items) >= 2]
         if not sessions:
             return {f"{m}@{k}": 0.0 for k in ks for m in ("HR", "NDCG", "MRR")}
         max_k = max(ks)
         ranked: List[np.ndarray] = []
-        for rec in self.recommend_sessions(sessions, k=max_k):
-            ranked.extend(rec.ranked_items)
+        if server is not None:
+            for result in server.recommend_many(sessions, k=max_k):
+                ranked.append(np.asarray(result.items, dtype=np.int64))
+        else:
+            for rec in self.recommend_sessions(sessions, k=max_k):
+                ranked.extend(rec.ranked_items)
         targets = [s.target for s in sessions]
         return evaluate_rankings(ranked, targets, ks=ks)
 

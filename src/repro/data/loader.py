@@ -33,6 +33,33 @@ class SessionBatch:
         return self.items.shape[0]
 
 
+def collate_examples(examples: Sequence[tuple],
+                     max_length: int) -> SessionBatch:
+    """Pad a list of ``(prefix_items, target, user_id)`` examples.
+
+    The single collation routine shared by :class:`SessionBatcher` and
+    the serving layer's micro-batcher, so a coalesced micro-batch is
+    laid out bit-identically to an offline batch of the same sessions.
+    """
+    prefixes = [ex[0][-max_length:] for ex in examples]
+    lengths = np.array([len(p) for p in prefixes], dtype=np.int64)
+    width = int(lengths.max())
+    batch = len(examples)
+    items = np.zeros((batch, width), dtype=np.int64)
+    mask = np.zeros((batch, width), dtype=np.float32)
+    for row, prefix in enumerate(prefixes):
+        items[row, :len(prefix)] = prefix
+        mask[row, :len(prefix)] = 1.0
+    return SessionBatch(
+        items=items,
+        mask=mask,
+        lengths=lengths,
+        last_items=np.array([p[-1] for p in prefixes], dtype=np.int64),
+        targets=np.array([ex[1] for ex in examples], dtype=np.int64),
+        users=np.array([ex[2] for ex in examples], dtype=np.int64),
+    )
+
+
 class SessionBatcher:
     """Iterate padded minibatches over a list of sessions.
 
@@ -86,20 +113,4 @@ class SessionBatcher:
             yield self._collate(chunk)
 
     def _collate(self, examples: List[tuple]) -> SessionBatch:
-        prefixes = [ex[0][-self.max_length:] for ex in examples]
-        lengths = np.array([len(p) for p in prefixes], dtype=np.int64)
-        width = int(lengths.max())
-        batch = len(examples)
-        items = np.zeros((batch, width), dtype=np.int64)
-        mask = np.zeros((batch, width), dtype=np.float32)
-        for row, prefix in enumerate(prefixes):
-            items[row, :len(prefix)] = prefix
-            mask[row, :len(prefix)] = 1.0
-        return SessionBatch(
-            items=items,
-            mask=mask,
-            lengths=lengths,
-            last_items=np.array([p[-1] for p in prefixes], dtype=np.int64),
-            targets=np.array([ex[1] for ex in examples], dtype=np.int64),
-            users=np.array([ex[2] for ex in examples], dtype=np.int64),
-        )
+        return collate_examples(examples, self.max_length)

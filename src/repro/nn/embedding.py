@@ -7,7 +7,8 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd import init
-from repro.autograd.tensor import Tensor
+from repro.autograd.functional import coerce_indices  # noqa: F401 (re-export)
+from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.nn.module import Module, Parameter
 
 
@@ -35,7 +36,10 @@ class Embedding(Module):
             self.weight.data[padding_idx] = 0.0
 
     def forward(self, indices: np.ndarray) -> Tensor:
-        indices = np.asarray(indices, dtype=np.int64)
+        # Detach (copy) only when a backward closure will retain the
+        # indices; inference gathers read workspace views in place.
+        indices = coerce_indices(
+            indices, detach=self.weight.requires_grad and is_grad_enabled())
         if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings})"

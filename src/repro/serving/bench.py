@@ -1,0 +1,205 @@
+"""Closed-loop load generation against a :class:`RecommendationServer`.
+
+Three measured phases per run:
+
+1. **naive** — the pre-serving baseline: a single thread calling
+   ``recommend_sessions`` once *per session* (one synchronous
+   SessionBatcher loop per call);
+2. **coalesced** — ``concurrency`` closed-loop client threads issuing
+   blocking ``recommend_one`` calls against a fresh server (cold
+   cache), so micro-batches form from genuinely concurrent traffic;
+3. **warm** — the same request set replayed against the now-populated
+   explanation cache.
+
+The emitted payload (``BENCH_serving.json``) carries throughput for
+all three, the coalesced-vs-naive speedup, latency percentiles, the
+batch-occupancy histogram, and the cache hit rate.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from time import perf_counter
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import Session
+from repro.serving.server import RecommendationServer, naive_recommend_loop
+
+
+def _closed_loop(server: RecommendationServer, sessions: Sequence[Session],
+                 concurrency: int, k: int) -> float:
+    """Drive every session through ``recommend_one`` from ``concurrency``
+    client threads (round-robin shards); returns elapsed seconds."""
+    shards: List[List[Session]] = [
+        list(sessions[i::concurrency]) for i in range(concurrency)]
+    errors: List[BaseException] = []
+
+    def client(shard: List[Session]) -> None:
+        try:
+            for session in shard:
+                server.recommend_one(session, k=k)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(shard,))
+               for shard in shards if shard]
+    start = perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def run_serving_bench(trainer, sessions: Sequence[Session], *,
+                      concurrency: int = 32, k: int = 20,
+                      max_batch: Optional[int] = None,
+                      max_wait_ms: Optional[float] = None,
+                      workers: Optional[int] = None,
+                      min_requests: int = 512,
+                      naive_sessions: Optional[int] = None) -> dict:
+    """One load-generator run; returns the JSON-ready payload.
+
+    The request stream repeats the session list until it is at least
+    ``min_requests`` long, so the coalesced phase measures steady-state
+    batching rather than the client-thread ramp-up; the cold phase runs
+    with the cache disabled so repeats still exercise the full walk.
+    ``naive_sessions`` bounds the (slow) per-session baseline loop; its
+    throughput extrapolates linearly since every call is independent.
+    """
+    sessions = [s for s in sessions if len(s.items) >= 2]
+    if not sessions:
+        raise ValueError("no usable sessions (need >= 2 items each)")
+    rounds = max(1, -(-min_requests // len(sessions)))
+    stream = list(sessions) * rounds
+    overrides = {}
+    if max_batch is not None:
+        overrides["max_batch"] = max_batch
+    if max_wait_ms is not None:
+        overrides["max_wait_ms"] = max_wait_ms
+    if workers is not None:
+        overrides["workers"] = workers
+
+    # Phase 1: naive one-session-per-call loop (the pre-serving path).
+    # Best-of-2 on both timed phases: this benchmark compares two
+    # absolute timings on a possibly noisy host, so each side gets
+    # its best attempt (same policy as bench_micro_env_hotpath).
+    naive_n = min(len(stream),
+                  naive_sessions if naive_sessions else 128)
+    naive_s = float("inf")
+    for _ in range(2):
+        start = perf_counter()
+        naive_recommend_loop(trainer, stream[:naive_n], k=k)
+        naive_s = min(naive_s, perf_counter() - start)
+    naive_rps = naive_n / naive_s
+
+    # Phase 2: cold coalesced pass — cache off, every request walks.
+    with trainer.serve(cache_size=0, **overrides) as server:
+        cold_s, cold = float("inf"), None
+        for _ in range(2):
+            elapsed = _closed_loop(server, stream, concurrency, k)
+            if elapsed < cold_s:
+                cold_s, cold = elapsed, server.stats()
+            server.reset_stats()
+        occupancy = cold.batch_occupancy
+        scheduler_max_batch = server._scheduler.max_batch
+        scheduler_wait_ms = server._scheduler.max_wait_s * 1e3
+        n_workers = len(server._threads)
+        pool_bytes = server.pool.nbytes
+
+    # Phase 3: cache efficiency — populate once (misses), replay (hits).
+    with trainer.serve(**overrides) as server:
+        _closed_loop(server, sessions, concurrency, k)
+        server.reset_stats()
+        warm_s = _closed_loop(server, sessions, concurrency, k)
+        warm = server.stats()
+        cache = server.cache
+
+    return {
+        "benchmark": "serving",
+        "concurrency": concurrency,
+        "k": k,
+        "requests": len(stream),
+        "distinct_sessions": len(sessions),
+        "max_batch": scheduler_max_batch,
+        "max_wait_ms": scheduler_wait_ms,
+        "workers": n_workers,
+        "naive": {"requests": naive_n, "seconds": naive_s,
+                  "throughput_rps": naive_rps},
+        "coalesced": {"seconds": cold_s,
+                      "throughput_rps": len(stream) / cold_s,
+                      "latency_ms": {
+                          "mean": cold.latency_ms_mean,
+                          "p50": cold.latency_ms_p50,
+                          "p95": cold.latency_ms_p95,
+                          "p99": cold.latency_ms_p99},
+                      "batch_occupancy": {
+                          str(s): c for s, c
+                          in sorted(occupancy.items())},
+                      "mean_occupancy": cold.mean_occupancy,
+                      "batches": cold.batches},
+        "warm": {"seconds": warm_s,
+                 "throughput_rps": len(sessions) / warm_s,
+                 "latency_ms": {
+                     "mean": warm.latency_ms_mean,
+                     "p50": warm.latency_ms_p50,
+                     "p95": warm.latency_ms_p95,
+                     "p99": warm.latency_ms_p99}},
+        "cache": {"hits": cache.hits, "misses": cache.misses,
+                  "hit_rate": cache.hit_rate,
+                  "entries": len(cache),
+                  "evictions": cache.evictions},
+        "speedup_vs_naive": (len(stream) / cold_s) / naive_rps,
+        "workspace_pool_bytes": pool_bytes,
+    }
+
+
+def check_determinism(trainer, sessions: Sequence[Session],
+                      k: int = 20) -> bool:
+    """Coalesced rankings must equal the synchronous batch rankings."""
+    sessions = [s for s in sessions if len(s.items) >= 2]
+    expected: List[np.ndarray] = []
+    for rec in trainer.recommend_sessions(sessions, k=k):
+        expected.extend(rec.ranked_items)
+    with trainer.serve(cache_size=0) as server:
+        results = server.recommend_many(sessions, k=k)
+    got = [np.asarray(r.items, dtype=np.int64) for r in results]
+    return all(np.array_equal(g, e) for g, e in zip(got, expected)) \
+        and len(got) == len(expected)
+
+
+def emit(payload: dict, out_path) -> Path:
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2))
+    return out_path
+
+
+def format_report(payload: dict) -> str:
+    """Human-readable summary of one run."""
+    cold = payload["coalesced"]
+    warm = payload["warm"]
+    lines = [
+        f"serving bench @ concurrency {payload['concurrency']} "
+        f"(k={payload['k']}, max_batch={payload['max_batch']}, "
+        f"wait={payload['max_wait_ms']:.1f}ms, "
+        f"workers={payload['workers']})",
+        f"  naive loop    : {payload['naive']['throughput_rps']:>8.1f} req/s",
+        f"  coalesced     : {cold['throughput_rps']:>8.1f} req/s "
+        f"({payload['speedup_vs_naive']:.2f}x naive)  "
+        f"p50={cold['latency_ms']['p50']:.1f}ms "
+        f"p95={cold['latency_ms']['p95']:.1f}ms "
+        f"p99={cold['latency_ms']['p99']:.1f}ms",
+        f"  warm (cached) : {warm['throughput_rps']:>8.1f} req/s  "
+        f"hit rate {payload['cache']['hit_rate']:.1%}",
+        f"  occupancy     : mean {cold['mean_occupancy']:.1f} "
+        f"over {cold['batches']} batches",
+    ]
+    return "\n".join(lines)

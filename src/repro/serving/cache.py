@@ -1,0 +1,84 @@
+"""LRU cache of served recommendation + explanation results.
+
+Keys are the exact model inputs of a request — the (truncated) session
+suffix the encoder and walk actually see, the requested ``k``, and the
+user id when the walk starts from the user entity — so a hit is
+guaranteed to be the same answer the batch path would recompute.
+Values are immutable :class:`~repro.serving.server.ServedResult`
+payloads, safe to share across callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+
+class ExplanationCache:
+    """Thread-safe LRU keyed by (session-suffix, k) with hit/miss counters.
+
+    ``capacity`` 0 disables caching (every lookup is a miss and
+    :meth:`put` is a no-op), which keeps the server code branch-free.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(prefix_items: Tuple[int, ...], k: int,
+            user_id: Optional[int] = None) -> Tuple:
+        """Cache key for one request.
+
+        ``prefix_items`` must already be truncated to the suffix the
+        model consumes (``max_session_length`` last prefix items);
+        ``user_id`` is only part of the identity for user-anchored
+        walks (``start_from="user"``).
+        """
+        return (tuple(int(i) for i in prefix_items), int(k), user_id)
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable):
+        """The cached value or None; counts the hit/miss and refreshes
+        recency."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop entries but keep the counters (eviction-equivalent)."""
+        with self._lock:
+            self._entries.clear()

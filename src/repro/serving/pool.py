@@ -1,0 +1,59 @@
+"""Pool of pinned rollout workspaces for concurrent batch execution.
+
+Each serving worker checks one :class:`RolloutWorkspace` out per
+micro-batch, so the grow-only scratch buffers stay warm across requests
+(no per-request allocation churn) while never being shared between two
+concurrent walks.  LIFO hand-out keeps the hottest buffers in use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue
+from typing import Iterator, List
+
+from repro.core.environment import RolloutWorkspace
+
+
+class WorkspacePool:
+    """Fixed-size pool of single-owner :class:`RolloutWorkspace` objects.
+
+    ``checkout`` blocks while every workspace is in use, which also
+    back-pressures a misconfigured server (more workers than
+    workspaces) instead of corrupting buffers.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self._workspaces: List[RolloutWorkspace] = [
+            RolloutWorkspace() for _ in range(size)]
+        self._idle: "queue.LifoQueue[RolloutWorkspace]" = queue.LifoQueue()
+        for workspace in self._workspaces:
+            self._idle.put(workspace)
+
+    @contextlib.contextmanager
+    def checkout(self) -> Iterator[RolloutWorkspace]:
+        """Exclusive use of one workspace for the ``with`` block."""
+        workspace = self._idle.get()
+        workspace.checkout()
+        try:
+            yield workspace
+        finally:
+            workspace.release()
+            self._idle.put(workspace)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held across every pooled workspace."""
+        return sum(ws.nbytes for ws in self._workspaces)
+
+    @property
+    def checkouts(self) -> int:
+        return sum(ws.checkouts for ws in self._workspaces)
+
+    @property
+    def idle(self) -> int:
+        return self._idle.qsize()

@@ -1,0 +1,120 @@
+"""Request coalescing: a thread-safe queue that cuts micro-batches.
+
+Callers :meth:`submit` single payloads and block on the returned
+future; worker threads call :meth:`next_batch`, which returns up to
+``max_batch`` requests as soon as either
+
+* ``max_batch`` requests are pending (size flush), or
+* the **oldest** pending request has waited ``max_wait_ms`` (deadline
+  flush — a lone request is never stranded longer than the window).
+
+Everything is stdlib ``threading`` + ``collections.deque`` — no
+external dependencies, no busy-waiting (a single condition variable
+coordinates submitters and workers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Deque, List, Optional
+
+
+@dataclass
+class PendingRequest:
+    """One queued request: opaque payload + completion future."""
+
+    payload: object
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=perf_counter)
+
+
+class SchedulerClosed(RuntimeError):
+    """Raised by :meth:`BatchScheduler.submit` after :meth:`close`."""
+
+
+class BatchScheduler:
+    """Coalesce single-item submissions into bounded micro-batches."""
+
+    def __init__(self, max_batch: int = 32,
+                 max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1e3
+        self._cond = threading.Condition()
+        self._pending: Deque[PendingRequest] = deque()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: object) -> Future:
+        """Enqueue one payload; the future resolves when a worker has
+        executed the micro-batch containing it."""
+        request = PendingRequest(payload)
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosed("scheduler is closed")
+            self._pending.append(request)
+            self._cond.notify_all()
+        return request.future
+
+    def next_batch(self) -> Optional[List[PendingRequest]]:
+        """Block until a micro-batch is due; None once closed and drained.
+
+        An oversize burst (more pending than ``max_batch``) is split:
+        each call cuts at most ``max_batch`` requests, oldest first.
+        """
+        with self._cond:
+            while True:
+                if self._pending:
+                    if self._closed \
+                            or len(self._pending) >= self.max_batch:
+                        return self._cut()
+                    deadline = (self._pending[0].enqueued_at
+                                + self.max_wait_s)
+                    remaining = deadline - perf_counter()
+                    if remaining <= 0:
+                        return self._cut()
+                    self._cond.wait(timeout=remaining)
+                else:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+
+    def _cut(self) -> List[PendingRequest]:
+        count = min(len(self._pending), self.max_batch)
+        return [self._pending.popleft() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> List[PendingRequest]:
+        """Stop accepting submissions and wake every waiter.
+
+        With ``drain=True`` (the default) queued requests stay pending
+        for workers to finish; the returned list is empty.  With
+        ``drain=False`` the queue is emptied and the abandoned requests
+        are returned so the caller can fail their futures.
+        """
+        with self._cond:
+            self._closed = True
+            abandoned: List[PendingRequest] = []
+            if not drain:
+                abandoned = list(self._pending)
+                self._pending.clear()
+            self._cond.notify_all()
+        return abandoned
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._pending)

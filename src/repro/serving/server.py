@@ -1,0 +1,289 @@
+"""The request-coalescing recommendation + explanation server.
+
+A :class:`RecommendationServer` wraps one fitted
+:class:`~repro.core.agent.REKSAgent` and turns its batch-oriented
+``recommend`` into an interactive-traffic API:
+
+* :meth:`submit` / :meth:`recommend_one` — single-session requests,
+  coalesced across callers into micro-batches by a
+  :class:`~repro.serving.scheduler.BatchScheduler`;
+* :meth:`recommend_many` — bulk traffic (splits oversize lists across
+  micro-batches and reuses cached entries);
+* a :class:`~repro.serving.pool.WorkspacePool` pins one
+  :class:`~repro.core.environment.RolloutWorkspace` per in-flight
+  batch so concurrent workers never share scratch buffers;
+* an :class:`~repro.serving.cache.ExplanationCache` LRU short-circuits
+  repeat (session-suffix, k) requests;
+* a :class:`~repro.serving.stats.ServerStats` recorder tracks latency
+  percentiles, batch occupancy, and cache efficiency.
+
+Determinism contract: a coalesced micro-batch is collated with the
+same routine as :meth:`REKSTrainer.recommend_sessions`
+(:func:`repro.data.loader.collate_examples`, prefix = ``items[:-1]``),
+and per-row rankings are batch-composition invariant, so the served
+``items`` match a synchronous ``recommend_sessions`` call for the same
+sessions and ``k`` regardless of how requests were interleaved.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.agent import REKSAgent
+from repro.data.loader import collate_examples
+from repro.data.schema import Session
+from repro.kg.paths import SemanticPath, render_path
+from repro.serving.cache import ExplanationCache
+from repro.serving.pool import WorkspacePool
+from repro.serving.scheduler import (
+    BatchScheduler,
+    PendingRequest,
+    SchedulerClosed,
+)
+from repro.serving.stats import ServerStats, StatsSnapshot
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """Per-request response: ranked items, scores, rendered paths.
+
+    ``explanations[i]`` is the arrow-form rendering of ``paths[i]``
+    (empty string when the item carries no path, e.g. it was reached
+    only through the encoder fallback or not at all).
+    """
+
+    items: Tuple[int, ...]
+    scores: Tuple[float, ...]
+    paths: Tuple[Optional[SemanticPath], ...]
+    explanations: Tuple[str, ...]
+    cached: bool = False
+    latency_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Request:
+    """Scheduler payload for one session."""
+
+    session: Session
+    k: int
+    key: tuple
+
+
+class ServerClosed(RuntimeError):
+    """Raised when submitting to a shut-down server."""
+
+
+class RecommendationServer:
+    """Coalesce concurrent single-session requests into shared walks."""
+
+    def __init__(self, agent: REKSAgent, *, max_batch: int = 32,
+                 max_wait_ms: float = 2.0, workers: int = 2,
+                 cache_size: int = 2048, default_k: int = 20) -> None:
+        self._agent = agent
+        self._kg = agent.env.built.kg
+        self._max_session_length = agent.config.max_session_length
+        self._start_from = agent.config.start_from
+        self.default_k = default_k
+        self._scheduler = BatchScheduler(max_batch=max_batch,
+                                         max_wait_ms=max_wait_ms)
+        self._pool = WorkspacePool(workers)
+        self._cache = ExplanationCache(cache_size)
+        self._stats = ServerStats()
+        self._shutdown_lock = threading.Lock()
+        self._shut_down = False
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"reks-serve-{i}")
+            for i in range(workers)]
+        for thread in self._threads:
+            thread.start()
+
+    @classmethod
+    def from_trainer(cls, trainer, **overrides) -> "RecommendationServer":
+        """Build a server from a trainer's ``serve_*`` config knobs."""
+        cfg = trainer.config
+        kwargs = dict(max_batch=cfg.serve_max_batch,
+                      max_wait_ms=cfg.serve_max_wait_ms,
+                      workers=cfg.serve_workers,
+                      cache_size=cfg.serve_cache_size,
+                      default_k=cfg.serve_default_k)
+        kwargs.update(overrides)
+        return cls(trainer.agent, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+    def submit(self, session: Session, k: Optional[int] = None) -> Future:
+        """Non-blocking submission; the future yields a ServedResult.
+
+        Cache hits resolve the future immediately without touching the
+        scheduler.
+        """
+        if self._shut_down:
+            raise ServerClosed("server has been shut down")
+        k = self.default_k if k is None else int(k)
+        started = perf_counter()
+        key = self._key(session, k)
+        hit = self._cache.get(key)
+        self._stats.record_cache(hit is not None)
+        if hit is not None:
+            latency = perf_counter() - started
+            self._stats.record_request(latency)
+            future: Future = Future()
+            future.set_result(replace(hit, cached=True,
+                                      latency_ms=latency * 1e3))
+            return future
+        try:
+            return self._scheduler.submit(_Request(session, k, key))
+        except SchedulerClosed as exc:
+            # Lost the race against a concurrent shutdown(): surface
+            # the server-level type the API documents.
+            raise ServerClosed("server has been shut down") from exc
+
+    def recommend_one(self, session: Session,
+                      k: Optional[int] = None) -> ServedResult:
+        """Blocking single-session request (the interactive path)."""
+        return self.submit(session, k).result()
+
+    def recommend_many(self, sessions: Sequence[Session],
+                       k: Optional[int] = None) -> List[ServedResult]:
+        """Bulk request: every session is enqueued up front (oversize
+        lists split into ``max_batch`` micro-batches) and results come
+        back in input order."""
+        futures = [self.submit(session, k) for session in sessions]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> StatsSnapshot:
+        return self._stats.snapshot()
+
+    def reset_stats(self) -> None:
+        self._stats.reset()
+
+    @property
+    def cache(self) -> ExplanationCache:
+        return self._cache
+
+    @property
+    def pool(self) -> WorkspacePool:
+        return self._pool
+
+    @property
+    def pending(self) -> int:
+        return self._scheduler.pending
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the workers.
+
+        With ``drain=True`` every already-submitted request still
+        completes (its future resolves with a result) before the
+        workers exit; with ``drain=False`` queued-but-unstarted
+        requests fail with :class:`ServerClosed`.
+        """
+        with self._shutdown_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        abandoned = self._scheduler.close(drain=drain)
+        for request in abandoned:
+            request.future.set_exception(
+                ServerClosed("server shut down before execution"))
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "RecommendationServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _key(self, session: Session, k: int) -> tuple:
+        items = list(session.items)
+        if len(items) < 2:
+            raise ValueError(
+                "serving requires sessions with >= 2 items (prefix + "
+                f"next-item slot); got {len(items)}")
+        prefix = items[:-1][-self._max_session_length:]
+        user = session.user_id if self._start_from == "user" else None
+        return ExplanationCache.key(tuple(prefix), k, user)
+
+    def _worker(self) -> None:
+        while True:
+            batch = self._scheduler.next_batch()
+            if batch is None:
+                return
+            self._process(batch)
+
+    def _process(self, batch: List[PendingRequest]) -> None:
+        try:
+            # Mixed-k batches execute as one sub-batch per distinct k
+            # so every request's top-k is exactly what a synchronous
+            # recommend_sessions call with that k would produce.
+            groups: dict = {}
+            for request in batch:
+                groups.setdefault(request.payload.k, []).append(request)
+            for k, group in groups.items():
+                self._execute(group, k)
+        except BaseException as exc:  # worker must never die silently
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    def _execute(self, group: List[PendingRequest], k: int) -> None:
+        self._stats.record_batch(len(group))
+        examples = [(list(request.payload.session.items[:-1]),
+                     request.payload.session.items[-1],
+                     request.payload.session.user_id)
+                    for request in group]
+        collated = collate_examples(examples, self._max_session_length)
+        with self._pool.checkout() as workspace:
+            rec = self._agent.recommend(collated, k=k,
+                                        workspace=workspace)
+        for row, request in enumerate(group):
+            result = self._pack_row(rec, row)
+            latency = perf_counter() - request.enqueued_at
+            result = replace(result, latency_ms=latency * 1e3)
+            self._cache.put(request.payload.key, result)
+            self._stats.record_request(latency)
+            request.future.set_result(result)
+
+    def _pack_row(self, rec, row: int) -> ServedResult:
+        items = [int(i) for i in rec.ranked_items[row]]
+        scores = [float(rec.scores[row, i]) for i in items]
+        paths: List[Optional[SemanticPath]] = []
+        rendered: List[str] = []
+        for item in items:
+            path = rec.paths.get((row, item))
+            paths.append(path)
+            rendered.append(render_path(path, self._kg)
+                            if path is not None else "")
+        return ServedResult(items=tuple(items), scores=tuple(scores),
+                            paths=tuple(paths),
+                            explanations=tuple(rendered))
+
+
+def naive_recommend_loop(trainer, sessions: Sequence[Session],
+                         k: int = 20) -> List[np.ndarray]:
+    """The uncoalesced baseline: one ``recommend_sessions`` call per
+    session, sequentially — what serving replaces.  Returns each
+    session's ranked-item row (used by the benchmark and the
+    determinism tests)."""
+    ranked = []
+    for session in sessions:
+        rec = trainer.recommend_sessions([session], k=k)[0]
+        ranked.append(rec.ranked_items[0])
+    return ranked

@@ -1,0 +1,142 @@
+"""Latency / throughput / occupancy accounting for the serving layer.
+
+One :class:`ServerStats` instance is shared by every worker of a
+:class:`~repro.serving.server.RecommendationServer`; all mutation goes
+through a single lock (the recorded quantities are tiny relative to a
+batch execution, so contention is negligible).  :meth:`snapshot`
+returns an immutable :class:`StatsSnapshot` with the derived
+percentiles, suitable for JSON emission.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Point-in-time view of a server's counters (latencies in ms)."""
+
+    requests: int
+    batches: int
+    cache_hits: int
+    cache_misses: int
+    duration_s: float
+    throughput_rps: float
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    batch_occupancy: Dict[int, int] = field(default_factory=dict)
+    mean_occupancy: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "mean": self.latency_ms_mean,
+                "p50": self.latency_ms_p50,
+                "p95": self.latency_ms_p95,
+                "p99": self.latency_ms_p99,
+            },
+            "batch_occupancy": {str(size): count for size, count
+                                in sorted(self.batch_occupancy.items())},
+            "mean_occupancy": self.mean_occupancy,
+        }
+
+
+class ServerStats:
+    """Thread-safe recorder of per-request and per-batch telemetry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies_s: list = []
+        self._occupancy: Dict[int, int] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._started_at: Optional[float] = None
+        self._last_event_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record_request(self, latency_s: float) -> None:
+        """One completed request (queue wait + batch execution)."""
+        now = perf_counter()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now - latency_s
+            self._last_event_at = now
+            self._latencies_s.append(latency_s)
+
+    def record_batch(self, size: int) -> None:
+        """One executed micro-batch of ``size`` coalesced requests."""
+        with self._lock:
+            self._occupancy[size] = self._occupancy.get(size, 0) + 1
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark phases)."""
+        with self._lock:
+            self._latencies_s.clear()
+            self._occupancy.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._started_at = None
+            self._last_event_at = None
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StatsSnapshot:
+        with self._lock:
+            lat = np.asarray(self._latencies_s, dtype=np.float64)
+            occupancy = dict(self._occupancy)
+            hits, misses = self._cache_hits, self._cache_misses
+            if self._started_at is not None \
+                    and self._last_event_at is not None:
+                duration = max(self._last_event_at - self._started_at, 1e-9)
+            else:
+                duration = 0.0
+        if lat.size:
+            p50, p95, p99 = np.percentile(lat, (50, 95, 99)) * 1e3
+            mean = float(lat.mean() * 1e3)
+        else:
+            p50 = p95 = p99 = mean = 0.0
+        sizes = np.array(sorted(occupancy), dtype=np.float64)
+        counts = np.array([occupancy[int(s)] for s in sizes],
+                          dtype=np.float64)
+        mean_occ = float((sizes * counts).sum() / counts.sum()) \
+            if counts.size else 0.0
+        return StatsSnapshot(
+            requests=int(lat.size),
+            batches=int(counts.sum()),
+            cache_hits=hits,
+            cache_misses=misses,
+            duration_s=duration,
+            throughput_rps=(lat.size / duration) if duration else 0.0,
+            latency_ms_mean=mean,
+            latency_ms_p50=float(p50),
+            latency_ms_p95=float(p95),
+            latency_ms_p99=float(p99),
+            batch_occupancy=occupancy,
+            mean_occupancy=mean_occ,
+        )

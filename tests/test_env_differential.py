@@ -140,8 +140,8 @@ def test_workspace_reuse_is_tape_safe():
     """Buffer recycling must not corrupt a pending autograd tape.
 
     The contract (see RolloutWorkspace) is that embedding lookups
-    upcast the int32 rels/tails views to fresh int64 arrays before
-    any backward closure retains them.  Pin it: look an action grid
+    copy the int32 rels/tails views (dtype-preserving) before any
+    backward closure retains them.  Pin it: look an action grid
     up through an Embedding, clobber the workspace with a second
     frontier, then backward — the gradient must land at the
     *original* indices, bit-identical to an unshared-buffer run.

@@ -87,6 +87,42 @@ class TestEmbedding:
         emb.zero_padding()
         np.testing.assert_allclose(emb.weight.data[0], [0.0, 0.0])
 
+    def test_index_dtype_preserved_int32(self):
+        """int32 lookups must not be upcast to int64 per call."""
+        from repro.nn.embedding import coerce_indices
+
+        idx32 = np.array([1, 2, 3], dtype=np.int32)
+        out = coerce_indices(idx32, detach=False)
+        assert out.dtype == np.int32
+        assert out is idx32  # zero-copy on the inference path
+        detached = coerce_indices(idx32, detach=True)
+        assert detached.dtype == np.int32
+        assert detached is not idx32  # tape-safe copy, same width
+        assert coerce_indices(np.array([1.0, 2.0]),
+                              detach=False).dtype == np.int64
+
+    def test_frozen_table_lookup_keeps_int32_view(self, rng):
+        """A frozen table under no_grad gathers straight from the
+        int32 view — same values as an int64 lookup, no upcast."""
+        from repro.autograd import no_grad
+
+        table = rng.standard_normal((8, 3)).astype(np.float32)
+        emb = nn.Embedding.from_pretrained(table, trainable=False)
+        idx32 = np.array([[0, 5], [7, 1]], dtype=np.int32)
+        with no_grad():
+            out32 = emb(idx32)
+        out64 = emb(idx32.astype(np.int64))
+        np.testing.assert_array_equal(out32.data, out64.data)
+
+    def test_trainable_int32_lookup_backward_matches_int64(self, rng):
+        emb = nn.Embedding(6, 3, rng=rng)
+        idx32 = np.array([2, 2, 5], dtype=np.int32)
+        emb(idx32).sum().backward()
+        grad32 = emb.weight.grad.copy()
+        emb.weight.zero_grad()
+        emb(idx32.astype(np.int64)).sum().backward()
+        np.testing.assert_array_equal(grad32, emb.weight.grad)
+
 
 class TestLayerNorm:
     def test_normalizes_last_axis(self, rng):

@@ -1,0 +1,374 @@
+"""Serving subsystem: scheduler, pool, cache, server, determinism.
+
+Everything here is tier-1 (fast): the REKS stack under test is an
+untrained agent over the shared tiny fixtures — serving behavior does
+not depend on training, and the determinism contract is exactly about
+reproducing ``recommend_sessions`` bit-for-bit on rankings.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro import REKSConfig, REKSTrainer
+from repro.core.environment import RolloutWorkspace
+from repro.serving import (
+    BatchScheduler,
+    ExplanationCache,
+    SchedulerClosed,
+    ServerClosed,
+    WorkspacePool,
+)
+from repro.serving.bench import check_determinism
+
+
+@pytest.fixture(scope="module")
+def trainer(beauty_tiny, beauty_kg, beauty_transe):
+    """Untrained (but inference-ready) REKS stack, shared per module."""
+    config = REKSConfig(dim=16, state_dim=16, sample_sizes=(20, 4),
+                        seed=0)
+    return REKSTrainer(beauty_tiny, beauty_kg, model_name="narm",
+                       config=config, transe=beauty_transe)
+
+
+@pytest.fixture()
+def sessions(beauty_tiny):
+    return [s for s in beauty_tiny.split.test if len(s.items) >= 2]
+
+
+# ----------------------------------------------------------------------
+# BatchScheduler
+# ----------------------------------------------------------------------
+class TestBatchScheduler:
+    def test_size_flush_returns_full_batch_immediately(self):
+        sched = BatchScheduler(max_batch=4, max_wait_ms=10_000)
+        futures = [sched.submit(i) for i in range(4)]
+        start = perf_counter()
+        batch = sched.next_batch()
+        assert perf_counter() - start < 1.0  # no deadline wait
+        assert [r.payload for r in batch] == [0, 1, 2, 3]
+        assert all(not f.done() for f in futures)
+
+    def test_deadline_flush_with_single_queued_request(self):
+        sched = BatchScheduler(max_batch=64, max_wait_ms=30)
+        sched.submit("lone")
+        start = perf_counter()
+        batch = sched.next_batch()
+        waited = perf_counter() - start
+        assert [r.payload for r in batch] == ["lone"]
+        assert waited < 5.0  # flushed on deadline, not stranded
+
+    def test_oversize_burst_splits_at_max_batch(self):
+        sched = BatchScheduler(max_batch=4, max_wait_ms=0)
+        for i in range(11):
+            sched.submit(i)
+        sizes = []
+        while sched.pending:
+            sizes.append(len(sched.next_batch()))
+        assert sum(sizes) == 11
+        assert max(sizes) <= 4
+        assert sizes[0] == 4  # oldest-first, full cuts while oversize
+
+    def test_close_drain_keeps_pending_for_workers(self):
+        sched = BatchScheduler(max_batch=8, max_wait_ms=10_000)
+        sched.submit("queued")
+        assert sched.close(drain=True) == []
+        batch = sched.next_batch()
+        assert [r.payload for r in batch] == ["queued"]
+        assert sched.next_batch() is None  # drained -> workers exit
+
+    def test_close_without_drain_returns_abandoned(self):
+        sched = BatchScheduler(max_batch=8, max_wait_ms=10_000)
+        sched.submit("dropped")
+        abandoned = sched.close(drain=False)
+        assert [r.payload for r in abandoned] == ["dropped"]
+        assert sched.next_batch() is None
+
+    def test_submit_after_close_raises(self):
+        sched = BatchScheduler()
+        sched.close()
+        with pytest.raises(SchedulerClosed):
+            sched.submit("late")
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(max_wait_ms=-1)
+
+
+# ----------------------------------------------------------------------
+# WorkspacePool / RolloutWorkspace hooks
+# ----------------------------------------------------------------------
+class TestWorkspacePool:
+    def test_double_checkout_raises(self):
+        workspace = RolloutWorkspace()
+        workspace.checkout()
+        with pytest.raises(RuntimeError, match="checked out"):
+            workspace.checkout()
+        workspace.release()
+        workspace.checkout()  # usable again
+        assert workspace.checkouts == 2
+
+    def test_pool_recycles_and_counts(self):
+        pool = WorkspacePool(2)
+        with pool.checkout() as first:
+            with pool.checkout() as second:
+                assert first is not second
+                assert pool.idle == 0
+        assert pool.idle == 2
+        with pool.checkout():
+            pass
+        assert pool.checkouts == 3
+
+    def test_pool_size_validation(self):
+        with pytest.raises(ValueError):
+            WorkspacePool(0)
+
+
+# ----------------------------------------------------------------------
+# ExplanationCache
+# ----------------------------------------------------------------------
+class TestExplanationCache:
+    def test_hit_miss_accounting(self):
+        cache = ExplanationCache(4)
+        key = ExplanationCache.key((1, 2, 3), 10)
+        assert cache.get(key) is None
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ExplanationCache(2)
+        a, b, c = (ExplanationCache.key((i,), 1) for i in range(3))
+        cache.put(a, "a")
+        cache.put(b, "b")
+        assert cache.get(a) == "a"  # refresh a
+        cache.put(c, "c")           # evicts b (least recent)
+        assert cache.get(b) is None
+        assert cache.get(a) == "a"
+        assert cache.get(c) == "c"
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ExplanationCache(0)
+        key = ExplanationCache.key((1,), 1)
+        cache.put(key, "value")
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_user_scoped_keys_differ(self):
+        base = ExplanationCache.key((1, 2), 5)
+        scoped = ExplanationCache.key((1, 2), 5, user_id=7)
+        assert base != scoped
+
+
+# ----------------------------------------------------------------------
+# RecommendationServer
+# ----------------------------------------------------------------------
+class TestRecommendationServer:
+    def test_coalesced_matches_recommend_sessions(self, trainer, sessions):
+        """Determinism: coalesced rankings and paths == the synchronous
+        batch path, request interleaving notwithstanding."""
+        k = 10
+        expected_rank, expected_paths = [], []
+        recs = trainer.recommend_sessions(sessions, k=k)
+        offset = 0
+        for rec in recs:
+            for row in range(rec.ranked_items.shape[0]):
+                expected_rank.append(rec.ranked_items[row])
+                expected_paths.append(
+                    {item: rec.paths[(row, item)]
+                     for (r, item) in rec.paths if r == row})
+            offset += rec.ranked_items.shape[0]
+        with trainer.serve(max_batch=8, max_wait_ms=5.0, workers=2,
+                           cache_size=0) as server:
+            results = server.recommend_many(sessions, k=k)
+        assert len(results) == len(sessions)
+        for result, rank, paths in zip(results, expected_rank,
+                                       expected_paths):
+            np.testing.assert_array_equal(
+                np.asarray(result.items, dtype=np.int64), rank)
+            for item, path in zip(result.items, result.paths):
+                if path is None:
+                    assert item not in paths
+                else:
+                    assert paths[item].entities == path.entities
+                    assert paths[item].relations == path.relations
+
+    def test_concurrent_callers_each_get_their_answer(self, trainer,
+                                                      sessions):
+        k = 5
+        flat = []
+        for rec in trainer.recommend_sessions(sessions, k=k):
+            flat.extend(rec.ranked_items)
+        results = [None] * len(sessions)
+        with trainer.serve(max_batch=4, max_wait_ms=3.0,
+                           workers=2, cache_size=0) as server:
+            def client(i):
+                results[i] = server.recommend_one(sessions[i], k=k)
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(len(sessions))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for result, rank in zip(results, flat):
+            np.testing.assert_array_equal(
+                np.asarray(result.items, dtype=np.int64), rank)
+
+    def test_deadline_flush_serves_single_request(self, trainer,
+                                                  sessions):
+        with trainer.serve(max_batch=64, max_wait_ms=10.0,
+                           workers=1) as server:
+            result = server.recommend_one(sessions[0], k=5)
+            snapshot = server.stats()
+        assert len(result.items) == 5
+        assert snapshot.batch_occupancy.get(1) == 1
+        assert snapshot.requests == 1
+
+    def test_oversize_request_split(self, trainer, sessions):
+        many = (sessions * 3)[:12]
+        with trainer.serve(max_batch=4, max_wait_ms=1.0, workers=1,
+                           cache_size=0) as server:
+            results = server.recommend_many(many, k=5)
+            snapshot = server.stats()
+        assert len(results) == 12
+        assert snapshot.requests == 12
+        assert max(snapshot.batch_occupancy) <= 4
+        assert snapshot.batches >= 3
+
+    def test_cache_hit_returns_identical_payload(self, trainer,
+                                                 sessions):
+        with trainer.serve(max_batch=8, max_wait_ms=1.0,
+                           workers=1) as server:
+            first = server.recommend_one(sessions[0], k=5)
+            second = server.recommend_one(sessions[0], k=5)
+            snapshot = server.stats()
+            assert server.cache.hits == 1
+            assert server.cache.misses == 1
+        assert not first.cached
+        assert second.cached
+        assert second.items == first.items
+        assert second.scores == first.scores
+        assert second.explanations == first.explanations
+        assert snapshot.cache_hits == 1
+        assert snapshot.cache_misses == 1
+        assert snapshot.requests == 2
+
+    def test_distinct_k_not_conflated(self, trainer, sessions):
+        with trainer.serve(max_batch=8, max_wait_ms=1.0,
+                           workers=1) as server:
+            five = server.recommend_one(sessions[0], k=5)
+            ten = server.recommend_one(sessions[0], k=10)
+        assert len(five.items) == 5
+        assert len(ten.items) == 10
+        assert server.cache.hits == 0  # different keys
+
+    def test_mixed_k_coalesced_batch(self, trainer, sessions):
+        """Requests with different k coalesce but execute exactly."""
+        with trainer.serve(max_batch=16, max_wait_ms=20.0, workers=1,
+                           cache_size=0) as server:
+            futures = [server.submit(sessions[i % len(sessions)],
+                                     k=(5 if i % 2 else 10))
+                       for i in range(6)]
+            results = [f.result() for f in futures]
+        for i, result in enumerate(results):
+            assert len(result.items) == (5 if i % 2 else 10)
+
+    def test_graceful_shutdown_completes_in_flight(self, trainer,
+                                                   sessions):
+        server = trainer.serve(max_batch=64, max_wait_ms=10_000.0,
+                               workers=1, cache_size=0)
+        futures = [server.submit(s, k=5) for s in sessions[:6]]
+        assert not any(f.done() for f in futures)  # parked on deadline
+        server.shutdown(drain=True)
+        for future in futures:
+            assert len(future.result(timeout=0).items) == 5
+        with pytest.raises(ServerClosed):
+            server.recommend_one(sessions[0], k=5)
+
+    def test_shutdown_without_drain_fails_pending(self, trainer,
+                                                  sessions):
+        server = trainer.serve(max_batch=64, max_wait_ms=10_000.0,
+                               workers=1, cache_size=0)
+        futures = [server.submit(s, k=5) for s in sessions[:3]]
+        server.shutdown(drain=False)
+        failed = 0
+        for future in futures:
+            try:
+                future.result(timeout=1)
+            except ServerClosed:
+                failed += 1
+        assert failed == len(futures)
+
+    def test_short_session_rejected(self, trainer, beauty_tiny):
+        from repro.data.schema import Session
+
+        stub = Session([3], user_id=0, day=0)
+        with trainer.serve(workers=1) as server:
+            with pytest.raises(ValueError, match=">= 2 items"):
+                server.recommend_one(stub, k=5)
+
+    def test_from_trainer_uses_config_knobs(self, trainer):
+        server = trainer.serve(workers=1)
+        try:
+            assert server._scheduler.max_batch == \
+                trainer.config.serve_max_batch
+            assert server.cache.capacity == \
+                trainer.config.serve_cache_size
+            assert server.default_k == trainer.config.serve_default_k
+        finally:
+            server.shutdown()
+
+    def test_check_determinism_helper(self, trainer, sessions):
+        assert check_determinism(trainer, sessions[:10], k=5)
+
+
+# ----------------------------------------------------------------------
+# Trainer integration
+# ----------------------------------------------------------------------
+class TestTrainerIntegration:
+    def test_evaluate_routes_through_server(self, trainer, sessions):
+        direct = trainer.evaluate(sessions, ks=(5, 10))
+        with trainer.serve(max_batch=8, max_wait_ms=2.0,
+                           workers=2) as server:
+            served = trainer.evaluate(sessions, ks=(5, 10),
+                                      server=server)
+        assert served == direct
+
+    def test_recommend_sessions_empty_input(self, trainer):
+        assert trainer.recommend_sessions([]) == []
+        assert trainer.recommend_sessions(iter(())) == []
+
+    def test_evaluate_drops_short_sessions_consistently(self, trainer,
+                                                        sessions):
+        """A <2-item session must not shift rankings against targets,
+        and the server path must agree with the direct path."""
+        from repro.data.schema import Session
+
+        stub = Session([3], user_id=0, day=0)
+        mixed = [sessions[0], stub, sessions[1]]
+        clean = [sessions[0], sessions[1]]
+        expected = trainer.evaluate(clean, ks=(5,))
+        assert trainer.evaluate(mixed, ks=(5,)) == expected
+        with trainer.serve(workers=1) as server:
+            assert trainer.evaluate(mixed, ks=(5,),
+                                    server=server) == expected
+
+
+def test_serving_smoke_round_trip(trainer, sessions):
+    """Tier-1 smoke: one coalesced round trip with explanations."""
+    with trainer.serve(max_batch=4, max_wait_ms=1.0,
+                       workers=1) as server:
+        result = server.recommend_one(sessions[0], k=3)
+    assert len(result.items) == 3
+    assert len(result.explanations) == 3
+    assert any(result.scores)  # something was actually ranked
+    for path, rendered in zip(result.paths, result.explanations):
+        assert (path is None) == (rendered == "")

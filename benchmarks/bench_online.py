@@ -1,0 +1,103 @@
+"""Benchmark for the continual-learning (``repro.online``) subsystem.
+
+Walks the ingest → fine-tune → publish → hot-swap lifecycle against a
+live server and writes ``benchmarks/results/BENCH_online.json``: ingest
+throughput, compaction cost, publish round time, swap latency with
+zero dropped in-flight requests, and post-swap p95 vs. a cold restart
+on the same checkpoint.
+
+Run it any of three ways::
+
+    python -m benchmarks.bench_online --quick   # bounded request stream
+    python benchmarks/bench_online.py           # full run
+    pytest benchmarks/bench_online.py -m slow -s  # run as a test
+
+The pytest run is marked ``slow`` (excluded from tier-1); the quick
+mode is the same configuration the ``online-bench --quick`` CLI
+acceptance run uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RESULTS_DIR, bench_scale, get_world  # noqa: E402
+from repro import REKSConfig, REKSTrainer  # noqa: E402
+from repro.online.bench import (  # noqa: E402
+    emit,
+    format_report,
+    run_online_bench,
+)
+
+
+def make_trainer() -> REKSTrainer:
+    """An inference-ready REKS stack (warm-start weights are what the
+    first published checkpoint snapshots; offline fitting does not
+    change what the lifecycle measures)."""
+    scale = bench_scale()
+    world = get_world("beauty")
+    dim = world.transe.config.dim
+    config = REKSConfig(dim=dim, state_dim=dim,
+                        sample_sizes=(100, scale.final_beam),
+                        action_cap=scale.action_cap,
+                        frontier_buckets=scale.frontier_buckets,
+                        online_min_sessions=8, online_max_steps=4,
+                        seed=0)
+    return REKSTrainer(world.dataset, world.built, model_name="narm",
+                       config=config, transe=world.transe)
+
+
+def run(trainer: REKSTrainer, quick: bool = False) -> dict:
+    test = [s for s in trainer.dataset.split.test if len(s.items) >= 2]
+    val = [s for s in trainer.dataset.split.validation
+           if len(s.items) >= 2]
+    if quick:
+        test, val = test[:128], val[:64]
+    with tempfile.TemporaryDirectory(prefix="reks-online-") as tmp:
+        payload = run_online_bench(
+            trainer, test, val, checkpoint_dir=tmp,
+            concurrency=16, k=10,
+            min_requests=(256 if quick else 768))
+    payload["scale"] = bench_scale().name
+    print(format_report(payload))
+    return payload
+
+
+def emit_results(payload: dict) -> Path:
+    out = emit(payload, RESULTS_DIR / "BENCH_online.json")
+    print(f"-> {out}")
+    return out
+
+
+@pytest.mark.slow
+def test_online_lifecycle_bench():
+    """Full lifecycle: zero dropped requests, bit-identical post-swap."""
+    payload = run(make_trainer(), quick=False)
+    emit_results(payload)
+    assert payload["swap"]["dropped"] == 0
+    assert payload["determinism_bit_identical"]
+    assert not payload["swap"]["cache_flushed"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="bounded serving/delta session sets")
+    args = parser.parse_args(argv)
+    payload = run(make_trainer(), quick=args.quick)
+    emit_results(payload)
+    ok = (payload["swap"]["dropped"] == 0
+          and payload["determinism_bit_identical"]
+          and not payload["swap"]["cache_flushed"])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from repro.models import (
     StandaloneTrainer,
     create_encoder,
 )
+from repro.online import CheckpointRegistry, DeltaIngestor, OnlineUpdater
 from repro.serving import RecommendationServer, ServedResult
 
 __version__ = "1.0.0"
@@ -76,5 +77,8 @@ __all__ = [
     "RecommendedItem",
     "RecommendationServer",
     "ServedResult",
+    "CheckpointRegistry",
+    "DeltaIngestor",
+    "OnlineUpdater",
     "__version__",
 ]

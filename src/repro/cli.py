@@ -8,6 +8,8 @@ Subcommands cover the release workflow end to end:
 * ``explain``     — print explanation cards for test sessions
 * ``compare``     — baseline vs REKS side by side
 * ``serve-bench`` — load-test the request-coalescing serving layer
+* ``ingest``      — demo the streaming ingest -> fine-tune -> publish loop
+* ``online-bench``— measure the continual-learning lifecycle (hot swap)
 
 Example::
 
@@ -220,6 +222,107 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    """Replay held-out sessions as a live stream through the
+    continual-learning loop: ingest in chunks, fine-tune + publish a
+    checkpoint per round, and report what each round did.
+    """
+    from repro.online import CheckpointRegistry, DeltaIngestor, OnlineUpdater
+
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset, include_users=not args.no_users)
+    config = REKSConfig(dim=args.dim, state_dim=args.dim,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, sample_sizes=(100, args.final_beam),
+                        transe_epochs=2,
+                        online_max_steps=args.max_steps,
+                        online_compact_every=args.compact_every,
+                        seed=args.seed)
+    trainer = REKSTrainer(dataset, built, model_name=args.model,
+                          config=config)
+    if args.fit:
+        trainer.fit(verbose=True)
+
+    registry = CheckpointRegistry(args.checkpoints,
+                                  keep_last=config.online_keep_checkpoints)
+    ingestor = DeltaIngestor(built, trainer.env,
+                             compact_every=args.compact_every)
+    updater = OnlineUpdater(trainer, ingestor, registry,
+                            min_sessions=1, max_steps=args.max_steps)
+    base = updater.run_once(force=True)
+    print(f"published warm-start checkpoint v{base} "
+          f"(kg fingerprint {trainer.env.fingerprint()})")
+
+    stream = [s for s in dataset.split.validation if len(s.items) >= 2]
+    rows = []
+    for round_id in range(args.rounds):
+        chunk = stream[round_id * args.chunk:(round_id + 1) * args.chunk]
+        if not chunk:
+            break
+        staged = ingestor.ingest_sessions(chunk)
+        version = updater.run_once(force=True)
+        meta = registry.manifest(version)["meta"]
+        rows.append([round_id + 1, len(chunk), staged,
+                     trainer.env.compactions, f"v{version}",
+                     f"{meta['loss']:.4f}" if meta["loss"] else "-"])
+    print(format_table(rows, headers=["round", "sessions", "new edges",
+                                      "compactions", "published",
+                                      "loss"]))
+    print(f"registry: {registry!r}")
+    metrics = trainer.evaluate(dataset.split.test, ks=(10,))
+    print(f"post-ingest test HR@10: {metrics['HR@10']:.2f}")
+    return 0
+
+
+def cmd_online_bench(args) -> int:
+    """Measure the full continual-learning lifecycle and emit
+    ``BENCH_online.json`` (ingest throughput, swap latency, post-swap
+    p95 vs cold restart, per-version cache split).
+    """
+    from repro.online.bench import emit, format_report, run_online_bench
+
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset, include_users=not args.no_users)
+    config = REKSConfig(dim=args.dim, state_dim=args.dim,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, sample_sizes=(100, args.final_beam),
+                        transe_epochs=2 if args.quick else 10,
+                        online_max_steps=4,
+                        serve_workers=args.workers,
+                        seed=args.seed)
+    trainer = REKSTrainer(dataset, built, model_name=args.model,
+                          config=config)
+    if args.fit:
+        trainer.fit(verbose=True)
+
+    serving = [s for s in dataset.split.test if len(s.items) >= 2]
+    delta = [s for s in dataset.split.validation if len(s.items) >= 2]
+    if args.quick:
+        serving, delta = serving[:128], delta[:64]
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="reks-online-") as tmp:
+        payload = run_online_bench(
+            trainer, serving, delta,
+            checkpoint_dir=(args.checkpoints or tmp),
+            concurrency=args.concurrency, k=args.top_k,
+            min_requests=(256 if args.quick else 768))
+    path = emit(payload, args.out)
+    print(format_report(payload))
+    print(f"-> {path}")
+    if payload["swap"]["dropped"]:
+        print(f"FAIL: {payload['swap']['dropped']} requests dropped "
+              f"during hot swap")
+        return 1
+    if not payload["determinism_bit_identical"]:
+        print("FAIL: post-swap rankings diverge from a fresh server")
+        return 1
+    if payload["swap"]["cache_flushed"]:
+        print("FAIL: hot swap flushed the explanation cache")
+        return 1
+    return 0
+
+
 def _print_metrics(label: str, metrics: dict) -> None:
     rows = [[k, f"{v:.2f}"] for k, v in metrics.items()
             if k.startswith(("HR", "NDCG"))]
@@ -288,6 +391,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail below this coalesced/naive ratio")
     p_srv.add_argument("--out", default="BENCH_serving.json")
     p_srv.set_defaults(func=cmd_serve_bench)
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="stream sessions through the continual-learning loop")
+    _add_common(p_ing)
+    p_ing.add_argument("--model", choices=MODELS, default="narm")
+    p_ing.add_argument("--final-beam", type=int, default=4)
+    p_ing.add_argument("--no-users", action="store_true")
+    p_ing.add_argument("--fit", action="store_true",
+                       help="train offline before streaming")
+    p_ing.add_argument("--rounds", type=int, default=3,
+                       help="ingest -> fine-tune -> publish rounds")
+    p_ing.add_argument("--chunk", type=int, default=32,
+                       help="sessions ingested per round")
+    p_ing.add_argument("--max-steps", type=int, default=4,
+                       help="fine-tune batches per round")
+    p_ing.add_argument("--compact-every", type=int, default=256,
+                       help="staged edges before CSR compaction")
+    p_ing.add_argument("--checkpoints", default="checkpoints",
+                       help="registry directory")
+    p_ing.set_defaults(func=cmd_ingest)
+
+    p_onl = sub.add_parser(
+        "online-bench",
+        help="measure the continual-learning lifecycle (hot swap)")
+    _add_common(p_onl)
+    p_onl.add_argument("--model", choices=MODELS, default="narm")
+    p_onl.add_argument("--final-beam", type=int, default=4)
+    p_onl.add_argument("--no-users", action="store_true")
+    p_onl.add_argument("--fit", action="store_true",
+                       help="train before benchmarking")
+    p_onl.add_argument("--quick", action="store_true",
+                       help="bounded session sets + short TransE "
+                            "pre-training")
+    p_onl.add_argument("--concurrency", type=int, default=16,
+                       help="closed-loop client threads")
+    p_onl.add_argument("--top-k", type=int, default=10)
+    p_onl.add_argument("--workers", type=int, default=2)
+    p_onl.add_argument("--checkpoints", default=None,
+                       help="registry directory (default: temp dir)")
+    p_onl.add_argument("--out", default="BENCH_online.json")
+    p_onl.set_defaults(func=cmd_online_bench)
 
     return parser
 

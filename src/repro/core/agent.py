@@ -321,6 +321,27 @@ class REKSAgent(Module):
         return out
 
 
+def clone_agent(agent: REKSAgent) -> REKSAgent:
+    """Structural copy of an agent with independent parameters.
+
+    The encoder and policy modules are deep-copied (fresh parameter
+    arrays, no shared autograd state), while the environment, reward
+    computer, and config are shared — they are read-only at inference
+    time and may be large.  Used by the serving layer's hot-swap: a
+    checkpoint is loaded into a clone off the request path, then the
+    live agent reference is swapped atomically, so in-flight batches
+    finish on the weights they started with.
+    """
+    import copy
+
+    clone = REKSAgent(copy.deepcopy(agent.encoder),
+                      copy.deepcopy(agent.policy),
+                      agent.env, agent.rewards, agent.config,
+                      workspace=RolloutWorkspace())
+    clone.eval()
+    return clone
+
+
 def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
     k = min(k, scores.shape[1] - 1)
     part = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]

@@ -79,6 +79,17 @@ class REKSConfig:
     serve_cache_size: int = 2048   # LRU explanation-cache entries (0 = off)
     serve_default_k: int = 20      # top-K when a request doesn't specify one
 
+    # Continual learning (repro.online): checkpoint publishing, delta
+    # ingestion, and background fine-tuning.  ``OnlineUpdater`` and
+    # ``DeltaIngestor`` default to these; they have no effect on
+    # offline training.
+    online_min_sessions: int = 64   # buffered sessions before a round runs
+    online_max_steps: int = 8       # fine-tune batches per update round
+    online_interval_s: float = 5.0  # background loop poll period
+    online_keep_checkpoints: int = 5  # registry retention (0 = unbounded)
+    online_compact_every: int = 1024  # staged edges before CSR compaction
+    online_auto_swap: bool = True   # hot-swap servers on each publish
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -115,6 +126,24 @@ class REKSConfig:
         if self.serve_default_k < 1:
             raise ValueError(
                 f"serve_default_k must be >= 1, got {self.serve_default_k}")
+        if self.online_min_sessions < 1:
+            raise ValueError(
+                f"online_min_sessions must be >= 1, "
+                f"got {self.online_min_sessions}")
+        if self.online_max_steps < 1:
+            raise ValueError(
+                f"online_max_steps must be >= 1, got {self.online_max_steps}")
+        if self.online_interval_s <= 0:
+            raise ValueError(
+                f"online_interval_s must be > 0, got {self.online_interval_s}")
+        if self.online_keep_checkpoints < 0:
+            raise ValueError(
+                f"online_keep_checkpoints must be >= 0, "
+                f"got {self.online_keep_checkpoints}")
+        if self.online_compact_every < 1:
+            raise ValueError(
+                f"online_compact_every must be >= 1, "
+                f"got {self.online_compact_every}")
 
     @classmethod
     def for_ablation(cls, name: str, **overrides) -> "REKSConfig":

@@ -19,7 +19,7 @@ single gather + broadcast mask, with no Python loop over the frontier:
   against the per-row degrees to build the gather index and legality
   mask in one shot; padded cells read a sentinel slot and are zeroed.
 
-Two scale features sit on top of the CSR core:
+Three scale features sit on top of the CSR core:
 
 * **degree-bucketed frontiers** (:meth:`KGEnvironment.iter_frontier_buckets`)
   group frontier rows by degree quantile so one mega-hub entity does
@@ -27,13 +27,23 @@ Two scale features sit on top of the CSR core:
   gets its own rectangle, sized to its own largest degree;
 * a :class:`RolloutWorkspace` recycles the per-hop gather/mask scratch
   buffers across :meth:`REKSAgent.walk` calls instead of reallocating
-  them every hop (see the class docstring for the aliasing contract).
+  them every hop (see the class docstring for the aliasing contract);
+* a **staged edge overlay** (:meth:`KGEnvironment.stage_edges` /
+  :meth:`KGEnvironment.compact`) lets the online subsystem append new
+  triples to a live environment: staged edges are visible to
+  ``batched_actions`` immediately (a per-row widen restricted to the
+  staged entities), and a periodic compaction merges them into fresh
+  flat CSR arrays that are swapped in atomically — concurrent walks
+  read the whole CSR bundle through one attribute load, so they see
+  either the old tables or the new ones, never a mix.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -160,6 +170,43 @@ class RolloutWorkspace:
         return sum(buf.nbytes for buf in self._buffers.values())
 
 
+class _CSRTables(NamedTuple):
+    """One immutable generation of the capped flat-CSR adjacency.
+
+    Bundling the four arrays into a single tuple is what makes online
+    compaction safe: readers load ``env._csr`` once per query and then
+    only touch the bundle, so a concurrent :meth:`KGEnvironment.compact`
+    (which publishes a brand-new bundle with one attribute store) can
+    never hand them an ``indptr`` from one generation and ``tails``
+    from another.
+    """
+
+    indptr: np.ndarray   # (E + 1,) int32, offset by the slot-0 sentinel
+    rels: np.ndarray     # flat int32, slot 0 is the zero sentinel
+    tails: np.ndarray    # flat int32, slot 0 is the zero sentinel
+    degrees: np.ndarray  # (E,) int32 capped out-degrees
+
+
+def _pack_csr(degrees: np.ndarray, rels: np.ndarray,
+              tails: np.ndarray) -> _CSRTables:
+    """Prepend the zero sentinel and build the offset-by-one indptr.
+
+    Slot 0 of the flat arrays is a zero sentinel; real edges start at
+    1, so ``indptr`` is offset by one and the batched gather can
+    redirect every padded cell to slot 0 with a single ``idx *= mask``
+    — bounds-safe and zero-padded in one pass.  int32 throughout:
+    halves the memory traffic of the per-hop gathers, and no KG here
+    approaches 2^31 entities or edges.
+    """
+    indptr = np.concatenate([[1], 1 + np.cumsum(degrees)]).astype(np.int32)
+    flat_rels = np.concatenate(
+        [np.zeros(1, dtype=np.int32), rels.astype(np.int32)])
+    flat_tails = np.concatenate(
+        [np.zeros(1, dtype=np.int32), tails.astype(np.int32)])
+    return _CSRTables(indptr, flat_rels, flat_tails,
+                      degrees.astype(np.int32))
+
+
 class KGEnvironment:
     """Flat-CSR capped adjacency with batched action-space queries."""
 
@@ -186,28 +233,174 @@ class KGEnvironment:
                 keep[start:stop] = block
             rels, tails = rels[keep], tails[keep]
             degrees = np.minimum(degrees, action_cap)
-        # int32 throughout: halves the memory traffic of the per-hop
-        # gathers, and no KG here approaches 2^31 entities or edges.
-        self._degrees = degrees.astype(np.int32)
-        # Slot 0 of the flat arrays is a zero sentinel; real edges
-        # start at 1, so ``indptr`` is offset by one and the batched
-        # gather can redirect every padded cell to slot 0 with a single
-        # ``idx *= mask`` — bounds-safe and zero-padded in one pass.
-        self._indptr = np.concatenate(
-            [[1], 1 + np.cumsum(degrees)]).astype(np.int32)
-        self._flat_rels = np.concatenate(
-            [np.zeros(1, dtype=np.int32), rels.astype(np.int32)])
-        self._flat_tails = np.concatenate(
-            [np.zeros(1, dtype=np.int32), tails.astype(np.int32)])
+        self._csr = _pack_csr(degrees, rels, tails)
+        # Staged edge overlay (online delta ingestion).  Edges land in
+        # per-entity lists, are visible to batched_actions immediately,
+        # and are folded into a fresh CSR bundle by compact().  The
+        # lock covers staging and compaction; readers are lock-free
+        # (they check one counter and snapshot the per-entity lists).
+        self._overlay_lock = threading.Lock()
+        self._staged: Dict[int, List[Tuple[int, int]]] = {}
+        self._staged_flag = np.zeros(self.kg.num_entities, dtype=bool)
+        self._staged_count = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     def degree(self, entity: int) -> int:
-        return int(self._degrees[entity])
+        return int(self._csr.degrees[entity])
 
     def actions_of(self, entity: int) -> Tuple[np.ndarray, np.ndarray]:
-        """(relations, tails) of one entity after capping (CSR slices)."""
-        start, stop = self._indptr[entity], self._indptr[entity + 1]
-        return self._flat_rels[start:stop], self._flat_tails[start:stop]
+        """(relations, tails) of one entity after capping (CSR slices).
+
+        Includes any staged-but-uncompacted edges of ``entity`` (those
+        come back as copies appended after the CSR block).
+        """
+        csr = self._csr
+        start, stop = csr.indptr[entity], csr.indptr[entity + 1]
+        rels, tails = csr.rels[start:stop], csr.tails[start:stop]
+        if self._staged_count and self._staged_flag[entity]:
+            extras = list(self._staged.get(int(entity), ()))
+            if extras:
+                rels = np.concatenate(
+                    [rels, np.array([r for r, _ in extras], dtype=np.int32)])
+                tails = np.concatenate(
+                    [tails, np.array([t for _, t in extras], dtype=np.int32)])
+        return rels, tails
+
+    # ------------------------------------------------------------------
+    # Online delta ingestion: staged overlay + periodic compaction
+    # ------------------------------------------------------------------
+    @property
+    def staged_edges(self) -> int:
+        """Edges staged in the overlay, not yet compacted into CSR."""
+        return self._staged_count
+
+    def stage_edges(self, heads, rels, tails) -> int:
+        """Stage new ``(head, relation, tail)`` edges into the overlay.
+
+        Edges become visible to :meth:`batched_actions` /
+        :meth:`actions_of` immediately (eventual within a concurrent
+        call: a walk that already gathered its frontier keeps its
+        snapshot).  Duplicates — against the capped CSR adjacency and
+        within the overlay itself — are dropped, as are edges whose
+        head is already at ``action_cap`` (they could never survive
+        compaction, and serving them only until the next compaction
+        would flip rankings with no new data); returns the number of
+        edges actually staged.  Entities must already exist: growing
+        the entity set online would also require growing the embedding
+        tables, which is a retrain, not a delta.
+        """
+        heads = np.asarray(heads, dtype=np.int64).ravel()
+        rels = np.asarray(rels, dtype=np.int64).ravel()
+        tails = np.asarray(tails, dtype=np.int64).ravel()
+        if not (heads.shape == rels.shape == tails.shape):
+            raise ValueError("heads, rels, tails must have matching shapes")
+        if heads.size == 0:
+            return 0
+        n_ent, n_rel = self.kg.num_entities, self.kg.num_relations
+        if heads.min() < 0 or heads.max() >= n_ent \
+                or tails.min() < 0 or tails.max() >= n_ent:
+            raise IndexError("staged entity id out of range")
+        if rels.min() < 0 or rels.max() >= n_rel:
+            raise IndexError("staged relation id out of range")
+        added = 0
+        with self._overlay_lock:
+            # Read the bundle under the lock: compact() also holds it,
+            # so the dedup check below can never run against a CSR
+            # generation older than the overlay it is staging into
+            # (a stale read could re-stage a just-compacted edge and
+            # bake it into the base twice at the next compaction).
+            csr = self._csr
+            for head, rel, tail in zip(heads, rels, tails):
+                head, rel, tail = int(head), int(rel), int(tail)
+                start, stop = csr.indptr[head], csr.indptr[head + 1]
+                if ((csr.rels[start:stop] == rel)
+                        & (csr.tails[start:stop] == tail)).any():
+                    continue  # already in the capped base adjacency
+                bucket = self._staged.setdefault(head, [])
+                if (rel, tail) in bucket:
+                    continue
+                if int(stop - start) + len(bucket) >= self.action_cap:
+                    continue  # head at cap: could not survive compaction
+                bucket.append((rel, tail))
+                self._staged_flag[head] = True
+                added += 1
+            self._staged_count += added
+        return added
+
+    def compact(self) -> int:
+        """Merge the staged overlay into a fresh CSR bundle (atomic swap).
+
+        Builds new flat arrays containing base + staged edges (sorted
+        by head, base edges first within each head so ``action_cap``
+        truncation prefers the established adjacency), then publishes
+        them with a single attribute store.  In-flight queries keep the
+        bundle they already loaded; the next query sees the new one.
+        Returns the number of edges merged.
+        """
+        with self._overlay_lock:
+            if not self._staged_count:
+                return 0
+            staged = {e: list(pairs) for e, pairs in self._staged.items()}
+            old = self._csr
+            extra_heads = np.array(
+                [e for e, pairs in staged.items() for _ in pairs],
+                dtype=np.int64)
+            extra_rels = np.array(
+                [r for pairs in staged.values() for r, _ in pairs],
+                dtype=np.int64)
+            extra_tails = np.array(
+                [t for pairs in staged.values() for _, t in pairs],
+                dtype=np.int64)
+            base_degrees = old.degrees.astype(np.int64)
+            base_heads = np.repeat(
+                np.arange(self.kg.num_entities, dtype=np.int64),
+                base_degrees)
+            heads = np.concatenate([base_heads, extra_heads])
+            rels = np.concatenate(
+                [old.rels[1:].astype(np.int64), extra_rels])
+            tails = np.concatenate(
+                [old.tails[1:].astype(np.int64), extra_tails])
+            order = np.argsort(heads, kind="stable")  # base-first per head
+            heads, rels, tails = heads[order], rels[order], tails[order]
+            degrees = np.bincount(heads, minlength=self.kg.num_entities)
+            indptr0 = np.concatenate([[0], np.cumsum(degrees)])
+            # Re-apply the cap by position-within-head: stable sort put
+            # base edges first, so staged extras are the ones truncated
+            # on entities already at the cap.
+            pos = np.arange(heads.size, dtype=np.int64) - indptr0[heads]
+            keep = pos < self.action_cap
+            if not keep.all():
+                heads, rels, tails = heads[keep], rels[keep], tails[keep]
+                degrees = np.bincount(heads,
+                                      minlength=self.kg.num_entities)
+            merged = self._staged_count
+            # Clear the overlay BEFORE publishing the merged bundle: a
+            # lock-free reader between the two stores then misses the
+            # staged edges for one query (benign eventual visibility)
+            # instead of seeing them twice (duplicate actions).
+            self._staged = {}
+            self._staged_flag = np.zeros(self.kg.num_entities, dtype=bool)
+            self._staged_count = 0
+            self._csr = _pack_csr(degrees, rels, tails)
+            self.compactions += 1
+        return merged
+
+    def fingerprint(self) -> str:
+        """Digest of the served adjacency (CSR bundle + staged count).
+
+        Checkpoint manifests record it so a restored model can detect
+        that it is being attached to a different graph than it was
+        trained against.  Compaction changes the fingerprint; staging
+        alone does too (via the staged-edge count).
+        """
+        csr = self._csr
+        digest = hashlib.sha256()
+        digest.update(np.int64(self.kg.num_entities).tobytes())
+        digest.update(np.int64(self._staged_count).tobytes())
+        for array in (csr.indptr, csr.rels, csr.tails):
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()[:16]
 
     def batched_actions(self, entities: np.ndarray, visited: np.ndarray,
                         workspace: Optional[RolloutWorkspace] = None
@@ -240,12 +433,22 @@ class KGEnvironment:
         # shared hub tails), so when the frontier is duplicate-rich we
         # gather the grid once per *distinct* entity and row-expand —
         # the dominant random gather shrinks to the unique count and
-        # the expansion is a contiguous row copy.  Only attempted when
-        # the pigeonhole bound guarantees a >= 2x duplication factor,
-        # so the sort inside np.unique can never be wasted work.
+        # the expansion is a contiguous row copy.  Attempted when the
+        # pigeonhole bound guarantees a >= 2x duplication factor (the
+        # sort inside np.unique can never be wasted work), and also for
+        # serving-sized micro-batches (32-256 rows): coalesced traffic
+        # repeats popular start entities far below the pigeonhole
+        # threshold, and at these row counts the entity->grid-row memo
+        # costs a sort of a few hundred ints, so we keep it whenever it
+        # removes at least a quarter of the gather rows.
         uniq = inverse = None
         if n >= 64 and n >= 2 * self.kg.num_entities:
             uniq, inverse = np.unique(entities, return_inverse=True)
+        elif 8 <= n <= 512:
+            memo_uniq, memo_inverse = np.unique(entities,
+                                                return_inverse=True)
+            if 4 * memo_uniq.size <= 3 * n:
+                uniq, inverse = memo_uniq, memo_inverse
         if uniq is None:
             rels, tails, mask = self._gather_grid(entities, workspace)
             width = rels.shape[1]
@@ -264,6 +467,11 @@ class KGEnvironment:
                 tails = np.take(tails_u, inverse, axis=0)
                 mask = np.take(mask_u, inverse, axis=0)
 
+        if self._staged_count:
+            rels, tails, mask = self._widen_with_overlay(
+                entities, rels, tails, mask)
+            width = rels.shape[1]
+
         if workspace is not None:
             scratch = workspace.buffer("scratch", n, width, bool)
         else:
@@ -280,8 +488,9 @@ class KGEnvironment:
                      workspace: Optional[RolloutWorkspace]
                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Visited-agnostic ``(N, A)`` action grid for given entities."""
+        csr = self._csr
         n = len(entities)
-        degs = np.take(self._degrees, entities)
+        degs = np.take(csr.degrees, entities)
         width = int(degs.max()) if n else 0
         width = max(width, 1)
 
@@ -298,14 +507,53 @@ class KGEnvironment:
 
         cols = np.arange(width, dtype=np.int32)
         np.less(cols[None, :], degs[:, None], out=mask)
-        np.add(np.take(self._indptr, entities)[:, None], cols[None, :],
+        np.add(np.take(csr.indptr, entities)[:, None], cols[None, :],
                out=idx)
         # One pass redirects every padded cell to the zero-sentinel
         # slot 0: the gather stays in bounds and pads read as 0.
         np.multiply(idx, mask, out=idx)
-        np.take(self._flat_rels, idx, out=rels)
-        np.take(self._flat_tails, idx, out=tails)
+        np.take(csr.rels, idx, out=rels)
+        np.take(csr.tails, idx, out=tails)
         return rels, tails, mask
+
+    def _widen_with_overlay(self, entities: np.ndarray, rels: np.ndarray,
+                            tails: np.ndarray, mask: np.ndarray
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Append staged-overlay edges to the rows that have them.
+
+        The overlay holds edges ingested since the last compaction — a
+        deliberately small set, so the per-affected-row Python loop is
+        bounded.  Returns fresh (copied) arrays: overlay frontiers
+        bypass the workspace buffers, which keeps the zero-overlay hot
+        path untouched.
+        """
+        hot = self._staged_flag[entities]
+        if not hot.any():
+            return rels, tails, mask
+        hot_rows = np.flatnonzero(hot)
+        # Copy each bucket: a concurrent stage_edges may append to the
+        # live lists between the width computation and the fill loop.
+        extras = [list(self._staged.get(int(entities[row]), ()))
+                  for row in hot_rows]
+        extra_width = max(len(pairs) for pairs in extras)
+        if extra_width == 0:
+            return rels, tails, mask
+        n, width = rels.shape
+        wide = width + extra_width
+        out_rels = np.zeros((n, wide), dtype=np.int32)
+        out_tails = np.zeros((n, wide), dtype=np.int32)
+        out_mask = np.zeros((n, wide), dtype=bool)
+        out_rels[:, :width] = rels
+        out_tails[:, :width] = tails
+        out_mask[:, :width] = mask
+        degs = mask.sum(axis=1)
+        for row, pairs in zip(hot_rows, extras):
+            base = int(degs[row])
+            for offset, (rel, tail) in enumerate(pairs):
+                out_rels[row, base + offset] = rel
+                out_tails[row, base + offset] = tail
+                out_mask[row, base + offset] = True
+        return out_rels, out_tails, out_mask
 
     def iter_frontier_buckets(self, entities: np.ndarray,
                               visited: np.ndarray, num_buckets: int = 1,
@@ -331,7 +579,7 @@ class KGEnvironment:
             yield FrontierBucket(rows=np.arange(n, dtype=np.int64),
                                  rels=rels, tails=tails, mask=mask)
             return
-        order = np.argsort(self._degrees[entities], kind="stable")
+        order = np.argsort(self._csr.degrees[entities], kind="stable")
         for chunk in np.array_split(order, num_buckets):
             if chunk.size == 0:
                 continue

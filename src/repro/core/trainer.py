@@ -155,6 +155,48 @@ class REKSTrainer:
         return self.history
 
     # ------------------------------------------------------------------
+    def finetune(self, sessions: Sequence[Session],
+                 max_steps: Optional[int] = None,
+                 shuffle: bool = True) -> Dict[str, float]:
+        """One incremental pass over a session delta (continual learning).
+
+        Runs up to ``max_steps`` ordinary training steps — the same
+        losses/clip/optimizer sequence as :meth:`fit` — over just the
+        given sessions, without augmentation (an online delta is small
+        and fresh; prefix expansion would overweight it) and without
+        touching the early-stopping state.  Returns the step-averaged
+        diagnostics.  Used by :class:`repro.online.OnlineUpdater`
+        between checkpoint publishes.
+        """
+        cfg = self.config
+        batcher = SessionBatcher(
+            sessions, batch_size=cfg.batch_size,
+            max_length=cfg.max_session_length, augment=False,
+            shuffle=shuffle, rng=np.random.default_rng(cfg.seed + 23))
+        self.agent.train()
+        sums = {"loss": 0.0, "reward_loss": 0.0, "ce_loss": 0.0,
+                "mean_reward": 0.0}
+        steps = 0
+        for batch in batcher:
+            if max_steps is not None and steps >= max_steps:
+                break
+            self.optimizer.zero_grad()
+            loss, stats = self.agent.losses(batch)
+            loss.backward()
+            clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
+            self.optimizer.step()
+            sums["loss"] += stats.loss
+            sums["reward_loss"] += stats.reward_loss
+            sums["ce_loss"] += stats.ce_loss
+            sums["mean_reward"] += stats.mean_reward
+            steps += 1
+        self.agent.eval()
+        for key in sums:
+            sums[key] /= max(1, steps)
+        sums["steps"] = float(steps)
+        return sums
+
+    # ------------------------------------------------------------------
     def recommend_sessions(self, sessions: Sequence[Session], k: int = 20,
                            batch_size: int = 256) -> List[Recommendations]:
         """Batch inference over a session list."""

@@ -1,0 +1,43 @@
+"""Continual-learning subsystem: the loop that keeps a live stack fresh.
+
+The offline pipeline (train once on a frozen session log and KG) meets
+live traffic here.  Three cooperating pieces close the train→serve
+loop:
+
+* :class:`~repro.online.registry.CheckpointRegistry` — monotonic
+  versioned checkpoints with atomic publish and a retention policy;
+* :class:`~repro.online.ingest.DeltaIngestor` — streamed sessions and
+  KG triples staged into the live environment (visible to in-flight
+  walks immediately, compacted into CSR periodically) and buffered as
+  fine-tuning examples;
+* :class:`~repro.online.updater.OnlineUpdater` — a background
+  fine-tune → publish loop whose ``on_publish`` hook hot-swaps live
+  :class:`~repro.serving.RecommendationServer` instances with zero
+  downtime (version-tagged cache entries age out instead of being
+  flushed).
+
+Quickstart::
+
+    registry = CheckpointRegistry("checkpoints/", keep_last=5)
+    ingestor = DeltaIngestor(trainer.built, trainer.env)
+    server = trainer.serve(registry=registry)
+    updater = OnlineUpdater(trainer, ingestor, registry,
+                            on_publish=server.swap_model)
+    server.swap_model(updater.run_once(force=True))  # warm start
+    with updater:                                    # background loop
+        ingestor.ingest_sessions(fresh_traffic)
+        ...                                          # keep serving
+
+See ``README.md`` in this directory for the lifecycle note.
+"""
+
+from repro.online.ingest import DeltaIngestor
+from repro.online.registry import CheckpointNotFound, CheckpointRegistry
+from repro.online.updater import OnlineUpdater
+
+__all__ = [
+    "CheckpointNotFound",
+    "CheckpointRegistry",
+    "DeltaIngestor",
+    "OnlineUpdater",
+]

@@ -1,0 +1,248 @@
+"""Benchmark the continual-learning loop: ingest, publish, hot-swap.
+
+One run walks the full online lifecycle against a live server and
+measures what each stage costs:
+
+1. **ingest** — stream a session delta through the
+   :class:`~repro.online.ingest.DeltaIngestor` (staged-overlay append)
+   and force a CSR compaction; report sessions/s, edges staged, and
+   compaction seconds;
+2. **publish** — fine-tune on the drained delta and publish a new
+   checkpoint to the registry;
+3. **swap under load** — hot-swap the live server to the new version
+   while closed-loop clients keep hammering it; report the swap
+   latency, the p95 during the swap window, and that zero requests
+   failed or were dropped;
+4. **post-swap vs cold restart** — drive the same request set against
+   the just-swapped server (alive, cache holding the stale version's
+   entries) and against a freshly constructed server on the same
+   checkpoint (cold everything); their p95s should match — the swap
+   costs no more than a restart, minus the downtime;
+5. **determinism** — post-swap rankings must be bit-identical to the
+   fresh server's on the same checkpoint.
+
+The payload lands in ``BENCH_online.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter, sleep
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import Session
+from repro.online.ingest import DeltaIngestor
+from repro.online.registry import CheckpointRegistry
+from repro.online.updater import OnlineUpdater
+from repro.serving.bench import _closed_loop, emit  # noqa: F401 (emit re-exported)
+
+
+def _counted_loop(server, sessions: Sequence[Session],
+                  concurrency: int, k: int):
+    """Like :func:`repro.serving.bench._closed_loop`, but returns
+    ``(elapsed_s, completed, errors)`` so callers can measure dropped
+    requests (submitted - completed) instead of asserting a constant."""
+    shards: List[List[Session]] = [
+        list(sessions[i::concurrency]) for i in range(concurrency)]
+    completed = [0] * len(shards)
+    errors: List[BaseException] = []
+
+    def client(index: int, shard: List[Session]) -> None:
+        try:
+            for session in shard:
+                result = server.recommend_one(session, k=k)
+                if result is not None and len(result.items) == k:
+                    completed[index] += 1
+        except BaseException as exc:  # surfaced by the caller
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i, shard))
+               for i, shard in enumerate(shards) if shard]
+    start = perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return perf_counter() - start, sum(completed), errors
+
+
+def run_online_bench(trainer, sessions: Sequence[Session],
+                     delta: Sequence[Session], *, checkpoint_dir,
+                     concurrency: int = 16, k: int = 10,
+                     min_requests: int = 256,
+                     check_sessions: int = 32) -> dict:
+    """One full lifecycle run; returns the JSON-ready payload."""
+    sessions = [s for s in sessions if len(s.items) >= 2]
+    delta = [s for s in delta if len(s.items) >= 2]
+    if not sessions or not delta:
+        raise ValueError("need non-empty serving and delta session sets")
+    rounds = max(1, -(-min_requests // len(sessions)))
+    stream = list(sessions) * rounds
+    cfg = trainer.config
+
+    registry = CheckpointRegistry(
+        checkpoint_dir, keep_last=cfg.online_keep_checkpoints)
+    ingestor = DeltaIngestor(trainer.built, trainer.env,
+                             compact_every=cfg.online_compact_every)
+    updater = OnlineUpdater(trainer, ingestor, registry,
+                            min_sessions=1, max_steps=cfg.online_max_steps)
+
+    # Warm-start checkpoint: the weights the server boots from.
+    v_base = updater.run_once(force=True)
+
+    # Stage 1: ingest throughput (overlay append + forced compaction).
+    start = perf_counter()
+    edges_staged = ingestor.ingest_sessions(delta)
+    ingest_s = perf_counter() - start
+    start = perf_counter()
+    edges_compacted = ingestor.compact()
+    compact_s = perf_counter() - start
+
+    # Stage 2: fine-tune on the drained delta, publish the new version.
+    start = perf_counter()
+    v_next = updater.run_once(force=True)
+    publish_s = perf_counter() - start
+
+    payload = {
+        "benchmark": "online",
+        "concurrency": concurrency,
+        "k": k,
+        "requests": len(stream),
+        "distinct_sessions": len(sessions),
+        "versions": {"base": v_base, "next": v_next},
+        "ingest": {
+            "sessions": len(delta),
+            "seconds": ingest_s,
+            "sessions_per_s": len(delta) / max(ingest_s, 1e-9),
+            "edges_staged": edges_staged,
+            "edges_compacted": edges_compacted,
+            "compact_seconds": compact_s,
+            "compactions": trainer.env.compactions,
+        },
+        "publish": {"seconds": publish_s,
+                    "registry_versions": registry.versions()},
+    }
+
+    with trainer.serve(registry=registry) as server:
+        server.swap_model(v_base)
+        # Warm the cache on the base version so the swap demonstrably
+        # does NOT flush it.
+        _closed_loop(server, sessions, concurrency, k)
+        warm_entries = len(server.cache)
+        server.reset_stats()
+
+        # Stage 3: hot-swap mid-traffic.  Clients run the full stream;
+        # the swap lands while they are in flight.  Dropped = requests
+        # submitted that never came back complete (errored clients
+        # also surface, separately, below).
+        outcome: List[tuple] = []
+
+        def drive() -> None:
+            outcome.append(_counted_loop(server, stream, concurrency, k))
+
+        traffic = threading.Thread(target=drive)
+        traffic.start()
+        sleep(0.02)  # let the loop reach steady state
+        swap_latency_s = server.swap_model(v_next)
+        traffic.join()
+        _, completed, errors = outcome[0]
+        if errors:
+            raise errors[0]
+        dropped = len(stream) - completed
+        swap_window = server.stats()
+        cache_after_swap = len(server.cache)
+
+        payload["swap"] = {
+            "latency_s": swap_latency_s,
+            "requests_in_window": swap_window.requests,
+            "dropped": dropped,
+            "window_latency_ms": {
+                "p50": swap_window.latency_ms_p50,
+                "p95": swap_window.latency_ms_p95,
+                "p99": swap_window.latency_ms_p99},
+            "cache_entries_before": warm_entries,
+            "cache_entries_after": cache_after_swap,
+            "cache_flushed": cache_after_swap < warm_entries // 2,
+            "cache_by_version": swap_window.to_dict()["cache_by_version"],
+        }
+
+        # Stage 4a: post-swap steady state on the (still warm) server.
+        server.reset_stats()
+        post_s = _closed_loop(server, stream, concurrency, k)
+        post = server.stats()
+        payload["post_swap"] = {
+            "seconds": post_s,
+            "throughput_rps": len(stream) / post_s,
+            "latency_ms": {"mean": post.latency_ms_mean,
+                           "p50": post.latency_ms_p50,
+                           "p95": post.latency_ms_p95,
+                           "p99": post.latency_ms_p99},
+            "cache_hit_rate": post.cache_hit_rate,
+        }
+
+        # Stage 5: determinism — swapped server vs fresh construction.
+        check = sessions[:check_sessions]
+        swapped = [np.asarray(r.items, dtype=np.int64)
+                   for r in server.recommend_many(check, k=k)]
+
+    # Stage 4b: cold restart — a fresh server on the same checkpoint
+    # (empty cache, cold workspaces: everything a restart implies).
+    with trainer.serve(registry=registry) as cold:
+        restart_started = perf_counter()
+        cold.swap_model(v_next)
+        restart_ready_s = perf_counter() - restart_started
+        cold_s = _closed_loop(cold, stream, concurrency, k)
+        cold_stats = cold.stats()
+        fresh = [np.asarray(r.items, dtype=np.int64)
+                 for r in cold.recommend_many(check, k=k)]
+
+    payload["cold_restart"] = {
+        "ready_seconds": restart_ready_s,
+        "seconds": cold_s,
+        "throughput_rps": len(stream) / cold_s,
+        "latency_ms": {"mean": cold_stats.latency_ms_mean,
+                       "p50": cold_stats.latency_ms_p50,
+                       "p95": cold_stats.latency_ms_p95,
+                       "p99": cold_stats.latency_ms_p99},
+    }
+    payload["post_swap_p95_vs_cold_restart"] = (
+        payload["post_swap"]["latency_ms"]["p95"]
+        / max(payload["cold_restart"]["latency_ms"]["p95"], 1e-9))
+    payload["determinism_bit_identical"] = bool(
+        len(swapped) == len(fresh)
+        and all(np.array_equal(a, b) for a, b in zip(swapped, fresh)))
+    return payload
+
+
+def format_report(payload: dict) -> str:
+    """Human-readable summary of one lifecycle run."""
+    ingest = payload["ingest"]
+    swap = payload["swap"]
+    post = payload["post_swap"]
+    cold = payload["cold_restart"]
+    lines = [
+        f"online bench @ concurrency {payload['concurrency']} "
+        f"(k={payload['k']}, v{payload['versions']['base']} -> "
+        f"v{payload['versions']['next']})",
+        f"  ingest        : {ingest['sessions_per_s']:>8.1f} sess/s "
+        f"({ingest['edges_staged']} edges staged, compaction "
+        f"{ingest['compact_seconds'] * 1e3:.1f}ms)",
+        f"  publish round : {payload['publish']['seconds']:.2f}s "
+        f"(fine-tune + checkpoint)",
+        f"  hot swap      : {swap['latency_s'] * 1e3:>8.1f} ms latency, "
+        f"{swap['requests_in_window']} reqs in window, "
+        f"{swap['dropped']} dropped, cache kept "
+        f"{swap['cache_entries_after']}/{swap['cache_entries_before']} "
+        f"entries",
+        f"  post-swap     : p95={post['latency_ms']['p95']:.1f}ms "
+        f"({post['throughput_rps']:.0f} req/s)",
+        f"  cold restart  : p95={cold['latency_ms']['p95']:.1f}ms "
+        f"({cold['throughput_rps']:.0f} req/s, ready in "
+        f"{cold['ready_seconds'] * 1e3:.0f}ms)",
+        f"  p95 ratio     : {payload['post_swap_p95_vs_cold_restart']:.2f}x "
+        f"cold restart",
+        f"  deterministic : {payload['determinism_bit_identical']}",
+    ]
+    return "\n".join(lines)

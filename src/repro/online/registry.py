@@ -1,0 +1,183 @@
+"""Versioned checkpoint registry backing the continual-learning loop.
+
+A registry is a directory of ``.npz`` checkpoints (written through
+:mod:`repro.io`, so every file carries a validated JSON header) plus a
+``manifest.json`` index.  Versions are monotonically increasing
+integers — once published, a version id is never reused, even after
+its file has been pruned by the retention policy or the process has
+restarted.
+
+Publishing is atomic at the filesystem level: both the checkpoint and
+the manifest are written to a temporary sibling and ``os.replace``-d
+into place, so a reader (another process hot-swapping a server, or a
+crashed publisher restarting) never observes a half-written file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.io import load_state_dict, save_state_dict
+
+MANIFEST_NAME = "manifest.json"
+
+
+class CheckpointNotFound(KeyError):
+    """Raised when loading a version the registry does not hold."""
+
+
+class CheckpointRegistry:
+    """Directory-backed registry of monotonically versioned checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the checkpoints and manifest (created on
+        first publish).
+    keep_last:
+        Retention policy — how many most-recent checkpoints to keep on
+        disk (``0`` disables pruning).  Pruned versions stay listed in
+        the manifest with ``"pruned": true`` so the version counter
+        stays monotonic and history stays auditable.
+    """
+
+    def __init__(self, root, keep_last: int = 5) -> None:
+        if keep_last < 0:
+            raise ValueError(f"keep_last must be >= 0, got {keep_last}")
+        self.root = Path(root)
+        self.keep_last = keep_last
+        self._lock = threading.Lock()
+        self._manifest = self._read_manifest()
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, state: Dict[str, np.ndarray],
+                meta: Optional[dict] = None) -> int:
+        """Write a new checkpoint; returns its (new, monotonic) version.
+
+        ``meta`` is stored both in the checkpoint header (validated at
+        load) and the manifest (listable without opening the archive).
+        Typical entries: model name, dataset, dim, and the serving
+        environment's :meth:`~repro.core.environment.KGEnvironment.fingerprint`.
+        """
+        meta = dict(meta or {})
+        with self._lock:
+            version = self._next_version_locked()
+            meta["version"] = version
+            path = self.root / self._filename(version)
+            tmp = path.with_suffix(".npz.tmp")
+            save_state_dict(tmp, state, meta=meta)
+            os.replace(tmp, path)
+            self._manifest["checkpoints"].append(
+                {"version": version, "file": path.name, "meta": meta,
+                 "pruned": False})
+            self._prune_locked()
+            self._write_manifest_locked()
+        return version
+
+    # ------------------------------------------------------------------
+    # Loading / listing
+    # ------------------------------------------------------------------
+    def load(self, version: Optional[int] = None,
+             expected_meta: Optional[dict] = None
+             ) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Read checkpoint ``version`` (default: latest live one).
+
+        Returns ``(state_dict, manifest_entry_meta)``.  The stored
+        header is validated to carry the requested version, plus any
+        ``expected_meta`` entries (model/dataset/dim guards).
+        """
+        with self._lock:
+            entry = self._entry_locked(version)
+            path = self.root / entry["file"]
+        expected = {"version": entry["version"]}
+        if expected_meta:
+            expected.update(expected_meta)
+        state = load_state_dict(path, expected_meta=expected)
+        return state, dict(entry["meta"])
+
+    def latest(self) -> Optional[int]:
+        """Newest non-pruned version, or None for an empty registry."""
+        with self._lock:
+            live = [c["version"] for c in self._manifest["checkpoints"]
+                    if not c["pruned"]]
+        return max(live) if live else None
+
+    def versions(self) -> List[int]:
+        """Non-pruned versions, ascending."""
+        with self._lock:
+            return sorted(c["version"]
+                          for c in self._manifest["checkpoints"]
+                          if not c["pruned"])
+
+    def manifest(self, version: Optional[int] = None) -> dict:
+        """The manifest entry for ``version`` (default latest)."""
+        with self._lock:
+            return dict(self._entry_locked(version))
+
+    def __len__(self) -> int:
+        return len(self.versions())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _filename(version: int) -> str:
+        return f"ckpt-{version:06d}.npz"
+
+    def _entry_locked(self, version: Optional[int]) -> dict:
+        live = [c for c in self._manifest["checkpoints"] if not c["pruned"]]
+        if not live:
+            raise CheckpointNotFound("registry holds no checkpoints")
+        if version is None:
+            return max(live, key=lambda c: c["version"])
+        for entry in live:
+            if entry["version"] == version:
+                return entry
+        raise CheckpointNotFound(
+            f"version {version} not in registry "
+            f"(live: {[c['version'] for c in live]})")
+
+    def _next_version_locked(self) -> int:
+        published = [c["version"] for c in self._manifest["checkpoints"]]
+        return (max(published) + 1) if published else 1
+
+    def _prune_locked(self) -> None:
+        if not self.keep_last:
+            return
+        live = sorted((c for c in self._manifest["checkpoints"]
+                       if not c["pruned"]),
+                      key=lambda c: c["version"])
+        for entry in live[:-self.keep_last or None]:
+            path = self.root / entry["file"]
+            if path.exists():
+                path.unlink()
+            entry["pruned"] = True
+
+    def _read_manifest(self) -> dict:
+        path = self.root / MANIFEST_NAME
+        if path.exists():
+            manifest = json.loads(path.read_text())
+            if "checkpoints" not in manifest:
+                raise ValueError(f"{path} is not a registry manifest")
+            return manifest
+        return {"format_version": 1, "checkpoints": []}
+
+    def _write_manifest_locked(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=2))
+        os.replace(tmp, path)
+
+    def __repr__(self) -> str:
+        live = self.versions()
+        return (f"CheckpointRegistry(root={str(self.root)!r}, "
+                f"live={live}, keep_last={self.keep_last})")

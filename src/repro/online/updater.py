@@ -1,0 +1,162 @@
+"""Background fine-tune → publish loop closing the train→serve cycle.
+
+An :class:`OnlineUpdater` owns the *training replica* of the stack (a
+:class:`~repro.core.trainer.REKSTrainer`) and periodically:
+
+1. compacts the environment's staged edge overlay so fine-tune walks
+   see the freshest adjacency in CSR form;
+2. drains buffered sessions from the :class:`~repro.online.ingest.DeltaIngestor`
+   and runs a bounded number of ordinary training steps on them
+   (:meth:`REKSTrainer.finetune`);
+3. publishes the updated weights to the
+   :class:`~repro.online.registry.CheckpointRegistry` with the KG
+   fingerprint in the manifest;
+4. invokes ``on_publish(version)`` — typically
+   ``server.swap_model`` — so live servers roll over with zero
+   downtime.
+
+Thread model: the updater trains on its *own* thread with gradient
+mode enabled there (grad mode is thread-local — see
+``repro.autograd.tensor``), while serving workers run ``no_grad``
+walks on *cloned* agents (:func:`repro.core.agent.clone_agent`, which
+every :meth:`~repro.serving.server.RecommendationServer.swap_model`
+performs).  The trainer's own agent must therefore not serve traffic
+while the background loop is running — publish + swap is the hand-off.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Callable, List, Optional
+
+from repro.online.ingest import DeltaIngestor
+from repro.online.registry import CheckpointRegistry
+
+
+class OnlineUpdater:
+    """Drive ingest → fine-tune → publish rounds, inline or background.
+
+    Parameters
+    ----------
+    trainer:
+        The training replica whose agent is fine-tuned and checkpointed.
+    ingestor:
+        Source of buffered session deltas (and staged KG edges).
+    registry:
+        Destination for published checkpoints.
+    min_sessions / max_steps / interval_s:
+        Default to the trainer config's ``online_*`` knobs: a round is
+        skipped while fewer than ``min_sessions`` sessions are buffered;
+        each round runs at most ``max_steps`` fine-tune batches; the
+        background loop polls every ``interval_s`` seconds.
+    on_publish:
+        Optional callback invoked with each new version id after a
+        successful publish (exceptions are captured per round, not
+        raised into the loop).
+    """
+
+    def __init__(self, trainer, ingestor: DeltaIngestor,
+                 registry: CheckpointRegistry, *,
+                 min_sessions: Optional[int] = None,
+                 max_steps: Optional[int] = None,
+                 interval_s: Optional[float] = None,
+                 on_publish: Optional[Callable[[int], None]] = None) -> None:
+        cfg = trainer.config
+        self.trainer = trainer
+        self.ingestor = ingestor
+        self.registry = registry
+        self.min_sessions = (cfg.online_min_sessions if min_sessions is None
+                             else min_sessions)
+        self.max_steps = (cfg.online_max_steps if max_steps is None
+                          else max_steps)
+        self.interval_s = (cfg.online_interval_s if interval_s is None
+                           else interval_s)
+        self.on_publish = on_publish
+        self.rounds = 0
+        self.published: List[int] = []
+        self.last_error: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # One round (also the unit the tests drive deterministically)
+    # ------------------------------------------------------------------
+    def run_once(self, force: bool = False) -> Optional[int]:
+        """One ingest→fine-tune→publish round.
+
+        Returns the published version id, or None when the round was
+        skipped (fewer than ``min_sessions`` buffered and not
+        ``force``).  ``force`` with an empty buffer still publishes —
+        that is how the very first checkpoint (the warm-start weights
+        a server boots from) enters the registry.
+        """
+        if not force and self.ingestor.pending_sessions < self.min_sessions:
+            return None
+        started = perf_counter()
+        self.ingestor.compact()  # fine-tune walks on merged CSR tables
+        sessions = self.ingestor.drain_sessions()
+        diagnostics = {"steps": 0.0}
+        if sessions:
+            diagnostics = self.trainer.finetune(sessions,
+                                               max_steps=self.max_steps)
+        meta = {
+            "model": self.trainer.model_name,
+            "dataset": self.trainer.dataset.name,
+            "dim": self.trainer.config.dim,
+            "kg_fingerprint": self.trainer.env.fingerprint(),
+            "sessions": len(sessions),
+            "steps": int(diagnostics["steps"]),
+            "loss": diagnostics.get("loss"),
+            "round_seconds": perf_counter() - started,
+        }
+        version = self.registry.publish(self.trainer.agent.state_dict(),
+                                        meta=meta)
+        self.rounds += 1
+        self.published.append(version)
+        if self.on_publish is not None:
+            try:
+                self.on_publish(version)
+            except BaseException as exc:  # keep the loop alive
+                self.last_error = exc
+        return version
+
+    # ------------------------------------------------------------------
+    # Background loop
+    # ------------------------------------------------------------------
+    def start(self) -> "OnlineUpdater":
+        """Run rounds on a daemon thread every ``interval_s`` seconds."""
+        if self._thread is not None:
+            raise RuntimeError("updater already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="reks-online-updater")
+        self._thread.start()
+        return self
+
+    def stop(self, final_round: bool = False) -> None:
+        """Stop the loop; optionally flush one last forced round."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if final_round and self.ingestor.pending_sessions:
+            self.run_once(force=True)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.run_once()
+            except BaseException as exc:  # pragma: no cover - defensive
+                self.last_error = exc
+            self._stop.wait(self.interval_s)
+
+    def __enter__(self) -> "OnlineUpdater":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -155,7 +155,8 @@ def run_serving_bench(trainer, sessions: Sequence[Session], *,
         "cache": {"hits": cache.hits, "misses": cache.misses,
                   "hit_rate": cache.hit_rate,
                   "entries": len(cache),
-                  "evictions": cache.evictions},
+                  "evictions": cache.evictions,
+                  "by_version": warm.to_dict()["cache_by_version"]},
         "speedup_vs_naive": (len(stream) / cold_s) / naive_rps,
         "workspace_pool_bytes": pool_bytes,
     }

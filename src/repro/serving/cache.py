@@ -1,11 +1,19 @@
 """LRU cache of served recommendation + explanation results.
 
 Keys are the exact model inputs of a request — the (truncated) session
-suffix the encoder and walk actually see, the requested ``k``, and the
-user id when the walk starts from the user entity — so a hit is
-guaranteed to be the same answer the batch path would recompute.
-Values are immutable :class:`~repro.serving.server.ServedResult`
-payloads, safe to share across callers.
+suffix the encoder and walk actually see, the requested ``k``, the
+user id when the walk starts from the user entity, and the **model
+version** that computed the answer — so a hit is guaranteed to be the
+same answer the batch path would recompute.  Values are immutable
+:class:`~repro.serving.server.ServedResult` payloads, safe to share
+across callers.
+
+The version tag is what makes zero-downtime hot-swaps possible: a
+:meth:`~repro.serving.server.RecommendationServer.swap_model` bumps
+the server's live version, so post-swap lookups miss the stale entries
+(computed by the previous weights) without flushing them — warm
+traffic racing the swap still hits its own version's entries, and the
+stale generation simply ages out of the LRU.
 """
 
 from __future__ import annotations
@@ -34,15 +42,17 @@ class ExplanationCache:
 
     @staticmethod
     def key(prefix_items: Tuple[int, ...], k: int,
-            user_id: Optional[int] = None) -> Tuple:
+            user_id: Optional[int] = None, version: int = 0) -> Tuple:
         """Cache key for one request.
 
         ``prefix_items`` must already be truncated to the suffix the
         model consumes (``max_session_length`` last prefix items);
         ``user_id`` is only part of the identity for user-anchored
-        walks (``start_from="user"``).
+        walks (``start_from="user"``); ``version`` is the model version
+        whose weights computed (or would compute) the answer.
         """
-        return (tuple(int(i) for i in prefix_items), int(k), user_id)
+        return (tuple(int(i) for i in prefix_items), int(k), user_id,
+                int(version))
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable):

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import contextlib
 import queue
+import threading
 from typing import Iterator, List
 
 from repro.core.environment import RolloutWorkspace
@@ -21,38 +22,69 @@ class WorkspacePool:
     ``checkout`` blocks while every workspace is in use, which also
     back-pressures a misconfigured server (more workers than
     workspaces) instead of corrupting buffers.
+
+    Failure containment: the pool never shrinks.  If pinning a
+    workspace fails (a corrupted checkout flag) or a worker's release
+    raises, the suspect workspace is replaced with a fresh one before
+    the error propagates — losing warm buffers once is recoverable,
+    but silently losing a pool slot would eventually deadlock every
+    ``checkout`` behind it.
     """
 
     def __init__(self, size: int) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.size = size
+        self._lock = threading.Lock()
         self._workspaces: List[RolloutWorkspace] = [
             RolloutWorkspace() for _ in range(size)]
         self._idle: "queue.LifoQueue[RolloutWorkspace]" = queue.LifoQueue()
         for workspace in self._workspaces:
             self._idle.put(workspace)
 
+    def _replace(self, broken: RolloutWorkspace) -> None:
+        """Swap a suspect workspace for a fresh one (slot count kept)."""
+        fresh = RolloutWorkspace()
+        with self._lock:
+            try:
+                index = self._workspaces.index(broken)
+                self._workspaces[index] = fresh
+            except ValueError:  # pragma: no cover - foreign workspace
+                self._workspaces.append(fresh)
+        self._idle.put(fresh)
+
     @contextlib.contextmanager
     def checkout(self) -> Iterator[RolloutWorkspace]:
         """Exclusive use of one workspace for the ``with`` block."""
         workspace = self._idle.get()
-        workspace.checkout()
+        try:
+            workspace.checkout()
+        except BaseException:
+            # The slot must go back even when pinning fails, or the
+            # pool shrinks by one and eventually deadlocks checkout.
+            self._replace(workspace)
+            raise
         try:
             yield workspace
         finally:
-            workspace.release()
+            try:
+                workspace.release()
+            except BaseException:  # pragma: no cover - defensive
+                self._replace(workspace)
+                raise
             self._idle.put(workspace)
 
     # ------------------------------------------------------------------
     @property
     def nbytes(self) -> int:
         """Total bytes currently held across every pooled workspace."""
-        return sum(ws.nbytes for ws in self._workspaces)
+        with self._lock:
+            return sum(ws.nbytes for ws in self._workspaces)
 
     @property
     def checkouts(self) -> int:
-        return sum(ws.checkouts for ws in self._workspaces)
+        with self._lock:
+            return sum(ws.checkouts for ws in self._workspaces)
 
     @property
     def idle(self) -> int:

@@ -23,6 +23,16 @@ same routine as :meth:`REKSTrainer.recommend_sessions`
 and per-row rankings are batch-composition invariant, so the served
 ``items`` match a synchronous ``recommend_sessions`` call for the same
 sessions and ``k`` regardless of how requests were interleaved.
+
+Hot-swap contract (:meth:`RecommendationServer.swap_model`): a new
+checkpoint is loaded into a *clone* of the live agent off the request
+path, then the live ``(agent, version)`` pair is replaced under a lock
+that workers take once per micro-batch — an in-flight batch finishes
+entirely on the weights it started with, queued requests execute on
+the new ones, and no request is dropped.  Cache entries are keyed by
+model version, so the swap does not flush the cache: stale entries
+stop being queried and age out of the LRU while same-version warm
+traffic keeps hitting.
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.agent import REKSAgent
+from repro.core.agent import REKSAgent, clone_agent
 from repro.data.loader import collate_examples
 from repro.data.schema import Session
 from repro.kg.paths import SemanticPath, render_path
@@ -68,11 +78,18 @@ class ServedResult:
 
 @dataclass(frozen=True)
 class _Request:
-    """Scheduler payload for one session."""
+    """Scheduler payload for one session.
+
+    ``base_key`` is the version-less cache identity — the executing
+    worker appends the model version it actually ran with, which may be
+    newer than the one the submitter looked up (a swap landed between
+    submit and execution; the result is then cached under the version
+    that computed it).
+    """
 
     session: Session
     k: int
-    key: tuple
+    base_key: tuple
 
 
 class ServerClosed(RuntimeError):
@@ -84,8 +101,12 @@ class RecommendationServer:
 
     def __init__(self, agent: REKSAgent, *, max_batch: int = 32,
                  max_wait_ms: float = 2.0, workers: int = 2,
-                 cache_size: int = 2048, default_k: int = 20) -> None:
+                 cache_size: int = 2048, default_k: int = 20,
+                 registry=None, model_version: int = 0) -> None:
         self._agent = agent
+        self._model_version = int(model_version)
+        self._agent_lock = threading.Lock()
+        self._registry = registry
         self._kg = agent.env.built.kg
         self._max_session_length = agent.config.max_session_length
         self._start_from = agent.config.start_from
@@ -129,9 +150,10 @@ class RecommendationServer:
             raise ServerClosed("server has been shut down")
         k = self.default_k if k is None else int(k)
         started = perf_counter()
-        key = self._key(session, k)
-        hit = self._cache.get(key)
-        self._stats.record_cache(hit is not None)
+        base = self._base_key(session, k)
+        version = self._model_version
+        hit = self._cache.get(ExplanationCache.key(*base, version=version))
+        self._stats.record_cache(hit is not None, version)
         if hit is not None:
             latency = perf_counter() - started
             self._stats.record_request(latency)
@@ -140,7 +162,7 @@ class RecommendationServer:
                                       latency_ms=latency * 1e3))
             return future
         try:
-            return self._scheduler.submit(_Request(session, k, key))
+            return self._scheduler.submit(_Request(session, k, base))
         except SchedulerClosed as exc:
             # Lost the race against a concurrent shutdown(): surface
             # the server-level type the API documents.
@@ -158,6 +180,56 @@ class RecommendationServer:
         back in input order."""
         futures = [self.submit(session, k) for session in sessions]
         return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Model lifecycle (hot swap)
+    # ------------------------------------------------------------------
+    @property
+    def model_version(self) -> int:
+        """The version tag of the currently live model."""
+        return self._model_version
+
+    def swap_model(self, version: Optional[int] = None, *,
+                   registry=None, state: Optional[dict] = None) -> float:
+        """Atomically roll the live model to a published checkpoint.
+
+        Loads checkpoint ``version`` (default: the registry's latest)
+        into a clone of the live agent *off the request path*, then
+        swaps the live ``(agent, version)`` pair under the worker lock.
+        In-flight micro-batches complete on the weights they started
+        with; queued requests execute on the new ones; nothing is
+        dropped and the cache is not flushed (stale versions age out).
+
+        ``state`` short-circuits the registry read with an in-memory
+        state dict (then ``version`` is its required tag).  Returns the
+        end-to-end swap latency in seconds.
+        """
+        if self._shut_down:
+            raise ServerClosed("server has been shut down")
+        started = perf_counter()
+        if state is None:
+            registry = registry if registry is not None else self._registry
+            if registry is None:
+                raise ValueError(
+                    "swap_model needs a CheckpointRegistry (pass one at "
+                    "construction or per call) or an explicit state dict")
+            state, manifest = registry.load(version)
+            version = manifest["version"]
+        elif version is None:
+            raise ValueError("swap_model(state=...) requires a version tag")
+        fresh = clone_agent(self._agent)
+        fresh.load_state_dict(state)
+        with self._agent_lock:
+            self._agent = fresh
+            self._model_version = int(version)
+        latency = perf_counter() - started
+        self._stats.record_swap(latency)
+        return latency
+
+    def _live(self) -> Tuple[REKSAgent, int]:
+        """The (agent, version) pair, read atomically (one per batch)."""
+        with self._agent_lock:
+            return self._agent, self._model_version
 
     # ------------------------------------------------------------------
     # Introspection
@@ -211,7 +283,10 @@ class RecommendationServer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _key(self, session: Session, k: int) -> tuple:
+    def _base_key(self, session: Session, k: int) -> tuple:
+        """Version-less cache identity — the ``(prefix_items, k,
+        user_id)`` arguments of :meth:`ExplanationCache.key`; the
+        executing worker supplies the version."""
         items = list(session.items)
         if len(items) < 2:
             raise ValueError(
@@ -219,14 +294,24 @@ class RecommendationServer:
                 f"next-item slot); got {len(items)}")
         prefix = items[:-1][-self._max_session_length:]
         user = session.user_id if self._start_from == "user" else None
-        return ExplanationCache.key(tuple(prefix), k, user)
+        return (tuple(prefix), k, user)
 
     def _worker(self) -> None:
-        while True:
-            batch = self._scheduler.next_batch()
-            if batch is None:
-                return
-            self._process(batch)
+        try:
+            while True:
+                batch = self._scheduler.next_batch()
+                if batch is None:
+                    return
+                self._process(batch)
+        except BaseException as exc:  # pragma: no cover - last resort
+            # The worker loop itself died (next_batch raised, or
+            # _process's own failure handler failed).  Fail everything
+            # still queued instead of letting callers hang on futures
+            # no surviving worker will ever cut.
+            for request in self._scheduler.close(drain=False):
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            raise
 
     def _process(self, batch: List[PendingRequest]) -> None:
         try:
@@ -250,14 +335,20 @@ class RecommendationServer:
                      request.payload.session.user_id)
                     for request in group]
         collated = collate_examples(examples, self._max_session_length)
+        # One atomic read per batch: every row of this micro-batch is
+        # answered by the same model generation, and the results are
+        # cached under that generation's version tag (which may be
+        # newer than the version the submitter looked up).
+        agent, version = self._live()
         with self._pool.checkout() as workspace:
-            rec = self._agent.recommend(collated, k=k,
-                                        workspace=workspace)
+            rec = agent.recommend(collated, k=k, workspace=workspace)
         for row, request in enumerate(group):
             result = self._pack_row(rec, row)
             latency = perf_counter() - request.enqueued_at
             result = replace(result, latency_ms=latency * 1e3)
-            self._cache.put(request.payload.key, result)
+            self._cache.put(
+                ExplanationCache.key(*request.payload.base_key,
+                                     version=version), result)
             self._stats.record_request(latency)
             request.future.set_result(result)
 

@@ -13,14 +13,20 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 
 @dataclass(frozen=True)
 class StatsSnapshot:
-    """Point-in-time view of a server's counters (latencies in ms)."""
+    """Point-in-time view of a server's counters (latencies in ms).
+
+    ``cache_by_version`` splits the hit/miss counters by the model
+    version a lookup was keyed against, which is how hot-swap rollovers
+    are observed: right after a swap the new version's misses climb
+    while the stale version stops being queried at all.
+    """
 
     requests: int
     batches: int
@@ -34,6 +40,9 @@ class StatsSnapshot:
     latency_ms_p99: float
     batch_occupancy: Dict[int, int] = field(default_factory=dict)
     mean_occupancy: float = 0.0
+    cache_by_version: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    swaps: int = 0
+    swap_latency_ms: Tuple[float, ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
@@ -41,12 +50,24 @@ class StatsSnapshot:
         return self.cache_hits / total if total else 0.0
 
     def to_dict(self) -> dict:
+        by_version = {}
+        for version in sorted(self.cache_by_version):
+            split = self.cache_by_version[version]
+            total = split["hits"] + split["misses"]
+            by_version[str(version)] = {
+                "hits": split["hits"],
+                "misses": split["misses"],
+                "hit_rate": (split["hits"] / total) if total else 0.0,
+            }
         return {
             "requests": self.requests,
             "batches": self.batches,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_by_version": by_version,
+            "swaps": self.swaps,
+            "swap_latency_ms": list(self.swap_latency_ms),
             "duration_s": self.duration_s,
             "throughput_rps": self.throughput_rps,
             "latency_ms": {
@@ -70,6 +91,8 @@ class ServerStats:
         self._occupancy: Dict[int, int] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_by_version: Dict[int, Dict[str, int]] = {}
+        self._swap_latencies_s: list = []
         self._started_at: Optional[float] = None
         self._last_event_at: Optional[float] = None
 
@@ -88,12 +111,22 @@ class ServerStats:
         with self._lock:
             self._occupancy[size] = self._occupancy.get(size, 0) + 1
 
-    def record_cache(self, hit: bool) -> None:
+    def record_cache(self, hit: bool, version: int = 0) -> None:
+        """One cache lookup, attributed to the model version it keyed."""
         with self._lock:
+            split = self._cache_by_version.setdefault(
+                int(version), {"hits": 0, "misses": 0})
             if hit:
                 self._cache_hits += 1
+                split["hits"] += 1
             else:
                 self._cache_misses += 1
+                split["misses"] += 1
+
+    def record_swap(self, latency_s: float) -> None:
+        """One completed model hot-swap."""
+        with self._lock:
+            self._swap_latencies_s.append(latency_s)
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark phases)."""
@@ -102,6 +135,8 @@ class ServerStats:
             self._occupancy.clear()
             self._cache_hits = 0
             self._cache_misses = 0
+            self._cache_by_version.clear()
+            self._swap_latencies_s.clear()
             self._started_at = None
             self._last_event_at = None
 
@@ -111,6 +146,9 @@ class ServerStats:
             lat = np.asarray(self._latencies_s, dtype=np.float64)
             occupancy = dict(self._occupancy)
             hits, misses = self._cache_hits, self._cache_misses
+            by_version = {v: dict(split) for v, split
+                          in self._cache_by_version.items()}
+            swap_ms = tuple(s * 1e3 for s in self._swap_latencies_s)
             if self._started_at is not None \
                     and self._last_event_at is not None:
                 duration = max(self._last_event_at - self._started_at, 1e-9)
@@ -139,4 +177,7 @@ class ServerStats:
             latency_ms_p99=float(p99),
             batch_occupancy=occupancy,
             mean_occupancy=mean_occ,
+            cache_by_version=by_version,
+            swaps=len(swap_ms),
+            swap_latency_ms=swap_ms,
         )

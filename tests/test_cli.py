@@ -58,3 +58,21 @@ class TestCommands:
         assert main(["compare", "--model", "gru4rec"] + COMMON) == 0
         out = capsys.readouterr().out
         assert "REKS_gru4rec" in out and "HR@5" in out
+
+    def test_ingest(self, capsys, tmp_path):
+        code = main(["ingest", "--rounds", "1", "--chunk", "8",
+                     "--max-steps", "1",
+                     "--checkpoints", str(tmp_path / "registry")]
+                    + COMMON)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm-start checkpoint v1" in out
+        assert "published" in out
+        assert (tmp_path / "registry" / "manifest.json").exists()
+
+    def test_online_bench_parser_defaults(self):
+        args = build_parser().parse_args(["online-bench", "--quick"])
+        assert args.quick
+        assert args.out == "BENCH_online.json"
+        assert args.concurrency == 16
+        assert args.func.__name__ == "cmd_online_bench"

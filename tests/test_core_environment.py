@@ -57,6 +57,27 @@ class TestActionSpaces:
         _, tails, mask = env.batched_actions(np.array([entity]), visited)
         assert not ((tails[0] == entity) & mask[0]).any()
 
+    def test_serving_batch_dedup_memo_matches_plain_rows(self, env,
+                                                         beauty_kg):
+        """A duplicate-rich micro-batch (the coalesced-serving shape:
+        few distinct popular start entities repeated across 32-256
+        rows) must produce row-for-row the same grids as a frontier of
+        all-distinct entities would — the memo is a pure optimization."""
+        distinct = beauty_kg.item_entity[np.array([1, 2, 3, 4])]
+        # 64 rows over 4 distinct entities: far below the 2x-entities
+        # pigeonhole bound, so only the micro-batch memo dedups this.
+        entities = np.tile(distinct, 16)
+        visited = entities[:, None]
+        rels, tails, mask = env.batched_actions(entities, visited)
+        for row in range(0, len(entities), 7):
+            one_rels, one_tails, one_mask = env.batched_actions(
+                entities[row:row + 1], visited[row:row + 1])
+            got = set(zip(rels[row][mask[row]].tolist(),
+                          tails[row][mask[row]].tolist()))
+            want = set(zip(one_rels[0][one_mask[0]].tolist(),
+                           one_tails[0][one_mask[0]].tolist()))
+            assert got == want
+
 
 class TestStartEntities:
     def _batch(self, sessions):

@@ -129,6 +129,30 @@ class TestWorkspacePool:
         with pytest.raises(ValueError):
             WorkspacePool(0)
 
+    def test_corrupted_checkout_does_not_shrink_pool(self):
+        """A workspace whose checkout flag is stuck must be replaced,
+        not silently dropped — losing the slot would eventually
+        deadlock every checkout behind it."""
+        pool = WorkspacePool(1)
+        stuck = pool._workspaces[0]
+        stuck.checkout()  # simulate a worker that died mid-flush
+        with pytest.raises(RuntimeError, match="checked out"):
+            with pool.checkout():
+                pass
+        assert pool.idle == 1  # fresh replacement queued
+        with pool.checkout() as replacement:
+            assert replacement is not stuck
+        assert pool.idle == 1
+
+    def test_body_failure_releases_workspace(self):
+        pool = WorkspacePool(1)
+        with pytest.raises(RuntimeError, match="boom"):
+            with pool.checkout():
+                raise RuntimeError("boom")
+        assert pool.idle == 1
+        with pool.checkout():
+            pass  # still usable
+
 
 # ----------------------------------------------------------------------
 # ExplanationCache
@@ -328,6 +352,70 @@ class TestRecommendationServer:
 
     def test_check_determinism_helper(self, trainer, sessions):
         assert check_determinism(trainer, sessions[:10], k=5)
+
+
+# ----------------------------------------------------------------------
+# Failure containment: a worker raising mid-flush must fail the
+# affected futures, release its pinned workspace, and keep serving.
+# ----------------------------------------------------------------------
+class TestWorkerFailureContainment:
+    def test_batch_failure_fails_all_futures_and_recovers(
+            self, trainer, sessions, monkeypatch):
+        from repro.core.agent import REKSAgent
+
+        real = REKSAgent.recommend
+        calls = {"n": 0}
+
+        def flaky(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected walk failure")
+            return real(self, *args, **kwargs)
+
+        monkeypatch.setattr(REKSAgent, "recommend", flaky)
+        with trainer.serve(max_batch=8, max_wait_ms=20.0, workers=1,
+                           cache_size=0) as server:
+            futures = [server.submit(s, k=5) for s in sessions[:3]]
+            failed = 0
+            for future in futures:
+                try:
+                    future.result(timeout=10)
+                except RuntimeError as exc:
+                    assert "injected walk failure" in str(exc)
+                    failed += 1
+            assert failed == 3  # coalesced batch: all fail, none hang
+            # The pinned workspace was released on the error path...
+            assert server.pool.idle == 1
+            # ...and the worker thread survived to serve new traffic.
+            result = server.recommend_one(sessions[0], k=5)
+            assert len(result.items) == 5
+
+    def test_failure_leaves_later_queue_intact(self, trainer, sessions,
+                                               monkeypatch):
+        """Requests queued behind a failing batch still execute."""
+        from repro.core.agent import REKSAgent
+
+        real = REKSAgent.recommend
+        calls = {"n": 0}
+
+        def flaky(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first batch dies")
+            return real(self, *args, **kwargs)
+
+        monkeypatch.setattr(REKSAgent, "recommend", flaky)
+        with trainer.serve(max_batch=1, max_wait_ms=0.0, workers=1,
+                           cache_size=0) as server:
+            futures = [server.submit(s, k=5) for s in sessions[:4]]
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(len(future.result(timeout=10).items))
+                except RuntimeError:
+                    outcomes.append("failed")
+            assert outcomes.count("failed") == 1
+            assert outcomes.count(5) == 3
 
 
 # ----------------------------------------------------------------------

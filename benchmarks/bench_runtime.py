@@ -1,0 +1,101 @@
+"""Benchmark for the multiprocess execution plane (``repro.runtime``).
+
+Measures thread-vs-process serving throughput over the shared-memory
+table plane (with a bit-identity gate between the modes) and serving
+p95 during a concurrent fine-tune round — inline on the serving
+interpreter vs isolated in a subprocess updater — and writes
+``benchmarks/results/BENCH_runtime.json``.
+
+Run it any of three ways::
+
+    python -m benchmarks.bench_runtime --quick   # bounded request stream
+    python benchmarks/bench_runtime.py           # full run
+    pytest benchmarks/bench_runtime.py -m slow -s  # run as a test
+
+The pytest run is marked ``slow`` (excluded from tier-1); the quick
+mode is the same configuration the ``runtime-bench --quick`` CLI
+acceptance run uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RESULTS_DIR, bench_scale, get_world  # noqa: E402
+from repro import REKSConfig, REKSTrainer  # noqa: E402
+from repro.runtime.bench import (  # noqa: E402
+    emit,
+    format_report,
+    run_runtime_bench,
+)
+
+
+def make_trainer() -> REKSTrainer:
+    """An inference-ready REKS stack (training does not change what
+    the execution plane measures)."""
+    scale = bench_scale()
+    world = get_world("beauty")
+    dim = world.transe.config.dim
+    config = REKSConfig(dim=dim, state_dim=dim,
+                        sample_sizes=(100, scale.final_beam),
+                        action_cap=scale.action_cap,
+                        frontier_buckets=scale.frontier_buckets,
+                        online_max_steps=4, seed=0)
+    return REKSTrainer(world.dataset, world.built, model_name="narm",
+                       config=config, transe=world.transe)
+
+
+def run(trainer: REKSTrainer, quick: bool = False) -> dict:
+    serving = [s for s in trainer.dataset.split.test
+               if len(s.items) >= 2]
+    delta = [s for s in trainer.dataset.split.validation
+             if len(s.items) >= 2]
+    if quick:
+        serving, delta = serving[:128], delta[:64]
+    # Thread/process equivalence is checked inside run_runtime_bench
+    # (payload["serve"]["bit_identical"]) and asserted by callers.
+    with tempfile.TemporaryDirectory(prefix="reks-runtime-") as tmp:
+        payload = run_runtime_bench(
+            trainer, serving, delta, checkpoint_dir=tmp,
+            workers=4, concurrency=8, k=10,
+            min_requests=(256 if quick else 768))
+    payload["scale"] = bench_scale().name
+    print(format_report(payload))
+    return payload
+
+
+def emit_results(payload: dict) -> Path:
+    out = emit(payload, RESULTS_DIR / "BENCH_runtime.json")
+    print(f"-> {out}")
+    return out
+
+
+@pytest.mark.slow
+def test_runtime_plane():
+    """Full run; process mode must stay bit-identical to thread mode
+    and the subprocess round must not fail serving."""
+    payload = run(make_trainer(), quick=False)
+    emit_results(payload)
+    assert payload["serve"]["bit_identical"]
+    assert payload["online"]["during_subprocess_round"]["requests"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="bounded request stream")
+    args = parser.parse_args(argv)
+    payload = run(make_trainer(), quick=args.quick)
+    emit_results(payload)
+    return 0 if payload["serve"]["bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

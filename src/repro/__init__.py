@@ -47,6 +47,7 @@ from repro.models import (
     create_encoder,
 )
 from repro.online import CheckpointRegistry, DeltaIngestor, OnlineUpdater
+from repro.runtime import FileLease, ProcessWorkerPool, TablePlane
 from repro.serving import RecommendationServer, ServedResult
 
 __version__ = "1.0.0"
@@ -80,5 +81,8 @@ __all__ = [
     "CheckpointRegistry",
     "DeltaIngestor",
     "OnlineUpdater",
+    "TablePlane",
+    "ProcessWorkerPool",
+    "FileLease",
     "__version__",
 ]

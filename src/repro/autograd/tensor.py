@@ -148,6 +148,20 @@ class Tensor:
         """Return a new leaf tensor sharing data but outside the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def ensure_writable(self) -> np.ndarray:
+        """Make :attr:`data` privately writable, copying on first write.
+
+        Tensors may wrap *foreign* read-only buffers — OS shared-memory
+        views exported by :mod:`repro.runtime` or frozen tables shared
+        between agent clones.  Reads stay zero-copy; the first caller
+        that needs to mutate the payload goes through here, which
+        replaces the view with a private writable copy (copy-on-write).
+        Returns the (now writable) array.
+        """
+        if not self.data.flags.writeable:
+            self.data = self.data.copy()
+        return self.data
+
     def zero_grad(self) -> None:
         self.grad = None
 

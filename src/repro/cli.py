@@ -10,6 +10,7 @@ Subcommands cover the release workflow end to end:
 * ``serve-bench`` — load-test the request-coalescing serving layer
 * ``ingest``      — demo the streaming ingest -> fine-tune -> publish loop
 * ``online-bench``— measure the continual-learning lifecycle (hot swap)
+* ``runtime-bench``— thread-vs-process serving + fine-tune isolation
 
 Example::
 
@@ -42,6 +43,7 @@ from repro.data.stats import (
     relation_statistics,
 )
 from repro.kg import TransE, TransEConfig
+from repro.utils import default_bench_path
 
 DATASETS = ("beauty", "cellphones", "baby", "movielens")
 MODELS = ("gru4rec", "narm", "srgnn", "gcsan", "bert4rec")
@@ -195,6 +197,7 @@ def cmd_serve_bench(args) -> int:
                         serve_max_batch=args.max_batch,
                         serve_max_wait_ms=args.max_wait_ms,
                         serve_workers=args.workers,
+                        serve_worker_mode=args.worker_mode,
                         seed=args.seed)
     trainer = REKSTrainer(dataset, built, model_name=args.model,
                           config=config)
@@ -288,6 +291,7 @@ def cmd_online_bench(args) -> int:
                         lr=args.lr, sample_sizes=(100, args.final_beam),
                         transe_epochs=2 if args.quick else 10,
                         online_max_steps=4,
+                        online_updater_mode=args.updater_mode,
                         serve_workers=args.workers,
                         seed=args.seed)
     trainer = REKSTrainer(dataset, built, model_name=args.model,
@@ -319,6 +323,58 @@ def cmd_online_bench(args) -> int:
         return 1
     if payload["swap"]["cache_flushed"]:
         print("FAIL: hot swap flushed the explanation cache")
+        return 1
+    return 0
+
+
+def cmd_runtime_bench(args) -> int:
+    """Measure the multiprocess execution plane and emit
+    ``BENCH_runtime.json``: thread-vs-process serving throughput with
+    a bit-identity gate, and serving p95 during a concurrent
+    fine-tune round (inline thread vs isolated subprocess).
+    """
+    import tempfile
+
+    from repro.runtime.bench import (
+        emit,
+        format_report,
+        run_runtime_bench,
+    )
+
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset, include_users=not args.no_users)
+    config = REKSConfig(dim=args.dim, state_dim=args.dim,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, sample_sizes=(100, args.final_beam),
+                        transe_epochs=2 if args.quick else 10,
+                        # Long enough rounds that the concurrent-round
+                        # p95 window measures contention, not scheduler
+                        # noise around a sub-second blip.
+                        online_max_steps=16,
+                        seed=args.seed)
+    trainer = REKSTrainer(dataset, built, model_name=args.model,
+                          config=config)
+    if args.fit:
+        trainer.fit(verbose=True)
+
+    serving = [s for s in dataset.split.test if len(s.items) >= 2]
+    delta = [s for s in dataset.split.validation if len(s.items) >= 2]
+    if args.quick:
+        serving, delta = serving[:128], delta[:64]
+    # Thread/process equivalence is checked inside run_runtime_bench
+    # (payload["serve"]["bit_identical"]) and gated below.
+    with tempfile.TemporaryDirectory(prefix="reks-runtime-") as tmp:
+        payload = run_runtime_bench(
+            trainer, serving, delta,
+            checkpoint_dir=(args.checkpoints or tmp),
+            workers=args.workers, concurrency=args.concurrency,
+            k=args.top_k,
+            min_requests=(256 if args.quick else 768))
+    path = emit(payload, args.out)
+    print(format_report(payload))
+    print(f"-> {path}")
+    if not payload["serve"]["bit_identical"]:
+        print("FAIL: thread/process rankings diverged during the run")
         return 1
     return 0
 
@@ -387,9 +443,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--max-batch", type=int, default=32)
     p_srv.add_argument("--max-wait-ms", type=float, default=2.0)
     p_srv.add_argument("--workers", type=int, default=2)
+    p_srv.add_argument("--worker-mode", choices=("thread", "process"),
+                       default="thread",
+                       help="execute micro-batches on worker threads or "
+                            "on plane-attached worker processes")
     p_srv.add_argument("--speedup-floor", type=float, default=2.0,
                        help="fail below this coalesced/naive ratio")
-    p_srv.add_argument("--out", default="BENCH_serving.json")
+    p_srv.add_argument("--out", default=default_bench_path(
+        "BENCH_serving.json"))
     p_srv.set_defaults(func=cmd_serve_bench)
 
     p_ing = sub.add_parser(
@@ -431,8 +492,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_onl.add_argument("--workers", type=int, default=2)
     p_onl.add_argument("--checkpoints", default=None,
                        help="registry directory (default: temp dir)")
-    p_onl.add_argument("--out", default="BENCH_online.json")
+    p_onl.add_argument("--updater-mode", choices=("thread", "subprocess"),
+                       default="thread",
+                       help="where the fine-tune replica runs")
+    p_onl.add_argument("--out", default=default_bench_path(
+        "BENCH_online.json"))
     p_onl.set_defaults(func=cmd_online_bench)
+
+    p_run = sub.add_parser(
+        "runtime-bench",
+        help="thread-vs-process serving + fine-tune isolation")
+    _add_common(p_run)
+    p_run.add_argument("--model", choices=MODELS, default="narm")
+    p_run.add_argument("--final-beam", type=int, default=4)
+    p_run.add_argument("--no-users", action="store_true")
+    p_run.add_argument("--fit", action="store_true",
+                       help="train before benchmarking")
+    p_run.add_argument("--quick", action="store_true",
+                       help="bounded session sets + short TransE "
+                            "pre-training")
+    p_run.add_argument("--workers", type=int, default=4,
+                       help="serving workers per mode")
+    p_run.add_argument("--concurrency", type=int, default=8,
+                       help="closed-loop client threads")
+    p_run.add_argument("--top-k", type=int, default=10)
+    p_run.add_argument("--checkpoints", default=None,
+                       help="registry directory (default: temp dir)")
+    p_run.add_argument("--out", default=default_bench_path(
+        "BENCH_runtime.json"))
+    p_run.set_defaults(func=cmd_runtime_bench)
 
     return parser
 

@@ -322,20 +322,31 @@ class REKSAgent(Module):
 
 
 def clone_agent(agent: REKSAgent) -> REKSAgent:
-    """Structural copy of an agent with independent parameters.
+    """Structural copy of an agent with independent *trainable* state.
 
     The encoder and policy modules are deep-copied (fresh parameter
-    arrays, no shared autograd state), while the environment, reward
-    computer, and config are shared — they are read-only at inference
-    time and may be large.  Used by the serving layer's hot-swap: a
-    checkpoint is loaded into a clone off the request path, then the
-    live agent reference is swapped atomically, so in-flight batches
-    finish on the weights they started with.
+    arrays, no shared autograd state) **except the frozen TransE
+    entity/relation tables**, which dominate the parameter count at
+    paper dims and are never trained unless ``finetune_kg_embeddings``
+    is set: their read-only payloads are aliased into the clone
+    (deepcopy memo), making a clone — and therefore a serving
+    hot-swap — O(trainable params) instead of O(all params).  Loading
+    a checkpoint into the clone preserves the sharing via the
+    copy-on-write path in ``Module.load_state_dict`` (identical frozen
+    payloads are skipped; a genuinely different table would get a
+    private copy, never corrupt the shared buffer).  The environment,
+    reward computer, and config are shared as before.
     """
     import copy
 
+    memo: dict = {}
+    policy = agent.policy
+    for emb in (policy.entity_emb, policy.relation_emb):
+        weight = emb.weight
+        if not weight.requires_grad and not weight.data.flags.writeable:
+            memo[id(weight.data)] = weight.data  # alias, don't copy
     clone = REKSAgent(copy.deepcopy(agent.encoder),
-                      copy.deepcopy(agent.policy),
+                      copy.deepcopy(agent.policy, memo),
                       agent.env, agent.rewards, agent.config,
                       workspace=RolloutWorkspace())
     clone.eval()

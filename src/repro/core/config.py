@@ -75,9 +75,15 @@ class REKSConfig:
     # they have no effect on training.
     serve_max_batch: int = 32      # flush a micro-batch at this size...
     serve_max_wait_ms: float = 2.0  # ...or when the oldest request ages out
-    serve_workers: int = 2         # batch-executing threads (one workspace each)
+    serve_workers: int = 2         # batch-executing workers (one workspace each)
     serve_cache_size: int = 2048   # LRU explanation-cache entries (0 = off)
     serve_default_k: int = 20      # top-K when a request doesn't specify one
+    # Execution plane (repro.runtime): thread workers share the GIL;
+    # process workers attach the shared-memory table plane and execute
+    # micro-batches with true parallelism (rankings bit-identical).
+    serve_worker_mode: str = "thread"   # or "process"
+    serve_mp_context: str = "auto"      # fork | spawn | auto (prefer fork)
+    runtime_plane_backend: str = "auto"  # shm | mmap | auto (prefer shm)
 
     # Continual learning (repro.online): checkpoint publishing, delta
     # ingestion, and background fine-tuning.  ``OnlineUpdater`` and
@@ -89,6 +95,16 @@ class REKSConfig:
     online_keep_checkpoints: int = 5  # registry retention (0 = unbounded)
     online_compact_every: int = 1024  # staged edges before CSR compaction
     online_auto_swap: bool = True   # hot-swap servers on each publish
+    # "subprocess" fine-tunes in an isolated interpreter (checkpoints
+    # ship through the file-locked registry), so a training round no
+    # longer steals serving throughput from this process's GIL.
+    online_updater_mode: str = "thread"  # or "subprocess"
+    # Niceness of the subprocess fine-tune child.  With spare cores it
+    # is irrelevant (the child runs on its own core); on saturated
+    # hosts it keeps the OS scheduler from granting the trainer long
+    # quanta at serving's expense — training is the batch workload,
+    # serving is the latency workload.
+    online_subprocess_nice: int = 10
 
     seed: int = 0
 
@@ -126,6 +142,26 @@ class REKSConfig:
         if self.serve_default_k < 1:
             raise ValueError(
                 f"serve_default_k must be >= 1, got {self.serve_default_k}")
+        if self.serve_worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"serve_worker_mode must be 'thread' or 'process', "
+                f"got {self.serve_worker_mode!r}")
+        if self.serve_mp_context not in ("auto", "fork", "spawn"):
+            raise ValueError(
+                f"serve_mp_context must be auto/fork/spawn, "
+                f"got {self.serve_mp_context!r}")
+        if self.runtime_plane_backend not in ("auto", "shm", "mmap"):
+            raise ValueError(
+                f"runtime_plane_backend must be auto/shm/mmap, "
+                f"got {self.runtime_plane_backend!r}")
+        if self.online_updater_mode not in ("thread", "subprocess"):
+            raise ValueError(
+                f"online_updater_mode must be 'thread' or 'subprocess', "
+                f"got {self.online_updater_mode!r}")
+        if not 0 <= self.online_subprocess_nice <= 19:
+            raise ValueError(
+                f"online_subprocess_nice must be in [0, 19], "
+                f"got {self.online_subprocess_nice}")
         if self.online_min_sessions < 1:
             raise ValueError(
                 f"online_min_sessions must be >= 1, "

@@ -211,29 +211,38 @@ class KGEnvironment:
     """Flat-CSR capped adjacency with batched action-space queries."""
 
     def __init__(self, built: BuiltKG, action_cap: int = 250,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 tables: Optional[_CSRTables] = None) -> None:
         self.built = built
         self.kg = built.kg
         self.action_cap = action_cap
-        indptr, rels, tails = built.adjacency_csr()
-        degrees = np.diff(indptr).astype(np.int64)
-        rng = np.random.default_rng(seed)
-        over = np.flatnonzero(degrees > action_cap)
-        if over.size:
-            keep = np.ones(rels.shape[0], dtype=bool)
-            for entity in over:  # hubs only — a one-time build cost
-                start, stop = int(indptr[entity]), int(indptr[entity + 1])
-                # Uniform subsample keeps the relation-type mix unbiased
-                # (a head-truncation would drop whole relation blocks).
-                pick = rng.choice(stop - start, size=action_cap,
-                                  replace=False)
-                pick.sort()
-                block = np.zeros(stop - start, dtype=bool)
-                block[pick] = True
-                keep[start:stop] = block
-            rels, tails = rels[keep], tails[keep]
-            degrees = np.minimum(degrees, action_cap)
-        self._csr = _pack_csr(degrees, rels, tails)
+        if tables is not None:
+            # Attach precomputed tables (e.g. shared-memory plane views
+            # in a process worker) instead of re-running the capping —
+            # the rng subsample below would otherwise have to replay
+            # bit-exactly for rankings to match the exporting parent.
+            self._csr = tables
+        else:
+            indptr, rels, tails = built.adjacency_csr()
+            degrees = np.diff(indptr).astype(np.int64)
+            rng = np.random.default_rng(seed)
+            over = np.flatnonzero(degrees > action_cap)
+            if over.size:
+                keep = np.ones(rels.shape[0], dtype=bool)
+                for entity in over:  # hubs only — a one-time build cost
+                    start, stop = int(indptr[entity]), int(indptr[entity + 1])
+                    # Uniform subsample keeps the relation-type mix
+                    # unbiased (a head-truncation would drop whole
+                    # relation blocks).
+                    pick = rng.choice(stop - start, size=action_cap,
+                                      replace=False)
+                    pick.sort()
+                    block = np.zeros(stop - start, dtype=bool)
+                    block[pick] = True
+                    keep[start:stop] = block
+                rels, tails = rels[keep], tails[keep]
+                degrees = np.minimum(degrees, action_cap)
+            self._csr = _pack_csr(degrees, rels, tails)
         # Staged edge overlay (online delta ingestion).  Edges land in
         # per-entity lists, are visible to batched_actions immediately,
         # and are folded into a fresh CSR bundle by compact().  The
@@ -385,6 +394,70 @@ class KGEnvironment:
             self._csr = _pack_csr(degrees, rels, tails)
             self.compactions += 1
         return merged
+
+    def csr_tables(self) -> _CSRTables:
+        """The current immutable CSR bundle (one atomic attribute load).
+
+        This is the export surface of the environment: the runtime
+        plane copies these four arrays into OS shared memory, and
+        worker processes hand equivalent zero-copy views back to
+        :meth:`attach_tables`.
+        """
+        return self._csr
+
+    def attach_tables(self, tables: _CSRTables) -> None:
+        """Atomically replace the CSR bundle with foreign views.
+
+        Used by process workers when the parent publishes a new plane
+        generation (after a compaction): the swap is a single attribute
+        store, so a concurrent walk keeps the bundle it already loaded.
+        The staged overlay is cleared — a published generation already
+        contains everything the parent compacted into it.
+        """
+        expected = (self.kg.num_entities + 1,)
+        if tables.indptr.shape != expected:
+            raise ValueError(
+                f"indptr shape {tables.indptr.shape} does not match "
+                f"this KG ({expected})")
+        with self._overlay_lock:
+            self._staged = {}
+            self._staged_flag = np.zeros(self.kg.num_entities, dtype=bool)
+            self._staged_count = 0
+            self._csr = tables
+            self.compactions += 1
+
+    def reset_overlay_after_fork(self) -> None:
+        """Reinitialize overlay lock + staged state in a forked child.
+
+        A fork can capture the overlay lock *held* by another parent
+        thread (the child's copy would then never unlock) and the
+        staged dict mid-mutation.  A child that owns its own delta
+        stream — the subprocess updater re-derives edges from the
+        sessions shipped to it — calls this first: fresh lock, empty
+        overlay, immutable CSR bundle untouched.
+        """
+        self._overlay_lock = threading.Lock()
+        self._staged = {}
+        self._staged_flag = np.zeros(self.kg.num_entities, dtype=bool)
+        self._staged_count = 0
+
+    def staged_snapshot(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Copy of the staged overlay as ``(heads, rels, tails)`` arrays.
+
+        Lets a process-worker bootstrap replay edges that were staged
+        but not yet compacted when the worker pool was built, so child
+        environments serve the same adjacency as the parent.
+        """
+        with self._overlay_lock:
+            triples = [(head, rel, tail)
+                       for head, pairs in self._staged.items()
+                       for rel, tail in pairs]
+        if not triples:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        heads, rels, tails = (np.array(col, dtype=np.int64)
+                              for col in zip(*triples))
+        return heads, rels, tails
 
     def fingerprint(self) -> str:
         """Digest of the served adjacency (CSR bundle + staged count).

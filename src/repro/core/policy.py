@@ -31,16 +31,23 @@ class PolicyNetwork(Module):
     def __init__(self, session_dim: int, kg_dim: int, state_dim: int,
                  entity_table: np.ndarray, relation_table: np.ndarray,
                  dropout: float = 0.0, finetune: bool = False,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 copy_tables: bool = True) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         self.session_dim = session_dim
         self.kg_dim = kg_dim
         self.state_dim = state_dim
-        self.entity_emb = Embedding.from_pretrained(entity_table,
-                                                    trainable=finetune)
-        self.relation_emb = Embedding.from_pretrained(relation_table,
-                                                      trainable=finetune)
+        # copy_tables=False mounts the given float32 buffers zero-copy
+        # (e.g. shared-memory plane views in a process worker); it
+        # implies frozen tables — a fine-tuning replica owns private
+        # copies.
+        self.entity_emb = Embedding.from_pretrained(
+            entity_table, trainable=finetune and copy_tables,
+            copy=copy_tables)
+        self.relation_emb = Embedding.from_pretrained(
+            relation_table, trainable=finetune and copy_tables,
+            copy=copy_tables)
         self.state_mlp = MLP([session_dim + kg_dim, state_dim, state_dim],
                              rng=rng)
         self.w1 = Linear(state_dim, kg_dim, bias=False, rng=rng)

@@ -52,10 +52,53 @@ class Embedding(Module):
 
     @classmethod
     def from_pretrained(cls, weights: np.ndarray, trainable: bool = True,
-                        padding_idx: Optional[int] = None) -> "Embedding":
-        """Build a table from an existing matrix (e.g. TransE output)."""
+                        padding_idx: Optional[int] = None,
+                        copy: bool = True) -> "Embedding":
+        """Build a table from an existing matrix (e.g. TransE output).
+
+        ``copy=False`` wraps ``weights`` **zero-copy** — the table's
+        parameter aliases the given float32 buffer.  That is how
+        process workers mount the frozen TransE tables exported to the
+        shared-memory plane by :mod:`repro.runtime`: every worker reads
+        the same physical pages.  It requires ``trainable=False`` and
+        no ``padding_idx`` (both would write the foreign buffer).
+
+        Frozen tables (``trainable=False``) come back with a
+        **read-only** payload either way, so agent clones can share
+        them safely: checkpoint loads go through the copy-on-write
+        path in :meth:`repro.nn.module.Module.load_state_dict`, and
+        in-place mutators must call
+        :meth:`repro.autograd.tensor.Tensor.ensure_writable` first —
+        either way nothing silently mutates a buffer another agent is
+        reading.
+        """
+        if not copy:
+            if trainable or padding_idx is not None:
+                raise ValueError(
+                    "from_pretrained(copy=False) shares the caller's "
+                    "buffer; it requires trainable=False and no "
+                    "padding_idx")
+            data = np.asarray(weights)
+            if data.dtype != np.float32 or data.ndim != 2:
+                raise ValueError(
+                    "from_pretrained(copy=False) needs a 2-D float32 "
+                    f"array, got {data.dtype} {data.shape}")
+            if data.flags.writeable:
+                data = data.view()
+                data.flags.writeable = False
+            table = cls.__new__(cls)
+            Module.__init__(table)
+            table.num_embeddings, table.dim = data.shape
+            table.padding_idx = None
+            weight = Parameter(data)
+            weight.requires_grad = False
+            table.weight = weight
+            return table
         table = cls(weights.shape[0], weights.shape[1], padding_idx=padding_idx,
                     rng=np.random.default_rng(0))
         table.weight.data[...] = weights.astype(table.weight.data.dtype)
         table.weight.requires_grad = trainable
+        if not trainable and padding_idx is None:
+            # Freeze the payload so clones can alias it (COW on write).
+            table.weight.data.flags.writeable = False
         return table

@@ -73,22 +73,45 @@ class Module:
         """Copy of every parameter array keyed by dotted path."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, np.ndarray],
+                        partial: bool = False) -> None:
+        """Copy ``state`` into this module's parameters.
+
+        With ``partial=True`` parameters absent from ``state`` keep
+        their current values (used by process workers, whose frozen
+        tables arrive through the shared-memory plane rather than the
+        shipped state); unexpected keys always raise.
+
+        Parameters wrapping **read-only** buffers (shared-memory plane
+        views, frozen tables shared between agent clones) are loaded
+        copy-on-write: an identical payload is skipped (the sharing is
+        preserved — this is what makes hot-swap clones O(trainable
+        params)), a differing one replaces the view with a private
+        writable copy instead of corrupting the shared buffer.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
-        if missing or unexpected:
+        if unexpected or (missing and not partial):
             raise KeyError(
                 f"state_dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            if param.data.shape != state[name].shape:
+            if name not in state:
+                continue
+            value = state[name]
+            if param.data.shape != value.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
-                    f"{param.data.shape} vs {state[name].shape}"
+                    f"{param.data.shape} vs {value.shape}"
                 )
-            param.data[...] = state[name]
+            if not param.data.flags.writeable:
+                if np.array_equal(param.data, value):
+                    continue  # same payload: keep sharing the buffer
+                param.data = np.array(value, dtype=param.data.dtype)
+            else:
+                param.data[...] = value
 
     def zero_grad(self) -> None:
         for p in self.parameters():

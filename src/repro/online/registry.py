@@ -11,6 +11,17 @@ Publishing is atomic at the filesystem level: both the checkpoint and
 the manifest are written to a temporary sibling and ``os.replace``-d
 into place, so a reader (another process hot-swapping a server, or a
 crashed publisher restarting) never observes a half-written file.
+
+Multi-writer safety: every mutation (publish, and the pruning that
+rides on it) runs under an advisory
+:class:`~repro.runtime.lease.FileLease` on ``registry.lock`` and
+re-reads the manifest from disk first, so several publishers — a
+subprocess updater, a rollback operator, a second host sharing the
+directory — interleave without losing entries or reusing version ids;
+a publisher that dies mid-critical-section is taken over once its
+lease goes stale.  Reads always re-read the on-disk manifest (the
+``os.replace`` publish makes that a consistent snapshot), so a handle
+in one process sees versions published by another.
 """
 
 from __future__ import annotations
@@ -24,8 +35,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.io import load_state_dict, save_state_dict
+from repro.runtime.lease import FileLease
 
 MANIFEST_NAME = "manifest.json"
+LOCK_NAME = "registry.lock"
 
 
 class CheckpointNotFound(KeyError):
@@ -47,13 +60,19 @@ class CheckpointRegistry:
         stays monotonic and history stays auditable.
     """
 
-    def __init__(self, root, keep_last: int = 5) -> None:
+    def __init__(self, root, keep_last: int = 5,
+                 lease_ttl_s: float = 30.0) -> None:
         if keep_last < 0:
             raise ValueError(f"keep_last must be >= 0, got {keep_last}")
         self.root = Path(root)
         self.keep_last = keep_last
+        self.lease_ttl_s = lease_ttl_s
         self._lock = threading.Lock()
         self._manifest = self._read_manifest()
+
+    def _lease(self) -> FileLease:
+        """The cross-process writer lease for this registry directory."""
+        return FileLease(self.root / LOCK_NAME, ttl_s=self.lease_ttl_s)
 
     # ------------------------------------------------------------------
     # Publishing
@@ -68,7 +87,12 @@ class CheckpointRegistry:
         environment's :meth:`~repro.core.environment.KGEnvironment.fingerprint`.
         """
         meta = dict(meta or {})
-        with self._lock:
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self._lock, self._lease():
+            # Another process may have published since we last looked:
+            # re-read the manifest under the lease so version ids stay
+            # monotonic across *writers*, not just within this handle.
+            self._manifest = self._read_manifest()
             version = self._next_version_locked()
             meta["version"] = version
             path = self.root / self._filename(version)
@@ -95,6 +119,7 @@ class CheckpointRegistry:
         ``expected_meta`` entries (model/dataset/dim guards).
         """
         with self._lock:
+            self._manifest = self._read_manifest()
             entry = self._entry_locked(version)
             path = self.root / entry["file"]
         expected = {"version": entry["version"]}
@@ -106,6 +131,7 @@ class CheckpointRegistry:
     def latest(self) -> Optional[int]:
         """Newest non-pruned version, or None for an empty registry."""
         with self._lock:
+            self._manifest = self._read_manifest()
             live = [c["version"] for c in self._manifest["checkpoints"]
                     if not c["pruned"]]
         return max(live) if live else None
@@ -113,6 +139,7 @@ class CheckpointRegistry:
     def versions(self) -> List[int]:
         """Non-pruned versions, ascending."""
         with self._lock:
+            self._manifest = self._read_manifest()
             return sorted(c["version"]
                           for c in self._manifest["checkpoints"]
                           if not c["pruned"])
@@ -120,6 +147,7 @@ class CheckpointRegistry:
     def manifest(self, version: Optional[int] = None) -> dict:
         """The manifest entry for ``version`` (default latest)."""
         with self._lock:
+            self._manifest = self._read_manifest()
             return dict(self._entry_locked(version))
 
     def __len__(self) -> int:

@@ -22,16 +22,115 @@ walks on *cloned* agents (:func:`repro.core.agent.clone_agent`, which
 every :meth:`~repro.serving.server.RecommendationServer.swap_model`
 performs).  The trainer's own agent must therefore not serve traffic
 while the background loop is running — publish + swap is the hand-off.
+
+Process model (``mode="subprocess"``): the fine-tune replica lives in
+a **forked child interpreter**, so a training round no longer competes
+with serving workers for this process's GIL.  Each round the parent
+drains the ingestor's buffered sessions over a pipe; the child
+re-derives their KG edges into its own environment, fine-tunes its own
+trainer copy, and publishes through the (file-locked)
+:class:`~repro.online.registry.CheckpointRegistry`; the parent then
+fires ``on_publish`` — servers load the checkpoint from disk exactly
+as in thread mode.  The parent's trainer weights intentionally stay at
+their fork-time values (the child owns the evolving replica; the
+registry is the source of truth).  Requires the ``fork`` start method
+(the live environment cannot be pickled for ``spawn``); raw-triple
+deltas ingested via ``ingest_triples`` reach the child only at the
+next fork, so stacks relying on them should stay in thread mode.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro.online.ingest import DeltaIngestor
 from repro.online.registry import CheckpointRegistry
+
+
+def _run_round(trainer, ingestor: DeltaIngestor,
+               registry: CheckpointRegistry, sessions,
+               max_steps: int) -> int:
+    """One compact → fine-tune → publish round (caller's interpreter).
+
+    Shared by the inline path (:meth:`OnlineUpdater.run_once`) and the
+    subprocess child loop so both publish byte-identical manifests.
+    """
+    started = perf_counter()
+    ingestor.compact()  # fine-tune walks on merged CSR tables
+    diagnostics = {"steps": 0.0}
+    if sessions:
+        diagnostics = trainer.finetune(sessions, max_steps=max_steps)
+    meta = {
+        "model": trainer.model_name,
+        "dataset": trainer.dataset.name,
+        "dim": trainer.config.dim,
+        "kg_fingerprint": trainer.env.fingerprint(),
+        "sessions": len(sessions),
+        "steps": int(diagnostics["steps"]),
+        "loss": diagnostics.get("loss"),
+        "round_seconds": perf_counter() - started,
+    }
+    return registry.publish(trainer.agent.state_dict(), meta=meta)
+
+
+def _updater_child_main(conn, trainer, registry_root, keep_last: int,
+                        compact_every: int, max_steps: int,
+                        niceness: int = 0) -> None:
+    """Child loop of the subprocess updater.
+
+    Owns a forked copy of the trainer (environment included) plus its
+    own registry handle and ingestor; sessions arrive over the pipe
+    and their KG edges are re-derived locally, mirroring what the
+    parent's ingestor staged into the serving environment.  The child
+    deprioritizes itself by ``niceness``: training is the batch
+    workload, serving the latency workload, and on a saturated host
+    equal priority would hand the trainer scheduler quanta that show
+    up directly in serving's tail latency.
+    """
+    import traceback
+
+    if niceness > 0:
+        try:
+            os.nice(niceness)
+        except OSError:  # pragma: no cover - restricted environments
+            pass
+
+    # Fork hygiene: the parent is multi-threaded, so the inherited
+    # overlay lock may be captured held and the staged dict captured
+    # mid-mutation.  This child re-derives every edge from the
+    # sessions shipped to it, so it starts from a fresh lock and an
+    # empty overlay rather than trusting fork-time state.
+    trainer.env.reset_overlay_after_fork()
+    registry = CheckpointRegistry(registry_root, keep_last=keep_last)
+    ingestor = DeltaIngestor(trainer.built, trainer.env,
+                             compact_every=compact_every)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if message[0] == "stop":
+            conn.send(("ok",))
+            return
+        if message[0] != "round":  # pragma: no cover - protocol guard
+            conn.send(("err", f"unknown op {message[0]!r}"))
+            continue
+        _, sessions = message
+        try:
+            if sessions:
+                ingestor.ingest_sessions(sessions)
+                # The round fine-tunes on the pipe-shipped list; drain
+                # the ingestor's duplicate buffer or the persistent
+                # child accumulates every session it ever saw.
+                ingestor.drain_sessions()
+            version = _run_round(trainer, ingestor, registry, sessions,
+                                 max_steps)
+            conn.send(("published", version))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
 
 
 class OnlineUpdater:
@@ -61,7 +160,8 @@ class OnlineUpdater:
                  min_sessions: Optional[int] = None,
                  max_steps: Optional[int] = None,
                  interval_s: Optional[float] = None,
-                 on_publish: Optional[Callable[[int], None]] = None) -> None:
+                 on_publish: Optional[Callable[[int], None]] = None,
+                 mode: Optional[str] = None) -> None:
         cfg = trainer.config
         self.trainer = trainer
         self.ingestor = ingestor
@@ -72,12 +172,22 @@ class OnlineUpdater:
                           else max_steps)
         self.interval_s = (cfg.online_interval_s if interval_s is None
                            else interval_s)
+        self.mode = cfg.online_updater_mode if mode is None else mode
+        if self.mode not in ("thread", "subprocess"):
+            raise ValueError(
+                f"mode must be 'thread' or 'subprocess', got {self.mode!r}")
         self.on_publish = on_publish
         self.rounds = 0
         self.published: List[int] = []
         self.last_error: Optional[BaseException] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        # Subprocess mode: one persistent forked child owning the
+        # fine-tune replica; guarded by a lock so the background loop
+        # and explicit run_once calls serialize on the pipe.
+        self._child = None
+        self._child_conn = None
+        self._child_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # One round (also the unit the tests drive deterministically)
@@ -93,25 +203,12 @@ class OnlineUpdater:
         """
         if not force and self.ingestor.pending_sessions < self.min_sessions:
             return None
-        started = perf_counter()
-        self.ingestor.compact()  # fine-tune walks on merged CSR tables
         sessions = self.ingestor.drain_sessions()
-        diagnostics = {"steps": 0.0}
-        if sessions:
-            diagnostics = self.trainer.finetune(sessions,
-                                               max_steps=self.max_steps)
-        meta = {
-            "model": self.trainer.model_name,
-            "dataset": self.trainer.dataset.name,
-            "dim": self.trainer.config.dim,
-            "kg_fingerprint": self.trainer.env.fingerprint(),
-            "sessions": len(sessions),
-            "steps": int(diagnostics["steps"]),
-            "loss": diagnostics.get("loss"),
-            "round_seconds": perf_counter() - started,
-        }
-        version = self.registry.publish(self.trainer.agent.state_dict(),
-                                        meta=meta)
+        if self.mode == "subprocess":
+            version = self._round_in_subprocess(sessions)
+        else:
+            version = _run_round(self.trainer, self.ingestor,
+                                 self.registry, sessions, self.max_steps)
         self.rounds += 1
         self.published.append(version)
         if self.on_publish is not None:
@@ -120,6 +217,70 @@ class OnlineUpdater:
             except BaseException as exc:  # keep the loop alive
                 self.last_error = exc
         return version
+
+    # ------------------------------------------------------------------
+    # Subprocess isolation
+    # ------------------------------------------------------------------
+    def _ensure_child(self):
+        """Fork the persistent fine-tune child on first use."""
+        if self._child is not None and self._child.is_alive():
+            return
+        from repro.runtime import resolve_context
+
+        try:
+            context = resolve_context("fork")
+        except ValueError as exc:
+            raise RuntimeError(
+                "subprocess updater mode needs the 'fork' start method "
+                "(the live environment cannot be pickled for spawn); "
+                "use mode='thread' on this platform") from exc
+        self._child_conn, child_end = context.Pipe(duplex=True)
+        self._child = context.Process(
+            target=_updater_child_main,
+            args=(child_end, self.trainer, self.registry.root,
+                  self.registry.keep_last, self.ingestor.compact_every,
+                  self.max_steps,
+                  self.trainer.config.online_subprocess_nice),
+            name="reks-online-updater-proc", daemon=True)
+        self._child.start()
+        child_end.close()
+
+    def _round_in_subprocess(self, sessions) -> int:
+        """Ship one round to the child and wait for its publish.
+
+        Blocking here costs only the *calling* thread — serving workers
+        keep executing because the fine-tune compute happens in the
+        child interpreter, which is the entire point of the mode.
+        """
+        with self._child_lock:
+            self._ensure_child()
+            self._child_conn.send(("round", list(sessions)))
+            reply = self._child_conn.recv()
+        if reply[0] == "published":
+            # The parent's own environment already carries these edges
+            # (the ingestor staged them at ingest time); compact so the
+            # serving adjacency matches the fingerprint just published.
+            self.ingestor.compact()
+            return int(reply[1])
+        raise RuntimeError(
+            f"subprocess fine-tune round failed:\n{reply[1]}")
+
+    def _stop_child(self) -> None:
+        with self._child_lock:
+            if self._child is None:
+                return
+            try:
+                self._child_conn.send(("stop",))
+                self._child_conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+            self._child.join(5.0)
+            if self._child.is_alive():  # pragma: no cover - stuck child
+                self._child.terminate()
+                self._child.join(5.0)
+            self._child_conn.close()
+            self._child = None
+            self._child_conn = None
 
     # ------------------------------------------------------------------
     # Background loop
@@ -142,6 +303,7 @@ class OnlineUpdater:
             self._thread = None
         if final_round and self.ingestor.pending_sessions:
             self.run_once(force=True)
+        self._stop_child()
 
     @property
     def running(self) -> bool:

@@ -1,0 +1,51 @@
+"""Shared-memory multiprocess execution plane for serving and updates.
+
+``repro.runtime`` is the layer that lets the REKS stack run as a
+**process fleet** instead of a thread pile, without copying the big
+read-only state per process:
+
+* :class:`~repro.runtime.plane.TablePlane` — one generation of the hot
+  path's large read-only arrays (flat-CSR adjacency, frozen TransE
+  embedding tables) exported to OS shared memory (or mmap'd ``.npy``
+  files) and re-attached as zero-copy NumPy views in children;
+* :class:`~repro.runtime.workers.ProcessWorkerPool` — spec-rebuilt
+  inference agents in child processes executing serving micro-batches
+  with true parallelism, bit-identical to thread mode, with model-swap
+  and adjacency broadcasts plus dead-worker respawn;
+* :class:`~repro.runtime.lease.FileLease` — advisory cross-process
+  lease (stale-holder takeover) guarding shared on-disk resources such
+  as the checkpoint registry.
+
+Consumers: ``repro.serving`` (``serve_worker_mode="process"``),
+``repro.online`` (subprocess updater, file-locked registry).  See
+``README.md`` in this directory for lifecycle and spawn-vs-fork
+caveats.
+"""
+
+from repro.runtime.lease import FileLease, LeaseTimeout
+from repro.runtime.plane import PlaneManifest, TablePlane
+from repro.runtime.workers import (
+    AgentSpec,
+    ProcessWorkerPool,
+    WorkerDied,
+    WorkerError,
+    build_worker_agent,
+    export_csr_plane,
+    export_embedding_plane,
+    resolve_context,
+)
+
+__all__ = [
+    "AgentSpec",
+    "FileLease",
+    "LeaseTimeout",
+    "PlaneManifest",
+    "ProcessWorkerPool",
+    "TablePlane",
+    "WorkerDied",
+    "WorkerError",
+    "build_worker_agent",
+    "export_csr_plane",
+    "export_embedding_plane",
+    "resolve_context",
+]

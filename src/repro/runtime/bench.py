@@ -1,0 +1,275 @@
+"""Benchmark the runtime execution plane: process serving + isolation.
+
+Two measured stories, one payload (``BENCH_runtime.json``):
+
+1. **Thread vs process serving** — the same cold-cache closed-loop
+   request stream driven against ``worker_mode="thread"`` and
+   ``worker_mode="process"`` servers (same worker count), plus a
+   bit-identity check between the two modes' rankings and
+   explanations.  The plane sizes and generation key are recorded so
+   the shared-memory story is auditable.
+2. **Fine-tune / serving isolation** — serving p95 at steady state
+   (idle), then during a concurrent fine-tune round executed (a) on a
+   thread of the serving interpreter and (b) in a subprocess updater.
+   The ratio of each concurrent p95 to the idle p95 quantifies how
+   much a training round steals from serving; subprocess isolation
+   exists to push that ratio to ~1.0 **when spare cores exist** — the
+   payload records ``cpu_count`` because on a single-core host every
+   mode fights for the same clock.
+
+Numbers are environment-dependent; the *contracts* (bit-identity,
+zero dropped requests) are hard-checked here and in
+``tests/test_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from time import perf_counter, sleep
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.schema import Session
+from repro.online.ingest import DeltaIngestor
+from repro.online.registry import CheckpointRegistry
+from repro.online.updater import OnlineUpdater
+from repro.serving.bench import _closed_loop, emit  # noqa: F401 (emit re-exported)
+
+
+class _TrafficLoop:
+    """Continuously drive closed-loop traffic from client threads."""
+
+    def __init__(self, server, sessions: Sequence[Session],
+                 concurrency: int, k: int) -> None:
+        self._server = server
+        self._sessions = list(sessions)
+        self._k = k
+        self._stop = threading.Event()
+        self.errors: List[BaseException] = []
+        self.completed = 0
+        self._count_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._client, args=(i,), daemon=True)
+            for i in range(concurrency)]
+
+    def _client(self, index: int) -> None:
+        shard = self._sessions[index::len(self._threads)] \
+            or self._sessions[:1]
+        position = 0
+        try:
+            while not self._stop.is_set():
+                self._server.recommend_one(shard[position % len(shard)],
+                                           k=self._k)
+                position += 1
+                with self._count_lock:
+                    self.completed += 1
+        except BaseException as exc:  # surfaced at stop()
+            self.errors.append(exc)
+
+    def __enter__(self) -> "_TrafficLoop":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join()
+        # Surface a client-side error only when the body succeeded —
+        # never mask the measurement's own exception with one of ours.
+        if exc_type is None and self.errors:
+            raise self.errors[0]
+
+
+def _latency_section(stats) -> dict:
+    return {"mean": stats.latency_ms_mean, "p50": stats.latency_ms_p50,
+            "p95": stats.latency_ms_p95, "p99": stats.latency_ms_p99}
+
+
+def check_mode_equivalence(trainer, sessions: Sequence[Session],
+                           k: int = 10, workers: int = 2) -> bool:
+    """Process-mode results must be bit-identical to thread mode.
+
+    Exact equality on scores too — both modes marshal the same
+    float64 score row through ``float()``, so anything short of
+    bitwise identity means the contract is already broken.
+    """
+    sessions = [s for s in sessions if len(s.items) >= 2]
+    with trainer.serve(worker_mode="thread", workers=workers,
+                       cache_size=0) as server:
+        thread_results = server.recommend_many(sessions, k=k)
+    with trainer.serve(worker_mode="process", workers=workers,
+                       cache_size=0) as server:
+        process_results = server.recommend_many(sessions, k=k)
+    return all(a.items == b.items
+               and a.scores == b.scores
+               and a.explanations == b.explanations
+               for a, b in zip(thread_results, process_results))
+
+
+def run_runtime_bench(trainer, sessions: Sequence[Session],
+                      delta: Sequence[Session], *, checkpoint_dir,
+                      workers: int = 4, concurrency: int = 8,
+                      k: int = 10, min_requests: int = 256,
+                      check_sessions: int = 32,
+                      idle_window_s: float = 0.75) -> dict:
+    """One full runtime-plane run; returns the JSON-ready payload."""
+    sessions = [s for s in sessions if len(s.items) >= 2]
+    delta = [s for s in delta if len(s.items) >= 2]
+    if not sessions or not delta:
+        raise ValueError("need non-empty serving and delta session sets")
+    rounds = max(1, -(-min_requests // len(sessions)))
+    stream = list(sessions) * rounds
+    cfg = trainer.config
+
+    payload: dict = {
+        "benchmark": "runtime",
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "concurrency": concurrency,
+        "k": k,
+        "requests": len(stream),
+        "distinct_sessions": len(sessions),
+    }
+
+    # ------------------------------------------------------------------
+    # Phase 1: thread vs process serving throughput (cold cache).
+    # ------------------------------------------------------------------
+    serve_section: dict = {}
+    for mode in ("thread", "process"):
+        with trainer.serve(worker_mode=mode, workers=workers,
+                           cache_size=0) as server:
+            best_s, best = float("inf"), None
+            for _ in range(2):  # best-of-2, same policy as serve-bench
+                elapsed = _closed_loop(server, stream, concurrency, k)
+                if elapsed < best_s:
+                    best_s, best = elapsed, server.stats()
+                server.reset_stats()
+            entry = {
+                "seconds": best_s,
+                "throughput_rps": len(stream) / best_s,
+                "latency_ms": _latency_section(best),
+                "mean_occupancy": best.mean_occupancy,
+            }
+            if server.process_pool is not None:
+                entry["plane_key"] = server.process_pool.plane_key
+                entry["plane_nbytes"] = server.process_pool.plane_nbytes
+                entry["mp_start_method"] = \
+                    server.process_pool._context.get_start_method()
+            serve_section[mode] = entry
+    serve_section["process_vs_thread_throughput"] = (
+        serve_section["process"]["throughput_rps"]
+        / serve_section["thread"]["throughput_rps"])
+    serve_section["bit_identical"] = check_mode_equivalence(
+        trainer, sessions[:check_sessions], k=k, workers=workers)
+    payload["serve"] = serve_section
+
+    # ------------------------------------------------------------------
+    # Phase 2: serving p95 while a fine-tune round runs concurrently.
+    # ------------------------------------------------------------------
+    registry = CheckpointRegistry(checkpoint_dir,
+                                  keep_last=cfg.online_keep_checkpoints)
+    ingestor = DeltaIngestor(trainer.built, trainer.env,
+                             compact_every=cfg.online_compact_every)
+    inline = OnlineUpdater(trainer, ingestor, registry, min_sessions=1,
+                           max_steps=cfg.online_max_steps, mode="thread")
+    isolated = OnlineUpdater(trainer, ingestor, registry, min_sessions=1,
+                             max_steps=cfg.online_max_steps,
+                             mode="subprocess")
+    # Warm-up: publishes the swap target and forks the subprocess
+    # child *before* traffic threads exist (clean fork).
+    v_base = inline.run_once(force=True)
+    isolated.run_once(force=True)
+    half = max(1, len(delta) // 2)
+
+    def round_workload(part: Sequence[Session]) -> List[Session]:
+        """Repeat a delta slice until it fills ``online_max_steps``
+        fine-tune batches — a sub-second round would measure scheduler
+        noise, not contention."""
+        need = cfg.online_max_steps * cfg.batch_size
+        reps = max(1, -(-need // max(len(part), 1)))
+        return list(part) * reps
+
+    online_section: dict = {"versions": {"base": v_base}}
+    try:
+        # Cache off: the isolation story is about walk compute
+        # stealing, which a warm explanation cache would hide entirely.
+        with trainer.serve(worker_mode="thread", registry=registry,
+                           cache_size=0) as server:
+            server.swap_model(v_base)  # serve a clone; tunes stay private
+            with _TrafficLoop(server, sessions, concurrency, k):
+                sleep(0.1)  # ramp
+                server.reset_stats()
+                sleep(idle_window_s)
+                idle = server.stats()
+
+                ingestor.ingest_sessions(round_workload(delta[:half]))
+                server.reset_stats()
+                started = perf_counter()
+                isolated.run_once(force=True)
+                subprocess_s = perf_counter() - started
+                during_subprocess = server.stats()
+
+                ingestor.ingest_sessions(round_workload(delta[half:]))
+                server.reset_stats()
+                started = perf_counter()
+                inline.run_once(force=True)  # trains on this interpreter
+                inline_s = perf_counter() - started
+                during_inline = server.stats()
+    finally:
+        isolated.stop()  # a failed run must not leak the forked child
+
+    idle_p95 = max(idle.latency_ms_p95, 1e-9)
+    online_section.update({
+        "idle": {"window_s": idle_window_s,
+                 "requests": idle.requests,
+                 "latency_ms": _latency_section(idle)},
+        "during_subprocess_round": {
+            "round_seconds": subprocess_s,
+            "requests": during_subprocess.requests,
+            "latency_ms": _latency_section(during_subprocess),
+            "p95_vs_idle": during_subprocess.latency_ms_p95 / idle_p95,
+        },
+        "during_inline_round": {
+            "round_seconds": inline_s,
+            "requests": during_inline.requests,
+            "latency_ms": _latency_section(during_inline),
+            "p95_vs_idle": during_inline.latency_ms_p95 / idle_p95,
+        },
+    })
+    online_section["isolation_gain"] = (
+        online_section["during_inline_round"]["p95_vs_idle"]
+        / max(online_section["during_subprocess_round"]["p95_vs_idle"],
+              1e-9))
+    payload["online"] = online_section
+    return payload
+
+
+def format_report(payload: dict) -> str:
+    """Human-readable summary of one runtime run."""
+    serve = payload["serve"]
+    online = payload["online"]
+    lines = [
+        f"runtime bench @ {payload['workers']} workers, concurrency "
+        f"{payload['concurrency']} (k={payload['k']}, "
+        f"{payload['cpu_count']} cpu)",
+        f"  thread serve   : {serve['thread']['throughput_rps']:>8.1f} "
+        f"req/s  p95={serve['thread']['latency_ms']['p95']:.1f}ms",
+        f"  process serve  : {serve['process']['throughput_rps']:>8.1f} "
+        f"req/s  p95={serve['process']['latency_ms']['p95']:.1f}ms "
+        f"({serve['process_vs_thread_throughput']:.2f}x thread, "
+        f"plane {serve['process'].get('plane_nbytes', 0) / 1e6:.1f}MB "
+        f"via {serve['process'].get('mp_start_method', '?')})",
+        f"  bit-identical  : {serve['bit_identical']}",
+        f"  idle p95       : {online['idle']['latency_ms']['p95']:.1f}ms",
+        f"  + inline round : p95 "
+        f"{online['during_inline_round']['latency_ms']['p95']:.1f}ms "
+        f"({online['during_inline_round']['p95_vs_idle']:.2f}x idle)",
+        f"  + subproc round: p95 "
+        f"{online['during_subprocess_round']['latency_ms']['p95']:.1f}ms "
+        f"({online['during_subprocess_round']['p95_vs_idle']:.2f}x idle)",
+        f"  isolation gain : {online['isolation_gain']:.2f}x",
+    ]
+    return "\n".join(lines)

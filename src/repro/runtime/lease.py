@@ -1,0 +1,178 @@
+"""Advisory cross-process file lease with stale-holder takeover.
+
+The checkpoint registry (and any other shared on-disk resource) needs
+mutual exclusion between *processes* — a subprocess updater, a rollback
+operator, and a serving host may all touch one registry directory.
+``threading.Lock`` cannot help across interpreters, and the stdlib has
+no portable file lock, so this module implements the classic lease
+pattern with nothing but atomic ``O_CREAT | O_EXCL``:
+
+* acquiring writes a JSON lease file (``pid``, ``acquired_at``)
+  exclusively — exactly one contender wins the syscall race;
+* a holder that exits without releasing does not wedge the resource:
+  contenders treat a lease as **stale** once its file age exceeds
+  ``ttl_s`` *or* its recorded pid is provably dead on this host, and
+  break it (unlink + re-race — the EXCL create arbitrates between
+  simultaneous breakers);
+* releasing unlinks only a lease this process still holds.
+
+This is advisory locking: every writer must opt in.  It is also
+single-host for the pid-liveness test; cross-host deployments rely on
+the TTL alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+
+class LeaseTimeout(TimeoutError):
+    """Raised when a lease cannot be acquired within ``timeout_s``."""
+
+
+class FileLease:
+    """Context-managed advisory lease on ``path``.
+
+    Parameters
+    ----------
+    path:
+        The lease file (parent directories are created).
+    ttl_s:
+        Age after which a held lease may be broken by a contender.
+        Holders must finish their critical section well inside it.
+    timeout_s:
+        How long :meth:`acquire` retries before raising
+        :class:`LeaseTimeout`.
+    poll_s:
+        Sleep between acquisition attempts.
+    """
+
+    def __init__(self, path, ttl_s: float = 30.0,
+                 timeout_s: float = 30.0, poll_s: float = 0.01) -> None:
+        if ttl_s <= 0 or timeout_s <= 0 or poll_s <= 0:
+            raise ValueError("ttl_s, timeout_s, poll_s must be > 0")
+        self.path = Path(path)
+        self.ttl_s = ttl_s
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self._held = False
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> "FileLease":
+        deadline = time.monotonic() + self.timeout_s
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"pid": os.getpid(),
+                              "acquired_at": time.time()}).encode()
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                stale_id = self._stale_holder_id()
+                if stale_id is not None:
+                    # Break the stale lease and re-race; the EXCL
+                    # create above arbitrates simultaneous breakers.
+                    self._unlink_if_same(stale_id)
+                elif time.monotonic() >= deadline:
+                    raise LeaseTimeout(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout_s}s (holder: "
+                        f"{self._read_holder()})")
+                else:
+                    time.sleep(self.poll_s)
+                continue
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            self._held = True
+            return self
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        # Only unlink a lease this process still holds: if ours went
+        # stale and a contender broke it, the file on disk is *their*
+        # lease now and deleting it would let a third party in.
+        holder = self._read_holder()
+        if holder is not None and holder.get("pid") != os.getpid():
+            return  # pragma: no cover - lease was broken while held
+        try:
+            self.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - broken by a peer
+            pass
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    # ------------------------------------------------------------------
+    def _read_holder(self) -> Optional[dict]:
+        try:
+            return json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _stale_holder_id(self) -> Optional[tuple]:
+        """Identity ``(inode, mtime_ns)`` of the lease iff it is stale.
+
+        The identity is what makes breaking safe against the classic
+        two-breaker race: the breaker re-checks it immediately before
+        unlinking (:meth:`_unlink_if_same`), and a lease written by a
+        *new* holder is a new file — new inode — so a contender acting
+        on a stale observation can no longer delete a live lease.
+
+        Liveness outranks age: a holder whose pid is provably alive on
+        this host keeps its lease even past ``ttl_s`` (a slow writer —
+        e.g. a paper-dims checkpoint on slow storage — must not have
+        the lock broken mid-write; contenders wait and eventually
+        raise :class:`LeaseTimeout` instead).  A provably dead pid is
+        stale immediately.  The TTL decides only when liveness is
+        unknowable: unreadable lease payloads or foreign-host holders.
+        """
+        try:
+            stat = self.path.stat()
+        except FileNotFoundError:
+            return None  # released between our attempts: just re-race
+        identity = (stat.st_ino, stat.st_mtime_ns)
+        holder = self._read_holder()
+        pid = None if holder is None else holder.get("pid")
+        if isinstance(pid, int):
+            if pid == os.getpid():
+                return None  # our own (another thread's) lease
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return identity  # died on this host, never released
+            except PermissionError:  # pragma: no cover - foreign uid
+                return None  # exists under another uid: alive
+            return None  # provably alive: never break by age
+        # Liveness unknowable: only the TTL can break the lease.
+        if time.time() - stat.st_mtime > self.ttl_s:
+            return identity
+        return None
+
+    def _unlink_if_same(self, identity: tuple) -> None:
+        """Unlink the lease only if it is still the observed stale one."""
+        try:
+            stat = self.path.stat()
+            if (stat.st_ino, stat.st_mtime_ns) != identity:
+                return  # someone else already broke + re-acquired it
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FileLease":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (f"FileLease(path={str(self.path)!r}, held={self._held}, "
+                f"ttl_s={self.ttl_s})")

@@ -1,0 +1,583 @@
+"""Process-level execution: spec-built worker agents over a table plane.
+
+Thread workers share one interpreter, so at paper dims (400) every
+serving worker fights the trainer and its siblings for the GIL.  This
+module runs each worker in its **own process** while keeping the big
+read-only state physically shared:
+
+* an :class:`AgentSpec` is the picklable recipe for rebuilding an
+  inference-only :class:`~repro.core.agent.REKSAgent` inside a child —
+  the small trainable modules travel by value, the large frozen tables
+  travel *by reference* as :class:`~repro.runtime.plane.PlaneManifest`
+  entries (attached zero-copy in the child);
+* :func:`_worker_main` is the child loop: attach planes, build the
+  agent, then serve ``exec`` / ``swap`` / ``stage`` / ``tables``
+  messages over a duplex pipe until told to stop;
+* a :class:`ProcessWorkerPool` owns N such children plus the plane
+  generations, hands micro-batches to idle workers, broadcasts model
+  swaps and adjacency changes, and **never shrinks**: a dead worker is
+  respawned and re-bootstrapped (current tables, staged edges, and
+  model version replayed) before the failure is surfaced.
+
+Determinism contract: a worker rebuilt from a spec attaches the exact
+CSR bundle and embedding tables the parent serves, loads the exact
+trainable weights, and walks with the same deterministic top-k
+selection — so process-mode rankings, scores, and rendered
+explanations are bit-identical to thread mode (pinned by
+``tests/test_runtime.py``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.agent import REKSAgent
+from repro.core.config import REKSConfig
+from repro.core.environment import _CSRTables, KGEnvironment, RolloutWorkspace
+from repro.core.policy import PolicyNetwork
+from repro.core.rewards import RewardComputer, RewardWeights
+from repro.data.loader import collate_examples
+from repro.kg.builder import BuiltKG
+from repro.kg.paths import render_path
+from repro.runtime.plane import PlaneManifest, TablePlane
+
+# Plane array names (stable across generations).
+CSR_ARRAYS = ("csr/indptr", "csr/rels", "csr/tails", "csr/degrees")
+EMB_ENTITY = "emb/entity"
+EMB_RELATION = "emb/relation"
+# Policy parameters whose payload is plane-backed rather than shipped.
+TABLE_PARAMS = ("entity_emb.weight", "relation_emb.weight")
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited while an operation was in flight."""
+
+
+class WorkerError(RuntimeError):
+    """A worker survived but the requested operation raised."""
+
+
+@dataclass
+class AgentSpec:
+    """Picklable recipe for rebuilding an inference agent in a child.
+
+    ``encoder`` rides along by value (its parameters are trainable and
+    must match the parent exactly); the policy is rebuilt in the child
+    over the plane's embedding views and then patched with
+    ``policy_state`` (everything but the table parameters).
+    """
+
+    built: BuiltKG
+    config: REKSConfig
+    encoder: object
+    policy_state: Dict[str, np.ndarray]
+    model_version: int = 0
+    staged: Tuple[np.ndarray, np.ndarray, np.ndarray] = field(
+        default_factory=lambda: (np.zeros(0, dtype=np.int64),) * 3)
+
+    @classmethod
+    def from_agent(cls, agent: REKSAgent,
+                   model_version: int = 0) -> "AgentSpec":
+        policy_state = {
+            name: value
+            for name, value in agent.policy.state_dict().items()
+            if name not in TABLE_PARAMS}
+        return cls(built=agent.env.built, config=agent.config,
+                   encoder=agent.encoder, policy_state=policy_state,
+                   model_version=model_version,
+                   staged=agent.env.staged_snapshot())
+
+
+def export_csr_plane(env: KGEnvironment,
+                     backend: str = "auto") -> TablePlane:
+    """Publish the environment's current CSR bundle as a plane
+    generation keyed by its fingerprint."""
+    csr = env.csr_tables()
+    return TablePlane.publish(
+        dict(zip(CSR_ARRAYS, csr)), key=env.fingerprint(),
+        backend=backend)
+
+
+def export_embedding_plane(agent: REKSAgent,
+                           backend: str = "auto") -> TablePlane:
+    """Publish the policy's entity/relation tables (one per pool)."""
+    return TablePlane.publish(
+        {EMB_ENTITY: agent.policy.entity_emb.weight.data,
+         EMB_RELATION: agent.policy.relation_emb.weight.data},
+        key="embeddings", backend=backend)
+
+
+def csr_from_plane(plane: TablePlane) -> _CSRTables:
+    return _CSRTables(*(plane[name] for name in CSR_ARRAYS))
+
+
+def build_worker_agent(spec: AgentSpec, csr_plane: TablePlane,
+                       emb_plane: TablePlane) -> REKSAgent:
+    """Reconstruct the serving agent from a spec + attached planes.
+
+    Every large array is a zero-copy plane view; only the trainable
+    modules allocate.  The returned agent is eval-mode and owns a fresh
+    :class:`RolloutWorkspace` (one per worker process, per the
+    single-owner scratch contract).
+    """
+    cfg = spec.config
+    env = KGEnvironment(spec.built, action_cap=cfg.action_cap,
+                        seed=cfg.seed + 3,
+                        tables=csr_from_plane(csr_plane))
+    if spec.staged[0].size:
+        env.stage_edges(*spec.staged)
+    policy = PolicyNetwork(
+        session_dim=cfg.dim, kg_dim=cfg.dim, state_dim=cfg.state_dim,
+        entity_table=emb_plane[EMB_ENTITY],
+        relation_table=emb_plane[EMB_RELATION],
+        dropout=cfg.dropout, rng=np.random.default_rng(cfg.seed),
+        copy_tables=False)
+    policy.load_state_dict(spec.policy_state, partial=True)
+    rewards = RewardComputer(
+        spec.built, emb_plane[EMB_ENTITY], emb_plane[EMB_RELATION],
+        weights=RewardWeights(*cfg.reward_weights), mode=cfg.reward_mode,
+        gamma=cfg.gamma, rank_k=cfg.rank_k)
+    agent = REKSAgent(spec.encoder, policy, env, rewards, cfg,
+                      workspace=RolloutWorkspace())
+    agent.eval()
+    return agent
+
+
+# ----------------------------------------------------------------------
+# Child process loop
+# ----------------------------------------------------------------------
+def _pack_rows(rec, count: int, kg) -> List[tuple]:
+    """Marshal one batch of Recommendations into picklable rows.
+
+    Each row is ``(items, scores, paths, rendered)`` with paths as raw
+    ``(entities, relations, prob)`` tuples — the parent rebuilds
+    :class:`~repro.kg.paths.SemanticPath` objects, so no repro classes
+    cross the pipe per request.
+    """
+    rows = []
+    for row in range(count):
+        items = [int(i) for i in rec.ranked_items[row]]
+        scores = [float(rec.scores[row, i]) for i in items]
+        paths, rendered = [], []
+        for item in items:
+            path = rec.paths.get((row, item))
+            if path is None:
+                paths.append(None)
+                rendered.append("")
+            else:
+                paths.append((list(path.entities), list(path.relations),
+                              float(path.prob)))
+                rendered.append(render_path(path, kg))
+        rows.append((items, scores, paths, rendered))
+    return rows
+
+
+def _worker_main(conn, spec: AgentSpec, csr_manifest: PlaneManifest,
+                 emb_manifest: PlaneManifest,
+                 untrack_shm: bool = False) -> None:
+    """Entry point of one worker process.
+
+    ``untrack_shm`` stays False for pool-started workers (fork and
+    spawn children share the publisher's resource tracker); it exists
+    for embedders that run this loop from a foreign interpreter whose
+    private tracker would adopt — and later unlink — the live plane.
+    """
+    import traceback
+
+    csr_plane = TablePlane.attach(csr_manifest, untrack=untrack_shm)
+    emb_plane = TablePlane.attach(emb_manifest, untrack=untrack_shm)
+    agent = build_worker_agent(spec, csr_plane, emb_plane)
+    version = spec.model_version
+    workspace = agent.workspace
+    max_len = agent.config.max_session_length
+    kg = agent.env.built.kg
+    try:
+        while True:
+            message = conn.recv()
+            op = message[0]
+            try:
+                if op == "exec":
+                    _, examples, k = message
+                    batch = collate_examples(examples, max_len)
+                    rec = agent.recommend(batch, k=k, workspace=workspace)
+                    conn.send(("ok", version,
+                               _pack_rows(rec, len(examples), kg)))
+                elif op == "swap":
+                    _, new_version, state = message
+                    # Partial: frozen plane-backed tables are not
+                    # shipped (see ProcessWorkerPool.swap).
+                    agent.load_state_dict(state, partial=True)
+                    version = int(new_version)
+                    conn.send(("ok", version))
+                elif op == "stage":
+                    _, heads, rels, tails = message
+                    added = agent.env.stage_edges(heads, rels, tails)
+                    conn.send(("ok", added))
+                elif op == "tables":
+                    _, manifest, staged = message
+                    fresh = TablePlane.attach(manifest,
+                                              untrack=untrack_shm)
+                    agent.env.attach_tables(csr_from_plane(fresh))
+                    if staged[0].size:
+                        agent.env.stage_edges(*staged)
+                    csr_plane.close()
+                    csr_plane = fresh
+                    conn.send(("ok", agent.env.fingerprint()))
+                elif op == "ping":
+                    conn.send(("ok", version))
+                elif op == "stop":
+                    conn.send(("ok", version))
+                    return
+                else:
+                    conn.send(("err", f"unknown op {op!r}"))
+            except Exception:
+                # Operation-level failure: report and keep serving.
+                conn.send(("err", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        csr_plane.close()
+        emb_plane.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+class _Worker:
+    """One child process plus its pipe; at most one op in flight."""
+
+    def __init__(self, context, spec: AgentSpec,
+                 csr_manifest: PlaneManifest,
+                 emb_manifest: PlaneManifest, name: str,
+                 index: int, untrack_shm: bool) -> None:
+        self.index = index
+        self._lock = threading.Lock()
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn, spec, csr_manifest, emb_manifest,
+                  untrack_shm),
+            name=name, daemon=True)
+        self.process.start()
+        child_conn.close()  # parent keeps only its end
+
+    def request(self, message: tuple):
+        """Round-trip one message; raises WorkerDied/WorkerError."""
+        with self._lock:
+            try:
+                self.conn.send(message)
+                reply = self.conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise WorkerDied(
+                    f"worker {self.process.name} (pid "
+                    f"{self.process.pid}) died during {message[0]!r}"
+                ) from exc
+        if reply[0] == "err":
+            raise WorkerError(reply[1])
+        return reply[1:]
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        try:
+            self.request(("stop",))
+        except (WorkerDied, WorkerError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck child
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+def resolve_context(name: str = "auto"):
+    """Pick a multiprocessing start method.
+
+    ``auto`` prefers ``fork`` only on Linux (cheap bootstrap, inherits
+    the parent's imports); elsewhere it picks ``spawn`` — macOS lists
+    fork but CPython switched its default away from it because forking
+    a process that uses system frameworks is crash-prone.  ``spawn``
+    works everywhere because every spec component is picklable, but
+    pays a fresh-interpreter import per worker.  Explicit names are
+    honored as given.  See the runtime README for the full caveat
+    list (including respawn-forks from an already-threaded parent).
+    """
+    import multiprocessing as mp
+    import sys as _sys
+
+    if name == "auto":
+        name = ("fork" if _sys.platform.startswith("linux")
+                and "fork" in mp.get_all_start_methods() else "spawn")
+    if name not in mp.get_all_start_methods():
+        raise ValueError(f"start method {name!r} unavailable "
+                         f"(have {mp.get_all_start_methods()})")
+    return mp.get_context(name)
+
+
+class ProcessWorkerPool:
+    """Fixed-size pool of process workers over shared table planes.
+
+    The pool owns two plane generations: a per-pool embedding plane
+    (frozen tables never change) and the current CSR plane (replaced by
+    :meth:`publish_tables` after a compaction).  Broadcast operations
+    (``swap`` / ``stage_edges`` / ``publish_tables``) serialize against
+    in-flight executions per worker, and their effects are recorded so
+    a respawned worker can be bootstrapped back to the pool's current
+    state.
+    """
+
+    def __init__(self, agent: REKSAgent, workers: int,
+                 mp_context: str = "auto", plane_backend: str = "auto",
+                 model_version: int = 0) -> None:
+        if workers < 1:
+            raise ValueError(f"need >= 1 worker, got {workers}")
+        self._context = resolve_context(mp_context)
+        self._spec = AgentSpec.from_agent(agent, model_version=model_version)
+        self._backend = plane_backend
+        self._emb_plane = export_embedding_plane(agent,
+                                                 backend=plane_backend)
+        self._csr_plane = export_csr_plane(agent.env,
+                                           backend=plane_backend)
+        # Current-state ledger for respawn bootstrap.
+        self._version = int(model_version)
+        self._swap_state: Optional[dict] = None
+        # Frozen parameters are plane-backed in every worker; swaps
+        # drop them from the broadcast (partial load child-side) so a
+        # hot swap ships only the trainable weights.
+        self._frozen_keys = {
+            name for name, param in agent.named_parameters()
+            if not param.requires_grad}
+        self._staged_log: List[tuple] = []
+        self.generation = 0
+        self.respawns = 0
+        # One re-entrant lock serializes everything that touches the
+        # state ledger: broadcasts (which mutate it first, then
+        # deliver) and respawns (which replay it).  Re-entrant so a
+        # broadcast that finds a corpse can respawn under its own
+        # lock; execute() only takes it on the death path, never per
+        # batch.
+        self._state_lock = threading.RLock()
+        self._closed = False
+        self.size = workers
+        # Workers never untrack: multiprocessing children (fork AND
+        # spawn) share the parent's resource tracker — the fd rides in
+        # the spawn preparation data — so their attach registrations
+        # land in the owner's tracker and the owner's unlink cleans up.
+        # TablePlane.attach(untrack=True) exists for *foreign*
+        # processes (not started by this interpreter's multiprocessing)
+        # whose private tracker would adopt and kill the segment.
+        self._untrack_shm = False
+        self._workers = [self._spawn(i) for i in range(workers)]
+        self._idle: "queue.LifoQueue[_Worker]" = queue.LifoQueue()
+        for worker in self._workers:
+            self._idle.put(worker)
+
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> _Worker:
+        return _Worker(self._context, self._spec,
+                       self._csr_plane.manifest, self._emb_plane.manifest,
+                       name=f"reks-procworker-{index}", index=index,
+                       untrack_shm=self._untrack_shm)
+
+    def _bootstrap(self, worker: _Worker) -> None:
+        """Replay the pool's current state into a fresh worker."""
+        for heads, rels, tails in self._staged_log:
+            worker.request(("stage", heads, rels, tails))
+        if self._swap_state is not None:
+            worker.request(("swap", self._version, self._swap_state))
+
+    def _respawn(self, dead: _Worker) -> _Worker:
+        """Replace a dead worker's slot (the pool never shrinks).
+
+        Idempotent per corpse: a dead worker can be observed twice —
+        once by a broadcast walking ``_workers`` and again by an
+        ``execute`` that popped the stale object from the idle queue —
+        and only the first observer spawns a replacement; the second
+        is handed the already-live slot occupant, which it returns to
+        the idle queue in place of the corpse.  Runs under the state
+        lock, and broadcasts mutate the ledger *before* delivering, so
+        a worker respawned mid-broadcast is bootstrapped onto the
+        ledger state that broadcast is delivering — never one behind.
+        """
+        with self._state_lock:
+            current = self._workers[dead.index]
+            if current is not dead:
+                return current  # already replaced by another observer
+            try:
+                dead.process.join(0.1)
+                dead.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            fresh = self._spawn(dead.index)
+            self._bootstrap(fresh)
+            self._workers[dead.index] = fresh
+            self.respawns += 1
+            return fresh
+
+    # ------------------------------------------------------------------
+    # Micro-batch execution
+    # ------------------------------------------------------------------
+    def execute(self, examples: Sequence[tuple], k: int
+                ) -> Tuple[int, List[tuple]]:
+        """Run one micro-batch on an idle worker.
+
+        Returns ``(model_version, rows)`` where the version is the one
+        the worker actually executed with (a swap broadcast can land
+        between submission and execution, never mid-batch).  A dead
+        worker is respawned before :class:`WorkerDied` propagates, so
+        the caller fails only the in-flight batch, not the pool.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        worker = self._idle.get()
+        try:
+            version, rows = worker.request(("exec", list(examples), int(k)))
+        except WorkerDied:
+            worker = self._respawn(worker)
+            raise
+        finally:
+            self._idle.put(worker)
+        return int(version), rows
+
+    # ------------------------------------------------------------------
+    # Broadcasts
+    # ------------------------------------------------------------------
+    def _deliver(self, message: tuple) -> List[tuple]:
+        """Deliver one message to every live slot (state lock held).
+
+        Each worker is locked for its round-trip, so a broadcast never
+        interleaves with a micro-batch on the same worker; different
+        workers may see the broadcast at different batch boundaries
+        (same contract as thread mode, where each batch reads the live
+        agent pointer once).  Callers mutate the state ledger *before*
+        delivering, which makes failure handling convergent: a worker
+        that died — or errored applying the op, leaving its state
+        unknowable — is replaced, and the respawn bootstrap replays
+        the already-updated ledger, so every slot ends on the new
+        state and the pool never serves mixed generations.
+        """
+        replies = []
+        for slot in range(self.size):
+            worker = self._workers[slot]
+            try:
+                replies.append(worker.request(message))
+            except WorkerDied:
+                self._respawn(worker)  # bootstrap replays the ledger
+                replies.append(("bootstrapped",))
+            except WorkerError:
+                # The op failed in a live worker (e.g. a mid-apply
+                # exception): its state no longer matches the ledger.
+                # Replace it; the bootstrap replays the ledger.
+                try:
+                    worker.process.terminate()
+                    worker.process.join(5.0)
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                self._respawn(worker)
+                replies.append(("bootstrapped",))
+        return replies
+
+    def swap(self, version: int, state: dict) -> None:
+        """Roll every worker to checkpoint ``state`` tagged ``version``.
+
+        Frozen (plane-backed) parameters are dropped from the
+        broadcast — at paper dims they dominate the checkpoint, every
+        worker already reads them from shared memory, and a frozen
+        table never changes between checkpoints of one stack — so the
+        pipe carries only the trainable weights.
+        """
+        state = {key: value for key, value in state.items()
+                 if key not in self._frozen_keys}
+        with self._state_lock:
+            self._version = int(version)
+            self._swap_state = state
+            self._deliver(("swap", int(version), state))
+
+    def stage_edges(self, heads, rels, tails) -> int:
+        """Stage overlay edges in every worker environment."""
+        heads = np.asarray(heads, dtype=np.int64)
+        rels = np.asarray(rels, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        with self._state_lock:
+            self._staged_log.append((heads, rels, tails))
+            replies = self._deliver(("stage", heads, rels, tails))
+        for reply in replies:
+            if reply and reply[0] != "bootstrapped":
+                return int(reply[0])
+        return 0
+
+    def publish_tables(self, env: KGEnvironment) -> str:
+        """Export ``env``'s current CSR as a new plane generation and
+        re-attach every worker to it (clears their staged overlays, and
+        replays ``env``'s still-staged edges, so workers land on
+        exactly the parent's served adjacency).  The previous
+        generation is retired once every worker has moved."""
+        fresh = TablePlane.publish(
+            dict(zip(CSR_ARRAYS, env.csr_tables())),
+            key=env.fingerprint(), backend=self._backend)
+        staged = env.staged_snapshot()
+        with self._state_lock:
+            previous = self._csr_plane
+            self._csr_plane = fresh
+            self._staged_log = ([] if not staged[0].size else [staged])
+            self.generation += 1
+            self._deliver(("tables", fresh.manifest, staged))
+        # Workers detached from the old generation in the broadcast
+        # (respawned ones never attached it); unlink reclaims the
+        # segment — attached mappings, if any are still mid-close,
+        # keep it alive until they drop it.
+        previous.unlink()
+        return fresh.key
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def plane_key(self) -> str:
+        return self._csr_plane.key
+
+    @property
+    def plane_nbytes(self) -> int:
+        return self._csr_plane.nbytes + self._emb_plane.nbytes
+
+    def ping(self) -> List[int]:
+        """Liveness probe; returns each worker's model version.
+
+        Dead workers are respawned (and bootstrapped to the current
+        ledger) as a side effect, so a periodic ping doubles as eager
+        death detection.
+        """
+        with self._state_lock:
+            replies = self._deliver(("ping",))
+        return [self._version if reply[0] == "bootstrapped"
+                else int(reply[0]) for reply in replies]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown()
+        self._csr_plane.unlink()
+        self._emb_plane.unlink()
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ProcessWorkerPool(size={self.size}, "
+                f"version={self._version}, generation={self.generation}, "
+                f"plane={self.plane_key!r}, respawns={self.respawns})")

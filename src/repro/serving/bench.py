@@ -113,6 +113,9 @@ def run_serving_bench(trainer, sessions: Sequence[Session], *,
         scheduler_wait_ms = server._scheduler.max_wait_s * 1e3
         n_workers = len(server._threads)
         pool_bytes = server.pool.nbytes
+        worker_mode = server.worker_mode
+        plane_bytes = (server.process_pool.plane_nbytes
+                       if server.process_pool is not None else 0)
 
     # Phase 3: cache efficiency — populate once (misses), replay (hits).
     with trainer.serve(**overrides) as server:
@@ -131,6 +134,8 @@ def run_serving_bench(trainer, sessions: Sequence[Session], *,
         "max_batch": scheduler_max_batch,
         "max_wait_ms": scheduler_wait_ms,
         "workers": n_workers,
+        "worker_mode": worker_mode,
+        "plane_nbytes": plane_bytes,
         "naive": {"requests": naive_n, "seconds": naive_s,
                   "throughput_rps": naive_rps},
         "coalesced": {"seconds": cold_s,
@@ -191,7 +196,8 @@ def format_report(payload: dict) -> str:
         f"serving bench @ concurrency {payload['concurrency']} "
         f"(k={payload['k']}, max_batch={payload['max_batch']}, "
         f"wait={payload['max_wait_ms']:.1f}ms, "
-        f"workers={payload['workers']})",
+        f"workers={payload['workers']} "
+        f"{payload.get('worker_mode', 'thread')})",
         f"  naive loop    : {payload['naive']['throughput_rps']:>8.1f} req/s",
         f"  coalesced     : {cold['throughput_rps']:>8.1f} req/s "
         f"({payload['speedup_vs_naive']:.2f}x naive)  "

@@ -24,6 +24,16 @@ and per-row rankings are batch-composition invariant, so the served
 ``items`` match a synchronous ``recommend_sessions`` call for the same
 sessions and ``k`` regardless of how requests were interleaved.
 
+Worker modes (``worker_mode``): ``"thread"`` executes micro-batches on
+this interpreter's worker threads (coalescing wins only — the GIL
+serializes the compute); ``"process"`` hands each micro-batch to a
+:class:`~repro.runtime.ProcessWorkerPool` worker that attaches the
+shared-memory table plane (CSR adjacency + frozen embedding tables,
+zero-copy) and executes with true parallelism.  The determinism and
+hot-swap contracts hold identically in both modes — process-mode
+rankings, scores, and rendered explanations are bit-identical to
+thread mode (``tests/test_runtime.py`` pins this).
+
 Hot-swap contract (:meth:`RecommendationServer.swap_model`): a new
 checkpoint is loaded into a *clone* of the live agent off the request
 path, then the live ``(agent, version)`` pair is replaced under a lock
@@ -49,6 +59,7 @@ from repro.core.agent import REKSAgent, clone_agent
 from repro.data.loader import collate_examples
 from repro.data.schema import Session
 from repro.kg.paths import SemanticPath, render_path
+from repro.runtime import ProcessWorkerPool
 from repro.serving.cache import ExplanationCache
 from repro.serving.pool import WorkspacePool
 from repro.serving.scheduler import (
@@ -102,7 +113,13 @@ class RecommendationServer:
     def __init__(self, agent: REKSAgent, *, max_batch: int = 32,
                  max_wait_ms: float = 2.0, workers: int = 2,
                  cache_size: int = 2048, default_k: int = 20,
-                 registry=None, model_version: int = 0) -> None:
+                 registry=None, model_version: int = 0,
+                 worker_mode: str = "thread", mp_context: str = "auto",
+                 plane_backend: str = "auto") -> None:
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', "
+                f"got {worker_mode!r}")
         self._agent = agent
         self._model_version = int(model_version)
         self._agent_lock = threading.Lock()
@@ -111,8 +128,18 @@ class RecommendationServer:
         self._max_session_length = agent.config.max_session_length
         self._start_from = agent.config.start_from
         self.default_k = default_k
+        self.worker_mode = worker_mode
         self._scheduler = BatchScheduler(max_batch=max_batch,
                                          max_wait_ms=max_wait_ms)
+        # In process mode the dispatcher threads below only marshal
+        # batches to/from the worker processes, which own their
+        # workspaces; the thread-side WorkspacePool stays for thread
+        # mode.
+        self._procpool: Optional[ProcessWorkerPool] = None
+        if worker_mode == "process":
+            self._procpool = ProcessWorkerPool(
+                agent, workers=workers, mp_context=mp_context,
+                plane_backend=plane_backend, model_version=model_version)
         self._pool = WorkspacePool(workers)
         self._cache = ExplanationCache(cache_size)
         self._stats = ServerStats()
@@ -133,7 +160,10 @@ class RecommendationServer:
                       max_wait_ms=cfg.serve_max_wait_ms,
                       workers=cfg.serve_workers,
                       cache_size=cfg.serve_cache_size,
-                      default_k=cfg.serve_default_k)
+                      default_k=cfg.serve_default_k,
+                      worker_mode=cfg.serve_worker_mode,
+                      mp_context=cfg.serve_mp_context,
+                      plane_backend=cfg.runtime_plane_backend)
         kwargs.update(overrides)
         return cls(trainer.agent, **kwargs)
 
@@ -217,11 +247,20 @@ class RecommendationServer:
             version = manifest["version"]
         elif version is None:
             raise ValueError("swap_model(state=...) requires a version tag")
-        fresh = clone_agent(self._agent)
-        fresh.load_state_dict(state)
-        with self._agent_lock:
-            self._agent = fresh
-            self._model_version = int(version)
+        if self._procpool is not None:
+            # Process mode: broadcast the checkpoint to every worker.
+            # Each worker applies it between micro-batches (its pipe is
+            # locked per batch), so in-flight batches still finish on
+            # the weights they started with.
+            with self._agent_lock:
+                self._procpool.swap(int(version), state)
+                self._model_version = int(version)
+        else:
+            fresh = clone_agent(self._agent)
+            fresh.load_state_dict(state)
+            with self._agent_lock:
+                self._agent = fresh
+                self._model_version = int(version)
         latency = perf_counter() - started
         self._stats.record_swap(latency)
         return latency
@@ -230,6 +269,31 @@ class RecommendationServer:
         """The (agent, version) pair, read atomically (one per batch)."""
         with self._agent_lock:
             return self._agent, self._model_version
+
+    # ------------------------------------------------------------------
+    # Environment synchronization (online delta wiring)
+    # ------------------------------------------------------------------
+    def stage_edges(self, heads, rels, tails) -> int:
+        """Stage overlay edges into the serving adjacency.
+
+        Thread mode shares the template agent's environment with the
+        ingesting trainer, so edges staged there are already visible —
+        this only broadcasts them to the process workers' private
+        environments when running in process mode.  Returns the number
+        of edges newly staged (per worker in process mode).
+        """
+        if self._procpool is not None:
+            return self._procpool.stage_edges(heads, rels, tails)
+        return self._agent.env.stage_edges(heads, rels, tails)
+
+    def refresh_tables(self) -> Optional[str]:
+        """Publish the template environment's CSR as a new plane
+        generation after a compaction (process mode; no-op in thread
+        mode, where workers read the compacted bundle directly).
+        Returns the new generation key, or None when nothing to do."""
+        if self._procpool is None:
+            return None
+        return self._procpool.publish_tables(self._agent.env)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -247,6 +311,11 @@ class RecommendationServer:
     @property
     def pool(self) -> WorkspacePool:
         return self._pool
+
+    @property
+    def process_pool(self) -> Optional[ProcessWorkerPool]:
+        """The process worker pool (None in thread mode)."""
+        return self._procpool
 
     @property
     def pending(self) -> int:
@@ -273,6 +342,8 @@ class RecommendationServer:
                 ServerClosed("server shut down before execution"))
         for thread in self._threads:
             thread.join()
+        if self._procpool is not None:
+            self._procpool.close()
 
     def __enter__(self) -> "RecommendationServer":
         return self
@@ -334,16 +405,26 @@ class RecommendationServer:
                      request.payload.session.items[-1],
                      request.payload.session.user_id)
                     for request in group]
-        collated = collate_examples(examples, self._max_session_length)
-        # One atomic read per batch: every row of this micro-batch is
-        # answered by the same model generation, and the results are
-        # cached under that generation's version tag (which may be
-        # newer than the version the submitter looked up).
-        agent, version = self._live()
-        with self._pool.checkout() as workspace:
-            rec = agent.recommend(collated, k=k, workspace=workspace)
-        for row, request in enumerate(group):
-            result = self._pack_row(rec, row)
+        if self._procpool is not None:
+            # Process mode: the worker process collates, walks, and
+            # renders; this dispatcher thread only marshals.  The
+            # worker reports the model version it actually executed
+            # with (a swap broadcast lands between batches, never
+            # mid-batch), which is what the results are cached under.
+            version, rows = self._procpool.execute(examples, k)
+            results = [self._unmarshal_row(row) for row in rows]
+        else:
+            collated = collate_examples(examples, self._max_session_length)
+            # One atomic read per batch: every row of this micro-batch
+            # is answered by the same model generation, and the results
+            # are cached under that generation's version tag (which may
+            # be newer than the version the submitter looked up).
+            agent, version = self._live()
+            with self._pool.checkout() as workspace:
+                rec = agent.recommend(collated, k=k, workspace=workspace)
+            results = [self._pack_row(rec, row)
+                       for row in range(len(group))]
+        for result, request in zip(results, group):
             latency = perf_counter() - request.enqueued_at
             result = replace(result, latency_ms=latency * 1e3)
             self._cache.put(
@@ -351,6 +432,18 @@ class RecommendationServer:
                                      version=version), result)
             self._stats.record_request(latency)
             request.future.set_result(result)
+
+    @staticmethod
+    def _unmarshal_row(row: tuple) -> ServedResult:
+        """Rebuild a ServedResult from a process worker's wire row."""
+        items, scores, path_blobs, rendered = row
+        paths = tuple(
+            None if blob is None
+            else SemanticPath(entities=blob[0], relations=blob[1],
+                              prob=blob[2])
+            for blob in path_blobs)
+        return ServedResult(items=tuple(items), scores=tuple(scores),
+                            paths=paths, explanations=tuple(rendered))
 
     def _pack_row(self, rec, row: int) -> ServedResult:
         items = [int(i) for i in rec.ranked_items[row]]

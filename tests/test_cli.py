@@ -73,6 +73,20 @@ class TestCommands:
     def test_online_bench_parser_defaults(self):
         args = build_parser().parse_args(["online-bench", "--quick"])
         assert args.quick
-        assert args.out == "BENCH_online.json"
+        assert args.out.endswith("BENCH_online.json")
         assert args.concurrency == 16
+        assert args.updater_mode == "thread"
         assert args.func.__name__ == "cmd_online_bench"
+
+    def test_runtime_bench_parser_defaults(self):
+        args = build_parser().parse_args(["runtime-bench", "--quick"])
+        assert args.quick
+        assert args.out.endswith("BENCH_runtime.json")
+        assert args.workers == 4
+        assert args.func.__name__ == "cmd_runtime_bench"
+
+    def test_serve_bench_worker_mode_flag(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--quick", "--worker-mode", "process"])
+        assert args.worker_mode == "process"
+        assert args.out.endswith("BENCH_serving.json")

@@ -391,17 +391,31 @@ class TestCheckpointRoundTrip:
             np.testing.assert_array_equal(a, b)
 
     def test_clone_agent_is_isolated(self, trainer, sessions):
+        """Trainable params are private copies; frozen TransE tables
+        are aliased read-only (cheap swap clones — see clone_agent)."""
         clone = clone_agent(trainer.agent)
         state = trainer.agent.state_dict()
         clone_params = dict(clone.named_parameters())
+        frozen = {"policy.entity_emb.weight", "policy.relation_emb.weight"}
         for name, param in trainer.agent.named_parameters():
-            assert clone_params[name].data is not param.data
+            if name in frozen:
+                # Shared payload (same object id) and write-protected.
+                assert clone_params[name].data is param.data
+                assert not clone_params[name].data.flags.writeable
+            else:
+                assert clone_params[name].data is not param.data
             np.testing.assert_array_equal(clone_params[name].data,
                                           param.data)
-        # Perturbing the clone must not leak into the original.
-        next(iter(clone_params.values())).data += 1.0
+        # Perturbing the clone's trainable state must not leak back.
+        clone_params["encoder.item_embedding.weight"].data += 1.0
         for name, value in trainer.agent.state_dict().items():
             np.testing.assert_array_equal(value, state[name])
+        # Loading a checkpoint into the clone keeps the frozen tables
+        # shared (identical payload -> copy-on-write skip).
+        clone.load_state_dict(state)
+        for name in frozen:
+            assert clone_params[name].data \
+                is dict(trainer.agent.named_parameters())[name].data
 
 
 # ----------------------------------------------------------------------

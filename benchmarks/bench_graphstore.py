@@ -1,0 +1,397 @@
+"""Benchmark for the sharded graph store (``repro.graphstore``).
+
+Measures the two costs the sharded store was built to cut:
+
+1. **Compaction** — folding an online delta into the capped adjacency:
+   the monolithic O(E) concat+sort rebuild (the pre-shard algorithm,
+   ``merge_capped`` over the flattened store) vs the per-shard
+   delta-proportional path (``compact_store``), across delta sizes and
+   for deltas confined to <= 2 shards as well as scattered ones;
+2. **Plane publish** — shipping the compacted adjacency to process
+   workers: a full per-shard export of every segment vs
+   ``ProcessWorkerPool.publish_tables``'s delta publish (dirty shards
+   only: export + broadcast + worker re-attach + old-segment unlink).
+
+Writes ``BENCH_graphstore.json`` (repo root by default).  Run::
+
+    python -m benchmarks.bench_graphstore --quick   # CI smoke
+    python -m benchmarks.bench_graphstore           # current scale
+    REKS_BENCH_SCALE=small python -m benchmarks.bench_graphstore
+
+The ``--speedup-floor`` gate asserts the confined-delta compaction
+speedup (the acceptance number lives in the committed payload, taken
+at ``small`` scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def _world_and_trainer():
+    from common import bench_scale, get_world
+    from repro import REKSConfig, REKSTrainer
+
+    scale = bench_scale()
+    world = get_world("beauty")
+    dim = world.transe.config.dim
+    # graph_shards pinned: the bench worlds are small enough that the
+    # auto heuristic would (correctly) pick one shard, but the publish
+    # section measures the delta protocol, which needs shards to diff.
+    config = REKSConfig(dim=dim, state_dim=dim,
+                        sample_sizes=(100, scale.final_beam),
+                        action_cap=scale.action_cap, graph_shards=8,
+                        seed=0)
+    trainer = REKSTrainer(world.dataset, world.built, model_name="narm",
+                          config=config, transe=world.transe)
+    return world, trainer, scale
+
+
+def _fresh_env(built, action_cap, shards):
+    from repro.core.environment import KGEnvironment
+
+    return KGEnvironment(built, action_cap=action_cap, seed=3,
+                         shards=shards)
+
+
+def _craft_delta(env, built, rng, target, shard_ids):
+    """Stage ~``target`` fresh edges whose heads live in ``shard_ids``.
+
+    Returns the number actually staged (dedup may shave candidates).
+    """
+    co_occur = built.kg.relation_id("co_occur")
+    store = env.csr_tables()
+    pools = []
+    for sid in shard_ids:
+        lo, hi = int(store.boundaries[sid]), int(store.boundaries[sid + 1])
+        entities = np.arange(lo, hi, dtype=np.int64)
+        room = np.take(store.degrees, entities) < env.action_cap - 1
+        pools.append(entities[room])
+    pool = np.concatenate(pools)
+    if pool.size == 0:
+        return 0
+    staged = 0
+    n_ent = built.kg.num_entities
+    for _ in range(8):  # top up until the dedup-surviving count lands
+        need = target - staged
+        if need <= 0:
+            break
+        heads = rng.choice(pool, size=2 * need)
+        tails = rng.integers(0, n_ent, size=2 * need)
+        keep = heads != tails
+        staged += env.stage_edges(heads[keep],
+                                  np.full(int(keep.sum()), co_occur),
+                                  tails[keep])
+    return staged
+
+
+def _time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        fn()
+        best = min(best, perf_counter() - start)
+    return best
+
+
+# Synthetic store sizes per bench scale: the compaction kernels are a
+# data-structure cost, so they are measured at production-representative
+# edge counts (the scale's *world* KG is tiny — a 16k-edge graph hides
+# the O(E) rebuild behind fixed per-call overheads).
+_STORE_SIZES = {"smoke": (20_000, 10), "small": (120_000, 18),
+                "paper": (600_000, 33)}
+
+
+def _synthetic_store(scale_name, shards, cap, rng):
+    from repro.graphstore import ShardedCSR
+
+    n_ent, avg_deg = _STORE_SIZES.get(scale_name, _STORE_SIZES["smoke"])
+    degrees = np.minimum(rng.poisson(avg_deg, n_ent).astype(np.int64),
+                         cap)
+    edges = int(degrees.sum())
+    rels = rng.integers(0, 8, size=edges)
+    tails = rng.integers(0, n_ent, size=edges)
+    return ShardedCSR.build(degrees, rels, tails, num_shards=shards)
+
+
+def _kernel_rows(store, action_cap, fractions, repeats,
+                 confined_shards=2):
+    """Store-level kernel timing: monolithic rebuild vs per-shard."""
+    from repro.graphstore import compact_store, merge_capped
+
+    rng = np.random.default_rng(41)
+    flat = store.to_flat()  # baseline input — the old store was flat
+    n_ent, edges = store.num_entities, store.num_edges
+    rows = []
+    for frac, scattered in [(f, False) for f in fractions] + [
+            (fractions[-1], True)]:
+        n = max(1, int(frac * edges))
+        if scattered:
+            heads = rng.integers(0, n_ent, size=n)
+        else:
+            hi = int(store.boundaries[min(confined_shards,
+                                          store.num_shards)])
+            heads = rng.integers(0, hi, size=n)
+        rels = rng.integers(0, 8, size=n)
+        tails = rng.integers(0, n_ent, size=n)
+        order = np.argsort(heads, kind="stable")
+        heads, rels, tails = heads[order], rels[order], tails[order]
+        sid_of = store.shard_of(heads)
+        by_shard = {int(sid): (heads[sid_of == sid],
+                               rels[sid_of == sid],
+                               tails[sid_of == sid])
+                    for sid in np.unique(sid_of)}
+        full_s = _time(
+            lambda: merge_capped(n_ent, flat.degrees, flat.rels[1:],
+                                 flat.tails[1:], heads, rels, tails,
+                                 action_cap),
+            repeats)
+        sharded_s = _time(
+            lambda: compact_store(store, by_shard, action_cap), repeats)
+        rows.append({
+            "delta_frac": frac,
+            "delta_edges": int(n),
+            "scattered": scattered,
+            "shards_touched": len(by_shard),
+            "full_rebuild_s": full_s,
+            "sharded_compact_s": sharded_s,
+            "speedup": full_s / max(sharded_s, 1e-9),
+        })
+    return rows
+
+
+def _bench_env_compaction(built, action_cap, shards, frac, repeats):
+    """End-to-end ``KGEnvironment.compact`` on the real world KG."""
+    from repro.graphstore import merge_capped
+
+    env = _fresh_env(built, action_cap, shards)
+    store = env.csr_tables()
+    rng = np.random.default_rng(42)
+    staged = _craft_delta(env, built, rng,
+                          max(1, int(frac * store.num_edges)), [0, 1])
+    if staged == 0:
+        return None
+    by_shard = env.staged_by_shard()
+    snap = env.staged_snapshot()
+    order = np.argsort(snap[0], kind="stable")
+    heads, rels, tails = (col[order] for col in snap)
+    flat = store.to_flat()
+    full_s = _time(
+        lambda: merge_capped(store.num_entities, flat.degrees,
+                             flat.rels[1:], flat.tails[1:], heads, rels,
+                             tails, action_cap),
+        repeats)
+    start = perf_counter()
+    env.compact()
+    end_to_end_s = perf_counter() - start
+    return {
+        "delta_frac": frac,
+        "delta_edges": int(staged),
+        "shards_touched": len(by_shard),
+        "full_rebuild_s": full_s,
+        "compact_end_to_end_s": end_to_end_s,
+        "speedup": full_s / max(end_to_end_s, 1e-9),
+    }
+
+
+def _bench_publish(trainer, built, repeats):
+    """Full per-shard export vs delta publish (incl. worker re-attach)."""
+    from repro.runtime import ProcessWorkerPool, export_shard_planes
+
+    env = trainer.env
+    rng = np.random.default_rng(43)
+
+    def full_export():
+        planes = export_shard_planes(env)
+        for plane in planes.values():
+            plane.unlink()
+
+    full_s = _time(full_export, repeats)
+    planes = export_shard_planes(env)
+    full_bytes = sum(plane.nbytes for plane in planes.values())
+    for plane in planes.values():
+        plane.unlink()
+
+    result = {
+        "full_export_s": full_s,
+        "full_export_bytes": int(full_bytes),
+    }
+    with ProcessWorkerPool(trainer.agent, workers=1) as pool:
+        staged = _craft_delta(env, built, rng,
+                              max(1, env.csr_tables().num_edges // 100),
+                              [0, 1])
+        result["delta_edges"] = int(staged)
+        if staged == 0:  # every candidate deduped away: nothing to ship
+            return result
+        snap = env.staged_snapshot()
+        pool.stage_edges(*snap)
+        env.compact()
+        start = perf_counter()
+        pool.publish_tables(env)
+        delta_s = perf_counter() - start
+        publish = dict(pool.last_publish or {})
+    if not publish:
+        return result
+    result.update({
+        "delta_publish_s": delta_s,       # export + broadcast + re-attach
+        "delta_publish_bytes": int(publish["nbytes"]),
+        "delta_shards": publish["shards"],
+        "total_shards": publish["total_shards"],
+        "bytes_ratio": publish["nbytes"] / max(full_bytes, 1),
+    })
+    return result
+
+
+def run(quick: bool = False, shards: int = 0) -> dict:
+    from common import bench_scale
+
+    world, trainer, _scale = _world_and_trainer()
+    built = world.built
+    store_shards = shards or 32
+    action_cap = trainer.config.action_cap
+    fractions = [0.01] if quick else [0.001, 0.01, 0.05]
+    repeats = 1 if quick else 3
+
+    rng = np.random.default_rng(40)
+    store = _synthetic_store(bench_scale().name, store_shards,
+                             action_cap, rng)
+    payload = {
+        "benchmark": "graphstore",
+        "scale": bench_scale().name,
+        "store": {
+            "entities": store.num_entities,
+            "edges": store.num_edges,
+            "shards": store.num_shards,
+        },
+        "world": {
+            "entities": trainer.env.csr_tables().num_entities,
+            "edges": trainer.env.csr_tables().num_edges,
+            "shards": trainer.env.num_shards,
+        },
+        "action_cap": action_cap,
+        "compaction": _kernel_rows(store, action_cap, fractions,
+                                   repeats),
+        "env_compaction": _bench_env_compaction(
+            built, action_cap, max(trainer.env.num_shards, 16), 0.01,
+            repeats),
+        "publish": _bench_publish(trainer, built, repeats),
+    }
+    confined = [row["speedup"] for row in payload["compaction"]
+                if not row["scattered"] and row["delta_frac"] <= 0.01
+                and row["shards_touched"] <= 2]
+    payload["confined_delta_speedup_min"] = (min(confined)
+                                             if confined else None)
+    return payload
+
+
+def format_report(payload: dict) -> str:
+    store = payload["store"]
+    lines = [
+        f"graphstore bench @ scale {payload['scale']}: synthetic store "
+        f"{store['edges']} edges / {store['entities']} entities in "
+        f"{store['shards']} shards (cap {payload['action_cap']})"]
+    for row in payload["compaction"]:
+        kind = "scattered" if row["scattered"] else "confined "
+        lines.append(
+            f"  compact {kind} {row['delta_frac'] * 100:5.2f}%E "
+            f"({row['delta_edges']:>6} edges, "
+            f"{row['shards_touched']:>2} shards): "
+            f"full {row['full_rebuild_s'] * 1e3:7.2f}ms  "
+            f"sharded {row['sharded_compact_s'] * 1e3:7.2f}ms  "
+            f"{row['speedup']:6.1f}x")
+    env_row = payload.get("env_compaction")
+    if env_row:
+        lines.append(
+            f"  env.compact (world KG, {env_row['delta_edges']} edges, "
+            f"{env_row['shards_touched']} shards): full "
+            f"{env_row['full_rebuild_s'] * 1e3:.2f}ms vs end-to-end "
+            f"{env_row['compact_end_to_end_s'] * 1e3:.2f}ms "
+            f"({env_row['speedup']:.1f}x)")
+    pub = payload["publish"]
+    if "delta_publish_s" in pub:
+        lines.append(
+            f"  publish: full export {pub['full_export_s'] * 1e3:.2f}ms "
+            f"/ {pub['full_export_bytes'] / 1e6:.2f}MB vs delta "
+            f"{pub['delta_publish_s'] * 1e3:.2f}ms / "
+            f"{pub['delta_publish_bytes'] / 1e6:.2f}MB "
+            f"({len(pub['delta_shards'])}/{pub['total_shards']} shards, "
+            f"{pub['bytes_ratio'] * 100:.1f}% of bytes, incl. worker "
+            f"re-attach)")
+    else:
+        lines.append("  publish: delta skipped (no stageable candidates "
+                     "on this world)")
+    if payload.get("confined_delta_speedup_min") is not None:
+        lines.append(f"  confined <=1%E delta speedup floor: "
+                     f"{payload['confined_delta_speedup_min']:.1f}x")
+    return "\n".join(lines)
+
+
+def emit(payload: dict, out: Path) -> Path:
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+@pytest.mark.slow
+def test_graphstore_bench():
+    payload = run(quick=True)
+    print(format_report(payload))
+    from common import RESULTS_DIR
+
+    emit(payload, RESULTS_DIR / "BENCH_graphstore.json")
+    assert payload["compaction"], "no compaction rows measured"
+    if "bytes_ratio" in payload["publish"]:
+        assert payload["publish"]["bytes_ratio"] < 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="single delta size, single repeat")
+    parser.add_argument("--scale", default=None,
+                        help="override REKS_BENCH_SCALE "
+                             "(smoke/small/paper)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="shard count (0 = max(env auto, 16))")
+    parser.add_argument("--speedup-floor", type=float, default=0.0,
+                        help="fail unless every confined <=1%%E delta "
+                             "compacts at least this many times faster "
+                             "than the monolithic rebuild")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo root "
+                             "BENCH_graphstore.json)")
+    args = parser.parse_args(argv)
+    if args.scale:
+        os.environ["REKS_BENCH_SCALE"] = args.scale
+
+    payload = run(quick=args.quick, shards=args.shards)
+    print(format_report(payload))
+
+    from repro.utils import default_bench_path
+
+    out = Path(args.out or default_bench_path("BENCH_graphstore.json"))
+    emit(payload, out)
+    print(f"-> {out}")
+
+    floor = args.speedup_floor
+    observed = payload.get("confined_delta_speedup_min")
+    if floor and (observed is None or observed < floor):
+        print(f"FAIL: confined-delta compaction speedup "
+              f"{observed} < floor {floor}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

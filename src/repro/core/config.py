@@ -37,6 +37,14 @@ class REKSConfig:
     # inflate the pad width for the whole batch.  1 = one rectangle
     # per hop (the paper's layout and the default).
     frontier_buckets: int = 1
+    # Graph-store shards: the capped adjacency is partitioned into this
+    # many contiguous, edge-mass-balanced entity-range shards so online
+    # compaction rebuilds only the shards a delta touches and the
+    # runtime plane ships per-shard generations.  0 = auto: one shard
+    # per ~250k edges, so small graphs keep the monolithic single-
+    # gather hot path (see repro.graphstore.auto_shard_count).
+    # Sharding never changes query results, only delta cost.
+    graph_shards: int = 0
 
     # Reward (Eq. 5): weights of (item, rank, path) components.
     reward_weights: Tuple[float, float, float] = (1.0, 2.0, 1.0)
@@ -84,6 +92,11 @@ class REKSConfig:
     serve_worker_mode: str = "thread"   # or "process"
     serve_mp_context: str = "auto"      # fork | spawn | auto (prefer fork)
     runtime_plane_backend: str = "auto"  # shm | mmap | auto (prefer shm)
+    # Process-mode eager death detection: the pool's background sweep
+    # polls worker liveness at this period and respawns corpses before
+    # the next micro-batch is routed to them.  0 disables the sweep
+    # (execute() still routes around and retries past dead workers).
+    serve_health_interval_ms: float = 200.0
 
     # Continual learning (repro.online): checkpoint publishing, delta
     # ingestion, and background fine-tuning.  ``OnlineUpdater`` and
@@ -94,6 +107,11 @@ class REKSConfig:
     online_interval_s: float = 5.0  # background loop poll period
     online_keep_checkpoints: int = 5  # registry retention (0 = unbounded)
     online_compact_every: int = 1024  # staged edges before CSR compaction
+    # Per-shard early trigger: compact as soon as any single shard
+    # accumulates this many staged edges (a hot shard rebuilds cheaply
+    # on its own instead of waiting for the global threshold while its
+    # overlay widens every frontier touching it).  0 disables.
+    online_compact_shard_every: int = 0
     online_auto_swap: bool = True   # hot-swap servers on each publish
     # "subprocess" fine-tunes in an isolated interpreter (checkpoints
     # ship through the file-locked registry), so a training round no
@@ -127,6 +145,14 @@ class REKSConfig:
         if self.frontier_buckets < 1:
             raise ValueError(
                 f"frontier_buckets must be >= 1, got {self.frontier_buckets}")
+        if self.graph_shards < 0:
+            raise ValueError(
+                f"graph_shards must be >= 0 (0 = auto), "
+                f"got {self.graph_shards}")
+        if self.serve_health_interval_ms < 0:
+            raise ValueError(
+                f"serve_health_interval_ms must be >= 0 (0 = off), "
+                f"got {self.serve_health_interval_ms}")
         if self.serve_max_batch < 1:
             raise ValueError(
                 f"serve_max_batch must be >= 1, got {self.serve_max_batch}")
@@ -180,6 +206,10 @@ class REKSConfig:
             raise ValueError(
                 f"online_compact_every must be >= 1, "
                 f"got {self.online_compact_every}")
+        if self.online_compact_shard_every < 0:
+            raise ValueError(
+                f"online_compact_shard_every must be >= 0 (0 = off), "
+                f"got {self.online_compact_shard_every}")
 
     @classmethod
     def for_ablation(cls, name: str, **overrides) -> "REKSConfig":

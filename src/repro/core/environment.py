@@ -6,18 +6,20 @@ an entity is its outgoing edge set minus already-visited entities
 deterministic (Eq. 10).
 
 This module owns the vectorized action-space construction.  The capped
-adjacency (pruned to ``action_cap`` edges PGPR-style) is stored as one
-flat **CSR** triple — ``indptr`` / ``rels`` / ``tails`` int32 arrays
-built once from :class:`~repro.kg.builder.BuiltKG` — so a whole
-frontier of entities is padded into rectangular ``(N, A)`` arrays by a
-single gather + broadcast mask, with no Python loop over the frontier:
+adjacency (pruned to ``action_cap`` edges PGPR-style) lives in a
+**sharded CSR store** (:class:`repro.graphstore.ShardedCSR`): the
+entity-id space is cut into contiguous, edge-mass-balanced shards,
+each owning an immutable ``indptr`` / ``rels`` / ``tails`` int32
+bundle, stitched behind a facade that preserves the flat-CSR query
+contract — a whole frontier of entities is padded into rectangular
+``(N, A)`` arrays by a single gather + broadcast mask per *touched
+shard*, with no Python loop over the frontier:
 
-* ``indptr[e]:indptr[e + 1]`` delimits entity ``e``'s outgoing edges
-  inside the flat ``rels``/``tails`` arrays (``actions_of`` is two
-  O(1) slices);
-* ``batched_actions`` broadcasts ``indptr[frontier] + arange(A)``
+* ``actions_of`` is two O(1) slices inside one shard;
+* ``batched_actions`` broadcasts per-shard ``indptr[local] + arange(A)``
   against the per-row degrees to build the gather index and legality
-  mask in one shot; padded cells read a sentinel slot and are zeroed.
+  mask in one shot; padded cells read each shard's sentinel slot and
+  are zeroed.
 
 Three scale features sit on top of the CSR core:
 
@@ -32,10 +34,11 @@ Three scale features sit on top of the CSR core:
   :meth:`KGEnvironment.compact`) lets the online subsystem append new
   triples to a live environment: staged edges are visible to
   ``batched_actions`` immediately (a per-row widen restricted to the
-  staged entities), and a periodic compaction merges them into fresh
-  flat CSR arrays that are swapped in atomically — concurrent walks
-  read the whole CSR bundle through one attribute load, so they see
-  either the old tables or the new ones, never a mix.
+  staged entities), and a periodic compaction folds them into fresh
+  per-shard bundles — **only the shards holding staged edges rebuild**
+  (delta-proportional, see :mod:`repro.graphstore.merge`), published
+  with a single facade swap so concurrent walks see either the old
+  store or the new one, never a mix.
 """
 
 from __future__ import annotations
@@ -43,13 +46,19 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.data.loader import SessionBatch
+from repro.graphstore import (
+    CSRShard,
+    ShardTables,
+    ShardedCSR,
+    auto_shard_count,
+    compact_store,
+)
 from repro.kg.builder import BuiltKG
-
 
 @dataclass
 class Rollout:
@@ -170,57 +179,26 @@ class RolloutWorkspace:
         return sum(buf.nbytes for buf in self._buffers.values())
 
 
-class _CSRTables(NamedTuple):
-    """One immutable generation of the capped flat-CSR adjacency.
-
-    Bundling the four arrays into a single tuple is what makes online
-    compaction safe: readers load ``env._csr`` once per query and then
-    only touch the bundle, so a concurrent :meth:`KGEnvironment.compact`
-    (which publishes a brand-new bundle with one attribute store) can
-    never hand them an ``indptr`` from one generation and ``tails``
-    from another.
-    """
-
-    indptr: np.ndarray   # (E + 1,) int32, offset by the slot-0 sentinel
-    rels: np.ndarray     # flat int32, slot 0 is the zero sentinel
-    tails: np.ndarray    # flat int32, slot 0 is the zero sentinel
-    degrees: np.ndarray  # (E,) int32 capped out-degrees
-
-
-def _pack_csr(degrees: np.ndarray, rels: np.ndarray,
-              tails: np.ndarray) -> _CSRTables:
-    """Prepend the zero sentinel and build the offset-by-one indptr.
-
-    Slot 0 of the flat arrays is a zero sentinel; real edges start at
-    1, so ``indptr`` is offset by one and the batched gather can
-    redirect every padded cell to slot 0 with a single ``idx *= mask``
-    — bounds-safe and zero-padded in one pass.  int32 throughout:
-    halves the memory traffic of the per-hop gathers, and no KG here
-    approaches 2^31 entities or edges.
-    """
-    indptr = np.concatenate([[1], 1 + np.cumsum(degrees)]).astype(np.int32)
-    flat_rels = np.concatenate(
-        [np.zeros(1, dtype=np.int32), rels.astype(np.int32)])
-    flat_tails = np.concatenate(
-        [np.zeros(1, dtype=np.int32), tails.astype(np.int32)])
-    return _CSRTables(indptr, flat_rels, flat_tails,
-                      degrees.astype(np.int32))
-
-
 class KGEnvironment:
-    """Flat-CSR capped adjacency with batched action-space queries."""
+    """Sharded-CSR capped adjacency with batched action-space queries."""
 
     def __init__(self, built: BuiltKG, action_cap: int = 250,
                  seed: int = 0,
-                 tables: Optional[_CSRTables] = None) -> None:
+                 tables: Optional[ShardedCSR] = None,
+                 shards: Optional[int] = None) -> None:
         self.built = built
         self.kg = built.kg
         self.action_cap = action_cap
         if tables is not None:
-            # Attach precomputed tables (e.g. shared-memory plane views
-            # in a process worker) instead of re-running the capping —
-            # the rng subsample below would otherwise have to replay
-            # bit-exactly for rankings to match the exporting parent.
+            # Attach a precomputed store (e.g. shared-memory plane
+            # views in a process worker) instead of re-running the
+            # capping — the rng subsample below would otherwise have
+            # to replay bit-exactly for rankings to match the
+            # exporting parent.
+            if tables.num_entities != self.kg.num_entities:
+                raise ValueError(
+                    f"store covers {tables.num_entities} entities, "
+                    f"this KG has {self.kg.num_entities}")
             self._csr = tables
         else:
             indptr, rels, tails = built.adjacency_csr()
@@ -242,15 +220,23 @@ class KGEnvironment:
                     keep[start:stop] = block
                 rels, tails = rels[keep], tails[keep]
                 degrees = np.minimum(degrees, action_cap)
-            self._csr = _pack_csr(degrees, rels, tails)
+            num_shards = (int(shards) if shards
+                          else auto_shard_count(self.kg.num_entities,
+                                                int(rels.shape[0])))
+            self._csr = ShardedCSR.build(degrees, rels, tails,
+                                         num_shards=num_shards)
         # Staged edge overlay (online delta ingestion).  Edges land in
         # per-entity lists, are visible to batched_actions immediately,
-        # and are folded into a fresh CSR bundle by compact().  The
-        # lock covers staging and compaction; readers are lock-free
+        # and are folded into fresh per-shard bundles by compact().
+        # The lock covers staging and compaction; readers are lock-free
         # (they check one counter and snapshot the per-entity lists).
+        # `_staged_len` doubles as the hot-path "has overlay" flag and
+        # the at-cap bookkeeping; `_staged_keys` is the sorted scalar
+        # (head, rel, tail) key array the vectorized dedup searches.
         self._overlay_lock = threading.Lock()
         self._staged: Dict[int, List[Tuple[int, int]]] = {}
-        self._staged_flag = np.zeros(self.kg.num_entities, dtype=bool)
+        self._staged_len = np.zeros(self.kg.num_entities, dtype=np.int32)
+        self._staged_keys = np.zeros(0, dtype=np.int64)
         self._staged_count = 0
         self.compactions = 0
 
@@ -258,16 +244,19 @@ class KGEnvironment:
     def degree(self, entity: int) -> int:
         return int(self._csr.degrees[entity])
 
+    @property
+    def num_shards(self) -> int:
+        """Shard count of the current store generation."""
+        return self._csr.num_shards
+
     def actions_of(self, entity: int) -> Tuple[np.ndarray, np.ndarray]:
         """(relations, tails) of one entity after capping (CSR slices).
 
         Includes any staged-but-uncompacted edges of ``entity`` (those
         come back as copies appended after the CSR block).
         """
-        csr = self._csr
-        start, stop = csr.indptr[entity], csr.indptr[entity + 1]
-        rels, tails = csr.rels[start:stop], csr.tails[start:stop]
-        if self._staged_count and self._staged_flag[entity]:
+        rels, tails = self._csr.slice(int(entity))
+        if self._staged_count and self._staged_len[entity]:
             extras = list(self._staged.get(int(entity), ()))
             if extras:
                 rels = np.concatenate(
@@ -284,20 +273,37 @@ class KGEnvironment:
         """Edges staged in the overlay, not yet compacted into CSR."""
         return self._staged_count
 
+    def _edge_keys(self, heads: np.ndarray, rels: np.ndarray,
+                   tails: np.ndarray) -> np.ndarray:
+        """Scalar int64 identity of each (head, rel, tail) triple.
+
+        Collision-free while ``num_entities**2 * num_relations < 2**63``
+        — comfortably true for any int32-indexed KG this stack serves.
+        """
+        n_ent = np.int64(self.kg.num_entities)
+        n_rel = np.int64(self.kg.num_relations)
+        return (heads * n_rel + rels) * n_ent + tails
+
     def stage_edges(self, heads, rels, tails) -> int:
         """Stage new ``(head, relation, tail)`` edges into the overlay.
 
         Edges become visible to :meth:`batched_actions` /
         :meth:`actions_of` immediately (eventual within a concurrent
         call: a walk that already gathered its frontier keeps its
-        snapshot).  Duplicates — against the capped CSR adjacency and
-        within the overlay itself — are dropped, as are edges whose
-        head is already at ``action_cap`` (they could never survive
-        compaction, and serving them only until the next compaction
-        would flip rankings with no new data); returns the number of
-        edges actually staged.  Entities must already exist: growing
-        the entity set online would also require growing the embedding
-        tables, which is a retrain, not a delta.
+        snapshot).  Duplicates — against the capped CSR adjacency,
+        within the overlay, and within the batch itself — are dropped,
+        as are edges whose head is already at ``action_cap`` (they
+        could never survive compaction, and serving them only until
+        the next compaction would flip rankings with no new data);
+        returns the number of edges actually staged.  Entities must
+        already exist: growing the entity set online would also require
+        growing the embedding tables, which is a retrain, not a delta.
+
+        The dedup is fully vectorized: one padded grid gather over the
+        batch heads answers membership against the base adjacency for
+        every edge at once, and a ``searchsorted`` against the sorted
+        overlay-key array answers overlay membership — no per-edge CSR
+        slice, no per-edge list scan.
         """
         heads = np.asarray(heads, dtype=np.int64).ravel()
         rels = np.asarray(rels, dtype=np.int64).ravel()
@@ -312,119 +318,220 @@ class KGEnvironment:
             raise IndexError("staged entity id out of range")
         if rels.min() < 0 or rels.max() >= n_rel:
             raise IndexError("staged relation id out of range")
-        added = 0
         with self._overlay_lock:
-            # Read the bundle under the lock: compact() also holds it,
-            # so the dedup check below can never run against a CSR
-            # generation older than the overlay it is staging into
-            # (a stale read could re-stage a just-compacted edge and
-            # bake it into the base twice at the next compaction).
+            # Read the store under the lock: compact() also holds it,
+            # so the dedup below can never run against a generation
+            # older than the overlay it is staging into (a stale read
+            # could re-stage a just-compacted edge and bake it into
+            # the base twice at the next compaction).
             csr = self._csr
-            for head, rel, tail in zip(heads, rels, tails):
-                head, rel, tail = int(head), int(rel), int(tail)
-                start, stop = csr.indptr[head], csr.indptr[head + 1]
-                if ((csr.rels[start:stop] == rel)
-                        & (csr.tails[start:stop] == tail)).any():
-                    continue  # already in the capped base adjacency
-                bucket = self._staged.setdefault(head, [])
-                if (rel, tail) in bucket:
-                    continue
-                if int(stop - start) + len(bucket) >= self.action_cap:
-                    continue  # head at cap: could not survive compaction
-                bucket.append((rel, tail))
-                self._staged_flag[head] = True
-                added += 1
-            self._staged_count += added
-        return added
+            keys = self._edge_keys(heads, rels, tails)
+            # In-batch dedup: first occurrence wins, staging order kept.
+            _, first = np.unique(keys, return_index=True)
+            if first.size != keys.size:
+                first.sort()
+                heads, rels, tails = heads[first], rels[first], tails[first]
+                keys = keys[first]
+            # Membership vs the capped base adjacency: gather every
+            # head's padded (rels, tails) grid once, compare broadcast.
+            base_deg = np.take(csr.degrees, heads).astype(np.int64)
+            n = heads.size
+            width = max(int(base_deg.max()), 1)
+            cols = np.arange(width, dtype=np.int32)
+            mask = cols[None, :] < base_deg[:, None]
+            idx = np.empty((n, width), dtype=np.int32)
+            grid_rels = np.empty((n, width), dtype=np.int32)
+            grid_tails = np.empty((n, width), dtype=np.int32)
+            csr.gather_into(heads, cols, mask, idx, grid_rels, grid_tails)
+            dup = ((grid_rels == rels[:, None])
+                   & (grid_tails == tails[:, None]) & mask).any(axis=1)
+            # ...and vs the overlay (sorted scalar keys).
+            if self._staged_keys.size:
+                pos = np.minimum(
+                    np.searchsorted(self._staged_keys, keys),
+                    self._staged_keys.size - 1)
+                dup |= self._staged_keys[pos] == keys
+            fresh = ~dup
+            if not fresh.any():
+                return 0
+            heads, rels, tails = heads[fresh], rels[fresh], tails[fresh]
+            keys, base_deg = keys[fresh], base_deg[fresh]
+            # At-cap drop, order-preserving: the j-th surviving edge of
+            # a head (after `existing` already-staged ones) lands only
+            # if base_deg + existing + j < cap — identical to the old
+            # sequential check, since the condition is monotone in j.
+            order = np.argsort(heads, kind="stable")
+            sorted_heads = heads[order]
+            change = np.empty(sorted_heads.size, dtype=bool)
+            change[0] = True
+            np.not_equal(sorted_heads[1:], sorted_heads[:-1],
+                         out=change[1:])
+            group_start = np.flatnonzero(change)
+            group_len = np.diff(np.concatenate(
+                [group_start, [sorted_heads.size]]))
+            pos_in_head = (np.arange(sorted_heads.size, dtype=np.int64)
+                           - np.repeat(group_start, group_len))
+            existing = np.take(self._staged_len,
+                               sorted_heads).astype(np.int64)
+            room = (base_deg[order] + existing + pos_in_head
+                    < self.action_cap)
+            kept = np.sort(order[room])
+            if kept.size == 0:
+                return 0
+            heads, rels, tails = heads[kept], rels[kept], tails[kept]
+            keys = keys[kept]
+            for head, rel, tail in zip(heads.tolist(), rels.tolist(),
+                                       tails.tolist()):
+                self._staged.setdefault(head, []).append((rel, tail))
+            np.add.at(self._staged_len, heads, 1)
+            self._staged_keys = np.sort(
+                np.concatenate([self._staged_keys, keys]))
+            self._staged_count += int(heads.size)
+            return int(heads.size)
 
     def compact(self) -> int:
-        """Merge the staged overlay into a fresh CSR bundle (atomic swap).
+        """Fold the staged overlay into fresh shard bundles (atomic swap).
 
-        Builds new flat arrays containing base + staged edges (sorted
-        by head, base edges first within each head so ``action_cap``
-        truncation prefers the established adjacency), then publishes
-        them with a single attribute store.  In-flight queries keep the
-        bundle they already loaded; the next query sees the new one.
-        Returns the number of edges merged.
+        Delta-proportional: only shards that hold staged heads rebuild
+        (base + staged merged per head, base edges first so
+        ``action_cap`` truncation prefers the established adjacency —
+        see :func:`repro.graphstore.merge.merge_shard`); every clean
+        shard rides into the new facade untouched, keeping its arrays
+        and cached digest.  The new store is published with a single
+        attribute store: in-flight queries keep the facade they already
+        loaded, the next query sees the new one.  Returns the number of
+        edges merged.
         """
         with self._overlay_lock:
             if not self._staged_count:
                 return 0
-            staged = {e: list(pairs) for e, pairs in self._staged.items()}
-            old = self._csr
-            extra_heads = np.array(
-                [e for e, pairs in staged.items() for _ in pairs],
-                dtype=np.int64)
-            extra_rels = np.array(
-                [r for pairs in staged.values() for r, _ in pairs],
-                dtype=np.int64)
-            extra_tails = np.array(
-                [t for pairs in staged.values() for _, t in pairs],
-                dtype=np.int64)
-            base_degrees = old.degrees.astype(np.int64)
-            base_heads = np.repeat(
-                np.arange(self.kg.num_entities, dtype=np.int64),
-                base_degrees)
-            heads = np.concatenate([base_heads, extra_heads])
-            rels = np.concatenate(
-                [old.rels[1:].astype(np.int64), extra_rels])
-            tails = np.concatenate(
-                [old.tails[1:].astype(np.int64), extra_tails])
-            order = np.argsort(heads, kind="stable")  # base-first per head
-            heads, rels, tails = heads[order], rels[order], tails[order]
-            degrees = np.bincount(heads, minlength=self.kg.num_entities)
-            indptr0 = np.concatenate([[0], np.cumsum(degrees)])
-            # Re-apply the cap by position-within-head: stable sort put
-            # base edges first, so staged extras are the ones truncated
-            # on entities already at the cap.
-            pos = np.arange(heads.size, dtype=np.int64) - indptr0[heads]
-            keep = pos < self.action_cap
-            if not keep.all():
-                heads, rels, tails = heads[keep], rels[keep], tails[keep]
-                degrees = np.bincount(heads,
-                                      minlength=self.kg.num_entities)
+            store = self._csr
+            staged = self._staged_grouped_locked()
+            new_store, _ = compact_store(store, staged, self.action_cap)
             merged = self._staged_count
-            # Clear the overlay BEFORE publishing the merged bundle: a
+            # Clear the overlay BEFORE publishing the merged store: a
             # lock-free reader between the two stores then misses the
             # staged edges for one query (benign eventual visibility)
             # instead of seeing them twice (duplicate actions).
-            self._staged = {}
-            self._staged_flag = np.zeros(self.kg.num_entities, dtype=bool)
-            self._staged_count = 0
-            self._csr = _pack_csr(degrees, rels, tails)
+            self._clear_overlay_locked()
+            self._csr = new_store
             self.compactions += 1
         return merged
 
-    def csr_tables(self) -> _CSRTables:
-        """The current immutable CSR bundle (one atomic attribute load).
+    def _clear_overlay_locked(self) -> None:
+        self._staged = {}
+        self._staged_len = np.zeros(self.kg.num_entities, dtype=np.int32)
+        self._staged_keys = np.zeros(0, dtype=np.int64)
+        self._staged_count = 0
+
+    def _staged_triples_locked(self) -> Tuple[np.ndarray, np.ndarray,
+                                              np.ndarray]:
+        """Flatten the overlay into ``(heads, rels, tails)`` arrays.
+
+        The single overlay flattener (lock held): snapshots, key
+        rebuilds, and shard grouping all derive from this, so the
+        overlay representation has exactly one reader to change.
+        Per-head staging order is preserved (heads grouped per dict
+        entry, bucket order within).
+        """
+        triples = [(head, rel, tail)
+                   for head, pairs in self._staged.items()
+                   for rel, tail in pairs]
+        if not triples:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        heads, rels, tails = (np.array(col, dtype=np.int64)
+                              for col in zip(*triples))
+        return heads, rels, tails
+
+    def _staged_grouped_locked(self) -> Dict[int, Tuple[np.ndarray,
+                                                        np.ndarray,
+                                                        np.ndarray]]:
+        """The overlay grouped by owning shard (lock held)."""
+        heads, rels, tails = self._staged_triples_locked()
+        if not heads.size:
+            return {}
+        sids = self._csr.shard_of(heads)
+        return {int(sid): (heads[sids == sid], rels[sids == sid],
+                           tails[sids == sid])
+                for sid in np.unique(sids)}
+
+    def csr_tables(self) -> ShardedCSR:
+        """The current immutable store (one atomic attribute load).
 
         This is the export surface of the environment: the runtime
-        plane copies these four arrays into OS shared memory, and
+        plane copies each shard's arrays into OS shared memory, and
         worker processes hand equivalent zero-copy views back to
-        :meth:`attach_tables`.
+        :meth:`attach_tables` / :meth:`attach_shards`.
         """
         return self._csr
 
-    def attach_tables(self, tables: _CSRTables) -> None:
-        """Atomically replace the CSR bundle with foreign views.
+    def flat_tables(self) -> ShardTables:
+        """Monolithic flat bundle of the current store (O(E) copy —
+        compatibility/oracle surface, never the hot path)."""
+        return self._csr.to_flat()
 
-        Used by process workers when the parent publishes a new plane
-        generation (after a compaction): the swap is a single attribute
-        store, so a concurrent walk keeps the bundle it already loaded.
-        The staged overlay is cleared — a published generation already
-        contains everything the parent compacted into it.
+    def attach_tables(self, tables: ShardedCSR) -> None:
+        """Atomically replace the whole store with foreign views.
+
+        Used by process workers when the parent publishes a full plane
+        generation: the swap is a single attribute store, so a
+        concurrent walk keeps the facade it already loaded.  The staged
+        overlay is cleared — a published generation already contains
+        everything the parent compacted into it.
         """
-        expected = (self.kg.num_entities + 1,)
-        if tables.indptr.shape != expected:
+        if tables.num_entities != self.kg.num_entities:
             raise ValueError(
-                f"indptr shape {tables.indptr.shape} does not match "
-                f"this KG ({expected})")
+                f"store covers {tables.num_entities} entities, "
+                f"this KG has {self.kg.num_entities}")
         with self._overlay_lock:
-            self._staged = {}
-            self._staged_flag = np.zeros(self.kg.num_entities, dtype=bool)
-            self._staged_count = 0
+            self._clear_overlay_locked()
             self._csr = tables
             self.compactions += 1
+
+    def attach_shards(self, updates: Dict[int, CSRShard],
+                      staged: Optional[Dict[int, Tuple[np.ndarray,
+                                                       np.ndarray,
+                                                       np.ndarray]]] = None
+                      ) -> None:
+        """Swap in foreign generations of *only* the given shards.
+
+        The delta half of the plane publish protocol: overlay entries
+        whose head lies in a replaced shard are dropped (the incoming
+        generation already contains what the publisher compacted),
+        entries on untouched shards stay live, and ``staged`` — the
+        publisher's still-staged edges *for exactly the replaced
+        shards* — is replayed afterwards, so the environment lands on
+        the publisher's served adjacency without touching the clean
+        shards or their overlay.
+        """
+        if not updates:
+            return
+        with self._overlay_lock:
+            store = self._csr
+            ranges = [(store.shards[sid].start, store.shards[sid].stop)
+                      for sid in updates]
+            if self._staged_count:
+                stale = [head for head in self._staged
+                         if any(lo <= head < hi for lo, hi in ranges)]
+                for head in stale:
+                    pairs = self._staged.pop(head)
+                    self._staged_count -= len(pairs)
+                    self._staged_len[head] = 0
+                if stale:
+                    self._staged_keys = self._overlay_keys_locked()
+            self._csr = store.replace_shards(updates)
+            self.compactions += 1
+        if staged:
+            for sid in sorted(staged):
+                self.stage_edges(*staged[sid])
+
+    def _overlay_keys_locked(self) -> np.ndarray:
+        """Recompute the sorted overlay-key array from the live dict."""
+        heads, rels, tails = self._staged_triples_locked()
+        if not heads.size:
+            return np.zeros(0, dtype=np.int64)
+        return np.sort(self._edge_keys(heads, rels, tails))
 
     def reset_overlay_after_fork(self) -> None:
         """Reinitialize overlay lock + staged state in a forked child.
@@ -434,12 +541,10 @@ class KGEnvironment:
         staged dict mid-mutation.  A child that owns its own delta
         stream — the subprocess updater re-derives edges from the
         sessions shipped to it — calls this first: fresh lock, empty
-        overlay, immutable CSR bundle untouched.
+        overlay, immutable store untouched.
         """
         self._overlay_lock = threading.Lock()
-        self._staged = {}
-        self._staged_flag = np.zeros(self.kg.num_entities, dtype=bool)
-        self._staged_count = 0
+        self._clear_overlay_locked()
 
     def staged_snapshot(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Copy of the staged overlay as ``(heads, rels, tails)`` arrays.
@@ -449,30 +554,54 @@ class KGEnvironment:
         environments serve the same adjacency as the parent.
         """
         with self._overlay_lock:
-            triples = [(head, rel, tail)
-                       for head, pairs in self._staged.items()
-                       for rel, tail in pairs]
-        if not triples:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty.copy(), empty.copy()
-        heads, rels, tails = (np.array(col, dtype=np.int64)
-                              for col in zip(*triples))
-        return heads, rels, tails
+            return self._staged_triples_locked()
+
+    def staged_by_shard(self) -> Dict[int, Tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]]:
+        """The staged overlay grouped by owning shard.
+
+        The delta-publish path ships only the dirty shards' entries, so
+        a worker that re-attached two shards replays two shards' worth
+        of edges, not the whole overlay.
+        """
+        with self._overlay_lock:
+            return self._staged_grouped_locked()
+
+    def staged_counts_by_shard(self) -> Dict[int, int]:
+        """Staged-edge count per shard (the per-shard compaction
+        policy's trigger signal)."""
+        with self._overlay_lock:
+            heads, _, _ = self._staged_triples_locked()
+            if not heads.size:
+                return {}
+            sids = self._csr.shard_of(heads)
+        uniq, counts = np.unique(sids, return_counts=True)
+        return {int(sid): int(count) for sid, count in zip(uniq, counts)}
 
     def fingerprint(self) -> str:
-        """Digest of the served adjacency (CSR bundle + staged count).
+        """Digest of the served adjacency (shard digests + staged count).
 
         Checkpoint manifests record it so a restored model can detect
         that it is being attached to a different graph than it was
-        trained against.  Compaction changes the fingerprint; staging
-        alone does too (via the staged-edge count).
+        trained against.  The store digest is a hash over the cached
+        per-shard content digests, so after a 2-shard delta only those
+        2 shards re-hash — unchanged shards cost nothing.  Compaction
+        changes the fingerprint; staging alone does too (via the
+        staged-edge count).
+
+        The trade for that incrementality: the digest is scoped to the
+        **shard layout** as well as the content — re-sharding the same
+        adjacency (a ``graph_shards`` change, or the auto heuristic
+        flipping as the graph grows across a threshold) re-keys it.
+        The failure mode is conservative (a checkpoint looks attached
+        to a *different* graph, never silently to the wrong one);
+        :meth:`flat_tables` is the layout-independent content surface
+        if a consumer needs byte-level identity across layouts.
         """
-        csr = self._csr
         digest = hashlib.sha256()
         digest.update(np.int64(self.kg.num_entities).tobytes())
         digest.update(np.int64(self._staged_count).tobytes())
-        for array in (csr.indptr, csr.rels, csr.tails):
-            digest.update(np.ascontiguousarray(array).tobytes())
+        digest.update(self._csr.digest().encode("ascii"))
         return digest.hexdigest()[:16]
 
     def batched_actions(self, entities: np.ndarray, visited: np.ndarray,
@@ -580,13 +709,10 @@ class KGEnvironment:
 
         cols = np.arange(width, dtype=np.int32)
         np.less(cols[None, :], degs[:, None], out=mask)
-        np.add(np.take(csr.indptr, entities)[:, None], cols[None, :],
-               out=idx)
-        # One pass redirects every padded cell to the zero-sentinel
-        # slot 0: the gather stays in bounds and pads read as 0.
-        np.multiply(idx, mask, out=idx)
-        np.take(csr.rels, idx, out=rels)
-        np.take(csr.tails, idx, out=tails)
+        # The store redirects every padded cell to its shard's
+        # zero-sentinel slot, so the gather stays in bounds and pads
+        # read as 0 — one sub-gather per touched shard, no row loop.
+        csr.gather_into(entities, cols, mask, idx, rels, tails)
         return rels, tails, mask
 
     def _widen_with_overlay(self, entities: np.ndarray, rels: np.ndarray,
@@ -600,7 +726,7 @@ class KGEnvironment:
         bypass the workspace buffers, which keeps the zero-overlay hot
         path untouched.
         """
-        hot = self._staged_flag[entities]
+        hot = np.take(self._staged_len, entities) > 0
         if not hot.any():
             return rels, tails, mask
         hot_rows = np.flatnonzero(hot)

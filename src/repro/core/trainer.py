@@ -81,7 +81,8 @@ class REKSTrainer:
             dropout=cfg.dropout, finetune=cfg.finetune_kg_embeddings,
             rng=rng)
         self.env = KGEnvironment(built, action_cap=cfg.action_cap,
-                                 seed=cfg.seed + 3)
+                                 seed=cfg.seed + 3,
+                                 shards=cfg.graph_shards or None)
         # One workspace for the trainer's whole lifetime: the rollout
         # scratch buffers are sized once at the first batch and then
         # recycled across every train/eval walk.

@@ -84,8 +84,10 @@ def run_online_bench(trainer, sessions: Sequence[Session],
 
     registry = CheckpointRegistry(
         checkpoint_dir, keep_last=cfg.online_keep_checkpoints)
-    ingestor = DeltaIngestor(trainer.built, trainer.env,
-                             compact_every=cfg.online_compact_every)
+    ingestor = DeltaIngestor(
+        trainer.built, trainer.env,
+        compact_every=cfg.online_compact_every,
+        compact_shard_every=cfg.online_compact_shard_every or None)
     updater = OnlineUpdater(trainer, ingestor, registry,
                             min_sessions=1, max_steps=cfg.online_max_steps)
 

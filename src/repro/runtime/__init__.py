@@ -5,9 +5,11 @@
 read-only state per process:
 
 * :class:`~repro.runtime.plane.TablePlane` — one generation of the hot
-  path's large read-only arrays (flat-CSR adjacency, frozen TransE
-  embedding tables) exported to OS shared memory (or mmap'd ``.npy``
-  files) and re-attached as zero-copy NumPy views in children;
+  path's large read-only arrays (the sharded CSR adjacency — one plane
+  per graph-store shard, so a compaction republishes only its dirty
+  shards — and the frozen TransE embedding tables) exported to OS
+  shared memory (or mmap'd ``.npy`` files) and re-attached as
+  zero-copy NumPy views in children;
 * :class:`~repro.runtime.workers.ProcessWorkerPool` — spec-rebuilt
   inference agents in child processes executing serving micro-batches
   with true parallelism, bit-identical to thread mode, with model-swap
@@ -30,9 +32,11 @@ from repro.runtime.workers import (
     WorkerDied,
     WorkerError,
     build_worker_agent,
-    export_csr_plane,
     export_embedding_plane,
+    export_shard_plane,
+    export_shard_planes,
     resolve_context,
+    store_from_planes,
 )
 
 __all__ = [
@@ -45,7 +49,9 @@ __all__ = [
     "WorkerDied",
     "WorkerError",
     "build_worker_agent",
-    "export_csr_plane",
     "export_embedding_plane",
+    "export_shard_plane",
+    "export_shard_planes",
     "resolve_context",
+    "store_from_planes",
 ]

@@ -1,4 +1,4 @@
-"""Process-level execution: spec-built worker agents over a table plane.
+"""Process-level execution: spec-built worker agents over shard planes.
 
 Thread workers share one interpreter, so at paper dims (400) every
 serving worker fights the trainer and its siblings for the GIL.  This
@@ -10,17 +10,27 @@ read-only state physically shared:
   the small trainable modules travel by value, the large frozen tables
   travel *by reference* as :class:`~repro.runtime.plane.PlaneManifest`
   entries (attached zero-copy in the child);
+* the CSR adjacency is exported **one plane generation per graph-store
+  shard** (:func:`export_shard_planes`): after a per-shard compaction,
+  :meth:`ProcessWorkerPool.publish_tables` exports only the *dirty*
+  shards into fresh segments, broadcasts a delta manifest, and workers
+  re-attach just those shards (atomic facade swap via
+  :meth:`~repro.core.environment.KGEnvironment.attach_shards`); the
+  retired shard segments are unlinked once every worker has moved;
 * :func:`_worker_main` is the child loop: attach planes, build the
   agent, then serve ``exec`` / ``swap`` / ``stage`` / ``tables``
   messages over a duplex pipe until told to stop;
 * a :class:`ProcessWorkerPool` owns N such children plus the plane
   generations, hands micro-batches to idle workers, broadcasts model
-  swaps and adjacency changes, and **never shrinks**: a dead worker is
-  respawned and re-bootstrapped (current tables, staged edges, and
-  model version replayed) before the failure is surfaced.
+  swaps and adjacency changes, and **never shrinks**: dead workers are
+  detected eagerly (an optional background health sweep, plus a
+  liveness check before every batch route) and respawned with the
+  current ledger replayed, so worker death is invisible to callers —
+  a micro-batch that races a death is retried once, transparently, on
+  the respawned slot (inference is idempotent).
 
 Determinism contract: a worker rebuilt from a spec attaches the exact
-CSR bundle and embedding tables the parent serves, loads the exact
+shard bundles and embedding tables the parent serves, loads the exact
 trainable weights, and walks with the same deterministic top-k
 selection — so process-mode rankings, scores, and rendered
 explanations are bit-identical to thread mode (pinned by
@@ -38,16 +48,17 @@ import numpy as np
 
 from repro.core.agent import REKSAgent
 from repro.core.config import REKSConfig
-from repro.core.environment import _CSRTables, KGEnvironment, RolloutWorkspace
+from repro.core.environment import KGEnvironment, RolloutWorkspace
 from repro.core.policy import PolicyNetwork
 from repro.core.rewards import RewardComputer, RewardWeights
 from repro.data.loader import collate_examples
+from repro.graphstore import CSRShard, ShardTables, ShardedCSR
 from repro.kg.builder import BuiltKG
 from repro.kg.paths import render_path
 from repro.runtime.plane import PlaneManifest, TablePlane
 
-# Plane array names (stable across generations).
-CSR_ARRAYS = ("csr/indptr", "csr/rels", "csr/tails", "csr/degrees")
+# Per-shard plane array names (stable across generations).
+SHARD_ARRAYS = ("indptr", "rels", "tails", "degrees")
 EMB_ENTITY = "emb/entity"
 EMB_RELATION = "emb/relation"
 # Policy parameters whose payload is plane-backed rather than shipped.
@@ -93,14 +104,31 @@ class AgentSpec:
                    staged=agent.env.staged_snapshot())
 
 
-def export_csr_plane(env: KGEnvironment,
-                     backend: str = "auto") -> TablePlane:
-    """Publish the environment's current CSR bundle as a plane
-    generation keyed by its fingerprint."""
-    csr = env.csr_tables()
+def shard_plane_key(sid: int, shard: CSRShard) -> str:
+    """Content-addressed generation key of one shard plane."""
+    return f"csr:{sid}:{shard.digest()}"
+
+
+def export_shard_plane(sid: int, shard: CSRShard,
+                       backend: str = "auto") -> TablePlane:
+    """Publish one shard's bundle as its own plane generation.
+
+    Each shard gets a private segment so a delta publish can retire
+    exactly the dirty generations while clean shards' segments — and
+    every worker mapping of them — stay untouched.
+    """
     return TablePlane.publish(
-        dict(zip(CSR_ARRAYS, csr)), key=env.fingerprint(),
-        backend=backend)
+        {name: getattr(shard.tables, name) for name in SHARD_ARRAYS},
+        key=shard_plane_key(sid, shard), backend=backend,
+        shard_of={name: sid for name in SHARD_ARRAYS})
+
+
+def export_shard_planes(env: KGEnvironment,
+                        backend: str = "auto") -> Dict[int, TablePlane]:
+    """Publish every shard of ``env``'s current store (full export)."""
+    store = env.csr_tables()
+    return {sid: export_shard_plane(sid, shard, backend=backend)
+            for sid, shard in enumerate(store.shards)}
 
 
 def export_embedding_plane(agent: REKSAgent,
@@ -112,11 +140,35 @@ def export_embedding_plane(agent: REKSAgent,
         key="embeddings", backend=backend)
 
 
-def csr_from_plane(plane: TablePlane) -> _CSRTables:
-    return _CSRTables(*(plane[name] for name in CSR_ARRAYS))
+def shard_from_plane(sid: int, plane: TablePlane, start: int,
+                     stop: int, epoch: int = 0) -> CSRShard:
+    """Rebuild a shard over a plane's zero-copy views.
+
+    The publisher's content digest rides in the plane key
+    (``csr:<sid>:<digest>``), so the attaching side never re-hashes an
+    unchanged shard.
+    """
+    tables = ShardTables(*(plane[name] for name in SHARD_ARRAYS))
+    digest = None
+    parts = plane.key.split(":")
+    if len(parts) == 3 and parts[0] == "csr" and parts[1] == str(sid):
+        digest = parts[2]
+    return CSRShard(start, stop, tables, epoch=epoch, digest=digest)
 
 
-def build_worker_agent(spec: AgentSpec, csr_plane: TablePlane,
+def store_from_planes(boundaries: np.ndarray,
+                      planes: Dict[int, TablePlane]) -> ShardedCSR:
+    """Stitch a full set of attached shard planes into a store."""
+    shards = tuple(
+        shard_from_plane(sid, planes[sid], int(boundaries[sid]),
+                         int(boundaries[sid + 1]))
+        for sid in range(len(boundaries) - 1))
+    return ShardedCSR(boundaries, shards)
+
+
+def build_worker_agent(spec: AgentSpec,
+                       shard_planes: Dict[int, TablePlane],
+                       boundaries: np.ndarray,
                        emb_plane: TablePlane) -> REKSAgent:
     """Reconstruct the serving agent from a spec + attached planes.
 
@@ -128,7 +180,7 @@ def build_worker_agent(spec: AgentSpec, csr_plane: TablePlane,
     cfg = spec.config
     env = KGEnvironment(spec.built, action_cap=cfg.action_cap,
                         seed=cfg.seed + 3,
-                        tables=csr_from_plane(csr_plane))
+                        tables=store_from_planes(boundaries, shard_planes))
     if spec.staged[0].size:
         env.stage_edges(*spec.staged)
     policy = PolicyNetwork(
@@ -177,21 +229,23 @@ def _pack_rows(rec, count: int, kg) -> List[tuple]:
     return rows
 
 
-def _worker_main(conn, spec: AgentSpec, csr_manifest: PlaneManifest,
-                 emb_manifest: PlaneManifest,
+def _worker_main(conn, spec: AgentSpec,
+                 shard_manifests: Dict[int, PlaneManifest],
+                 boundaries: np.ndarray, emb_manifest: PlaneManifest,
                  untrack_shm: bool = False) -> None:
     """Entry point of one worker process.
 
     ``untrack_shm`` stays False for pool-started workers (fork and
     spawn children share the publisher's resource tracker); it exists
     for embedders that run this loop from a foreign interpreter whose
-    private tracker would adopt — and later unlink — the live plane.
+    private tracker would adopt — and later unlink — the live planes.
     """
     import traceback
 
-    csr_plane = TablePlane.attach(csr_manifest, untrack=untrack_shm)
+    shard_planes = {sid: TablePlane.attach(manifest, untrack=untrack_shm)
+                    for sid, manifest in shard_manifests.items()}
     emb_plane = TablePlane.attach(emb_manifest, untrack=untrack_shm)
-    agent = build_worker_agent(spec, csr_plane, emb_plane)
+    agent = build_worker_agent(spec, shard_planes, boundaries, emb_plane)
     version = spec.model_version
     workspace = agent.workspace
     max_len = agent.config.max_session_length
@@ -219,14 +273,22 @@ def _worker_main(conn, spec: AgentSpec, csr_manifest: PlaneManifest,
                     added = agent.env.stage_edges(heads, rels, tails)
                     conn.send(("ok", added))
                 elif op == "tables":
-                    _, manifest, staged = message
-                    fresh = TablePlane.attach(manifest,
-                                              untrack=untrack_shm)
-                    agent.env.attach_tables(csr_from_plane(fresh))
-                    if staged[0].size:
-                        agent.env.stage_edges(*staged)
-                    csr_plane.close()
-                    csr_plane = fresh
+                    # Delta re-attach: only the dirty shards arrive.
+                    _, manifests, staged = message
+                    store = agent.env.csr_tables()
+                    fresh = {sid: TablePlane.attach(manifest,
+                                                    untrack=untrack_shm)
+                             for sid, manifest in manifests.items()}
+                    updates = {
+                        sid: shard_from_plane(
+                            sid, plane, store.shards[sid].start,
+                            store.shards[sid].stop,
+                            epoch=store.shards[sid].epoch + 1)
+                        for sid, plane in fresh.items()}
+                    agent.env.attach_shards(updates, staged)
+                    for sid, plane in fresh.items():
+                        shard_planes[sid].close()
+                        shard_planes[sid] = plane
                     conn.send(("ok", agent.env.fingerprint()))
                 elif op == "ping":
                     conn.send(("ok", version))
@@ -241,7 +303,8 @@ def _worker_main(conn, spec: AgentSpec, csr_manifest: PlaneManifest,
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
     finally:
-        csr_plane.close()
+        for plane in shard_planes.values():
+            plane.close()
         emb_plane.close()
 
 
@@ -252,16 +315,16 @@ class _Worker:
     """One child process plus its pipe; at most one op in flight."""
 
     def __init__(self, context, spec: AgentSpec,
-                 csr_manifest: PlaneManifest,
-                 emb_manifest: PlaneManifest, name: str,
-                 index: int, untrack_shm: bool) -> None:
+                 shard_manifests: Dict[int, PlaneManifest],
+                 boundaries: np.ndarray, emb_manifest: PlaneManifest,
+                 name: str, index: int, untrack_shm: bool) -> None:
         self.index = index
         self._lock = threading.Lock()
         self.conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
             target=_worker_main,
-            args=(child_conn, spec, csr_manifest, emb_manifest,
-                  untrack_shm),
+            args=(child_conn, spec, shard_manifests, boundaries,
+                  emb_manifest, untrack_shm),
             name=name, daemon=True)
         self.process.start()
         child_conn.close()  # parent keeps only its end
@@ -321,20 +384,27 @@ def resolve_context(name: str = "auto"):
 
 
 class ProcessWorkerPool:
-    """Fixed-size pool of process workers over shared table planes.
+    """Fixed-size pool of process workers over shared shard planes.
 
-    The pool owns two plane generations: a per-pool embedding plane
-    (frozen tables never change) and the current CSR plane (replaced by
-    :meth:`publish_tables` after a compaction).  Broadcast operations
-    (``swap`` / ``stage_edges`` / ``publish_tables``) serialize against
-    in-flight executions per worker, and their effects are recorded so
-    a respawned worker can be bootstrapped back to the pool's current
-    state.
+    The pool owns one embedding plane (frozen tables never change) and
+    one plane generation **per graph-store shard** (dirty ones replaced
+    by :meth:`publish_tables` after a compaction).  Broadcast
+    operations (``swap`` / ``stage_edges`` / ``publish_tables``)
+    serialize against in-flight executions per worker, and their
+    effects are recorded so a respawned worker can be bootstrapped back
+    to the pool's current state.
+
+    ``health_interval_s`` arms a background sweep that respawns dead
+    workers between batches (eager death detection); independent of the
+    sweep, :meth:`execute` checks liveness before routing and retries a
+    batch once on a respawned slot, so a worker death never surfaces to
+    a caller as a failed future.
     """
 
     def __init__(self, agent: REKSAgent, workers: int,
                  mp_context: str = "auto", plane_backend: str = "auto",
-                 model_version: int = 0) -> None:
+                 model_version: int = 0,
+                 health_interval_s: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError(f"need >= 1 worker, got {workers}")
         self._context = resolve_context(mp_context)
@@ -342,8 +412,13 @@ class ProcessWorkerPool:
         self._backend = plane_backend
         self._emb_plane = export_embedding_plane(agent,
                                                  backend=plane_backend)
-        self._csr_plane = export_csr_plane(agent.env,
-                                           backend=plane_backend)
+        store = agent.env.csr_tables()
+        self._boundaries = np.array(store.boundaries, dtype=np.int64)
+        self._csr_planes = export_shard_planes(agent.env,
+                                               backend=plane_backend)
+        self._shard_digests = {sid: shard.digest()
+                               for sid, shard in enumerate(store.shards)}
+        self._csr_key = agent.env.fingerprint()
         # Current-state ledger for respawn bootstrap.
         self._version = int(model_version)
         self._swap_state: Optional[dict] = None
@@ -356,6 +431,13 @@ class ProcessWorkerPool:
         self._staged_log: List[tuple] = []
         self.generation = 0
         self.respawns = 0
+        # Failed respawn attempts from the health sweep (observable
+        # signal that recovery itself is broken, e.g. fd exhaustion).
+        self.health_failures = 0
+        # What the last delta publish actually shipped (manifest-level
+        # accounting: dirty shard ids + exported bytes) — benches and
+        # tests assert delta cost against it.
+        self.last_publish: Optional[dict] = None
         # One re-entrant lock serializes everything that touches the
         # state ledger: broadcasts (which mutate it first, then
         # deliver) and respawns (which replay it).  Re-entrant so a
@@ -363,6 +445,9 @@ class ProcessWorkerPool:
         # lock; execute() only takes it on the death path, never per
         # batch.
         self._state_lock = threading.RLock()
+        # Serializes whole publishes so the slow segment export can run
+        # outside the state lock without two publishers interleaving.
+        self._publish_lock = threading.Lock()
         self._closed = False
         self.size = workers
         # Workers never untrack: multiprocessing children (fork AND
@@ -371,17 +456,26 @@ class ProcessWorkerPool:
         # land in the owner's tracker and the owner's unlink cleans up.
         # TablePlane.attach(untrack=True) exists for *foreign*
         # processes (not started by this interpreter's multiprocessing)
-        # whose private tracker would adopt and kill the segment.
+        # whose private tracker would adopt and kill the segments.
         self._untrack_shm = False
         self._workers = [self._spawn(i) for i in range(workers)]
         self._idle: "queue.LifoQueue[_Worker]" = queue.LifoQueue()
         for worker in self._workers:
             self._idle.put(worker)
+        self._health_stop = threading.Event()
+        self._health_thread: Optional[threading.Thread] = None
+        if health_interval_s:
+            self._health_thread = threading.Thread(
+                target=self._health_loop, args=(float(health_interval_s),),
+                name="reks-procpool-health", daemon=True)
+            self._health_thread.start()
 
     # ------------------------------------------------------------------
     def _spawn(self, index: int) -> _Worker:
-        return _Worker(self._context, self._spec,
-                       self._csr_plane.manifest, self._emb_plane.manifest,
+        manifests = {sid: plane.manifest
+                     for sid, plane in self._csr_planes.items()}
+        return _Worker(self._context, self._spec, manifests,
+                       self._boundaries, self._emb_plane.manifest,
                        name=f"reks-procworker-{index}", index=index,
                        untrack_shm=self._untrack_shm)
 
@@ -395,15 +489,15 @@ class ProcessWorkerPool:
     def _respawn(self, dead: _Worker) -> _Worker:
         """Replace a dead worker's slot (the pool never shrinks).
 
-        Idempotent per corpse: a dead worker can be observed twice —
-        once by a broadcast walking ``_workers`` and again by an
-        ``execute`` that popped the stale object from the idle queue —
-        and only the first observer spawns a replacement; the second
-        is handed the already-live slot occupant, which it returns to
-        the idle queue in place of the corpse.  Runs under the state
-        lock, and broadcasts mutate the ledger *before* delivering, so
-        a worker respawned mid-broadcast is bootstrapped onto the
-        ledger state that broadcast is delivering — never one behind.
+        Idempotent per corpse: a dead worker can be observed several
+        times — by the health sweep, by a broadcast walking
+        ``_workers``, and by an ``execute`` that popped the stale
+        object from the idle queue — and only the first observer spawns
+        a replacement; later observers are handed the already-live slot
+        occupant.  Runs under the state lock, and broadcasts mutate the
+        ledger *before* delivering, so a worker respawned mid-broadcast
+        is bootstrapped onto the ledger state that broadcast is
+        delivering — never one behind.
         """
         with self._state_lock:
             current = self._workers[dead.index]
@@ -420,6 +514,28 @@ class ProcessWorkerPool:
             self.respawns += 1
             return fresh
 
+    def _health_loop(self, interval: float) -> None:
+        """Background sweep: respawn dead workers between batches.
+
+        Uses the cheap ``exitcode`` poll (no pipe round-trip, so it
+        never contends with an in-flight micro-batch on a live
+        worker); a corpse found here is replaced before the next batch
+        is routed to its slot.
+        """
+        while not self._health_stop.wait(interval):
+            if self._closed:
+                return
+            for slot in range(self.size):
+                worker = self._workers[slot]
+                if worker.process.exitcode is not None:
+                    try:
+                        self._respawn(worker)
+                    except Exception:  # pragma: no cover - last resort
+                        # Persistent respawn failure (fd exhaustion,
+                        # fork errors) must stay observable: count it
+                        # rather than silently retrying forever.
+                        self.health_failures += 1
+
     # ------------------------------------------------------------------
     # Micro-batch execution
     # ------------------------------------------------------------------
@@ -429,18 +545,33 @@ class ProcessWorkerPool:
 
         Returns ``(model_version, rows)`` where the version is the one
         the worker actually executed with (a swap broadcast can land
-        between submission and execution, never mid-batch).  A dead
-        worker is respawned before :class:`WorkerDied` propagates, so
-        the caller fails only the in-flight batch, not the pool.
+        between submission and execution, never mid-batch).  Worker
+        death is invisible here: a corpse popped from the idle queue is
+        swapped for its respawned slot occupant before routing, and a
+        batch that races a death mid-flight is re-executed once on a
+        fresh respawn (idempotent — pure inference).
+        :class:`WorkerDied` escapes only if the respawned worker dies
+        too.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         worker = self._idle.get()
         try:
-            version, rows = worker.request(("exec", list(examples), int(k)))
-        except WorkerDied:
-            worker = self._respawn(worker)
-            raise
+            if worker.process.exitcode is not None:
+                # Died while idle (or a stale corpse whose slot the
+                # health sweep already refilled): route to the live
+                # occupant instead of failing the batch.
+                worker = self._respawn(worker)
+            message = ("exec", list(examples), int(k))
+            try:
+                version, rows = worker.request(message)
+            except WorkerDied:
+                worker = self._respawn(worker)
+                try:
+                    version, rows = worker.request(message)
+                except WorkerDied:
+                    worker = self._respawn(worker)
+                    raise
         finally:
             self._idle.put(worker)
         return int(version), rows
@@ -513,27 +644,70 @@ class ProcessWorkerPool:
         return 0
 
     def publish_tables(self, env: KGEnvironment) -> str:
-        """Export ``env``'s current CSR as a new plane generation and
-        re-attach every worker to it (clears their staged overlays, and
-        replays ``env``'s still-staged edges, so workers land on
-        exactly the parent's served adjacency).  The previous
-        generation is retired once every worker has moved."""
-        fresh = TablePlane.publish(
-            dict(zip(CSR_ARRAYS, env.csr_tables())),
-            key=env.fingerprint(), backend=self._backend)
-        staged = env.staged_snapshot()
-        with self._state_lock:
-            previous = self._csr_plane
-            self._csr_plane = fresh
-            self._staged_log = ([] if not staged[0].size else [staged])
-            self.generation += 1
-            self._deliver(("tables", fresh.manifest, staged))
-        # Workers detached from the old generation in the broadcast
-        # (respawned ones never attached it); unlink reclaims the
-        # segment — attached mappings, if any are still mid-close,
-        # keep it alive until they drop it.
-        previous.unlink()
-        return fresh.key
+        """Delta-publish ``env``'s current store to every worker.
+
+        Compares each shard's content digest against the generation the
+        pool last exported and ships **only the dirty shards**: fresh
+        segments are published per dirty shard, the delta manifest is
+        broadcast, workers re-attach just those shards (clearing only
+        their overlay slices — see
+        :meth:`~repro.core.environment.KGEnvironment.attach_shards` —
+        and replaying ``env``'s still-staged edges for them), and the
+        retired segments are unlinked once every worker has moved.
+        With no dirty shard this is a no-op returning the current
+        generation key.
+        """
+        store = env.csr_tables()
+        # One publisher at a time; the slow part — shm creation + the
+        # per-shard byte copy — runs OUTSIDE the state lock so corpse
+        # respawns, pings, and execute()'s recovery path never queue
+        # behind a large export.  Only the ledger mutation + delivery
+        # take the state lock.
+        with self._publish_lock:
+            with self._state_lock:
+                digests = dict(self._shard_digests)
+            dirty = {sid: shard for sid, shard in enumerate(store.shards)
+                     if digests.get(sid) != shard.digest()}
+            if not dirty:
+                return self._csr_key
+            staged_all = env.staged_by_shard()
+            staged_dirty = {sid: staged_all[sid] for sid in dirty
+                            if sid in staged_all}
+            fresh = {sid: export_shard_plane(sid, shard,
+                                             backend=self._backend)
+                     for sid, shard in dirty.items()}
+            with self._state_lock:
+                retired = {sid: self._csr_planes[sid] for sid in dirty}
+                self._csr_planes.update(fresh)
+                self._shard_digests.update(
+                    {sid: shard.digest() for sid, shard in dirty.items()})
+                self._csr_key = env.fingerprint()
+                # Respawn bootstrap replays the parent's full overlay
+                # onto the freshly-attached store (duplicates of
+                # already-staged broadcasts dedup to no-ops child-side).
+                snapshot = env.staged_snapshot()
+                self._staged_log = ([snapshot] if snapshot[0].size
+                                    else [])
+                self.generation += 1
+                self.last_publish = {
+                    "shards": sorted(dirty),
+                    "total_shards": store.num_shards,
+                    "nbytes": sum(plane.nbytes
+                                  for plane in fresh.values()),
+                    "key": self._csr_key,
+                }
+                self._deliver(
+                    ("tables",
+                     {sid: plane.manifest
+                      for sid, plane in fresh.items()},
+                     staged_dirty))
+        # Workers detached from the retired generations in the
+        # broadcast (respawned ones never attached them); unlink
+        # reclaims the segments — attached mappings, if any are still
+        # mid-close, keep them alive until they drop.
+        for plane in retired.values():
+            plane.unlink()
+        return self._csr_key
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -544,18 +718,32 @@ class ProcessWorkerPool:
 
     @property
     def plane_key(self) -> str:
-        return self._csr_plane.key
+        """Environment fingerprint of the last exported generation."""
+        return self._csr_key
 
     @property
     def plane_nbytes(self) -> int:
-        return self._csr_plane.nbytes + self._emb_plane.nbytes
+        return (sum(plane.nbytes for plane in self._csr_planes.values())
+                + self._emb_plane.nbytes)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._csr_planes)
+
+    def shard_manifests(self) -> Dict[int, PlaneManifest]:
+        """The per-shard manifest directory of the current generation."""
+        with self._state_lock:
+            return {sid: plane.manifest
+                    for sid, plane in self._csr_planes.items()}
 
     def ping(self) -> List[int]:
         """Liveness probe; returns each worker's model version.
 
         Dead workers are respawned (and bootstrapped to the current
         ledger) as a side effect, so a periodic ping doubles as eager
-        death detection.
+        death detection (the built-in health sweep uses the cheaper
+        ``exitcode`` poll instead so it never queues behind a long
+        micro-batch).
         """
         with self._state_lock:
             replies = self._deliver(("ping",))
@@ -566,9 +754,13 @@ class ProcessWorkerPool:
         if self._closed:
             return
         self._closed = True
+        self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=5.0)
         for worker in self._workers:
             worker.shutdown()
-        self._csr_plane.unlink()
+        for plane in self._csr_planes.values():
+            plane.unlink()
         self._emb_plane.unlink()
 
     def __enter__(self) -> "ProcessWorkerPool":
@@ -580,4 +772,5 @@ class ProcessWorkerPool:
     def __repr__(self) -> str:
         return (f"ProcessWorkerPool(size={self.size}, "
                 f"version={self._version}, generation={self.generation}, "
-                f"plane={self.plane_key!r}, respawns={self.respawns})")
+                f"shards={self.num_shards}, plane={self.plane_key!r}, "
+                f"respawns={self.respawns})")

@@ -115,7 +115,8 @@ class RecommendationServer:
                  cache_size: int = 2048, default_k: int = 20,
                  registry=None, model_version: int = 0,
                  worker_mode: str = "thread", mp_context: str = "auto",
-                 plane_backend: str = "auto") -> None:
+                 plane_backend: str = "auto",
+                 health_interval_ms: float = 200.0) -> None:
         if worker_mode not in ("thread", "process"):
             raise ValueError(
                 f"worker_mode must be 'thread' or 'process', "
@@ -139,7 +140,9 @@ class RecommendationServer:
         if worker_mode == "process":
             self._procpool = ProcessWorkerPool(
                 agent, workers=workers, mp_context=mp_context,
-                plane_backend=plane_backend, model_version=model_version)
+                plane_backend=plane_backend, model_version=model_version,
+                health_interval_s=(health_interval_ms / 1e3
+                                   if health_interval_ms else None))
         self._pool = WorkspacePool(workers)
         self._cache = ExplanationCache(cache_size)
         self._stats = ServerStats()
@@ -163,7 +166,8 @@ class RecommendationServer:
                       default_k=cfg.serve_default_k,
                       worker_mode=cfg.serve_worker_mode,
                       mp_context=cfg.serve_mp_context,
-                      plane_backend=cfg.runtime_plane_backend)
+                      plane_backend=cfg.runtime_plane_backend,
+                      health_interval_ms=cfg.serve_health_interval_ms)
         kwargs.update(overrides)
         return cls(trainer.agent, **kwargs)
 
@@ -287,10 +291,17 @@ class RecommendationServer:
         return self._agent.env.stage_edges(heads, rels, tails)
 
     def refresh_tables(self) -> Optional[str]:
-        """Publish the template environment's CSR as a new plane
-        generation after a compaction (process mode; no-op in thread
-        mode, where workers read the compacted bundle directly).
-        Returns the new generation key, or None when nothing to do."""
+        """Ship the template environment's compacted shards to the
+        process workers (no-op in thread mode, where workers read the
+        compacted store directly).
+
+        The publish is a **delta**: only shards whose content changed
+        since the last export travel — fresh segments per dirty shard,
+        a delta manifest broadcast, partial re-attach worker-side, old
+        segments unlinked (see
+        :meth:`~repro.runtime.ProcessWorkerPool.publish_tables`;
+        ``process_pool.last_publish`` records what actually shipped).
+        Returns the generation key, or None in thread mode."""
         if self._procpool is None:
             return None
         return self._procpool.publish_tables(self._agent.env)

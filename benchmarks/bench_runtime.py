@@ -1,8 +1,10 @@
 """Benchmark for the multiprocess execution plane (``repro.runtime``).
 
 Measures thread-vs-process serving throughput over the shared-memory
-table plane (with a bit-identity gate between the modes) and serving
-p95 during a concurrent fine-tune round — inline on the serving
+table plane — the process mode over both exec transports (ring and
+pipe), with bit-identity gates between modes and transports — the
+scattered-frontier shard-major gather against the per-shard reference,
+and serving p95 during a concurrent fine-tune round — inline on the serving
 interpreter vs isolated in a subprocess updater — and writes
 ``benchmarks/results/BENCH_runtime.json``.
 
@@ -80,10 +82,14 @@ def emit_results(payload: dict) -> Path:
 @pytest.mark.slow
 def test_runtime_plane():
     """Full run; process mode must stay bit-identical to thread mode
-    and the subprocess round must not fail serving."""
+    (over both transports), the grouped gather must match the
+    per-shard reference, and the subprocess round must not fail
+    serving."""
     payload = run(make_trainer(), quick=False)
     emit_results(payload)
     assert payload["serve"]["bit_identical"]
+    assert payload["serve"]["transport_bit_identical"]
+    assert payload["gather"]["identical"]
     assert payload["online"]["during_subprocess_round"]["requests"] > 0
 
 
@@ -94,7 +100,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     payload = run(make_trainer(), quick=args.quick)
     emit_results(payload)
-    return 0 if payload["serve"]["bit_identical"] else 1
+    ok = (payload["serve"]["bit_identical"]
+          and payload["serve"]["transport_bit_identical"]
+          and payload["gather"]["identical"])
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -198,6 +198,7 @@ def cmd_serve_bench(args) -> int:
                         serve_max_wait_ms=args.max_wait_ms,
                         serve_workers=args.workers,
                         serve_worker_mode=args.worker_mode,
+                        serve_transport=args.transport,
                         seed=args.seed)
     trainer = REKSTrainer(dataset, built, model_name=args.model,
                           config=config)
@@ -376,6 +377,13 @@ def cmd_runtime_bench(args) -> int:
     if not payload["serve"]["bit_identical"]:
         print("FAIL: thread/process rankings diverged during the run")
         return 1
+    if not payload["serve"]["transport_bit_identical"]:
+        print("FAIL: pipe/ring rankings diverged during the run")
+        return 1
+    if not payload["gather"]["identical"]:
+        print("FAIL: shard-major grouped gather diverged from the "
+              "per-shard reference")
+        return 1
     return 0
 
 
@@ -447,6 +455,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="thread",
                        help="execute micro-batches on worker threads or "
                             "on plane-attached worker processes")
+    p_srv.add_argument("--transport", choices=("pipe", "ring"),
+                       default="ring",
+                       help="process-mode exec dataplane: shared-memory "
+                            "rings (default) or the pickle pipe")
     p_srv.add_argument("--speedup-floor", type=float, default=2.0,
                        help="fail below this coalesced/naive ratio")
     p_srv.add_argument("--out", default=default_bench_path(

@@ -92,6 +92,13 @@ class REKSConfig:
     serve_worker_mode: str = "thread"   # or "process"
     serve_mp_context: str = "auto"      # fork | spawn | auto (prefer fork)
     runtime_plane_backend: str = "auto"  # shm | mmap | auto (prefer shm)
+    # Process-mode exec dataplane: "ring" serves micro-batches over
+    # fixed-slot shared-memory rings (no pickling on the hot path;
+    # control messages stay on the pipe, and the pool falls back to
+    # "pipe" per batch when a payload doesn't fit and wholesale when
+    # the host lacks POSIX shared memory); "pipe" forces the PR 4
+    # pickle protocol for everything.  Ignored in thread mode.
+    serve_transport: str = "ring"       # or "pipe"
     # Process-mode eager death detection: the pool's background sweep
     # polls worker liveness at this period and respawns corpses before
     # the next micro-batch is routed to them.  0 disables the sweep
@@ -180,6 +187,10 @@ class REKSConfig:
             raise ValueError(
                 f"runtime_plane_backend must be auto/shm/mmap, "
                 f"got {self.runtime_plane_backend!r}")
+        if self.serve_transport not in ("pipe", "ring"):
+            raise ValueError(
+                f"serve_transport must be 'pipe' or 'ring', "
+                f"got {self.serve_transport!r}")
         if self.online_updater_mode not in ("thread", "subprocess"):
             raise ValueError(
                 f"online_updater_mode must be 'thread' or 'subprocess', "

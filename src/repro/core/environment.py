@@ -642,14 +642,22 @@ class KGEnvironment:
         # repeats popular start entities far below the pigeonhole
         # threshold, and at these row counts the entity->grid-row memo
         # costs a sort of a few hundred ints, so we keep it whenever it
-        # removes at least a quarter of the gather rows.
+        # removes at least a quarter of the gather rows.  On a sharded
+        # store the memo doubles as **shard-major routing**: np.unique
+        # returns the distinct frontier sorted, shards cover contiguous
+        # id ranges, so the grid gather walks the touched shards as
+        # contiguous runs and the row expansion (np.take over inverse)
+        # is the single scatter back to row order — hence any dedup at
+        # all pays on a multi-shard store.
         uniq = inverse = None
         if n >= 64 and n >= 2 * self.kg.num_entities:
             uniq, inverse = np.unique(entities, return_inverse=True)
         elif 8 <= n <= 512:
             memo_uniq, memo_inverse = np.unique(entities,
                                                 return_inverse=True)
-            if 4 * memo_uniq.size <= 3 * n:
+            if (4 * memo_uniq.size <= 3 * n
+                    or (self._csr.num_shards > 1
+                        and memo_uniq.size < n)):
                 uniq, inverse = memo_uniq, memo_inverse
         if uniq is None:
             rels, tails, mask = self._gather_grid(entities, workspace)

@@ -13,9 +13,11 @@ generation afterwards.  This module splits the entity-id space into
   content ``digest()`` that is cached on the immutable bundle — an
   unchanged shard hashes for free;
 * a :class:`ShardedCSR` facade stitches the shards back into the query
-  contract the walk hot path expects: a global ``degrees`` array, the
-  zero-sentinel :meth:`gather_into` grid fill (one sub-gather per
-  *touched shard*, never a Python loop per frontier row), and per-entity
+  contract the walk hot path expects: a global ``degrees`` view
+  (concatenated lazily, so compaction never pays for it), the
+  zero-sentinel :meth:`gather_into` grid fill (shard-major grouped:
+  contiguous sub-gathers per touched shard run, one scatter back to row
+  order — never a Python loop per frontier row), and per-entity
   :meth:`slice` lookups;
 * compaction becomes **delta-proportional**: only shards holding staged
   edges rebuild (see :func:`repro.graphstore.merge.merge_capped`), and
@@ -167,13 +169,14 @@ class ShardedCSR:
     environment — readers load the facade once per query and then only
     touch its (immutable) members, so a concurrent per-shard compaction
     can never hand them an ``indptr`` from one generation and ``tails``
-    from another.  ``degrees`` is kept global (one int32 per entity,
-    copied on :meth:`replace_shards` — O(entities), cheap next to the
-    edge arrays) so the hot path's degree gather stays a single
-    ``np.take``.
+    from another.  The global ``degrees`` view (one int32 per entity,
+    so the hot path's degree gather stays a single ``np.take``) is
+    concatenated **lazily** from the per-shard bundles on first access
+    and cached; :meth:`replace_shards` never touches it, so compaction
+    cost is O(dirty-shard edges) with no O(entities) term.
     """
 
-    __slots__ = ("boundaries", "shards", "degrees", "_digest")
+    __slots__ = ("boundaries", "shards", "_degrees", "_digest")
 
     def __init__(self, boundaries: np.ndarray,
                  shards: Tuple[CSRShard, ...],
@@ -185,12 +188,23 @@ class ShardedCSR:
                 f"{len(self.shards)} shards need "
                 f"{len(self.shards) + 1} boundaries, "
                 f"got {len(self.boundaries)}")
-        if degrees is None:
-            degrees = (np.concatenate(
+        self._degrees = degrees
+        self._digest: Optional[str] = None
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Global capped out-degree array, concatenated on first use.
+
+        The concat is paid at most once per facade, by the first hot
+        query — never by :meth:`replace_shards`, which publishes
+        delta-cost facades on the compaction path and usually retires
+        them before anything reads degrees through the old one.
+        """
+        if self._degrees is None:
+            self._degrees = (np.concatenate(
                 [shard.tables.degrees for shard in self.shards])
                 if self.shards else np.zeros(0, dtype=np.int32))
-        self.degrees = degrees
-        self._digest: Optional[str] = None
+        return self._degrees
 
     # ------------------------------------------------------------------
     # Construction
@@ -217,11 +231,12 @@ class ShardedCSR:
         """A new facade with the given shards swapped in.
 
         Clean shards are shared by reference (arrays *and* cached
-        digests), so the cost is O(dirty-shard edges + total entities),
-        not O(E).
+        digests), so the cost is O(dirty-shard edges) — the global
+        degrees view is *not* copied or patched here (it re-concats
+        lazily on the new facade's first degree query), removing the
+        last O(entities) term from the compaction path.
         """
         shards = list(self.shards)
-        degrees = self.degrees.copy()
         for sid, shard in updates.items():
             old = shards[sid]
             if (shard.start, shard.stop) != (old.start, old.stop):
@@ -229,8 +244,7 @@ class ShardedCSR:
                     f"shard {sid} covers [{old.start}, {old.stop}), "
                     f"got a replacement for [{shard.start}, {shard.stop})")
             shards[sid] = shard
-            degrees[shard.start:shard.stop] = shard.tables.degrees
-        return ShardedCSR(self.boundaries, tuple(shards), degrees=degrees)
+        return ShardedCSR(self.boundaries, tuple(shards))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -249,8 +263,11 @@ class ShardedCSR:
 
     @property
     def nbytes(self) -> int:
+        # The lazy global degrees view only counts once materialized —
+        # introspection must not force an O(entities) concat.
         return (sum(shard.nbytes for shard in self.shards)
-                + self.degrees.nbytes)
+                + (self._degrees.nbytes
+                   if self._degrees is not None else 0))
 
     def epochs(self) -> Tuple[int, ...]:
         return tuple(shard.epoch for shard in self.shards)
@@ -294,8 +311,10 @@ class ShardedCSR:
         ``idx *= mask`` trick, so the gathers stay in bounds and pads
         read as 0.  Single-shard frontiers (always when ``S == 1``, and
         whenever the frontier's id range happens to fit one shard) take
-        one global gather — the monolithic fast path; otherwise one
-        sub-gather runs per *touched shard*, never per row.
+        one global gather — the monolithic fast path; otherwise the
+        frontier is sorted **shard-major** and served as one contiguous
+        sub-gather per touched shard run with a single scatter back to
+        row order per output grid.
         """
         n = len(entities)
         if n == 0:
@@ -306,7 +325,7 @@ class ShardedCSR:
             lo, hi = entities.min(), entities.max()
             sid = int(np.searchsorted(boundaries, lo, side="right")) - 1
             if hi >= boundaries[sid + 1]:
-                self._gather_multi(entities, cols, mask,
+                self._gather_multi(entities, cols, mask, idx,
                                    rels_out, tails_out)
                 return
         tables = self.shards[sid].tables
@@ -318,28 +337,40 @@ class ShardedCSR:
         np.take(tables.tails, idx, out=tails_out)
 
     def _gather_multi(self, entities: np.ndarray, cols: np.ndarray,
-                      mask: np.ndarray, rels_out: np.ndarray,
-                      tails_out: np.ndarray) -> None:
-        """Cross-shard frontier: one sub-gather per touched shard.
+                      mask: np.ndarray, idx: np.ndarray,
+                      rels_out: np.ndarray, tails_out: np.ndarray) -> None:
+        """Cross-shard frontier: shard-major grouped gather.
 
-        Rows are partitioned by shard with a single stable argsort
-        (contiguous runs per shard), not one boolean scan per shard.
+        One stable argsort groups rows into contiguous runs per shard;
+        each run's sub-gather then reads *and writes* contiguous slices
+        (the row permutation is applied to the small inputs up front,
+        and undone with exactly **one** fancy scatter per output grid at
+        the end) instead of paying a fancy row-scatter per touched shard
+        per output, which is what made scattered frontiers degrade
+        toward S separate gathers.
         """
         sid = self.shard_of(entities)
         order = np.argsort(sid, kind="stable")
         sorted_sid = sid[order]
+        ents_s = entities[order]
+        mask_s = mask[order]
+        rels_s = np.empty_like(rels_out)
+        tails_s = np.empty_like(tails_out)
         starts = np.flatnonzero(
             np.concatenate([[True], sorted_sid[1:] != sorted_sid[:-1]]))
         stops = np.concatenate([starts[1:], [sorted_sid.size]])
         for start, stop in zip(starts, stops):
             shard = self.shards[int(sorted_sid[start])]
             tables = shard.tables
-            rows = order[start:stop]
-            local = entities[rows] - shard.start
-            sub = np.take(tables.indptr, local)[:, None] + cols[None, :]
-            sub *= mask[rows]
-            rels_out[rows] = np.take(tables.rels, sub)
-            tails_out[rows] = np.take(tables.tails, sub)
+            local = ents_s[start:stop] - shard.start
+            block = idx[start:stop]
+            np.add(np.take(tables.indptr, local)[:, None], cols[None, :],
+                   out=block)
+            np.multiply(block, mask_s[start:stop], out=block)
+            np.take(tables.rels, block, out=rels_s[start:stop])
+            np.take(tables.tails, block, out=tails_s[start:stop])
+        rels_out[order] = rels_s
+        tails_out[order] = tails_s
 
     # ------------------------------------------------------------------
     # Flat compatibility view

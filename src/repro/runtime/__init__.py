@@ -14,6 +14,14 @@ read-only state per process:
   inference agents in child processes executing serving micro-batches
   with true parallelism, bit-identical to thread mode, with model-swap
   and adjacency broadcasts plus dead-worker respawn;
+* :class:`~repro.runtime.rings.RingPair` — the zero-copy exec
+  dataplane: fixed-slot shared-memory request/response rings
+  (sequence-number publish, flat int/float codecs, no pickling on the
+  hot path) that ``transport="ring"`` pools serve micro-batches over,
+  while control messages stay on the pipe;
+* :class:`~repro.runtime.plane.PlaneArena` — reusable double-buffered
+  backing segments so steady-state delta publishes allocate zero new
+  segments;
 * :class:`~repro.runtime.lease.FileLease` — advisory cross-process
   lease (stale-holder takeover) guarding shared on-disk resources such
   as the checkpoint registry.
@@ -25,7 +33,13 @@ caveats.
 """
 
 from repro.runtime.lease import FileLease, LeaseTimeout
-from repro.runtime.plane import PlaneManifest, TablePlane
+from repro.runtime.plane import PlaneArena, PlaneManifest, TablePlane
+from repro.runtime.rings import (
+    RingFull,
+    RingManifest,
+    RingPair,
+    RingUnsuitable,
+)
 from repro.runtime.workers import (
     AgentSpec,
     ProcessWorkerPool,
@@ -43,8 +57,13 @@ __all__ = [
     "AgentSpec",
     "FileLease",
     "LeaseTimeout",
+    "PlaneArena",
     "PlaneManifest",
     "ProcessWorkerPool",
+    "RingFull",
+    "RingManifest",
+    "RingPair",
+    "RingUnsuitable",
     "TablePlane",
     "WorkerDied",
     "WorkerError",

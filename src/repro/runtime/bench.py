@@ -1,14 +1,23 @@
 """Benchmark the runtime execution plane: process serving + isolation.
 
-Two measured stories, one payload (``BENCH_runtime.json``):
+Three measured stories, one payload (``BENCH_runtime.json``):
 
 1. **Thread vs process serving** — the same cold-cache closed-loop
    request stream driven against ``worker_mode="thread"`` and
-   ``worker_mode="process"`` servers (same worker count), plus a
-   bit-identity check between the two modes' rankings and
-   explanations.  The plane sizes and generation key are recorded so
-   the shared-memory story is auditable.
-2. **Fine-tune / serving isolation** — serving p95 at steady state
+   ``worker_mode="process"`` servers (same worker count), the process
+   mode measured over **both exec transports** (shared-memory rings,
+   the default, and the legacy pickle pipe) with per-micro-batch
+   overhead ratios against thread mode, plus bit-identity checks
+   between the modes' and the transports' rankings and explanations.
+   The plane sizes, generation key, and ring/pipe/fallback batch
+   counters are recorded so the dataplane story is auditable.
+2. **Shard-major frontier gather** — a scattered frontier against a
+   multi-shard store: the old per-shard sub-gather loop (one fancy
+   row-scatter per touched shard per output) vs the grouped
+   :meth:`~repro.graphstore.ShardedCSR.gather_into` path (contiguous
+   sub-gathers, one scatter back to row order), outputs checked
+   identical.
+3. **Fine-tune / serving isolation** — serving p95 at steady state
    (idle), then during a concurrent fine-tune round executed (a) on a
    thread of the serving interpreter and (b) in a subprocess updater.
    The ratio of each concurrent p95 to the idle p95 quantifies how
@@ -88,13 +97,21 @@ def _latency_section(stats) -> dict:
             "p95": stats.latency_ms_p95, "p99": stats.latency_ms_p99}
 
 
+def _results_identical(left, right) -> bool:
+    return all(a.items == b.items
+               and a.scores == b.scores
+               and a.explanations == b.explanations
+               for a, b in zip(left, right))
+
+
 def check_mode_equivalence(trainer, sessions: Sequence[Session],
                            k: int = 10, workers: int = 2) -> bool:
     """Process-mode results must be bit-identical to thread mode.
 
     Exact equality on scores too — both modes marshal the same
-    float64 score row through ``float()``, so anything short of
-    bitwise identity means the contract is already broken.
+    float64 score row through ``float()`` (the ring codec carries
+    float64 verbatim), so anything short of bitwise identity means the
+    contract is already broken.
     """
     sessions = [s for s in sessions if len(s.items) >= 2]
     with trainer.serve(worker_mode="thread", workers=workers,
@@ -103,10 +120,98 @@ def check_mode_equivalence(trainer, sessions: Sequence[Session],
     with trainer.serve(worker_mode="process", workers=workers,
                        cache_size=0) as server:
         process_results = server.recommend_many(sessions, k=k)
-    return all(a.items == b.items
-               and a.scores == b.scores
-               and a.explanations == b.explanations
-               for a, b in zip(thread_results, process_results))
+    return _results_identical(thread_results, process_results)
+
+
+def check_transport_equivalence(trainer, sessions: Sequence[Session],
+                                k: int = 10, workers: int = 2) -> bool:
+    """Ring-transport results must be bit-identical to the pipe's."""
+    sessions = [s for s in sessions if len(s.items) >= 2]
+    with trainer.serve(worker_mode="process", transport="pipe",
+                       workers=workers, cache_size=0) as server:
+        pipe_results = server.recommend_many(sessions, k=k)
+    with trainer.serve(worker_mode="process", transport="ring",
+                       workers=workers, cache_size=0) as server:
+        ring_results = server.recommend_many(sessions, k=k)
+    return _results_identical(pipe_results, ring_results)
+
+
+def _reference_shard_gather(store, entities, cols, mask,
+                            rels_out, tails_out) -> None:
+    """The pre-grouping multi-shard gather: one fancy row-scatter per
+    touched shard per output grid (kept here as the bench baseline)."""
+    sid = store.shard_of(entities)
+    order = np.argsort(sid, kind="stable")
+    sorted_sid = sid[order]
+    starts = np.flatnonzero(
+        np.concatenate([[True], sorted_sid[1:] != sorted_sid[:-1]]))
+    stops = np.concatenate([starts[1:], [sorted_sid.size]])
+    for start, stop in zip(starts, stops):
+        shard = store.shards[int(sorted_sid[start])]
+        tables = shard.tables
+        rows = order[start:stop]
+        local = entities[rows] - shard.start
+        sub = np.take(tables.indptr, local)[:, None] + cols[None, :]
+        sub *= mask[rows]
+        rels_out[rows] = np.take(tables.rels, sub)
+        tails_out[rows] = np.take(tables.tails, sub)
+
+
+def run_gather_bench(trainer, *, num_shards: int = 32, rows: int = 512,
+                     repeats: int = 9, seed: int = 7) -> dict:
+    """Scattered-frontier gather: per-shard sub-gathers vs shard-major.
+
+    Rebuilds the trainer's adjacency as a ``num_shards``-way store (the
+    bench-scale graph is single-shard by default, where the question
+    doesn't arise), draws a delta-sized frontier scattered uniformly
+    across the id space — the delta-traffic worst case PR 5 measured at
+    3x where a shard-confined frontier got 42x — and times the old
+    per-shard sub-gather loop against the grouped ``gather_into`` path.
+    The regime is deliberately many-shards / few-rows-per-shard: that
+    is where per-shard fixed costs (one fancy row-scatter per touched
+    shard per output grid) dominate and the single-scatter grouping
+    pays off; with thousands of rows per shard the two converge.
+    Outputs are required identical.
+    """
+    from repro.graphstore import ShardedCSR
+
+    flat = trainer.env.csr_tables().to_flat()
+    degrees = flat.degrees
+    store = ShardedCSR.build(degrees, flat.rels[1:], flat.tails[1:],
+                             num_shards=num_shards)
+    rng = np.random.default_rng(seed)
+    candidates = np.flatnonzero(degrees > 0)
+    entities = rng.choice(candidates, size=rows, replace=True)
+    entities = entities.astype(np.int64)
+    width = int(degrees[entities].max())
+    cols = np.arange(width, dtype=np.int32)
+    mask = cols[None, :] < degrees[entities][:, None]
+    idx = np.empty((rows, width), dtype=np.int32)
+    ref_rels = np.empty((rows, width), dtype=np.int32)
+    ref_tails = np.empty((rows, width), dtype=np.int32)
+    new_rels = np.empty((rows, width), dtype=np.int32)
+    new_tails = np.empty((rows, width), dtype=np.int32)
+
+    best_ref = best_new = float("inf")
+    for _ in range(repeats):
+        started = perf_counter()
+        _reference_shard_gather(store, entities, cols, mask,
+                                ref_rels, ref_tails)
+        best_ref = min(best_ref, perf_counter() - started)
+        started = perf_counter()
+        store.gather_into(entities, cols, mask, idx, new_rels, new_tails)
+        best_new = min(best_new, perf_counter() - started)
+    identical = (np.array_equal(ref_rels, new_rels)
+                 and np.array_equal(ref_tails, new_tails))
+    return {
+        "num_shards": store.num_shards,
+        "rows": rows,
+        "width": width,
+        "per_shard_ms": best_ref * 1e3,
+        "grouped_ms": best_new * 1e3,
+        "speedup": best_ref / max(best_new, 1e-12),
+        "identical": identical,
+    }
 
 
 def run_runtime_bench(trainer, sessions: Sequence[Session],
@@ -135,36 +240,64 @@ def run_runtime_bench(trainer, sessions: Sequence[Session],
     }
 
     # ------------------------------------------------------------------
-    # Phase 1: thread vs process serving throughput (cold cache).
+    # Phase 1: thread vs process serving throughput (cold cache), the
+    # process mode over both exec transports.  "process" is the ring
+    # default; "process_pipe" forces the legacy pickle protocol so the
+    # dataplane win is measured, not assumed.
     # ------------------------------------------------------------------
     serve_section: dict = {}
-    for mode in ("thread", "process"):
-        with trainer.serve(worker_mode=mode, workers=workers,
-                           cache_size=0) as server:
+    variants = (("thread", {"worker_mode": "thread"}),
+                ("process", {"worker_mode": "process",
+                             "transport": "ring"}),
+                ("process_pipe", {"worker_mode": "process",
+                                  "transport": "pipe"}))
+    for label, overrides in variants:
+        with trainer.serve(workers=workers, cache_size=0,
+                           **overrides) as server:
             best_s, best = float("inf"), None
             for _ in range(2):  # best-of-2, same policy as serve-bench
                 elapsed = _closed_loop(server, stream, concurrency, k)
                 if elapsed < best_s:
                     best_s, best = elapsed, server.stats()
                 server.reset_stats()
+            batches = max(1, round(best.requests
+                                   / max(best.mean_occupancy, 1e-9)))
             entry = {
                 "seconds": best_s,
                 "throughput_rps": len(stream) / best_s,
                 "latency_ms": _latency_section(best),
                 "mean_occupancy": best.mean_occupancy,
+                "per_batch_ms": best_s / batches * 1e3,
             }
-            if server.process_pool is not None:
-                entry["plane_key"] = server.process_pool.plane_key
-                entry["plane_nbytes"] = server.process_pool.plane_nbytes
+            pool = server.process_pool
+            if pool is not None:
+                entry["transport"] = server.transport
+                entry["plane_key"] = pool.plane_key
+                entry["plane_nbytes"] = pool.plane_nbytes
                 entry["mp_start_method"] = \
-                    server.process_pool._context.get_start_method()
-            serve_section[mode] = entry
+                    pool._context.get_start_method()
+                entry["ring_batches"] = pool.ring_batches
+                entry["pipe_batches"] = pool.pipe_batches
+                entry["ring_fallbacks"] = pool.ring_fallbacks
+            serve_section[label] = entry
     serve_section["process_vs_thread_throughput"] = (
         serve_section["process"]["throughput_rps"]
         / serve_section["thread"]["throughput_rps"])
+    thread_batch_ms = serve_section["thread"]["per_batch_ms"]
+    for label in ("process", "process_pipe"):
+        serve_section[label]["per_batch_vs_thread"] = (
+            serve_section[label]["per_batch_ms"]
+            / max(thread_batch_ms, 1e-12))
     serve_section["bit_identical"] = check_mode_equivalence(
         trainer, sessions[:check_sessions], k=k, workers=workers)
+    serve_section["transport_bit_identical"] = check_transport_equivalence(
+        trainer, sessions[:check_sessions], k=k, workers=workers)
     payload["serve"] = serve_section
+
+    # ------------------------------------------------------------------
+    # Phase 1b: scattered-frontier shard-major gather.
+    # ------------------------------------------------------------------
+    payload["gather"] = run_gather_bench(trainer)
 
     # ------------------------------------------------------------------
     # Phase 2: serving p95 while a fine-tune round runs concurrently.
@@ -251,18 +384,39 @@ def format_report(payload: dict) -> str:
     """Human-readable summary of one runtime run."""
     serve = payload["serve"]
     online = payload["online"]
+    gather = payload.get("gather")
+    pipe = serve.get("process_pipe")
     lines = [
         f"runtime bench @ {payload['workers']} workers, concurrency "
         f"{payload['concurrency']} (k={payload['k']}, "
         f"{payload['cpu_count']} cpu)",
         f"  thread serve   : {serve['thread']['throughput_rps']:>8.1f} "
         f"req/s  p95={serve['thread']['latency_ms']['p95']:.1f}ms",
-        f"  process serve  : {serve['process']['throughput_rps']:>8.1f} "
+        f"  process (ring) : {serve['process']['throughput_rps']:>8.1f} "
         f"req/s  p95={serve['process']['latency_ms']['p95']:.1f}ms "
         f"({serve['process_vs_thread_throughput']:.2f}x thread, "
+        f"batch {serve['process'].get('per_batch_vs_thread', 0):.2f}x, "
         f"plane {serve['process'].get('plane_nbytes', 0) / 1e6:.1f}MB "
-        f"via {serve['process'].get('mp_start_method', '?')})",
-        f"  bit-identical  : {serve['bit_identical']}",
+        f"via {serve['process'].get('mp_start_method', '?')}, "
+        f"fallbacks {serve['process'].get('ring_fallbacks', 0)})",
+    ]
+    if pipe is not None:
+        lines.append(
+            f"  process (pipe) : {pipe['throughput_rps']:>8.1f} "
+            f"req/s  p95={pipe['latency_ms']['p95']:.1f}ms "
+            f"(batch {pipe.get('per_batch_vs_thread', 0):.2f}x thread)")
+    lines.append(
+        f"  bit-identical  : modes={serve['bit_identical']} "
+        f"transports={serve.get('transport_bit_identical', '?')}")
+    if gather is not None:
+        lines.append(
+            f"  scatter gather : {gather['num_shards']} shards x "
+            f"{gather['rows']} rows  per-shard "
+            f"{gather['per_shard_ms']:.2f}ms -> grouped "
+            f"{gather['grouped_ms']:.2f}ms "
+            f"({gather['speedup']:.2f}x, identical="
+            f"{gather['identical']})")
+    lines += [
         f"  idle p95       : {online['idle']['latency_ms']['p95']:.1f}ms",
         f"  + inline round : p95 "
         f"{online['during_inline_round']['latency_ms']['p95']:.1f}ms "

@@ -310,3 +310,152 @@ class TablePlane:
         return (f"TablePlane(key={self.key!r}, "
                 f"backend={self.manifest.backend!r}, "
                 f"arrays={sorted(self._arrays)}, nbytes={self.nbytes})")
+
+
+class ArenaOverflow(RuntimeError):
+    """The arrays do not fit this arena's fixed capacity."""
+
+
+def layout_size(arrays: Mapping[str, np.ndarray]) -> int:
+    """Bytes one plane generation of ``arrays`` occupies (with the
+    per-array cache-line alignment :meth:`TablePlane.publish` uses)."""
+    total = 0
+    for arr in arrays.values():
+        total = -(-total // _ALIGN) * _ALIGN
+        total += arr.nbytes
+    return total
+
+
+class PlaneArena:
+    """A reusable backing segment for successive plane generations.
+
+    Publishing a fresh :class:`TablePlane` per delta generation means
+    one ``shm_open`` + zero-fill + (eventually) ``unlink`` per dirty
+    shard per compaction — steady-state churn that scales with publish
+    frequency, not delta size.  An arena is allocated **once** and
+    rewritten in place: :meth:`write` lays a new generation's arrays
+    into the same segment and returns a non-owning :class:`TablePlane`
+    over them (same manifest format — attachers cannot tell an
+    arena-backed plane from a one-shot one).
+
+    The safety contract is the caller's: only write into an arena no
+    attacher still maps (the pool double-buffers — it writes each
+    generation into the *spare* arena and flips, so the arena being
+    overwritten is always two generations stale and every worker
+    dropped it at the previous broadcast).
+
+    ``backend="shm"`` is a fixed-capacity shared-memory segment
+    (:meth:`write` raises :class:`ArenaOverflow` when a generation has
+    outgrown it — the caller allocates a bigger arena, which is the
+    only time steady state pays a segment allocation again);
+    ``backend="mmap"`` is a reusable directory of ``.npy`` files with
+    effectively unbounded capacity.
+    """
+
+    def __init__(self, backend: str, segment: str, capacity: int,
+                 shm=None) -> None:
+        self.backend = backend
+        self.segment = segment
+        self.capacity = capacity
+        self._shm = shm
+        self.writes = 0
+
+    @classmethod
+    def create(cls, capacity: int, backend: str = "auto",
+               directory: Optional[Path] = None) -> "PlaneArena":
+        if backend not in ("auto", "shm", "mmap"):
+            raise ValueError(f"unknown plane backend {backend!r}")
+        if backend in ("auto", "shm"):
+            try:
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(create=True,
+                                                 size=max(capacity, 1))
+                return cls("shm", shm.name, capacity, shm=shm)
+            except (ImportError, OSError):
+                if backend == "shm":
+                    raise
+        import tempfile
+
+        if directory is None:
+            directory = Path(tempfile.mkdtemp(prefix="reks-arena-"))
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls("mmap", str(directory), capacity)
+
+    def fits(self, arrays: Mapping[str, np.ndarray]) -> bool:
+        if self.backend == "mmap":
+            return True
+        return layout_size(arrays) <= self.capacity
+
+    def write(self, arrays: Mapping[str, np.ndarray], *, key: str,
+              shard_of: Optional[Mapping[str, int]] = None
+              ) -> TablePlane:
+        """Lay one generation into the arena; returns a non-owning
+        plane (the arena keeps the storage — its :meth:`unlink`, not
+        the plane's, retires the segment)."""
+        shard_of = shard_of or {}
+        contiguous = {name: np.ascontiguousarray(arr)
+                      for name, arr in arrays.items()}
+        if self.backend == "shm":
+            total, entries = 0, {}
+            for name, arr in contiguous.items():
+                total = -(-total // _ALIGN) * _ALIGN
+                entries[name] = _Entry(dtype=str(arr.dtype),
+                                       shape=arr.shape, offset=total,
+                                       shard=shard_of.get(name, -1))
+                total += arr.nbytes
+            if total > self.capacity:
+                raise ArenaOverflow(
+                    f"generation needs {total} bytes, arena holds "
+                    f"{self.capacity}")
+            views: Dict[str, np.ndarray] = {}
+            for name, arr in contiguous.items():
+                entry = entries[name]
+                view = np.ndarray(arr.shape, dtype=arr.dtype,
+                                  buffer=self._shm.buf,
+                                  offset=entry.offset)
+                view[...] = arr
+                view.flags.writeable = False
+                views[name] = view
+            manifest = PlaneManifest(key=key, backend="shm",
+                                     segment=self.segment, nbytes=total,
+                                     entries=entries)
+            self.writes += 1
+            return TablePlane(manifest, views, owner=False)
+        # mmap: rewrite the per-array files in the reusable directory.
+        directory = Path(self.segment)
+        total, entries, views = 0, {}, {}
+        for index, (name, arr) in enumerate(contiguous.items()):
+            safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                           for c in name)
+            filename = f"{index:02d}-{safe}.npy"
+            np.save(directory / filename, arr)
+            entries[name] = _Entry(dtype=str(arr.dtype), shape=arr.shape,
+                                   offset=0, filename=filename,
+                                   shard=shard_of.get(name, -1))
+            total += arr.nbytes
+            views[name] = np.load(directory / filename, mmap_mode="r")
+        manifest = PlaneManifest(key=key, backend="mmap",
+                                 segment=self.segment, nbytes=total,
+                                 entries=entries)
+        self.writes += 1
+        return TablePlane(manifest, views, owner=False)
+
+    def unlink(self) -> None:
+        if self.backend == "shm" and self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+        elif self.backend == "mmap":
+            import shutil
+
+            shutil.rmtree(self.segment, ignore_errors=True)
+
+    def __repr__(self) -> str:
+        return (f"PlaneArena(backend={self.backend!r}, "
+                f"segment={self.segment!r}, capacity={self.capacity}, "
+                f"writes={self.writes})")

@@ -1,0 +1,440 @@
+"""Fixed-slot shared-memory request/response rings (the serving dataplane).
+
+PR 4's process fleet moved the *big* state out of the pipes — the CSR
+adjacency and frozen embedding tables ride shared-memory planes — but
+every ``exec`` round-trip still pickled the micro-batch and its result
+rows through a duplex pipe.  At serving scale that pickle/unpickle pair
+is the per-batch overhead that separates process mode from thread mode.
+
+This module removes it.  Each worker gets one shared-memory **scratch
+segment** holding a request ring and a response ring of fixed-size
+slots.  Sessions and rankings are small int32 rows, so a micro-batch
+encodes as flat numeric arrays — no pickling on the hot path:
+
+* a request slot carries ``(n, ks[n], lengths[n], targets[n],
+  users[n], items[sum lengths])`` as one int32 vector (``ks`` is
+  per-row: a mixed-k flush executes as one superset walk);
+* a response slot carries ``(status, version, ks, topk_items,
+  topk_scores, path_len / path_entities / path_rels, path_probs)``
+  — ``topk_scores`` and ``path_probs`` stay float64 so ring results
+  are bit-identical to the pipe's ``float()``-marshalled rows;
+* a failed execution posts ``status=1`` with the traceback as UTF-8
+  bytes in the same slot.
+
+Publish protocol: slots are claimed round-robin by a monotonically
+increasing ticket.  The producer writes the payload length and bytes
+first, then publishes by storing ``ticket + 1`` into the slot's
+sequence word; the consumer knows which ticket it expects next and
+polls that slot's sequence until it matches.  A short spin is enough
+when the peer is already running; the transport layer in
+``repro.runtime.workers`` pairs each ring with a **doorbell pipe** so
+an idle peer blocks in ``select`` instead of burning a core (the bench
+host may have a single CPU — busy-polling there would starve the very
+worker being waited on).
+
+Capacity is fixed at creation: a payload larger than a slot raises
+:class:`RingUnsuitable` and a full ring raises :class:`RingFull`;
+callers fall back to the pipe for that batch (counted, never silent).
+See ``runtime/README.md`` for the slot layout diagram and the
+pipe-vs-ring decision table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_I32 = np.dtype("<i4")
+_I64 = np.dtype("<i8")
+_F64 = np.dtype("<f8")
+
+# Per-slot header: [seq int64][length int64], payload follows.
+_SLOT_HEADER = 16
+_CACHE_LINE = 64
+
+# Defaults sized for serving micro-batches (max_batch <= 256 rows of
+# <= max_session_length items) with headroom; oversize batches fall
+# back to the pipe rather than growing the ring.
+DEFAULT_SLOTS = 8
+DEFAULT_REQ_SLOT_BYTES = 1 << 16   # 64 KiB
+DEFAULT_RESP_SLOT_BYTES = 1 << 18  # 256 KiB
+
+
+class RingFull(RuntimeError):
+    """Every slot of the ring holds an unconsumed message."""
+
+
+class RingUnsuitable(RuntimeError):
+    """This payload cannot ride the ring (oversize or un-encodable);
+    the caller should use the pipe for it."""
+
+
+@dataclass(frozen=True)
+class RingManifest:
+    """Everything a peer process needs to attach a ring pair."""
+
+    segment: str
+    slots: int
+    req_slot_bytes: int
+    resp_slot_bytes: int
+
+
+def _align(offset: int, alignment: int = _CACHE_LINE) -> int:
+    return -(-offset // alignment) * alignment
+
+
+class RingPair:
+    """One worker's request ring + response ring in a single segment.
+
+    Single-producer / single-consumer per direction: the pool parent
+    produces requests and consumes responses, the worker does the
+    reverse.  Both sides hold a :class:`RingPair` over the same
+    segment; ``owner=True`` (the creating parent) unlinks it.
+    """
+
+    def __init__(self, shm, manifest: RingManifest, owner: bool) -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self._owner = owner
+        self._closed = False
+        slots = manifest.slots
+        req_bytes = slots * (_SLOT_HEADER + manifest.req_slot_bytes)
+        self._req_base = 0
+        self._resp_base = _align(req_bytes)
+        # Producer/consumer tickets are process-local: each side only
+        # needs its own position (SPSC, strictly in-order).
+        self._req_produced = 0
+        self._req_consumed = 0
+        self._resp_produced = 0
+        self._resp_consumed = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, slots: int = DEFAULT_SLOTS,
+               req_slot_bytes: int = DEFAULT_REQ_SLOT_BYTES,
+               resp_slot_bytes: int = DEFAULT_RESP_SLOT_BYTES
+               ) -> "RingPair":
+        """Allocate the segment (may raise ImportError/OSError when the
+        host has no usable POSIX shared memory — callers fall back to
+        the pipe transport)."""
+        from multiprocessing import shared_memory
+
+        if slots < 1:
+            raise ValueError(f"need >= 1 slot, got {slots}")
+        req_bytes = slots * (_SLOT_HEADER + req_slot_bytes)
+        resp_bytes = slots * (_SLOT_HEADER + resp_slot_bytes)
+        total = _align(req_bytes) + resp_bytes
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        shm.buf[:total] = b"\x00" * total
+        manifest = RingManifest(segment=shm.name, slots=slots,
+                                req_slot_bytes=req_slot_bytes,
+                                resp_slot_bytes=resp_slot_bytes)
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: RingManifest,
+               untrack: bool = False) -> "RingPair":
+        from repro.runtime.plane import _attach_shm
+
+        shm = _attach_shm(manifest.segment, untrack)
+        return cls(shm, manifest, owner=False)
+
+    # ------------------------------------------------------------------
+    # Slot plumbing
+    # ------------------------------------------------------------------
+    def _slot_offset(self, base: int, slot_bytes: int, ticket: int) -> int:
+        slot = ticket % self.manifest.slots
+        return base + slot * (_SLOT_HEADER + slot_bytes)
+
+    def _post(self, base: int, slot_bytes: int, ticket: int,
+              payload: bytes) -> None:
+        if len(payload) > slot_bytes:
+            raise RingUnsuitable(
+                f"payload of {len(payload)} bytes exceeds the "
+                f"{slot_bytes}-byte slot")
+        offset = self._slot_offset(base, slot_bytes, ticket)
+        buf = self._shm.buf
+        head = np.frombuffer(buf, dtype=_I64, count=2, offset=offset)
+        # Payload and length first, sequence word last: a consumer that
+        # observes seq == ticket + 1 is guaranteed a complete payload.
+        body = offset + _SLOT_HEADER
+        buf[body:body + len(payload)] = payload
+        head[1] = len(payload)
+        head[0] = ticket + 1
+
+    def _take(self, base: int, slot_bytes: int, ticket: int,
+              spin: int) -> Optional[bytes]:
+        offset = self._slot_offset(base, slot_bytes, ticket)
+        buf = self._shm.buf
+        head = np.frombuffer(buf, dtype=_I64, count=2, offset=offset)
+        for _ in range(max(1, spin)):
+            if int(head[0]) == ticket + 1:
+                length = int(head[1])
+                body = offset + _SLOT_HEADER
+                return bytes(buf[body:body + length])
+        return None
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+    def post_request(self, payload: bytes) -> int:
+        """Claim the next request slot; returns the ticket."""
+        if self._req_produced - self._req_consumed >= self.manifest.slots:
+            raise RingFull(
+                f"all {self.manifest.slots} request slots in flight")
+        ticket = self._req_produced
+        self._post(self._req_base, self.manifest.req_slot_bytes, ticket,
+                   payload)
+        self._req_produced = ticket + 1
+        return ticket
+
+    def poll_response(self, spin: int = 1) -> Optional[bytes]:
+        """The next in-order response, or None if not yet published."""
+        payload = self._take(self._resp_base,
+                             self.manifest.resp_slot_bytes,
+                             self._resp_consumed, spin)
+        if payload is not None:
+            self._resp_consumed += 1
+        return payload
+
+    @property
+    def requests_in_flight(self) -> int:
+        return self._req_produced - self._req_consumed
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def poll_request(self, spin: int = 1) -> Optional[bytes]:
+        """The next in-order request, or None if not yet published."""
+        payload = self._take(self._req_base, self.manifest.req_slot_bytes,
+                             self._req_consumed, spin)
+        if payload is not None:
+            self._req_consumed += 1
+        return payload
+
+    def post_response(self, payload: bytes) -> int:
+        ticket = self._resp_produced
+        self._post(self._resp_base, self.manifest.resp_slot_bytes,
+                   ticket, payload)
+        self._resp_produced = ticket + 1
+        return ticket
+
+    def note_response_consumed(self) -> None:
+        """Parent bookkeeping: one request fully round-tripped (frees
+        its request slot for reuse)."""
+        self._req_consumed += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+
+    def unlink(self) -> None:
+        self.close()
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:
+        return (f"RingPair(segment={self.manifest.segment!r}, "
+                f"slots={self.manifest.slots}, "
+                f"in_flight={self.requests_in_flight})")
+
+
+# ----------------------------------------------------------------------
+# Request codec: (examples, ks) <-> one flat int32 vector
+# ----------------------------------------------------------------------
+_I32_MIN = -(1 << 31)
+_I32_MAX = (1 << 31) - 1
+# users slot for "no user id" (sessions always carry one today; the
+# sentinel keeps the codec total).
+_NO_USER = _I32_MIN
+
+
+def _check_i32(value: int, what: str) -> int:
+    value = int(value)
+    if not _I32_MIN <= value <= _I32_MAX:
+        raise RingUnsuitable(f"{what} {value} does not fit int32")
+    return value
+
+
+def encode_request(examples: Sequence[tuple], ks: Sequence[int],
+                   max_length: int) -> bytes:
+    """Flatten ``(prefix_items, target, user)`` examples + per-row k.
+
+    Prefixes are pre-truncated to ``max_length`` — bit-identical to
+    shipping them whole, because ``collate_examples`` applies the same
+    ``[-max_length:]`` truncation worker-side.
+    """
+    n = len(examples)
+    if n == 0 or len(ks) != n:
+        raise RingUnsuitable(f"bad batch shape ({n} examples, "
+                             f"{len(ks)} ks)")
+    flat: List[int] = [n]
+    items: List[int] = []
+    lengths: List[int] = []
+    targets: List[int] = []
+    users: List[int] = []
+    for prefix, target, user in examples:
+        prefix = list(prefix)[-max_length:]
+        lengths.append(len(prefix))
+        targets.append(_check_i32(target, "target item"))
+        users.append(_NO_USER if user is None
+                     else _check_i32(user, "user id"))
+        for item in prefix:
+            items.append(_check_i32(item, "session item"))
+    flat += [_check_i32(k, "k") for k in ks]
+    flat += lengths + targets + users + items
+    return np.asarray(flat, dtype=_I32).tobytes()
+
+
+def decode_request(payload: bytes) -> Tuple[List[tuple], List[int]]:
+    flat = np.frombuffer(payload, dtype=_I32)
+    n = int(flat[0])
+    ks = flat[1:1 + n].tolist()
+    lengths = flat[1 + n:1 + 2 * n]
+    targets = flat[1 + 2 * n:1 + 3 * n].tolist()
+    users = flat[1 + 3 * n:1 + 4 * n].tolist()
+    items = flat[1 + 4 * n:]
+    stops = np.cumsum(lengths)
+    starts = stops - lengths
+    examples = [
+        (items[int(starts[i]):int(stops[i])].tolist(), targets[i],
+         None if users[i] == _NO_USER else users[i])
+        for i in range(n)]
+    return examples, ks
+
+
+# ----------------------------------------------------------------------
+# Response codec: per-row (items, scores, path blobs) <-> flat arrays
+# ----------------------------------------------------------------------
+_STATUS_OK = 0
+_STATUS_ERROR = 1
+
+
+def encode_error(traceback_text: str, capacity: int) -> bytes:
+    """A status=1 slot whose payload is the (truncated) traceback."""
+    head = np.array([_STATUS_ERROR, 0], dtype=_I64).tobytes()
+    body = traceback_text.encode("utf-8", errors="replace")
+    return head + body[:max(0, capacity - len(head))]
+
+
+def encode_response(version: int, rows: Sequence[tuple]) -> bytes:
+    """Marshal executed rows: ``(items, scores, path_blobs)`` per row.
+
+    ``path_blobs[i]`` is ``None`` or ``(entities, relations, prob)``.
+    Layout (all little-endian, float64 sections 8-aligned):
+
+    ``[status i64][version i64][n i32][ks i32*n][items i32*K]
+    [scores f64*K][path_len i32*K][path_nodes i32*…][probs f64*P]``
+
+    where ``K = sum(ks)``, ``path_len`` is the relation count (-1 for
+    no path), ``path_nodes`` concatenates each present path's
+    ``entities`` (len+1) then ``relations`` (len), and ``P`` is the
+    number of present paths.
+    """
+    n = len(rows)
+    ks = [len(row[0]) for row in rows]
+    items: List[int] = []
+    scores: List[float] = []
+    path_len: List[int] = []
+    path_nodes: List[int] = []
+    probs: List[float] = []
+    for row_items, row_scores, row_paths in rows:
+        items += [int(i) for i in row_items]
+        scores += [float(s) for s in row_scores]
+        for blob in row_paths:
+            if blob is None:
+                path_len.append(-1)
+                continue
+            entities, relations, prob = blob
+            path_len.append(len(relations))
+            path_nodes += [int(e) for e in entities]
+            path_nodes += [int(r) for r in relations]
+            probs.append(float(prob))
+    parts = [np.array([_STATUS_OK, int(version)], dtype=_I64).tobytes(),
+             np.asarray([n] + ks + items, dtype=_I32).tobytes()]
+    size = sum(len(p) for p in parts)
+    parts.append(b"\x00" * (_align(size, 8) - size))
+    parts.append(np.asarray(scores, dtype=_F64).tobytes())
+    parts.append(np.asarray(path_len + path_nodes, dtype=_I32).tobytes())
+    size = sum(len(p) for p in parts)
+    parts.append(b"\x00" * (_align(size, 8) - size))
+    parts.append(np.asarray(probs, dtype=_F64).tobytes())
+    return b"".join(parts)
+
+
+def decode_response(payload: bytes) -> Tuple[int, List[tuple]]:
+    """Inverse of :func:`encode_response`.
+
+    Raises :class:`WorkerExecError` when the slot carries a worker
+    traceback (status=1).
+    """
+    head = np.frombuffer(payload, dtype=_I64, count=2)
+    if int(head[0]) == _STATUS_ERROR:
+        raise WorkerExecError(payload[16:].decode("utf-8",
+                                                  errors="replace"))
+    version = int(head[1])
+    offset = 16
+    n = int(np.frombuffer(payload, dtype=_I32, count=1,
+                          offset=offset)[0])
+    offset += 4
+    ks = np.frombuffer(payload, dtype=_I32, count=n, offset=offset)
+    offset += 4 * n
+    total = int(ks.sum())
+    items = np.frombuffer(payload, dtype=_I32, count=total, offset=offset)
+    offset = _align(offset + 4 * total, 8)
+    scores = np.frombuffer(payload, dtype=_F64, count=total,
+                           offset=offset)
+    offset += 8 * total
+    path_len = np.frombuffer(payload, dtype=_I32, count=total,
+                             offset=offset)
+    offset += 4 * total
+    node_count = int(path_len[path_len >= 0].sum() * 2
+                     + np.count_nonzero(path_len >= 0))
+    nodes = np.frombuffer(payload, dtype=_I32, count=node_count,
+                          offset=offset)
+    offset = _align(offset + 4 * node_count, 8)
+    n_paths = int(np.count_nonzero(path_len >= 0))
+    probs = np.frombuffer(payload, dtype=_F64, count=n_paths,
+                          offset=offset)
+    rows: List[tuple] = []
+    cell = 0
+    cursor = 0
+    path_idx = 0
+    for row in range(n):
+        k = int(ks[row])
+        row_items = items[cell:cell + k].tolist()
+        row_scores = scores[cell:cell + k].tolist()
+        row_paths: List[Optional[tuple]] = []
+        for offset_in_row in range(k):
+            length = int(path_len[cell + offset_in_row])
+            if length < 0:
+                row_paths.append(None)
+                continue
+            entities = nodes[cursor:cursor + length + 1].tolist()
+            cursor += length + 1
+            relations = nodes[cursor:cursor + length].tolist()
+            cursor += length
+            row_paths.append((entities, relations,
+                              float(probs[path_idx])))
+            path_idx += 1
+        cell += k
+        rows.append((row_items, row_scores, row_paths))
+    return version, rows
+
+
+class WorkerExecError(RuntimeError):
+    """A ring response carried a worker-side traceback."""

@@ -19,7 +19,15 @@ read-only state physically shared:
   retired shard segments are unlinked once every worker has moved;
 * :func:`_worker_main` is the child loop: attach planes, build the
   agent, then serve ``exec`` / ``swap`` / ``stage`` / ``tables``
-  messages over a duplex pipe until told to stop;
+  messages until told to stop.  Control messages always ride the
+  duplex pipe; with ``transport="ring"`` (the default) the hot-path
+  ``exec`` traffic instead rides a per-worker shared-memory ring pair
+  (:mod:`repro.runtime.rings`) — micro-batches and result rows cross
+  as flat numeric arrays with **no pickling**, and a doorbell pipe
+  wakes the idle peer so nobody busy-polls a shared core.  A batch the
+  ring cannot carry (oversize, un-encodable, or the ring is full)
+  falls back to the pipe for that batch, counted in
+  ``ProcessWorkerPool.ring_fallbacks`` — never silent, never wrong;
 * a :class:`ProcessWorkerPool` owns N such children plus the plane
   generations, hands micro-batches to idle workers, broadcasts model
   swaps and adjacency changes, and **never shrinks**: dead workers are
@@ -42,11 +50,12 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from multiprocessing.connection import wait as _mp_wait
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.agent import REKSAgent
+from repro.core.agent import REKSAgent, _top_k
 from repro.core.config import REKSConfig
 from repro.core.environment import KGEnvironment, RolloutWorkspace
 from repro.core.policy import PolicyNetwork
@@ -54,8 +63,25 @@ from repro.core.rewards import RewardComputer, RewardWeights
 from repro.data.loader import collate_examples
 from repro.graphstore import CSRShard, ShardTables, ShardedCSR
 from repro.kg.builder import BuiltKG
-from repro.kg.paths import render_path
-from repro.runtime.plane import PlaneManifest, TablePlane
+from repro.kg.paths import SemanticPath, render_path
+from repro.runtime.plane import (
+    PlaneArena,
+    PlaneManifest,
+    TablePlane,
+    layout_size,
+)
+from repro.runtime.rings import (
+    RingFull,
+    RingManifest,
+    RingPair,
+    RingUnsuitable,
+    WorkerExecError,
+    decode_request,
+    decode_response,
+    encode_error,
+    encode_request,
+    encode_response,
+)
 
 # Per-shard plane array names (stable across generations).
 SHARD_ARRAYS = ("indptr", "rels", "tails", "degrees")
@@ -203,64 +229,130 @@ def build_worker_agent(spec: AgentSpec,
 # ----------------------------------------------------------------------
 # Child process loop
 # ----------------------------------------------------------------------
-def _pack_rows(rec, count: int, kg) -> List[tuple]:
-    """Marshal one batch of Recommendations into picklable rows.
+def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
+               ks: Sequence[int], workspace, max_len: int) -> List[tuple]:
+    """Execute one (possibly mixed-k) micro-batch as a superset walk.
 
-    Each row is ``(items, scores, paths, rendered)`` with paths as raw
-    ``(entities, relations, prob)`` tuples — the parent rebuilds
-    :class:`~repro.kg.paths.SemanticPath` objects, so no repro classes
-    cross the pipe per request.
+    The walk and the score matrix are k-independent, so one
+    ``recommend`` at ``max(ks)`` serves every row; rows whose k is
+    smaller re-run the deterministic row-local :func:`_top_k` selection
+    on their own score row — **bit-identical** to a separate per-k
+    execution (``_top_k`` partitions each row independently), unlike a
+    naive prefix slice of the max-k ranking, whose tie ordering can
+    depend on ``kth``.
+
+    Each returned row is ``(items, scores, path_blobs)`` with paths as
+    raw ``(entities, relations, prob)`` tuples — no repro classes, so
+    rows marshal through either transport unchanged.
     """
+    batch = collate_examples(examples, max_len)
+    kmax = max(ks)
+    rec = agent.recommend(batch, k=kmax, workspace=workspace)
     rows = []
-    for row in range(count):
-        items = [int(i) for i in rec.ranked_items[row]]
+    for row, k in enumerate(ks):
+        if k == kmax:
+            ranked = rec.ranked_items[row]
+        else:
+            ranked = _top_k(rec.scores[row:row + 1], int(k))[0]
+        items = [int(i) for i in ranked]
         scores = [float(rec.scores[row, i]) for i in items]
-        paths, rendered = [], []
+        paths = []
         for item in items:
             path = rec.paths.get((row, item))
-            if path is None:
-                paths.append(None)
-                rendered.append("")
-            else:
-                paths.append((list(path.entities), list(path.relations),
-                              float(path.prob)))
-                rendered.append(render_path(path, kg))
-        rows.append((items, scores, paths, rendered))
+            paths.append(
+                None if path is None
+                else (list(path.entities), list(path.relations),
+                      float(path.prob)))
+        rows.append((items, scores, paths))
     return rows
+
+
+def _finish_rows(rows: Sequence[tuple], kg) -> List[tuple]:
+    """Append rendered explanations: ``(items, scores, paths)`` rows
+    become the ``(items, scores, paths, rendered)`` wire rows the
+    server unmarshals.  ``render_path`` is deterministic in the path
+    values and the KG, so rendering parent-side (ring transport) and
+    worker-side (pipe transport) produce identical strings."""
+    finished = []
+    for items, scores, paths in rows:
+        rendered = [
+            "" if blob is None
+            else render_path(SemanticPath(entities=blob[0],
+                                          relations=blob[1],
+                                          prob=blob[2]), kg)
+            for blob in paths]
+        finished.append((items, scores, paths, rendered))
+    return finished
 
 
 def _worker_main(conn, spec: AgentSpec,
                  shard_manifests: Dict[int, PlaneManifest],
                  boundaries: np.ndarray, emb_manifest: PlaneManifest,
-                 untrack_shm: bool = False) -> None:
+                 untrack_shm: bool = False,
+                 ring_manifest: Optional[RingManifest] = None,
+                 db_req=None, db_resp=None) -> None:
     """Entry point of one worker process.
 
     ``untrack_shm`` stays False for pool-started workers (fork and
     spawn children share the publisher's resource tracker); it exists
     for embedders that run this loop from a foreign interpreter whose
     private tracker would adopt — and later unlink — the live planes.
+
+    With a ``ring_manifest`` the worker also attaches its request /
+    response ring pair and serves ``exec`` traffic from it: it blocks
+    in ``connection.wait`` on the control pipe *and* the request
+    doorbell, so a message on either wakes it and neither side ever
+    spins on an idle shared core.
     """
     import traceback
 
     shard_planes = {sid: TablePlane.attach(manifest, untrack=untrack_shm)
                     for sid, manifest in shard_manifests.items()}
     emb_plane = TablePlane.attach(emb_manifest, untrack=untrack_shm)
+    ring = (RingPair.attach(ring_manifest, untrack=untrack_shm)
+            if ring_manifest is not None else None)
     agent = build_worker_agent(spec, shard_planes, boundaries, emb_plane)
     version = spec.model_version
     workspace = agent.workspace
     max_len = agent.config.max_session_length
     kg = agent.env.built.kg
+
+    def serve_ring_request() -> None:
+        # The doorbell byte is consumed by the caller; the request is
+        # already published (the parent posts payload-then-doorbell),
+        # so a short sequence-number poll always finds it.
+        payload = ring.poll_request(spin=4096)
+        if payload is None:  # pragma: no cover - protocol violation
+            raise RuntimeError("ring doorbell without a published slot")
+        try:
+            examples, ks = decode_request(payload)
+            rows = _exec_rows(agent, examples, ks, workspace, max_len)
+            ring.post_response(encode_response(version, rows))
+        except Exception:
+            ring.post_response(encode_error(
+                traceback.format_exc(),
+                ring.manifest.resp_slot_bytes))
+        db_resp.send_bytes(b"\x01")
+
     try:
         while True:
+            if ring is not None:
+                ready = _mp_wait([conn, db_req])
+                if db_req in ready:
+                    db_req.recv_bytes()
+                    serve_ring_request()
+                if conn not in ready:
+                    continue
             message = conn.recv()
             op = message[0]
             try:
                 if op == "exec":
-                    _, examples, k = message
-                    batch = collate_examples(examples, max_len)
-                    rec = agent.recommend(batch, k=k, workspace=workspace)
-                    conn.send(("ok", version,
-                               _pack_rows(rec, len(examples), kg)))
+                    _, examples, ks = message
+                    if isinstance(ks, int):
+                        ks = [ks] * len(examples)
+                    rows = _exec_rows(agent, examples, ks, workspace,
+                                      max_len)
+                    conn.send(("ok", version, _finish_rows(rows, kg)))
                 elif op == "swap":
                     _, new_version, state = message
                     # Partial: frozen plane-backed tables are not
@@ -303,6 +395,8 @@ def _worker_main(conn, spec: AgentSpec,
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
     finally:
+        if ring is not None:
+            ring.close()
         for plane in shard_planes.values():
             plane.close()
         emb_plane.close()
@@ -312,25 +406,52 @@ def _worker_main(conn, spec: AgentSpec,
 # Parent-side pool
 # ----------------------------------------------------------------------
 class _Worker:
-    """One child process plus its pipe; at most one op in flight."""
+    """One child process plus its transports; at most one op in flight.
+
+    Control messages (swap / stage / tables / ping / stop — and any
+    ``exec`` the ring cannot carry) ride the duplex pickle pipe; with
+    ``transport="ring"`` hot-path ``exec`` batches ride the worker's
+    shared-memory ring pair, with a simplex **doorbell pipe** per
+    direction carrying a single raw byte per message so the idle peer
+    blocks in ``select`` instead of polling.  One lock serializes both
+    transports, so a broadcast can never interleave with an in-flight
+    micro-batch on the same worker regardless of which road the batch
+    took.
+    """
 
     def __init__(self, context, spec: AgentSpec,
                  shard_manifests: Dict[int, PlaneManifest],
                  boundaries: np.ndarray, emb_manifest: PlaneManifest,
-                 name: str, index: int, untrack_shm: bool) -> None:
+                 name: str, index: int, untrack_shm: bool,
+                 transport: str = "pipe") -> None:
         self.index = index
         self._lock = threading.Lock()
         self.conn, child_conn = context.Pipe(duplex=True)
+        self.ring: Optional[RingPair] = None
+        self._db_req = self._db_resp = None
+        ring_manifest = None
+        child_db_req = child_db_resp = None
+        if transport == "ring":
+            self.ring = RingPair.create()
+            ring_manifest = self.ring.manifest
+            # Doorbells: parent -> child for requests, child -> parent
+            # for responses (recv end first from Pipe(duplex=False)).
+            child_db_req, self._db_req = context.Pipe(duplex=False)
+            self._db_resp, child_db_resp = context.Pipe(duplex=False)
         self.process = context.Process(
             target=_worker_main,
             args=(child_conn, spec, shard_manifests, boundaries,
-                  emb_manifest, untrack_shm),
+                  emb_manifest, untrack_shm, ring_manifest,
+                  child_db_req, child_db_resp),
             name=name, daemon=True)
         self.process.start()
         child_conn.close()  # parent keeps only its end
+        if child_db_req is not None:
+            child_db_req.close()
+            child_db_resp.close()
 
     def request(self, message: tuple):
-        """Round-trip one message; raises WorkerDied/WorkerError."""
+        """Round-trip one pipe message; raises WorkerDied/WorkerError."""
         with self._lock:
             try:
                 self.conn.send(message)
@@ -344,6 +465,88 @@ class _Worker:
             raise WorkerError(reply[1])
         return reply[1:]
 
+    def exec_batch(self, examples: Sequence[tuple], ks: Sequence[int],
+                   max_len: int, resp_bound: int) -> Tuple[str, int, list]:
+        """Run one micro-batch over the best transport available.
+
+        Returns ``(used, version, rows)`` where ``used`` is ``"ring"``
+        (rows are unrendered 3-tuples), ``"pipe"`` (this worker has no
+        ring), or ``"fallback"`` (it has one, but this batch could not
+        ride it — oversize payload, un-encodable values, or a full
+        ring).
+        """
+        used = "pipe"
+        if self.ring is not None:
+            payload = None
+            try:
+                payload = encode_request(examples, ks, max_len)
+                if (len(payload) > self.ring.manifest.req_slot_bytes
+                        or resp_bound
+                        > self.ring.manifest.resp_slot_bytes):
+                    raise RingUnsuitable("payload exceeds slot capacity")
+            except RingUnsuitable:
+                used = "fallback"
+            if payload is not None and used != "fallback":
+                with self._lock:
+                    try:
+                        self.ring.post_request(payload)
+                    except RingFull:
+                        used = "fallback"
+                    else:
+                        self._db_req.send_bytes(b"\x01")
+                        raw = self._await_ring_response()
+                        try:
+                            version, rows = decode_response(raw)
+                        except WorkerExecError as exc:
+                            raise WorkerError(str(exc)) from None
+                        return "ring", version, rows
+        version, rows = self.request(("exec", list(examples), list(ks)))
+        return used, version, rows
+
+    def _await_ring_response(self) -> bytes:
+        """Block on the response doorbell (or the child's death).
+
+        Strict accounting — exactly one doorbell byte per response —
+        keeps the ring tickets and the doorbell pipe in lockstep, so a
+        wake always finds its slot published (the worker posts the
+        payload before ringing).
+        """
+        while True:
+            try:
+                ready = _mp_wait([self._db_resp, self.process.sentinel])
+            except OSError as exc:  # pragma: no cover - defensive
+                raise WorkerDied(
+                    f"worker {self.process.name} lost its doorbell"
+                ) from exc
+            if self._db_resp in ready:
+                try:
+                    self._db_resp.recv_bytes()
+                except (EOFError, OSError) as exc:
+                    raise WorkerDied(
+                        f"worker {self.process.name} (pid "
+                        f"{self.process.pid}) died mid-batch") from exc
+                payload = self.ring.poll_response(spin=4096)
+                if payload is None:  # pragma: no cover - protocol bug
+                    raise WorkerDied(
+                        f"worker {self.process.name} rang with no "
+                        f"published response slot")
+                self.ring.note_response_consumed()
+                return payload
+            raise WorkerDied(
+                f"worker {self.process.name} (pid {self.process.pid}) "
+                f"died during 'exec'")
+
+    def close_transports(self) -> None:
+        for conn in (self.conn, self._db_req, self._db_resp):
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if self.ring is not None:
+            self.ring.unlink()
+
     def shutdown(self, timeout: float = 5.0) -> None:
         try:
             self.request(("stop",))
@@ -353,10 +556,7 @@ class _Worker:
         if self.process.is_alive():  # pragma: no cover - stuck child
             self.process.terminate()
             self.process.join(timeout)
-        try:
-            self.conn.close()
-        except OSError:  # pragma: no cover - defensive
-            pass
+        self.close_transports()
 
 
 def resolve_context(name: str = "auto"):
@@ -404,18 +604,51 @@ class ProcessWorkerPool:
     def __init__(self, agent: REKSAgent, workers: int,
                  mp_context: str = "auto", plane_backend: str = "auto",
                  model_version: int = 0,
-                 health_interval_s: Optional[float] = None) -> None:
+                 health_interval_s: Optional[float] = None,
+                 transport: str = "ring") -> None:
         if workers < 1:
             raise ValueError(f"need >= 1 worker, got {workers}")
+        if transport not in ("pipe", "ring"):
+            raise ValueError(
+                f"transport must be 'pipe' or 'ring', got {transport!r}")
         self._context = resolve_context(mp_context)
         self._spec = AgentSpec.from_agent(agent, model_version=model_version)
         self._backend = plane_backend
+        if transport == "ring":
+            # Probe once: a host without usable POSIX shared memory
+            # (rings require it even when the planes fell back to
+            # mmap) serves over the pipe instead of failing.
+            try:
+                RingPair.create(slots=1, req_slot_bytes=64,
+                                resp_slot_bytes=64).unlink()
+            except (ImportError, OSError):
+                transport = "pipe"
+        self.transport = transport
+        self._max_len = self._spec.config.max_session_length
+        # Worst-case per-cell response bytes: items + scores + path_len
+        # + a full-length path (2L+1 int32 nodes) + its prob.
+        self._resp_cell_bytes = (
+            4 + 8 + 4 + (2 * self._spec.config.path_length + 1) * 4 + 8)
+        # Transport accounting (tests and the bench assert on these).
+        self.ring_batches = 0
+        self.pipe_batches = 0
+        self.ring_fallbacks = 0
+        self._counter_lock = threading.Lock()
         self._emb_plane = export_embedding_plane(agent,
                                                  backend=plane_backend)
         store = agent.env.csr_tables()
         self._boundaries = np.array(store.boundaries, dtype=np.int64)
         self._csr_planes = export_shard_planes(agent.env,
                                                backend=plane_backend)
+        # Double-buffered delta publish: each dirty-shard generation is
+        # written into that shard's *spare* arena and flipped live, so
+        # steady state re-publishes allocate zero new segments.
+        # _shard_arenas maps sid -> the arena backing its live plane
+        # (absent while the live plane is still the initial one-shot
+        # export); _spare_arenas holds the write target for the next
+        # publish of that shard.
+        self._shard_arenas: Dict[int, PlaneArena] = {}
+        self._spare_arenas: Dict[int, PlaneArena] = {}
         self._shard_digests = {sid: shard.digest()
                                for sid, shard in enumerate(store.shards)}
         self._csr_key = agent.env.fingerprint()
@@ -477,7 +710,8 @@ class ProcessWorkerPool:
         return _Worker(self._context, self._spec, manifests,
                        self._boundaries, self._emb_plane.manifest,
                        name=f"reks-procworker-{index}", index=index,
-                       untrack_shm=self._untrack_shm)
+                       untrack_shm=self._untrack_shm,
+                       transport=self.transport)
 
     def _bootstrap(self, worker: _Worker) -> None:
         """Replay the pool's current state into a fresh worker."""
@@ -505,9 +739,9 @@ class ProcessWorkerPool:
                 return current  # already replaced by another observer
             try:
                 dead.process.join(0.1)
-                dead.conn.close()
             except OSError:  # pragma: no cover - defensive
                 pass
+            dead.close_transports()  # also retires the corpse's ring
             fresh = self._spawn(dead.index)
             self._bootstrap(fresh)
             self._workers[dead.index] = fresh
@@ -539,22 +773,34 @@ class ProcessWorkerPool:
     # ------------------------------------------------------------------
     # Micro-batch execution
     # ------------------------------------------------------------------
-    def execute(self, examples: Sequence[tuple], k: int
-                ) -> Tuple[int, List[tuple]]:
+    def execute(self, examples: Sequence[tuple],
+                k: Union[int, Sequence[int]]) -> Tuple[int, List[tuple]]:
         """Run one micro-batch on an idle worker.
 
-        Returns ``(model_version, rows)`` where the version is the one
-        the worker actually executed with (a swap broadcast can land
-        between submission and execution, never mid-batch).  Worker
-        death is invisible here: a corpse popped from the idle queue is
-        swapped for its respawned slot occupant before routing, and a
-        batch that races a death mid-flight is re-executed once on a
-        fresh respawn (idempotent — pure inference).
-        :class:`WorkerDied` escapes only if the respawned worker dies
-        too.
+        ``k`` is a single top-k for the whole batch or one per example
+        (a mixed-k flush executes as one superset walk worker-side,
+        each row selected at its own k — bit-identical to per-k
+        execution).  Returns ``(model_version, rows)`` where the
+        version is the one the worker actually executed with (a swap
+        broadcast can land between submission and execution, never
+        mid-batch).  Worker death is invisible here: a corpse popped
+        from the idle queue is swapped for its respawned slot occupant
+        before routing, and a batch that races a death mid-flight is
+        re-executed once on a fresh respawn (idempotent — pure
+        inference).  :class:`WorkerDied` escapes only if the respawned
+        worker dies too.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
+        examples = list(examples)
+        if isinstance(k, (int, np.integer)):
+            ks = [int(k)] * len(examples)
+        else:
+            ks = [int(v) for v in k]
+            if len(ks) != len(examples):
+                raise ValueError(
+                    f"{len(examples)} examples but {len(ks)} ks")
+        resp_bound = 64 + 4 * len(ks) + sum(ks) * self._resp_cell_bytes
         worker = self._idle.get()
         try:
             if worker.process.exitcode is not None:
@@ -562,18 +808,31 @@ class ProcessWorkerPool:
                 # health sweep already refilled): route to the live
                 # occupant instead of failing the batch.
                 worker = self._respawn(worker)
-            message = ("exec", list(examples), int(k))
             try:
-                version, rows = worker.request(message)
+                used, version, rows = worker.exec_batch(
+                    examples, ks, self._max_len, resp_bound)
             except WorkerDied:
                 worker = self._respawn(worker)
                 try:
-                    version, rows = worker.request(message)
+                    used, version, rows = worker.exec_batch(
+                        examples, ks, self._max_len, resp_bound)
                 except WorkerDied:
                     worker = self._respawn(worker)
                     raise
         finally:
             self._idle.put(worker)
+        with self._counter_lock:
+            if used == "ring":
+                self.ring_batches += 1
+            else:
+                self.pipe_batches += 1
+                if used == "fallback":
+                    self.ring_fallbacks += 1
+        if used == "ring":
+            # Ring rows cross as pure numbers; explanations are
+            # rendered here from the shared KG (deterministic, so the
+            # strings are bit-identical to worker-side rendering).
+            rows = _finish_rows(rows, self._spec.built.kg)
         return int(version), rows
 
     # ------------------------------------------------------------------
@@ -653,12 +912,21 @@ class ProcessWorkerPool:
         their overlay slices — see
         :meth:`~repro.core.environment.KGEnvironment.attach_shards` —
         and replaying ``env``'s still-staged edges for them), and the
-        retired segments are unlinked once every worker has moved.
-        With no dirty shard this is a no-op returning the current
-        generation key.
+        retired backing flips to the shard's spare arena (or, for the
+        initial one-shot export, is unlinked) once every worker has
+        moved.  With no dirty shard this is a no-op returning the
+        current generation key.
+
+        Segment accounting rides in
+        ``last_publish["segments_allocated"]``: the first two publishes
+        of a shard each allocate one arena (the double buffer priming
+        itself); from the third on, the write lands in the spare retired
+        two generations ago — which every worker un-mapped before
+        acking the previous broadcast — and the steady-state count is
+        zero.
         """
         store = env.csr_tables()
-        # One publisher at a time; the slow part — shm creation + the
+        # One publisher at a time; the slow part — segment writes + the
         # per-shard byte copy — runs OUTSIDE the state lock so corpse
         # respawns, pings, and execute()'s recovery path never queue
         # behind a large export.  Only the ledger mutation + delivery
@@ -673,12 +941,35 @@ class ProcessWorkerPool:
             staged_all = env.staged_by_shard()
             staged_dirty = {sid: staged_all[sid] for sid in dirty
                             if sid in staged_all}
-            fresh = {sid: export_shard_plane(sid, shard,
-                                             backend=self._backend)
-                     for sid, shard in dirty.items()}
+            fresh: Dict[int, TablePlane] = {}
+            fresh_arenas: Dict[int, PlaneArena] = {}
+            segments_allocated = 0
+            for sid, shard in dirty.items():
+                arrays = {name: getattr(shard.tables, name)
+                          for name in SHARD_ARRAYS}
+                arena = self._spare_arenas.pop(sid, None)
+                if arena is not None and not arena.fits(arrays):
+                    # Shard outgrew its buffer; retire and re-size.
+                    arena.unlink()
+                    arena = None
+                if arena is None:
+                    # 25% headroom so ordinary delta growth keeps
+                    # fitting the same arena across generations.
+                    capacity = layout_size(arrays) * 5 // 4 + 64
+                    arena = PlaneArena.create(capacity,
+                                              backend=self._backend)
+                    segments_allocated += 1
+                fresh[sid] = arena.write(
+                    arrays, key=shard_plane_key(sid, shard),
+                    shard_of={name: sid for name in SHARD_ARRAYS})
+                fresh_arenas[sid] = arena
             with self._state_lock:
                 retired = {sid: self._csr_planes[sid] for sid in dirty}
+                retired_arenas = {
+                    sid: self._shard_arenas.pop(sid)
+                    for sid in dirty if sid in self._shard_arenas}
                 self._csr_planes.update(fresh)
+                self._shard_arenas.update(fresh_arenas)
                 self._shard_digests.update(
                     {sid: shard.digest() for sid, shard in dirty.items()})
                 self._csr_key = env.fingerprint()
@@ -694,6 +985,7 @@ class ProcessWorkerPool:
                     "total_shards": store.num_shards,
                     "nbytes": sum(plane.nbytes
                                   for plane in fresh.values()),
+                    "segments_allocated": segments_allocated,
                     "key": self._csr_key,
                 }
                 self._deliver(
@@ -701,12 +993,17 @@ class ProcessWorkerPool:
                      {sid: plane.manifest
                       for sid, plane in fresh.items()},
                      staged_dirty))
-        # Workers detached from the retired generations in the
-        # broadcast (respawned ones never attached them); unlink
-        # reclaims the segments — attached mappings, if any are still
-        # mid-close, keep them alive until they drop.
-        for plane in retired.values():
-            plane.unlink()
+            # Workers detached from the retired generations in the
+            # broadcast (respawned ones never attached them).  An
+            # arena-backed retiree keeps its segment and becomes the
+            # shard's spare — the write target of the next publish of
+            # that shard; the initial one-shot export is unlinked for
+            # good.
+            for sid, plane in retired.items():
+                if sid in retired_arenas:
+                    self._spare_arenas[sid] = retired_arenas[sid]
+                else:
+                    plane.unlink()
         return self._csr_key
 
     # ------------------------------------------------------------------
@@ -759,8 +1056,13 @@ class ProcessWorkerPool:
             self._health_thread.join(timeout=5.0)
         for worker in self._workers:
             worker.shutdown()
-        for plane in self._csr_planes.values():
-            plane.unlink()
+        for sid, plane in self._csr_planes.items():
+            if sid not in self._shard_arenas:
+                plane.unlink()
+        for arena in self._shard_arenas.values():
+            arena.unlink()
+        for arena in self._spare_arenas.values():
+            arena.unlink()
         self._emb_plane.unlink()
 
     def __enter__(self) -> "ProcessWorkerPool":

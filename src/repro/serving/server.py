@@ -55,7 +55,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.agent import REKSAgent, clone_agent
+from repro.core.agent import REKSAgent, _top_k, clone_agent
 from repro.data.loader import collate_examples
 from repro.data.schema import Session
 from repro.kg.paths import SemanticPath, render_path
@@ -116,11 +116,15 @@ class RecommendationServer:
                  registry=None, model_version: int = 0,
                  worker_mode: str = "thread", mp_context: str = "auto",
                  plane_backend: str = "auto",
+                 transport: str = "ring",
                  health_interval_ms: float = 200.0) -> None:
         if worker_mode not in ("thread", "process"):
             raise ValueError(
                 f"worker_mode must be 'thread' or 'process', "
                 f"got {worker_mode!r}")
+        if transport not in ("pipe", "ring"):
+            raise ValueError(
+                f"transport must be 'pipe' or 'ring', got {transport!r}")
         self._agent = agent
         self._model_version = int(model_version)
         self._agent_lock = threading.Lock()
@@ -141,8 +145,13 @@ class RecommendationServer:
             self._procpool = ProcessWorkerPool(
                 agent, workers=workers, mp_context=mp_context,
                 plane_backend=plane_backend, model_version=model_version,
+                transport=transport,
                 health_interval_s=(health_interval_ms / 1e3
                                    if health_interval_ms else None))
+            # The pool may downgrade ring -> pipe when the host has no
+            # usable POSIX shared memory; report what actually runs.
+            transport = self._procpool.transport
+        self.transport = transport
         self._pool = WorkspacePool(workers)
         self._cache = ExplanationCache(cache_size)
         self._stats = ServerStats()
@@ -167,6 +176,7 @@ class RecommendationServer:
                       worker_mode=cfg.serve_worker_mode,
                       mp_context=cfg.serve_mp_context,
                       plane_backend=cfg.runtime_plane_backend,
+                      transport=cfg.serve_transport,
                       health_interval_ms=cfg.serve_health_interval_ms)
         kwargs.update(overrides)
         return cls(trainer.agent, **kwargs)
@@ -397,32 +407,39 @@ class RecommendationServer:
 
     def _process(self, batch: List[PendingRequest]) -> None:
         try:
-            # Mixed-k batches execute as one sub-batch per distinct k
-            # so every request's top-k is exactly what a synchronous
-            # recommend_sessions call with that k would produce.
-            groups: dict = {}
-            for request in batch:
-                groups.setdefault(request.payload.k, []).append(request)
-            for k, group in groups.items():
-                self._execute(group, k)
+            self._execute(batch)
         except BaseException as exc:  # worker must never die silently
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)
 
-    def _execute(self, group: List[PendingRequest], k: int) -> None:
+    def _execute(self, group: List[PendingRequest]) -> None:
+        """Serve one coalesced micro-batch as a single superset walk.
+
+        A mixed-k flush used to execute one sub-batch per distinct k,
+        so minority-k callers queued behind every other group's full
+        walk.  The walk and score matrix are k-independent, so one
+        ``recommend`` at ``max(ks)`` serves every row; rows wanting a
+        smaller k re-run the deterministic row-local :func:`_top_k`
+        selection on their own score row — bit-identical to a separate
+        per-k execution (pinned by the serving tests), unlike a naive
+        prefix slice of the max-k ranking whose tie order can depend on
+        the partition point.
+        """
         self._stats.record_batch(len(group))
+        ks = [int(request.payload.k) for request in group]
         examples = [(list(request.payload.session.items[:-1]),
                      request.payload.session.items[-1],
                      request.payload.session.user_id)
                     for request in group]
         if self._procpool is not None:
             # Process mode: the worker process collates, walks, and
-            # renders; this dispatcher thread only marshals.  The
-            # worker reports the model version it actually executed
-            # with (a swap broadcast lands between batches, never
-            # mid-batch), which is what the results are cached under.
-            version, rows = self._procpool.execute(examples, k)
+            # selects each row's own k; this dispatcher thread only
+            # marshals.  The worker reports the model version it
+            # actually executed with (a swap broadcast lands between
+            # batches, never mid-batch), which is what the results are
+            # cached under.
+            version, rows = self._procpool.execute(examples, ks)
             results = [self._unmarshal_row(row) for row in rows]
         else:
             collated = collate_examples(examples, self._max_session_length)
@@ -431,9 +448,11 @@ class RecommendationServer:
             # are cached under that generation's version tag (which may
             # be newer than the version the submitter looked up).
             agent, version = self._live()
+            kmax = max(ks)
             with self._pool.checkout() as workspace:
-                rec = agent.recommend(collated, k=k, workspace=workspace)
-            results = [self._pack_row(rec, row)
+                rec = agent.recommend(collated, k=kmax,
+                                      workspace=workspace)
+            results = [self._pack_row(rec, row, ks[row], kmax)
                        for row in range(len(group))]
         for result, request in zip(results, group):
             latency = perf_counter() - request.enqueued_at
@@ -456,8 +475,12 @@ class RecommendationServer:
         return ServedResult(items=tuple(items), scores=tuple(scores),
                             paths=paths, explanations=tuple(rendered))
 
-    def _pack_row(self, rec, row: int) -> ServedResult:
-        items = [int(i) for i in rec.ranked_items[row]]
+    def _pack_row(self, rec, row: int, k: int, kmax: int) -> ServedResult:
+        if k == kmax:
+            ranked = rec.ranked_items[row]
+        else:
+            ranked = _top_k(rec.scores[row:row + 1], k)[0]
+        items = [int(i) for i in ranked]
         scores = [float(rec.scores[row, i]) for i in items]
         paths: List[Optional[SemanticPath]] = []
         rendered: List[str] = []

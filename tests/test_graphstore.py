@@ -140,6 +140,61 @@ class TestShardedStore:
         for sid in range(1, 4):
             assert new_store.shards[sid] is store.shards[sid]
 
+    def test_degrees_lazy_and_replace_does_not_materialize(self):
+        """replace_shards must not pay the O(entities) global-degrees
+        copy: the fresh facade starts unmaterialized and re-concats
+        only when something actually reads degrees through it."""
+        rng = np.random.default_rng(8)
+        store, (degrees, _, _) = self._store(rng, 4)
+        assert store._degrees is None  # built lazy
+        heads = np.array([int(store.boundaries[0])], dtype=np.int64)
+        staged = {0: (heads, np.zeros(1, np.int64),
+                      np.ones(1, np.int64))}
+        new_store, _ = compact_store(store, staged, action_cap=50)
+        assert new_store._degrees is None
+        _ = new_store.nbytes  # introspection must not force the concat
+        assert new_store._degrees is None
+        got = new_store.degrees  # first real read materializes
+        assert new_store._degrees is not None
+        assert new_store.degrees is got  # cached
+        # Content: concatenation of the (possibly rebuilt) shards.
+        np.testing.assert_array_equal(
+            got, np.concatenate([s.tables.degrees
+                                 for s in new_store.shards]))
+        # Clean-shard ranges agree with the original degrees.
+        lo, hi = int(store.boundaries[1]), int(store.boundaries[-1])
+        np.testing.assert_array_equal(got[lo:hi],
+                                      degrees[lo:hi].astype(np.int32))
+
+    @pytest.mark.parametrize("shards", [2, 3, 7])
+    def test_scattered_gather_matches_monolithic(self, shards):
+        """gather_into on a frontier scattered across every shard must
+        match the S=1 store cell for cell (the shard-major grouped path
+        against the monolithic single gather)."""
+        rng = np.random.default_rng(100 + shards)
+        store, raw = self._store(rng, shards)
+        mono = ShardedCSR.build(*raw, num_shards=1)
+        assert store.num_shards > 1
+        degrees = store.degrees
+        candidates = np.flatnonzero(degrees > 0)
+        for trial in range(3):
+            n = int(rng.integers(3, 33))
+            entities = rng.choice(candidates, size=n,
+                                  replace=True).astype(np.int64)
+            width = int(degrees[entities].max()) + int(rng.integers(0, 3))
+            cols = np.arange(width, dtype=np.int32)
+            mask = cols[None, :] < degrees[entities][:, None]
+            grids = []
+            for variant in (store, mono):
+                idx = np.empty((n, width), dtype=np.int32)
+                rels = np.full((n, width), -1, dtype=np.int32)
+                tails = np.full((n, width), -1, dtype=np.int32)
+                variant.gather_into(entities, cols, mask, idx,
+                                    rels, tails)
+                grids.append((rels, tails))
+            np.testing.assert_array_equal(grids[0][0], grids[1][0])
+            np.testing.assert_array_equal(grids[0][1], grids[1][1])
+
 
 # ----------------------------------------------------------------------
 # Monolithic vs sharded differential (random delta streams)

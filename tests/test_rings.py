@@ -1,0 +1,336 @@
+"""Zero-copy serving dataplane: ring codecs, transport differentials.
+
+Tier-1.  Three layers pinned here:
+
+1. **Ring mechanics** — slot claim / sequence-number publish / poll
+   round-trips, ``RingFull`` backpressure at capacity, codec
+   round-trips (mixed-k requests, responses with and without paths,
+   worker-error slots), and the int32 encode guards.
+2. **Pipe vs ring differential** — process pools and servers over
+   ``transport="pipe"`` and ``transport="ring"`` must produce
+   bit-identical rankings, scores, explanations, and cache stats over
+   mixed-k traffic, mid-traffic hot swaps, and worker murder (the
+   one-retry contract holds on both roads).
+3. **Backpressure injection** — with a worker's request ring
+   artificially full, ``execute`` falls back to the control pipe
+   (counted, correct, never an error).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import REKSConfig, REKSTrainer
+from repro.online import CheckpointRegistry
+from repro.runtime import ProcessWorkerPool, RingFull, RingPair
+from repro.runtime.rings import (
+    RingUnsuitable,
+    WorkerExecError,
+    decode_request,
+    decode_response,
+    encode_error,
+    encode_request,
+    encode_response,
+)
+
+
+@pytest.fixture(scope="module")
+def trainer(beauty_tiny, beauty_kg, beauty_transe):
+    config = REKSConfig(dim=16, state_dim=16, sample_sizes=(20, 4),
+                        seed=0)
+    return REKSTrainer(beauty_tiny, beauty_kg, model_name="narm",
+                       config=config, transe=beauty_transe)
+
+
+@pytest.fixture()
+def sessions(beauty_tiny):
+    return [s for s in beauty_tiny.split.test if len(s.items) >= 2]
+
+
+def _examples(sessions):
+    return [(list(s.items[:-1]), s.items[-1], s.user_id)
+            for s in sessions]
+
+
+# ----------------------------------------------------------------------
+# Ring mechanics
+# ----------------------------------------------------------------------
+class TestRingPair:
+    # Parent and worker each hold their OWN RingPair over the segment
+    # (tickets are process-local SPSC state), so every mechanics test
+    # attaches a second pair for the consumer side.
+    def test_request_response_round_trip(self):
+        parent = RingPair.create(slots=2)
+        try:
+            worker = RingPair.attach(parent.manifest)
+            parent.post_request(b"ping-payload")
+            assert parent.requests_in_flight == 1
+            assert bytes(worker.poll_request(spin=64)) == b"ping-payload"
+            worker.post_response(b"pong-payload")
+            assert bytes(parent.poll_response(spin=64)) == b"pong-payload"
+            parent.note_response_consumed()
+            assert parent.requests_in_flight == 0
+            worker.close()
+        finally:
+            parent.unlink()
+
+    def test_slots_recycle_in_order(self):
+        parent = RingPair.create(slots=2)
+        try:
+            worker = RingPair.attach(parent.manifest)
+            for round_id in range(7):  # > slots: tickets wrap the ring
+                payload = f"msg-{round_id}".encode()
+                parent.post_request(payload)
+                assert bytes(worker.poll_request(spin=64)) == payload
+                worker.post_response(payload[::-1])
+                assert bytes(parent.poll_response(spin=64)) \
+                    == payload[::-1]
+                parent.note_response_consumed()
+            assert parent.requests_in_flight == 0
+            worker.close()
+        finally:
+            parent.unlink()
+
+    def test_full_ring_raises_ring_full(self):
+        parent = RingPair.create(slots=2)
+        try:
+            worker = RingPair.attach(parent.manifest)
+            parent.post_request(b"a")
+            parent.post_request(b"b")
+            with pytest.raises(RingFull):
+                parent.post_request(b"c")
+            # One full round-trip frees the oldest slot again.
+            assert bytes(worker.poll_request(spin=64)) == b"a"
+            worker.post_response(b"a-done")
+            assert bytes(parent.poll_response(spin=64)) == b"a-done"
+            parent.note_response_consumed()
+            parent.post_request(b"c")
+            worker.close()
+        finally:
+            parent.unlink()
+
+    def test_oversize_payload_raises_ring_unsuitable(self):
+        parent = RingPair.create(slots=1, req_slot_bytes=64,
+                                 resp_slot_bytes=64)
+        try:
+            with pytest.raises(RingUnsuitable):
+                parent.post_request(b"\x00" * 65)
+            parent.post_request(b"\x00" * 64)  # exactly full slot is fine
+        finally:
+            parent.unlink()
+
+    def test_poll_empty_returns_none(self):
+        parent = RingPair.create(slots=1)
+        try:
+            assert parent.poll_request(spin=8) is None
+            assert parent.poll_response(spin=8) is None
+        finally:
+            parent.unlink()
+
+
+class TestCodecs:
+    def test_request_round_trip_mixed_k(self):
+        examples = [([3, 1, 4, 1, 5], 9, 2), ([2, 7], 1, None)]
+        payload = encode_request(examples, [5, 10], max_length=10)
+        got_examples, got_ks = decode_request(payload)
+        assert got_examples == examples
+        assert got_ks == [5, 10]
+
+    def test_request_truncates_prefix_like_collate(self):
+        long_prefix = list(range(1, 30))
+        payload = encode_request([(long_prefix, 5, None)], [3],
+                                 max_length=10)
+        examples, _ = decode_request(payload)
+        prefix, target, user = examples[0]
+        assert prefix == long_prefix[-10:]
+        assert target == 5 and user is None
+
+    def test_request_rejects_oversize_ids(self):
+        with pytest.raises(RingUnsuitable):
+            encode_request([([2 ** 40], 1, None)], [5], max_length=10)
+
+    def test_response_round_trip_with_and_without_paths(self):
+        rows = [([4, 2], [1.5, 0.25], [([9, 4], [1], 0.5), None]),
+                ([7], [0.125], [None])]
+        version, got = decode_response(encode_response(11, rows))
+        assert version == 11
+        assert got == rows
+
+    def test_response_preserves_float64_bits(self):
+        scores = [0.1 + 0.2, 1e-300, np.nextafter(1.0, 2.0)]
+        rows = [([1, 2, 3], scores, [None, None, None])]
+        _, got = decode_response(encode_response(0, rows))
+        assert all(a == b and np.float64(a).tobytes()
+                   == np.float64(b).tobytes()
+                   for a, b in zip(got[0][1], scores))
+
+    def test_error_slot_raises_worker_exec_error(self):
+        blob = encode_error("Traceback: kaboom", 4096)
+        with pytest.raises(WorkerExecError, match="kaboom"):
+            decode_response(blob)
+
+    def test_error_truncated_to_capacity(self):
+        blob = encode_error("x" * 10_000, 64)
+        assert len(blob) <= 64
+
+
+# ----------------------------------------------------------------------
+# Pipe vs ring differential
+# ----------------------------------------------------------------------
+class TestTransportEquivalence:
+    def test_pool_transport_knob_validated(self, trainer):
+        with pytest.raises(ValueError, match="transport"):
+            ProcessWorkerPool(trainer.agent, workers=1,
+                              transport="carrier-pigeon")
+
+    def test_exec_bit_identical_across_transports(self, trainer,
+                                                  sessions):
+        subset = _examples(sessions[:8])
+        results = {}
+        for transport in ("pipe", "ring"):
+            with ProcessWorkerPool(trainer.agent, workers=2,
+                                   transport=transport) as pool:
+                assert pool.transport == transport
+                _, rows = pool.execute(subset, 5)
+                results[transport] = rows
+                if transport == "ring":
+                    assert pool.ring_batches >= 1
+                    assert pool.pipe_batches == 0
+                else:
+                    assert pool.pipe_batches >= 1
+                    assert pool.ring_batches == 0
+        assert results["ring"] == results["pipe"]
+
+    def test_mixed_k_bit_identical_across_transports(self, trainer,
+                                                     sessions):
+        subset = sessions[:12]
+        ks = [3, 7, 5] * 4
+        outputs = {}
+        for transport in ("pipe", "ring"):
+            with trainer.serve(worker_mode="process", workers=2,
+                               transport=transport, cache_size=0,
+                               max_wait_ms=5.0) as server:
+                futures = [server.submit(s, k=k)
+                           for s, k in zip(subset, ks)]
+                outputs[transport] = [f.result() for f in futures]
+        for got, want, k in zip(outputs["ring"], outputs["pipe"], ks):
+            assert len(got.items) == k
+            assert got.items == want.items
+            assert got.scores == want.scores  # bitwise through the codec
+            assert got.explanations == want.explanations
+
+    def test_cache_stats_bit_identical_across_transports(self, trainer,
+                                                         sessions):
+        subset = sessions[:6]
+        stats = {}
+        for transport in ("pipe", "ring"):
+            with trainer.serve(worker_mode="process", workers=1,
+                               transport=transport) as server:
+                for _ in range(2):  # second pass hits the cache
+                    for session in subset:
+                        server.recommend_one(session, k=5)
+                snap = server.stats()
+                stats[transport] = (snap.cache_hits, snap.cache_misses,
+                                    snap.to_dict()["cache_by_version"])
+        assert stats["ring"] == stats["pipe"]
+
+    def test_hot_swap_bit_identical_across_transports(self, trainer,
+                                                      sessions, tmp_path):
+        subset = sessions[:10]
+        registry = CheckpointRegistry(tmp_path)
+        state = trainer.agent.state_dict()
+        v0 = registry.publish(state)
+        perturbed = {k: (v + 0.03 if k.startswith("encoder.") else v)
+                     for k, v in state.items()}
+        v1 = registry.publish(perturbed)
+        phases = {}
+        for transport in ("pipe", "ring"):
+            with trainer.serve(worker_mode="process", workers=2,
+                               transport=transport, cache_size=0,
+                               registry=registry) as server:
+                server.swap_model(v0)
+                before = [r.items for r
+                          in server.recommend_many(subset, k=5)]
+                server.swap_model(v1)
+                after = [r.items for r
+                         in server.recommend_many(subset, k=5)]
+                phases[transport] = (before, after)
+        assert phases["ring"] == phases["pipe"]
+        assert phases["ring"][0] != phases["ring"][1]  # swap did something
+
+    def test_worker_murder_one_retry_contract_on_ring(self, trainer,
+                                                      sessions):
+        """Killing every worker under ring transport must stay
+        invisible: execute routes around the corpses (one transparent
+        retry), respawned workers get fresh rings, and results stay
+        correct."""
+        subset = sessions[:4]
+        with trainer.serve(worker_mode="process", workers=2,
+                           transport="ring", cache_size=0) as server:
+            expected = [r.items for r
+                        in server.recommend_many(subset, k=5)]
+            for worker in server.process_pool._workers:
+                worker.process.kill()
+            time.sleep(0.2)
+            for _ in range(3):
+                recovered = [r.items for r
+                             in server.recommend_many(subset, k=5)]
+                assert recovered == expected
+            assert server.process_pool.respawns >= 1
+            # Replacement workers serve over the ring again (their
+            # predecessors' rings were retired with the corpses).
+            assert all(w.ring is not None
+                       for w in server.process_pool._workers)
+
+
+# ----------------------------------------------------------------------
+# Backpressure injection
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_full_ring_falls_back_to_pipe(self, trainer, sessions):
+        subset = _examples(sessions[:4])
+        with ProcessWorkerPool(trainer.agent, workers=1,
+                               transport="ring") as pool:
+            expected = pool.execute(subset, 5)
+            worker = pool._workers[0]
+            # Jam the request ring: post raw payloads without ringing
+            # the doorbell, so the worker never consumes them and every
+            # slot stays claimed.
+            while True:
+                try:
+                    worker.ring.post_request(b"\x00" * 8)
+                except RingFull:
+                    break
+            before = pool.ring_fallbacks
+            for _ in range(3):
+                assert pool.execute(subset, 5) == expected
+            assert pool.ring_fallbacks == before + 3
+            assert pool.pipe_batches >= 3  # counted as pipe traffic
+
+    def test_oversize_batch_rides_the_pipe(self, trainer, sessions):
+        """A micro-batch whose worst-case response exceeds the response
+        slot must be routed to the pipe up front (no truncation, no
+        error)."""
+        subset = _examples(sessions[:4])
+        with ProcessWorkerPool(trainer.agent, workers=1,
+                               transport="ring") as pool:
+            _, expected_rows = pool.execute(subset, 5)
+            before_pipe = pool.pipe_batches
+            before_ring = pool.ring_batches
+            # k large enough that the worst-case response bound blows
+            # the slot (the worker clips k to the catalogue, so this
+            # still executes — just over the pipe).
+            huge_k = (pool._workers[0].ring.manifest.resp_slot_bytes
+                      // pool._resp_cell_bytes + 1)
+            _, rows = pool.execute(subset, huge_k)
+            assert pool.pipe_batches == before_pipe + 1
+            assert pool.ring_batches == before_ring
+            assert pool.ring_fallbacks >= 1
+            assert len(rows) == len(subset)
+            for (top_items, *_), (all_items, *_) in zip(expected_rows,
+                                                        rows):
+                assert len(all_items) > 5
+                assert set(top_items) <= set(all_items)

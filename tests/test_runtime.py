@@ -393,6 +393,43 @@ class TestProcessWorkerPool:
                         for _ in range(4)}
             assert versions == {7}
 
+    def test_delta_publish_reuses_spare_arena(self, beauty_tiny,
+                                              beauty_kg, beauty_transe,
+                                              sessions):
+        """Double-buffered shard segments: the first two publishes of a
+        shard prime its buffer pair (one arena each); from the third on
+        the write lands in the retired spare and steady-state delta
+        publish allocates zero new segments."""
+        config = REKSConfig(dim=16, state_dim=16, sample_sizes=(20, 4),
+                            seed=0)
+        trainer = REKSTrainer(beauty_tiny, beauty_kg, model_name="narm",
+                              config=config, transe=beauty_transe)
+        subset = sessions[:4]
+        env = trainer.env
+        co_occur = beauty_kg.kg.relation_id("co_occur")
+        entities = beauty_kg.entities_of_items(
+            np.arange(1, min(40, beauty_kg.n_items + 1)))
+        head = int(entities[0])
+        _, existing = env.actions_of(head)
+        tails = [int(t) for t in entities
+                 if int(t) != head and int(t) not in existing][:3]
+        assert len(tails) == 3, "fixture KG unexpectedly complete"
+        with ProcessWorkerPool(trainer.agent, workers=1) as pool:
+            allocations = []
+            for tail in tails:
+                env.stage_edges([head], [co_occur], [tail])
+                env.compact()
+                pool.publish_tables(env)
+                publish = pool.last_publish
+                # Only the head's shard went dirty each round.
+                assert len(publish["shards"]) == 1
+                allocations.append(publish["segments_allocated"])
+                # Every generation flip must still serve correctly.
+                _, rows = pool.execute(_examples(subset), 5)
+                assert [r[0] for r in rows] \
+                    == _sync_rankings(trainer, subset, 5)
+            assert allocations == [1, 1, 0]
+
 
 # ----------------------------------------------------------------------
 # Thread/process differential suite

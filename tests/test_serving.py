@@ -305,6 +305,45 @@ class TestRecommendationServer:
         for i, result in enumerate(results):
             assert len(result.items) == (5 if i % 2 else 10)
 
+    def test_mixed_k_single_superset_flush_bit_identical(self, trainer,
+                                                         sessions):
+        """A mixed-k flush executes as ONE superset walk — a single
+        batch at max(k) with each row selected at its own k — and every
+        ranking, score, and explanation is bit-identical to a dedicated
+        per-k execution of that session alone."""
+        subset = sessions[:6]
+        ks = [3, 10, 5, 7, 10, 3]
+        with trainer.serve(max_batch=16, max_wait_ms=50.0, workers=1,
+                           cache_size=0) as server:
+            futures = [server.submit(s, k=k)
+                       for s, k in zip(subset, ks)]
+            results = [f.result() for f in futures]
+            snapshot = server.stats()
+        # One flush, one walk: the mixed ks did NOT split the batch.
+        assert snapshot.batches == 1
+        assert snapshot.batch_occupancy.get(len(subset)) == 1
+        # Per-k reference: the SAME collated batch executed at each
+        # distinct k (scores/walk are batch-composition dependent, so
+        # the batch is held fixed; the superset selection must then be
+        # bitwise indistinguishable from a dedicated k run).
+        reference = {k: trainer.recommend_sessions(subset, k=k)[0]
+                     for k in set(ks)}
+        for row, (k, result) in enumerate(zip(ks, results)):
+            assert len(result.items) == k
+            rec = reference[k]
+            np.testing.assert_array_equal(
+                np.asarray(result.items, dtype=np.int64),
+                rec.ranked_items[row])
+            assert result.scores == tuple(
+                float(rec.scores[row, item]) for item in result.items)
+            for item, path in zip(result.items, result.paths):
+                expected = rec.paths.get((row, item))
+                if path is None:
+                    assert expected is None
+                else:
+                    assert path.entities == expected.entities
+                    assert path.relations == expected.relations
+
     def test_graceful_shutdown_completes_in_flight(self, trainer,
                                                    sessions):
         server = trainer.serve(max_batch=64, max_wait_ms=10_000.0,

@@ -49,6 +49,32 @@ DATASETS = ("beauty", "cellphones", "baby", "movielens")
 MODELS = ("gru4rec", "narm", "srgnn", "gcsan", "bert4rec")
 
 
+def _emit_metrics_artifact(snapshot_dict: dict, out_path, name: str):
+    """Write a fleet metrics snapshot next to a BENCH_*.json artifact."""
+    import json
+    from pathlib import Path
+
+    path = Path(out_path).parent / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot_dict, indent=2, sort_keys=True))
+    return path
+
+
+def _print_slo(telemetry: dict) -> bool:
+    """Print each SLO verdict; returns True when every gate passed."""
+    for result in telemetry.get("slo", ()):
+        bound = []
+        if result.get("min") is not None:
+            bound.append(f">= {result['min']:g}")
+        if result.get("max") is not None:
+            bound.append(f"<= {result['max']:g}")
+        verdict = "ok" if result["ok"] else "VIOLATED"
+        print(f"  SLO {result['name']}: {result['stat']}"
+              f"({result['metric']}) = {result['value']:.6g} "
+              f"(want {' and '.join(bound) or 'anything'}) [{verdict}]")
+    return bool(telemetry.get("slo_ok", True))
+
+
 def make_dataset(name: str, scale: str, seed: int):
     """Generate the requested synthetic dataset."""
     if name == "movielens":
@@ -215,13 +241,28 @@ def cmd_serve_bench(args) -> int:
     payload = run_serving_bench(
         trainer, sessions, concurrency=args.concurrency, k=args.top_k,
         min_requests=(384 if args.quick else 1024),
-        naive_sessions=(64 if args.quick else None))
+        naive_sessions=(64 if args.quick else None),
+        trace_sample=args.trace_sample,
+        slo={"slo_p99_ms": args.slo_p99_ms,
+             "slo_cache_hit_floor": args.slo_cache_hit_floor,
+             "slo_ring_fallback_ceiling": args.slo_ring_fallback_ceiling})
     path = emit(payload, args.out)
     print(format_report(payload))
     print(f"-> {path}")
+    metrics_path = _emit_metrics_artifact(
+        payload["telemetry"]["snapshot"], args.out, "METRICS_serving.json")
+    print(f"-> {metrics_path}")
+    slo_ok = _print_slo(payload["telemetry"])
     if payload["speedup_vs_naive"] < args.speedup_floor:
         print(f"FAIL: speedup {payload['speedup_vs_naive']:.2f}x < "
               f"floor {args.speedup_floor:.1f}x")
+        return 1
+    if not payload["telemetry"]["prometheus_scraped"]:
+        print("FAIL: /metrics endpoint scrape did not return "
+              "Prometheus text")
+        return 1
+    if not slo_ok:
+        print("FAIL: serving SLO violated (see gates above)")
         return 1
     return 0
 
@@ -311,10 +352,18 @@ def cmd_online_bench(args) -> int:
             trainer, serving, delta,
             checkpoint_dir=(args.checkpoints or tmp),
             concurrency=args.concurrency, k=args.top_k,
-            min_requests=(256 if args.quick else 768))
+            min_requests=(256 if args.quick else 768),
+            slo={"swap_max_ms": args.slo_swap_max_ms})
     path = emit(payload, args.out)
     print(format_report(payload))
     print(f"-> {path}")
+    metrics_path = _emit_metrics_artifact(
+        payload["telemetry"]["snapshot"], args.out, "METRICS_online.json")
+    print(f"-> {metrics_path}")
+    slo_ok = _print_slo(payload["telemetry"])
+    if not slo_ok:
+        print("FAIL: online SLO violated (see gates above)")
+        return 1
     if payload["swap"]["dropped"]:
         print(f"FAIL: {payload['swap']['dropped']} requests dropped "
               f"during hot swap")
@@ -374,15 +423,136 @@ def cmd_runtime_bench(args) -> int:
     path = emit(payload, args.out)
     print(format_report(payload))
     print(f"-> {path}")
+    if payload["telemetry"]["snapshot"] is not None:
+        metrics_path = _emit_metrics_artifact(
+            payload["telemetry"]["snapshot"], args.out,
+            "METRICS_runtime.json")
+        print(f"-> {metrics_path}")
     if not payload["serve"]["bit_identical"]:
         print("FAIL: thread/process rankings diverged during the run")
         return 1
     if not payload["serve"]["transport_bit_identical"]:
         print("FAIL: pipe/ring rankings diverged during the run")
         return 1
+    if not payload["serve"]["transport_bit_identical_traced"]:
+        print("FAIL: pipe/ring rankings diverged with tracing at "
+              "sample=1.0")
+        return 1
     if not payload["gather"]["identical"]:
         print("FAIL: shard-major grouped gather diverged from the "
               "per-shard reference")
+        return 1
+    overhead = payload["telemetry"]["ring_per_batch_vs_thread"]
+    if args.telemetry_overhead_ceiling and \
+            overhead > args.telemetry_overhead_ceiling:
+        print(f"FAIL: ring per-batch with telemetry {overhead:.2f}x "
+              f"thread mode > ceiling "
+              f"{args.telemetry_overhead_ceiling:.2f}x")
+        return 1
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Stand up a miniature serving fleet — >= 2 plane-attached worker
+    processes plus a subprocess fine-tune child — drive traffic and an
+    online round through it, and emit the merged fleet metrics snapshot
+    in Prometheus text and JSON (per-shard gather counters, per-hop
+    walk timings, online round phases, transport counters)."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.online import CheckpointRegistry, DeltaIngestor, OnlineUpdater
+    from repro.serving.bench import _closed_loop
+    from repro.telemetry.exporters import prometheus_text
+    from repro.telemetry.registry import MetricsRegistry
+    from repro.telemetry.trace import spans_to_chrome_trace, spans_to_jsonl
+
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset, include_users=not args.no_users)
+    config = REKSConfig(dim=args.dim, state_dim=args.dim,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, sample_sizes=(100, args.final_beam),
+                        transe_epochs=2,
+                        # Multi-shard store so the per-shard gather
+                        # counters actually split across shards.
+                        graph_shards=args.graph_shards,
+                        online_max_steps=2,
+                        seed=args.seed)
+    trainer = REKSTrainer(dataset, built, model_name=args.model,
+                          config=config)
+    sessions = [s for s in dataset.split.test
+                if len(s.items) >= 2][:args.requests]
+    delta = [s for s in dataset.split.validation if len(s.items) >= 2][:64]
+    if not sessions:
+        print("FAIL: dataset has no usable serving sessions")
+        return 1
+
+    fleet = MetricsRegistry()
+    with tempfile.TemporaryDirectory(prefix="reks-metrics-") as tmp:
+        registry = CheckpointRegistry(tmp, keep_last=2)
+        ingestor = DeltaIngestor(built, trainer.env, compact_every=256)
+        updater = OnlineUpdater(trainer, ingestor, registry,
+                                min_sessions=1, max_steps=2,
+                                mode="subprocess",
+                                metrics_registry=fleet)
+        try:
+            # Fork the fine-tune child before the server spawns its
+            # worker processes and dispatcher threads (clean fork).
+            updater.run_once(force=True)
+            with trainer.serve(worker_mode="process",
+                               workers=args.workers,
+                               trace_sample=args.trace_sample,
+                               metrics_registry=fleet) as server:
+                _closed_loop(server, sessions, args.concurrency,
+                             args.top_k)  # cold pass: misses + walks
+                _closed_loop(server, sessions, args.concurrency,
+                             args.top_k)  # warm replay: cache hits
+                if delta:
+                    ingestor.ingest_sessions(delta)
+                updater.run_once(force=True)
+                snapshot = server.fleet_snapshot()
+                spans = server.tracer.drain()
+        finally:
+            updater.stop()
+            fleet.close()
+
+    roles = sorted(snapshot.roles)
+    workers_seen = [r for r in roles if r.startswith("worker")]
+    print(f"fleet roles: {', '.join(roles)}")
+    if len(workers_seen) < 2 or "updater" not in roles:
+        print(f"FAIL: expected >= 2 worker blocks + an updater block, "
+              f"got {roles}")
+        return 1
+
+    prom = prometheus_text(snapshot)
+    if args.format in ("prom", "both"):
+        print(prom, end="")
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(snapshot.to_dict(), indent=2,
+                              sort_keys=True))
+    print(f"-> {out}")
+    if args.prom_out:
+        Path(args.prom_out).write_text(prom)
+        print(f"-> {args.prom_out}")
+    if args.trace_out and spans:
+        Path(args.trace_out).write_text(spans_to_jsonl(spans))
+        chrome = Path(args.trace_out).with_suffix(".chrome.json")
+        chrome.write_text(json.dumps(spans_to_chrome_trace(spans)))
+        print(f"-> {args.trace_out} ({len(spans)} spans), {chrome}")
+
+    # The snapshot must carry the labelled families the exporters
+    # split back out: per-shard gather counters and per-hop walk hists.
+    shard_counters = [name for name in snapshot.counters
+                      if name.startswith("gather_rows_total{shard=")]
+    hop_hists = [name for name in snapshot.hists
+                 if name.startswith("walk_hop_seconds{hop=")]
+    print(f"per-shard gather counters: {len(shard_counters)}, "
+          f"per-hop walk timings: {len(hop_hists)}")
+    if not shard_counters or not hop_hists:
+        print("FAIL: snapshot is missing per-shard gather counters or "
+              "per-hop walk timings")
         return 1
     return 0
 
@@ -461,6 +631,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "rings (default) or the pickle pipe")
     p_srv.add_argument("--speedup-floor", type=float, default=2.0,
                        help="fail below this coalesced/naive ratio")
+    p_srv.add_argument("--trace-sample", type=float, default=0.0,
+                       help="request-trace sampling rate for the "
+                            "telemetry phase (0..1)")
+    p_srv.add_argument("--slo-p99-ms", type=float, default=1000.0,
+                       help="fail when request p99 exceeds this")
+    p_srv.add_argument("--slo-cache-hit-floor", type=float, default=0.25,
+                       help="fail when the cache hit rate drops below "
+                            "this")
+    p_srv.add_argument("--slo-ring-fallback-ceiling", type=float,
+                       default=0.5,
+                       help="fail when the ring->pipe fallback rate "
+                            "exceeds this")
     p_srv.add_argument("--out", default=default_bench_path(
         "BENCH_serving.json"))
     p_srv.set_defaults(func=cmd_serve_bench)
@@ -507,6 +689,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_onl.add_argument("--updater-mode", choices=("thread", "subprocess"),
                        default="thread",
                        help="where the fine-tune replica runs")
+    p_onl.add_argument("--slo-swap-max-ms", type=float, default=30_000.0,
+                       help="fail when a hot swap takes longer than "
+                            "this")
     p_onl.add_argument("--out", default=default_bench_path(
         "BENCH_online.json"))
     p_onl.set_defaults(func=cmd_online_bench)
@@ -530,9 +715,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--top-k", type=int, default=10)
     p_run.add_argument("--checkpoints", default=None,
                        help="registry directory (default: temp dir)")
+    p_run.add_argument("--telemetry-overhead-ceiling", type=float,
+                       default=0.0,
+                       help="fail when ring per-batch time with the "
+                            "telemetry plane exceeds this multiple of "
+                            "thread mode (0 disables the gate)")
     p_run.add_argument("--out", default=default_bench_path(
         "BENCH_runtime.json"))
     p_run.set_defaults(func=cmd_runtime_bench)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="emit the merged fleet metrics snapshot (Prometheus + JSON)")
+    _add_common(p_met)
+    p_met.add_argument("--model", choices=MODELS, default="narm")
+    p_met.add_argument("--final-beam", type=int, default=4)
+    p_met.add_argument("--no-users", action="store_true")
+    p_met.add_argument("--workers", type=int, default=2,
+                       help="plane-attached worker processes (>= 2 so "
+                            "the snapshot demonstrably merges blocks)")
+    p_met.add_argument("--graph-shards", type=int, default=4,
+                       help="graph-store shards (per-shard gather "
+                            "counters split across these)")
+    p_met.add_argument("--trace-sample", type=float, default=1.0,
+                       help="request-trace sampling rate (0..1)")
+    p_met.add_argument("--concurrency", type=int, default=8)
+    p_met.add_argument("--top-k", type=int, default=10)
+    p_met.add_argument("--requests", type=int, default=64,
+                       help="distinct sessions driven per pass")
+    p_met.add_argument("--format", choices=("prom", "json", "both"),
+                       default="prom",
+                       help="what to print on stdout (the JSON "
+                            "snapshot is always written to --out)")
+    p_met.add_argument("--out", default=default_bench_path(
+        "METRICS_fleet.json"))
+    p_met.add_argument("--prom-out", default=None,
+                       help="also write the Prometheus text here")
+    p_met.add_argument("--trace-out", default=None,
+                       help="write drained spans as JSONL here (plus a "
+                            "sibling Chrome trace_event file)")
+    p_met.set_defaults(func=cmd_metrics)
 
     return parser
 

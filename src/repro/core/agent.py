@@ -16,11 +16,17 @@ One training step (Algorithm 1, lines 4-12):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.autograd import functional as F, no_grad
+from repro.telemetry.block import walk_hop_hist
+from repro.telemetry.trace import span_kind_id
+
+_SPAN_WALK = span_kind_id("walk")
+_SPAN_TOPK = span_kind_id("topk")
 from repro.autograd.tensor import Tensor
 from repro.core.config import REKSConfig
 from repro.core.environment import (
@@ -101,9 +107,14 @@ class REKSAgent(Module):
         prev_rel: Optional[np.ndarray] = None
         log_prob: Optional[Tensor] = None
 
+        # Per-hop wall time lands in the owner's metric block (if any);
+        # the guard keeps the no-telemetry walk free of clock reads.
+        metrics = None if workspace is None else workspace.metrics
+
         for hop, k in enumerate(sizes):
             if len(sess_idx) == 0:
                 break
+            hop_t0 = perf_counter() if metrics is not None else 0.0
             sel_rows, sel_rels, sel_tails, logp_parts = [], [], [], []
             # Buckets are consumed one at a time so the workspace's
             # scratch buffers can be recycled between them.
@@ -132,6 +143,9 @@ class REKSAgent(Module):
                 ent_hist = ent_hist[:0]
                 rel_hist = rel_hist[:0]
                 log_prob = None
+                if metrics is not None:
+                    metrics.observe(walk_hop_hist(hop),
+                                    perf_counter() - hop_t0)
                 break
             rows = np.concatenate(sel_rows)
             step_logp = (logp_parts[0] if len(logp_parts) == 1
@@ -144,6 +158,9 @@ class REKSAgent(Module):
             rel_hist = np.concatenate(
                 [rel_hist[rows], np.concatenate(sel_rels)[:, None]], axis=1)
             prev_rel = rel_hist[:, -1]
+            if metrics is not None:
+                metrics.observe(walk_hop_hist(hop),
+                                perf_counter() - hop_t0)
 
         prob = (np.exp(log_prob.data.astype(np.float64))
                 if log_prob is not None else np.zeros(len(sess_idx)))
@@ -277,15 +294,27 @@ class REKSAgent(Module):
         if self.training:
             self.eval()
         cfg = self.config
+        ws = workspace if workspace is not None else self.workspace
+        metrics, spans = ws.metrics, ws.spans
         with no_grad():
             session_repr = self.encoder.encode(batch)
+            walk_t0 = perf_counter()
             rollout = self.walk(session_repr, batch, sizes=sizes,
                                 workspace=workspace)
+            walk_dur = perf_counter() - walk_t0
             scores = self.aggregate_scores_numpy(rollout, batch.batch_size)
             if cfg.fallback_to_encoder:
                 scores = self._encoder_fallback(scores, session_repr)
+        topk_t0 = perf_counter()
         ranked = _top_k(scores, k)
         paths = self._best_paths(rollout)
+        topk_dur = perf_counter() - topk_t0
+        if metrics is not None:
+            metrics.observe("walk_seconds", walk_dur)
+            metrics.observe("topk_seconds", topk_dur)
+        if spans is not None:
+            spans.append((_SPAN_WALK, walk_t0, walk_dur))
+            spans.append((_SPAN_TOPK, topk_t0, topk_dur))
         return Recommendations(scores=scores, ranked_items=ranked, paths=paths)
 
     def _encoder_fallback(self, scores: np.ndarray,

@@ -104,6 +104,14 @@ class REKSConfig:
     # the next micro-batch is routed to them.  0 disables the sweep
     # (execute() still routes around and retries past dead workers).
     serve_health_interval_ms: float = 200.0
+    # Telemetry (repro.telemetry): fleet-wide shared-memory metric
+    # blocks (server + worker children + updater child, merged by the
+    # parent registry) and sampled cross-process request tracing.
+    serve_metrics: bool = True       # False skips block creation entirely
+    serve_trace_sample: float = 0.0  # fraction of requests traced (1 = all)
+    # >= 0 exposes a stdlib-HTTP /metrics endpoint on that port
+    # (0 = ephemeral, read server.metrics_url); -1 disables it.
+    serve_metrics_port: int = -1
 
     # Continual learning (repro.online): checkpoint publishing, delta
     # ingestion, and background fine-tuning.  ``OnlineUpdater`` and
@@ -160,6 +168,14 @@ class REKSConfig:
             raise ValueError(
                 f"serve_health_interval_ms must be >= 0 (0 = off), "
                 f"got {self.serve_health_interval_ms}")
+        if not 0.0 <= self.serve_trace_sample <= 1.0:
+            raise ValueError(
+                f"serve_trace_sample must be in [0, 1], "
+                f"got {self.serve_trace_sample}")
+        if self.serve_metrics_port < -1:
+            raise ValueError(
+                f"serve_metrics_port must be >= -1 (-1 = off), "
+                f"got {self.serve_metrics_port}")
         if self.serve_max_batch < 1:
             raise ValueError(
                 f"serve_max_batch must be >= 1, got {self.serve_max_batch}")

@@ -137,6 +137,17 @@ class RolloutWorkspace:
         self._buffers: Dict[str, np.ndarray] = {}
         self._checked_out = False
         self.checkouts = 0
+        # Buffer (re)allocations — steady state is zero once every
+        # buffer has saturated; the gather bench and telemetry assert
+        # on it.
+        self.allocations = 0
+        # Optional telemetry attachments, threaded through the walk by
+        # whoever owns the workspace: ``metrics`` is a
+        # repro.telemetry MetricBlock (or None), ``spans`` a list the
+        # agent appends (kind_id, t0, dur) tuples to for sampled
+        # requests (or None).
+        self.metrics = None
+        self.spans = None
 
     def checkout(self) -> "RolloutWorkspace":
         """Mark this workspace as owned by one rollout/worker.
@@ -172,6 +183,7 @@ class RolloutWorkspace:
             cols = width if buf is None else max(width, buf.shape[1])
             buf = np.empty((max(rows, 1), max(cols, 1)), dtype=dtype)
             self._buffers[name] = buf
+            self.allocations += 1
         return buf[:n, :width]
 
     @property
@@ -720,7 +732,13 @@ class KGEnvironment:
         # The store redirects every padded cell to its shard's
         # zero-sentinel slot, so the gather stays in bounds and pads
         # read as 0 — one sub-gather per touched shard, no row loop.
-        csr.gather_into(entities, cols, mask, idx, rels, tails)
+        # The workspace rides along so the multi-shard path recycles
+        # its scatter scratch, and its metric block (if any) picks up
+        # per-shard gather counters.
+        csr.gather_into(entities, cols, mask, idx, rels, tails,
+                        scratch=workspace,
+                        metrics=None if workspace is None
+                        else workspace.metrics)
         return rels, tails, mask
 
     def _widen_with_overlay(self, entities: np.ndarray, rels: np.ndarray,

@@ -38,6 +38,8 @@ from typing import Mapping, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry.block import gather_shard_counter
+
 
 class ShardTables(NamedTuple):
     """One immutable CSR bundle (entity-local when owned by a shard).
@@ -303,7 +305,8 @@ class ShardedCSR:
 
     def gather_into(self, entities: np.ndarray, cols: np.ndarray,
                     mask: np.ndarray, idx: np.ndarray,
-                    rels_out: np.ndarray, tails_out: np.ndarray) -> None:
+                    rels_out: np.ndarray, tails_out: np.ndarray,
+                    scratch=None, metrics=None) -> None:
         """Fill ``(N, A)`` rel/tail grids for a frontier, zero-padded.
 
         ``mask`` must already hold ``cols < degrees[entities]``; padded
@@ -315,6 +318,13 @@ class ShardedCSR:
         frontier is sorted **shard-major** and served as one contiguous
         sub-gather per touched shard run with a single scatter back to
         row order per output grid.
+
+        ``scratch`` (a :class:`~repro.core.environment.RolloutWorkspace`
+        or None) recycles the multi-shard path's two scatter grids so
+        steady-state gathers allocate nothing; ``metrics`` (a
+        ``repro.telemetry`` MetricBlock or None) picks up gather call /
+        row counters, per-shard row counters on the multi-shard path,
+        and the scratch-allocation count that proves the recycling.
         """
         n = len(entities)
         if n == 0:
@@ -326,7 +336,8 @@ class ShardedCSR:
             sid = int(np.searchsorted(boundaries, lo, side="right")) - 1
             if hi >= boundaries[sid + 1]:
                 self._gather_multi(entities, cols, mask, idx,
-                                   rels_out, tails_out)
+                                   rels_out, tails_out, scratch,
+                                   metrics)
                 return
         tables = self.shards[sid].tables
         local = entities - boundaries[sid] if sid else entities
@@ -335,10 +346,15 @@ class ShardedCSR:
         np.multiply(idx, mask, out=idx)
         np.take(tables.rels, idx, out=rels_out)
         np.take(tables.tails, idx, out=tails_out)
+        if metrics is not None:
+            metrics.count("gather_calls_total")
+            metrics.count("gather_rows_total", n)
+            metrics.count(gather_shard_counter(sid), n)
 
     def _gather_multi(self, entities: np.ndarray, cols: np.ndarray,
                       mask: np.ndarray, idx: np.ndarray,
-                      rels_out: np.ndarray, tails_out: np.ndarray) -> None:
+                      rels_out: np.ndarray, tails_out: np.ndarray,
+                      scratch=None, metrics=None) -> None:
         """Cross-shard frontier: shard-major grouped gather.
 
         One stable argsort groups rows into contiguous runs per shard;
@@ -348,19 +364,35 @@ class ShardedCSR:
         the end) instead of paying a fancy row-scatter per touched shard
         per output, which is what made scattered frontiers degrade
         toward S separate gathers.
+
+        The two frontier-sized scatter grids come from ``scratch``
+        when available — the last per-hop allocation on the walk path
+        recycles through the workspace like every other grid.
         """
         sid = self.shard_of(entities)
         order = np.argsort(sid, kind="stable")
         sorted_sid = sid[order]
         ents_s = entities[order]
         mask_s = mask[order]
-        rels_s = np.empty_like(rels_out)
-        tails_s = np.empty_like(tails_out)
+        n, width = rels_out.shape
+        if scratch is not None:
+            before = scratch.allocations
+            rels_s = scratch.buffer("gather_rels_s", n, width,
+                                    rels_out.dtype)
+            tails_s = scratch.buffer("gather_tails_s", n, width,
+                                    tails_out.dtype)
+            if metrics is not None and scratch.allocations != before:
+                metrics.count("gather_scratch_allocs_total",
+                              scratch.allocations - before)
+        else:
+            rels_s = np.empty_like(rels_out)
+            tails_s = np.empty_like(tails_out)
         starts = np.flatnonzero(
             np.concatenate([[True], sorted_sid[1:] != sorted_sid[:-1]]))
         stops = np.concatenate([starts[1:], [sorted_sid.size]])
         for start, stop in zip(starts, stops):
-            shard = self.shards[int(sorted_sid[start])]
+            shard_id = int(sorted_sid[start])
+            shard = self.shards[shard_id]
             tables = shard.tables
             local = ents_s[start:stop] - shard.start
             block = idx[start:stop]
@@ -369,8 +401,15 @@ class ShardedCSR:
             np.multiply(block, mask_s[start:stop], out=block)
             np.take(tables.rels, block, out=rels_s[start:stop])
             np.take(tables.tails, block, out=tails_s[start:stop])
+            if metrics is not None:
+                metrics.count(gather_shard_counter(shard_id),
+                              stop - start)
         rels_out[order] = rels_s
         tails_out[order] = tails_s
+        if metrics is not None:
+            metrics.count("gather_calls_total")
+            metrics.count("gather_multi_total")
+            metrics.count("gather_rows_total", n)
 
     # ------------------------------------------------------------------
     # Flat compatibility view

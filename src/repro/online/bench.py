@@ -72,8 +72,21 @@ def run_online_bench(trainer, sessions: Sequence[Session],
                      delta: Sequence[Session], *, checkpoint_dir,
                      concurrency: int = 16, k: int = 10,
                      min_requests: int = 256,
-                     check_sessions: int = 32) -> dict:
-    """One full lifecycle run; returns the JSON-ready payload."""
+                     check_sessions: int = 32,
+                     slo: Optional[dict] = None) -> dict:
+    """One full lifecycle run; returns the JSON-ready payload.
+
+    A single :class:`~repro.telemetry.registry.MetricsRegistry` spans
+    the updater and every server the bench constructs, so the final
+    fleet snapshot carries the online round timings next to the
+    serving and swap counters, and the swap-latency / p99 SLO gates
+    (``slo`` forwards to
+    :func:`repro.telemetry.exporters.serving_slos`) evaluate over the
+    whole lifecycle.
+    """
+    from repro.telemetry.exporters import evaluate_slos, serving_slos
+    from repro.telemetry.registry import MetricsRegistry
+
     sessions = [s for s in sessions if len(s.items) >= 2]
     delta = [s for s in delta if len(s.items) >= 2]
     if not sessions or not delta:
@@ -88,8 +101,10 @@ def run_online_bench(trainer, sessions: Sequence[Session],
         trainer.built, trainer.env,
         compact_every=cfg.online_compact_every,
         compact_shard_every=cfg.online_compact_shard_every or None)
+    metrics_registry = MetricsRegistry()
     updater = OnlineUpdater(trainer, ingestor, registry,
-                            min_sessions=1, max_steps=cfg.online_max_steps)
+                            min_sessions=1, max_steps=cfg.online_max_steps,
+                            metrics_registry=metrics_registry)
 
     # Warm-start checkpoint: the weights the server boots from.
     v_base = updater.run_once(force=True)
@@ -127,7 +142,8 @@ def run_online_bench(trainer, sessions: Sequence[Session],
                     "registry_versions": registry.versions()},
     }
 
-    with trainer.serve(registry=registry) as server:
+    with trainer.serve(registry=registry,
+                       metrics_registry=metrics_registry) as server:
         server.swap_model(v_base)
         # Warm the cache on the base version so the swap demonstrably
         # does NOT flush it.
@@ -191,7 +207,8 @@ def run_online_bench(trainer, sessions: Sequence[Session],
 
     # Stage 4b: cold restart — a fresh server on the same checkpoint
     # (empty cache, cold workspaces: everything a restart implies).
-    with trainer.serve(registry=registry) as cold:
+    with trainer.serve(registry=registry,
+                       metrics_registry=metrics_registry) as cold:
         restart_started = perf_counter()
         cold.swap_model(v_next)
         restart_ready_s = perf_counter() - restart_started
@@ -215,6 +232,22 @@ def run_online_bench(trainer, sessions: Sequence[Session],
     payload["determinism_bit_identical"] = bool(
         len(swapped) == len(fresh)
         and all(np.array_equal(a, b) for a, b in zip(swapped, fresh)))
+
+    # Fleet telemetry over the whole lifecycle (updater rounds + both
+    # servers' swaps and request latencies), gated by the SLO set.
+    slo_params = dict(slo or {})
+    slo_params.setdefault("swap_max_ms", 30_000.0)
+    snapshot = metrics_registry.snapshot()
+    metrics_registry.close()
+    results = evaluate_slos(snapshot, serving_slos(**slo_params))
+    payload["telemetry"] = {
+        "snapshot": snapshot.to_dict(),
+        "online_rounds": snapshot.counter("online_rounds_total"),
+        "online_sessions": snapshot.counter("online_sessions_total"),
+        "swaps": snapshot.counter("swaps_total"),
+        "slo": [result.to_dict() for result in results],
+        "slo_ok": all(result.ok for result in results),
+    }
     return payload
 
 

@@ -48,21 +48,29 @@ from typing import Callable, List, Optional
 
 from repro.online.ingest import DeltaIngestor
 from repro.online.registry import CheckpointRegistry
+from repro.telemetry.block import BlockManifest, MetricBlock
 
 
 def _run_round(trainer, ingestor: DeltaIngestor,
                registry: CheckpointRegistry, sessions,
-               max_steps: int) -> int:
+               max_steps: int, metrics: Optional[MetricBlock] = None
+               ) -> int:
     """One compact → fine-tune → publish round (caller's interpreter).
 
     Shared by the inline path (:meth:`OnlineUpdater.run_once`) and the
     subprocess child loop so both publish byte-identical manifests.
+    With a ``metrics`` block the round's phases land in the fleet
+    telemetry plane (``online_round/compact/publish_seconds``,
+    ``online_rounds/sessions_total``) — written by whichever
+    interpreter runs the round, merged by the parent registry.
     """
     started = perf_counter()
     ingestor.compact()  # fine-tune walks on merged CSR tables
+    compacted = perf_counter()
     diagnostics = {"steps": 0.0}
     if sessions:
         diagnostics = trainer.finetune(sessions, max_steps=max_steps)
+    publish_t0 = perf_counter()
     meta = {
         "model": trainer.model_name,
         "dataset": trainer.dataset.name,
@@ -73,12 +81,22 @@ def _run_round(trainer, ingestor: DeltaIngestor,
         "loss": diagnostics.get("loss"),
         "round_seconds": perf_counter() - started,
     }
-    return registry.publish(trainer.agent.state_dict(), meta=meta)
+    version = registry.publish(trainer.agent.state_dict(), meta=meta)
+    if metrics is not None:
+        done = perf_counter()
+        metrics.count("online_rounds_total")
+        metrics.count("online_sessions_total", len(sessions))
+        metrics.observe("online_compact_seconds", compacted - started)
+        metrics.observe("online_publish_seconds", done - publish_t0)
+        metrics.observe("online_round_seconds", done - started)
+    return version
 
 
 def _updater_child_main(conn, trainer, registry_root, keep_last: int,
                         compact_every: int, max_steps: int,
-                        niceness: int = 0) -> None:
+                        niceness: int = 0,
+                        metrics_manifest: Optional[BlockManifest] = None
+                        ) -> None:
     """Child loop of the subprocess updater.
 
     Owns a forked copy of the trainer (environment included) plus its
@@ -107,30 +125,43 @@ def _updater_child_main(conn, trainer, registry_root, keep_last: int,
     registry = CheckpointRegistry(registry_root, keep_last=keep_last)
     ingestor = DeltaIngestor(trainer.built, trainer.env,
                              compact_every=compact_every)
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, KeyboardInterrupt):
-            return
-        if message[0] == "stop":
-            conn.send(("ok",))
-            return
-        if message[0] != "round":  # pragma: no cover - protocol guard
-            conn.send(("err", f"unknown op {message[0]!r}"))
-            continue
-        _, sessions = message
-        try:
-            if sessions:
-                ingestor.ingest_sessions(sessions)
-                # The round fine-tunes on the pipe-shipped list; drain
-                # the ingestor's duplicate buffer or the persistent
-                # child accumulates every session it ever saw.
-                ingestor.drain_sessions()
-            version = _run_round(trainer, ingestor, registry, sessions,
-                                 max_steps)
-            conn.send(("published", version))
-        except Exception:
-            conn.send(("err", traceback.format_exc()))
+    # The parent owns the block's segment (it outlives child respawns);
+    # this child only attaches as the writer.
+    metrics = (MetricBlock.attach(metrics_manifest, writer=True)
+               if metrics_manifest is not None else None)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, KeyboardInterrupt):
+                return
+            if message[0] == "stop":
+                conn.send(("ok",))
+                return
+            if message[0] != "round":  # pragma: no cover - protocol guard
+                conn.send(("err", f"unknown op {message[0]!r}"))
+                continue
+            _, sessions = message
+            try:
+                if sessions:
+                    ingest_t0 = perf_counter()
+                    ingestor.ingest_sessions(sessions)
+                    # The round fine-tunes on the pipe-shipped list;
+                    # drain the ingestor's duplicate buffer or the
+                    # persistent child accumulates every session it
+                    # ever saw.
+                    ingestor.drain_sessions()
+                    if metrics is not None:
+                        metrics.observe("online_ingest_seconds",
+                                        perf_counter() - ingest_t0)
+                version = _run_round(trainer, ingestor, registry,
+                                     sessions, max_steps, metrics)
+                conn.send(("published", version))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        if metrics is not None:
+            metrics.close()
 
 
 class OnlineUpdater:
@@ -161,7 +192,8 @@ class OnlineUpdater:
                  max_steps: Optional[int] = None,
                  interval_s: Optional[float] = None,
                  on_publish: Optional[Callable[[int], None]] = None,
-                 mode: Optional[str] = None) -> None:
+                 mode: Optional[str] = None,
+                 metrics_registry=None) -> None:
         cfg = trainer.config
         self.trainer = trainer
         self.ingestor = ingestor
@@ -177,6 +209,21 @@ class OnlineUpdater:
             raise ValueError(
                 f"mode must be 'thread' or 'subprocess', got {self.mode!r}")
         self.on_publish = on_publish
+        # Fleet telemetry: one "updater" role block in the caller's
+        # MetricsRegistry (usually the serving server's).  The parent
+        # owns the segment; thread-mode rounds write it directly, while
+        # subprocess mode ships the manifest to the forked child, which
+        # attaches as the writer — either way the registry's merged
+        # snapshot carries the online round/ingest/compact/publish
+        # timings next to the serving counters.
+        self._metrics_registry = metrics_registry
+        self._metrics = None
+        if metrics_registry is not None:
+            from repro.telemetry.block import fleet_schema
+            store = trainer.env.csr_tables()
+            self._metrics = metrics_registry.create_block(
+                "updater", fleet_schema(num_shards=len(store.shards),
+                                        hops=cfg.path_length))
         self.rounds = 0
         self.published: List[int] = []
         self.last_error: Optional[BaseException] = None
@@ -208,7 +255,8 @@ class OnlineUpdater:
             version = self._round_in_subprocess(sessions)
         else:
             version = _run_round(self.trainer, self.ingestor,
-                                 self.registry, sessions, self.max_steps)
+                                 self.registry, sessions, self.max_steps,
+                                 self._metrics)
         self.rounds += 1
         self.published.append(version)
         if self.on_publish is not None:
@@ -240,7 +288,9 @@ class OnlineUpdater:
             args=(child_end, self.trainer, self.registry.root,
                   self.registry.keep_last, self.ingestor.compact_every,
                   self.max_steps,
-                  self.trainer.config.online_subprocess_nice),
+                  self.trainer.config.online_subprocess_nice,
+                  self._metrics.manifest
+                  if self._metrics is not None else None),
             name="reks-online-updater-proc", daemon=True)
         self._child.start()
         child_end.close()

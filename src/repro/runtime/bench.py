@@ -124,14 +124,22 @@ def check_mode_equivalence(trainer, sessions: Sequence[Session],
 
 
 def check_transport_equivalence(trainer, sessions: Sequence[Session],
-                                k: int = 10, workers: int = 2) -> bool:
-    """Ring-transport results must be bit-identical to the pipe's."""
+                                k: int = 10, workers: int = 2,
+                                trace_sample: float = 0.0) -> bool:
+    """Ring-transport results must be bit-identical to the pipe's.
+
+    With ``trace_sample=1.0`` every request carries a trace id through
+    the codec's trailing trace section and every response carries the
+    span trailer — the differential then proves the telemetry sections
+    are invisible to the result payload on both transports."""
     sessions = [s for s in sessions if len(s.items) >= 2]
     with trainer.serve(worker_mode="process", transport="pipe",
-                       workers=workers, cache_size=0) as server:
+                       workers=workers, cache_size=0,
+                       trace_sample=trace_sample) as server:
         pipe_results = server.recommend_many(sessions, k=k)
     with trainer.serve(worker_mode="process", transport="ring",
-                       workers=workers, cache_size=0) as server:
+                       workers=workers, cache_size=0,
+                       trace_sample=trace_sample) as server:
         ring_results = server.recommend_many(sessions, k=k)
     return _results_identical(pipe_results, ring_results)
 
@@ -251,6 +259,7 @@ def run_runtime_bench(trainer, sessions: Sequence[Session],
                              "transport": "ring"}),
                 ("process_pipe", {"worker_mode": "process",
                                   "transport": "pipe"}))
+    fleet_snapshot = None
     for label, overrides in variants:
         with trainer.serve(workers=workers, cache_size=0,
                            **overrides) as server:
@@ -260,6 +269,11 @@ def run_runtime_bench(trainer, sessions: Sequence[Session],
                 if elapsed < best_s:
                     best_s, best = elapsed, server.stats()
                 server.reset_stats()
+            if label == "process":
+                # Merged fleet metrics for the ring run: the worker
+                # children's per-shard gather counters and exec/walk
+                # timings next to the parent's transport counters.
+                fleet_snapshot = server.fleet_snapshot().to_dict()
             batches = max(1, round(best.requests
                                    / max(best.mean_occupancy, 1e-9)))
             entry = {
@@ -292,7 +306,22 @@ def run_runtime_bench(trainer, sessions: Sequence[Session],
         trainer, sessions[:check_sessions], k=k, workers=workers)
     serve_section["transport_bit_identical"] = check_transport_equivalence(
         trainer, sessions[:check_sessions], k=k, workers=workers)
+    # Same differential with every request traced: the codec's trace /
+    # span sections must not perturb the result payload on either
+    # transport.
+    serve_section["transport_bit_identical_traced"] = (
+        check_transport_equivalence(trainer, sessions[:check_sessions],
+                                    k=k, workers=workers,
+                                    trace_sample=1.0))
     payload["serve"] = serve_section
+    # The serve variants above already ran with the metrics plane on
+    # (the config default), so the ring-vs-thread per-batch ratio IS
+    # the with-telemetry overhead number the SLO gate consumes.
+    payload["telemetry"] = {
+        "ring_per_batch_vs_thread": serve_section["process"][
+            "per_batch_vs_thread"],
+        "snapshot": fleet_snapshot,
+    }
 
     # ------------------------------------------------------------------
     # Phase 1b: scattered-frontier shard-major gather.
@@ -407,7 +436,8 @@ def format_report(payload: dict) -> str:
             f"(batch {pipe.get('per_batch_vs_thread', 0):.2f}x thread)")
     lines.append(
         f"  bit-identical  : modes={serve['bit_identical']} "
-        f"transports={serve.get('transport_bit_identical', '?')}")
+        f"transports={serve.get('transport_bit_identical', '?')} "
+        f"traced={serve.get('transport_bit_identical_traced', '?')}")
     if gather is not None:
         lines.append(
             f"  scatter gather : {gather['num_shards']} shards x "

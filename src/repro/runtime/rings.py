@@ -271,17 +271,25 @@ def _check_i32(value: int, what: str) -> int:
 
 
 def encode_request(examples: Sequence[tuple], ks: Sequence[int],
-                   max_length: int) -> bytes:
+                   max_length: int,
+                   traces: Optional[Sequence[int]] = None) -> bytes:
     """Flatten ``(prefix_items, target, user)`` examples + per-row k.
 
     Prefixes are pre-truncated to ``max_length`` — bit-identical to
     shipping them whole, because ``collate_examples`` applies the same
     ``[-max_length:]`` truncation worker-side.
+
+    ``traces`` (optional) carries one 31-bit trace id per row (0 = not
+    sampled); a section of ``n`` int32 is appended only when at least
+    one row is sampled, so the tracing-off payload is unchanged.
     """
     n = len(examples)
     if n == 0 or len(ks) != n:
         raise RingUnsuitable(f"bad batch shape ({n} examples, "
                              f"{len(ks)} ks)")
+    if traces is not None and len(traces) != n:
+        raise RingUnsuitable(f"bad trace shape ({n} examples, "
+                             f"{len(traces)} traces)")
     flat: List[int] = [n]
     items: List[int] = []
     lengths: List[int] = []
@@ -297,24 +305,31 @@ def encode_request(examples: Sequence[tuple], ks: Sequence[int],
             items.append(_check_i32(item, "session item"))
     flat += [_check_i32(k, "k") for k in ks]
     flat += lengths + targets + users + items
+    if traces is not None and any(traces):
+        flat += [_check_i32(t, "trace id") for t in traces]
     return np.asarray(flat, dtype=_I32).tobytes()
 
 
-def decode_request(payload: bytes) -> Tuple[List[tuple], List[int]]:
+def decode_request(payload: bytes
+                   ) -> Tuple[List[tuple], List[int], List[int]]:
     flat = np.frombuffer(payload, dtype=_I32)
     n = int(flat[0])
     ks = flat[1:1 + n].tolist()
     lengths = flat[1 + n:1 + 2 * n]
     targets = flat[1 + 2 * n:1 + 3 * n].tolist()
     users = flat[1 + 3 * n:1 + 4 * n].tolist()
-    items = flat[1 + 4 * n:]
+    total_items = int(lengths.sum())
+    items = flat[1 + 4 * n:1 + 4 * n + total_items]
+    trace_sec = flat[1 + 4 * n + total_items:]
+    traces = (trace_sec[:n].tolist() if trace_sec.size >= n
+              else [0] * n)
     stops = np.cumsum(lengths)
     starts = stops - lengths
     examples = [
         (items[int(starts[i]):int(stops[i])].tolist(), targets[i],
          None if users[i] == _NO_USER else users[i])
         for i in range(n)]
-    return examples, ks
+    return examples, ks, traces
 
 
 # ----------------------------------------------------------------------
@@ -331,7 +346,9 @@ def encode_error(traceback_text: str, capacity: int) -> bytes:
     return head + body[:max(0, capacity - len(head))]
 
 
-def encode_response(version: int, rows: Sequence[tuple]) -> bytes:
+def encode_response(version: int, rows: Sequence[tuple],
+                    spans: Sequence[tuple] = (),
+                    traces: Sequence[int] = ()) -> bytes:
     """Marshal executed rows: ``(items, scores, path_blobs)`` per row.
 
     ``path_blobs[i]`` is ``None`` or ``(entities, relations, prob)``.
@@ -344,6 +361,14 @@ def encode_response(version: int, rows: Sequence[tuple]) -> bytes:
     no path), ``path_nodes`` concatenates each present path's
     ``entities`` (len+1) then ``relations`` (len), and ``P`` is the
     number of present paths.
+
+    When the request carried sampled trace ids, a **telemetry
+    trailer** follows: ``[n_spans i32][n_traces i32]
+    [traces i32*n_traces][pad8][spans f64*3*n_spans]`` — each span is
+    a ``(kind_id, t0, dur)`` triple (see
+    :data:`repro.telemetry.trace.SPAN_KINDS`).  No trailer is emitted
+    when both sections are empty, keeping the tracing-off payload
+    byte-identical to the pre-telemetry format.
     """
     n = len(rows)
     ks = [len(row[0]) for row in rows]
@@ -373,11 +398,26 @@ def encode_response(version: int, rows: Sequence[tuple]) -> bytes:
     size = sum(len(p) for p in parts)
     parts.append(b"\x00" * (_align(size, 8) - size))
     parts.append(np.asarray(probs, dtype=_F64).tobytes())
+    if spans or traces:
+        parts.append(np.asarray([len(spans), len(traces)]
+                                + [_check_i32(t, "trace id")
+                                   for t in traces],
+                                dtype=_I32).tobytes())
+        size = sum(len(p) for p in parts)
+        parts.append(b"\x00" * (_align(size, 8) - size))
+        flat_spans: List[float] = []
+        for kind_id, t0, dur in spans:
+            flat_spans += [float(kind_id), float(t0), float(dur)]
+        parts.append(np.asarray(flat_spans, dtype=_F64).tobytes())
     return b"".join(parts)
 
 
-def decode_response(payload: bytes) -> Tuple[int, List[tuple]]:
-    """Inverse of :func:`encode_response`.
+def decode_response(payload: bytes
+                    ) -> Tuple[int, List[tuple], List[tuple],
+                               List[int]]:
+    """Inverse of :func:`encode_response`; returns
+    ``(version, rows, spans, traces)`` (spans/traces empty when the
+    payload has no telemetry trailer).
 
     Raises :class:`WorkerExecError` when the slot carries a worker
     traceback (status=1).
@@ -410,6 +450,22 @@ def decode_response(payload: bytes) -> Tuple[int, List[tuple]]:
     n_paths = int(np.count_nonzero(path_len >= 0))
     probs = np.frombuffer(payload, dtype=_F64, count=n_paths,
                           offset=offset)
+    offset += 8 * n_paths
+    spans: List[tuple] = []
+    traces: List[int] = []
+    if offset + 8 <= len(payload):
+        trailer = np.frombuffer(payload, dtype=_I32, count=2,
+                                offset=offset)
+        n_spans, n_traces = int(trailer[0]), int(trailer[1])
+        offset += 8
+        traces = np.frombuffer(payload, dtype=_I32, count=n_traces,
+                               offset=offset).tolist()
+        offset = _align(offset + 4 * n_traces, 8)
+        flat_spans = np.frombuffer(payload, dtype=_F64,
+                                   count=3 * n_spans, offset=offset)
+        spans = [(int(flat_spans[3 * i]), float(flat_spans[3 * i + 1]),
+                  float(flat_spans[3 * i + 2]))
+                 for i in range(n_spans)]
     rows: List[tuple] = []
     cell = 0
     cursor = 0
@@ -433,7 +489,7 @@ def decode_response(payload: bytes) -> Tuple[int, List[tuple]]:
             path_idx += 1
         cell += k
         rows.append((row_items, row_scores, row_paths))
-    return version, rows
+    return version, rows, spans, traces
 
 
 class WorkerExecError(RuntimeError):

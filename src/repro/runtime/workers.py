@@ -51,6 +51,7 @@ import queue
 import threading
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _mp_wait
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -82,6 +83,14 @@ from repro.runtime.rings import (
     encode_request,
     encode_response,
 )
+from repro.telemetry.block import BlockManifest, MetricBlock, fleet_schema
+from repro.telemetry.trace import span_kind_id
+
+_SPAN_EXEC = span_kind_id("exec")
+_SPAN_COLLATE = span_kind_id("collate")
+# Worst-case telemetry trailer per sampled batch: header + trace echo
+# + pad + (collate/walk/topk/exec) span triples.
+_MAX_RESP_SPANS = 8
 
 # Per-shard plane array names (stable across generations).
 SHARD_ARRAYS = ("indptr", "rels", "tails", "degrees")
@@ -230,7 +239,8 @@ def build_worker_agent(spec: AgentSpec,
 # Child process loop
 # ----------------------------------------------------------------------
 def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
-               ks: Sequence[int], workspace, max_len: int) -> List[tuple]:
+               ks: Sequence[int], workspace, max_len: int,
+               span_sink: Optional[list] = None) -> List[tuple]:
     """Execute one (possibly mixed-k) micro-batch as a superset walk.
 
     The walk and the score matrix are k-independent, so one
@@ -245,9 +255,17 @@ def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
     raw ``(entities, relations, prob)`` tuples — no repro classes, so
     rows marshal through either transport unchanged.
     """
+    t0 = perf_counter()
     batch = collate_examples(examples, max_len)
-    kmax = max(ks)
-    rec = agent.recommend(batch, k=kmax, workspace=workspace)
+    if span_sink is not None:
+        span_sink.append((_SPAN_COLLATE, t0, perf_counter() - t0))
+        workspace.spans = span_sink  # recommend appends walk/topk
+    try:
+        kmax = max(ks)
+        rec = agent.recommend(batch, k=kmax, workspace=workspace)
+    finally:
+        if span_sink is not None:
+            workspace.spans = None
     rows = []
     for row, k in enumerate(ks):
         if k == kmax:
@@ -290,7 +308,9 @@ def _worker_main(conn, spec: AgentSpec,
                  boundaries: np.ndarray, emb_manifest: PlaneManifest,
                  untrack_shm: bool = False,
                  ring_manifest: Optional[RingManifest] = None,
-                 db_req=None, db_resp=None) -> None:
+                 db_req=None, db_resp=None,
+                 metrics_manifest: Optional[BlockManifest] = None
+                 ) -> None:
     """Entry point of one worker process.
 
     ``untrack_shm`` stays False for pool-started workers (fork and
@@ -311,11 +331,36 @@ def _worker_main(conn, spec: AgentSpec,
     emb_plane = TablePlane.attach(emb_manifest, untrack=untrack_shm)
     ring = (RingPair.attach(ring_manifest, untrack=untrack_shm)
             if ring_manifest is not None else None)
+    metrics = (MetricBlock.attach(metrics_manifest, untrack=untrack_shm,
+                                  writer=True)
+               if metrics_manifest is not None else None)
     agent = build_worker_agent(spec, shard_planes, boundaries, emb_plane)
     version = spec.model_version
     workspace = agent.workspace
+    # The workspace carries the metric block through the walk so the
+    # environment / graph store record gather + per-hop timings without
+    # any global sink (single-owner scratch contract extends to it).
+    workspace.metrics = metrics
     max_len = agent.config.max_session_length
-    kg = agent.env.built.kg
+
+    def run_exec(examples, ks, traces) -> Tuple[list, list, list]:
+        """Execute + instrument one batch; returns (rows, spans,
+        sampled trace-id echo)."""
+        sampled = [t for t in traces if t] if traces else []
+        spans: List[tuple] = []
+        t0 = perf_counter()
+        rows = _exec_rows(agent, examples, ks, workspace, max_len,
+                          span_sink=spans if sampled else None)
+        dur = perf_counter() - t0
+        if sampled:
+            spans.append((_SPAN_EXEC, t0, dur))
+        if metrics is not None:
+            metrics.count("exec_batches_total")
+            metrics.count("exec_rows_total", len(examples))
+            metrics.observe("exec_seconds", dur)
+            if sampled:
+                metrics.count("worker_traces_total", len(sampled))
+        return rows, spans, sampled
 
     def serve_ring_request() -> None:
         # The doorbell byte is consumed by the caller; the request is
@@ -325,9 +370,11 @@ def _worker_main(conn, spec: AgentSpec,
         if payload is None:  # pragma: no cover - protocol violation
             raise RuntimeError("ring doorbell without a published slot")
         try:
-            examples, ks = decode_request(payload)
-            rows = _exec_rows(agent, examples, ks, workspace, max_len)
-            ring.post_response(encode_response(version, rows))
+            examples, ks, traces = decode_request(payload)
+            rows, spans, sampled = run_exec(examples, ks, traces)
+            ring.post_response(encode_response(version, rows,
+                                               spans=spans,
+                                               traces=sampled))
         except Exception:
             ring.post_response(encode_error(
                 traceback.format_exc(),
@@ -347,12 +394,16 @@ def _worker_main(conn, spec: AgentSpec,
             op = message[0]
             try:
                 if op == "exec":
-                    _, examples, ks = message
+                    examples, ks = message[1], message[2]
+                    traces = message[3] if len(message) > 3 else None
                     if isinstance(ks, int):
                         ks = [ks] * len(examples)
-                    rows = _exec_rows(agent, examples, ks, workspace,
-                                      max_len)
-                    conn.send(("ok", version, _finish_rows(rows, kg)))
+                    rows, spans, sampled = run_exec(examples, ks,
+                                                    traces)
+                    # Rows cross unrendered on both transports; the
+                    # parent renders lazily behind the cache (see
+                    # serving.server.ServedResult).
+                    conn.send(("ok", version, rows, spans, sampled))
                 elif op == "swap":
                     _, new_version, state = message
                     # Partial: frozen plane-backed tables are not
@@ -397,6 +448,8 @@ def _worker_main(conn, spec: AgentSpec,
     finally:
         if ring is not None:
             ring.close()
+        if metrics is not None:
+            metrics.close()
         for plane in shard_planes.values():
             plane.close()
         emb_plane.close()
@@ -423,7 +476,9 @@ class _Worker:
                  shard_manifests: Dict[int, PlaneManifest],
                  boundaries: np.ndarray, emb_manifest: PlaneManifest,
                  name: str, index: int, untrack_shm: bool,
-                 transport: str = "pipe") -> None:
+                 transport: str = "pipe",
+                 metrics_manifest: Optional[BlockManifest] = None
+                 ) -> None:
         self.index = index
         self._lock = threading.Lock()
         self.conn, child_conn = context.Pipe(duplex=True)
@@ -442,7 +497,7 @@ class _Worker:
             target=_worker_main,
             args=(child_conn, spec, shard_manifests, boundaries,
                   emb_manifest, untrack_shm, ring_manifest,
-                  child_db_req, child_db_resp),
+                  child_db_req, child_db_resp, metrics_manifest),
             name=name, daemon=True)
         self.process.start()
         child_conn.close()  # parent keeps only its end
@@ -466,20 +521,26 @@ class _Worker:
         return reply[1:]
 
     def exec_batch(self, examples: Sequence[tuple], ks: Sequence[int],
-                   max_len: int, resp_bound: int) -> Tuple[str, int, list]:
+                   max_len: int, resp_bound: int,
+                   traces: Optional[Sequence[int]] = None
+                   ) -> Tuple[str, int, list, list, list]:
         """Run one micro-batch over the best transport available.
 
-        Returns ``(used, version, rows)`` where ``used`` is ``"ring"``
-        (rows are unrendered 3-tuples), ``"pipe"`` (this worker has no
-        ring), or ``"fallback"`` (it has one, but this batch could not
-        ride it — oversize payload, un-encodable values, or a full
-        ring).
+        Returns ``(used, version, rows, spans, trace_echo)`` where
+        ``used`` is ``"ring"``, ``"pipe"`` (this worker has no ring),
+        or ``"fallback"`` (it has one, but this batch could not ride
+        it — oversize payload, un-encodable values, or a full ring).
+        Rows are unrendered 3-tuples on every transport; ``spans`` are
+        the worker's ``(kind_id, t0, dur)`` batch spans and
+        ``trace_echo`` the sampled ids it attributed them to (both
+        empty when no row was sampled).
         """
         used = "pipe"
         if self.ring is not None:
             payload = None
             try:
-                payload = encode_request(examples, ks, max_len)
+                payload = encode_request(examples, ks, max_len,
+                                         traces=traces)
                 if (len(payload) > self.ring.manifest.req_slot_bytes
                         or resp_bound
                         > self.ring.manifest.resp_slot_bytes):
@@ -496,12 +557,16 @@ class _Worker:
                         self._db_req.send_bytes(b"\x01")
                         raw = self._await_ring_response()
                         try:
-                            version, rows = decode_response(raw)
+                            version, rows, spans, echo = (
+                                decode_response(raw))
                         except WorkerExecError as exc:
                             raise WorkerError(str(exc)) from None
-                        return "ring", version, rows
-        version, rows = self.request(("exec", list(examples), list(ks)))
-        return used, version, rows
+                        return "ring", version, rows, spans, echo
+        message = ("exec", list(examples), list(ks))
+        if traces is not None and any(traces):
+            message += (list(traces),)
+        version, rows, spans, echo = self.request(message)
+        return used, version, rows, spans, echo
 
     def _await_ring_response(self) -> bytes:
         """Block on the response doorbell (or the child's death).
@@ -605,7 +670,9 @@ class ProcessWorkerPool:
                  mp_context: str = "auto", plane_backend: str = "auto",
                  model_version: int = 0,
                  health_interval_s: Optional[float] = None,
-                 transport: str = "ring") -> None:
+                 transport: str = "ring",
+                 metrics_registry=None,
+                 metrics_block=None) -> None:
         if workers < 1:
             raise ValueError(f"need >= 1 worker, got {workers}")
         if transport not in ("pipe", "ring"):
@@ -640,6 +707,15 @@ class ProcessWorkerPool:
         self._boundaries = np.array(store.boundaries, dtype=np.int64)
         self._csr_planes = export_shard_planes(agent.env,
                                                backend=plane_backend)
+        # Telemetry: one shared-memory metric block per worker role
+        # (created by the parent's registry so retire-on-respawn folds
+        # counts without double counting), plus an optional
+        # parent-written block for the pool's own transport counters.
+        self._metrics_registry = metrics_registry
+        self._metrics = metrics_block
+        self._metrics_schema = fleet_schema(
+            num_shards=len(self._csr_planes),
+            hops=self._spec.config.path_length)
         # Double-buffered delta publish: each dirty-shard generation is
         # written into that shard's *spare* arena and flipped live, so
         # steady state re-publishes allocate zero new segments.
@@ -707,11 +783,21 @@ class ProcessWorkerPool:
     def _spawn(self, index: int) -> _Worker:
         manifests = {sid: plane.manifest
                      for sid, plane in self._csr_planes.items()}
+        metrics_manifest = None
+        if self._metrics_registry is not None:
+            # create_block retires any stale block under this role
+            # first (final snapshot folded into the retained
+            # accumulators), so a respawn re-registers a zeroed block
+            # and the fleet totals never double count.
+            block = self._metrics_registry.create_block(
+                f"worker{index}", self._metrics_schema)
+            metrics_manifest = block.manifest
         return _Worker(self._context, self._spec, manifests,
                        self._boundaries, self._emb_plane.manifest,
                        name=f"reks-procworker-{index}", index=index,
                        untrack_shm=self._untrack_shm,
-                       transport=self.transport)
+                       transport=self.transport,
+                       metrics_manifest=metrics_manifest)
 
     def _bootstrap(self, worker: _Worker) -> None:
         """Replay the pool's current state into a fresh worker."""
@@ -746,6 +832,8 @@ class ProcessWorkerPool:
             self._bootstrap(fresh)
             self._workers[dead.index] = fresh
             self.respawns += 1
+            if self._metrics is not None:
+                self._metrics.count("worker_respawns_total")
             return fresh
 
     def _health_loop(self, interval: float) -> None:
@@ -774,7 +862,10 @@ class ProcessWorkerPool:
     # Micro-batch execution
     # ------------------------------------------------------------------
     def execute(self, examples: Sequence[tuple],
-                k: Union[int, Sequence[int]]) -> Tuple[int, List[tuple]]:
+                k: Union[int, Sequence[int]],
+                traces: Optional[Sequence[int]] = None,
+                span_sink: Optional[list] = None
+                ) -> Tuple[int, List[tuple]]:
         """Run one micro-batch on an idle worker.
 
         ``k`` is a single top-k for the whole batch or one per example
@@ -783,9 +874,18 @@ class ProcessWorkerPool:
         execution).  Returns ``(model_version, rows)`` where the
         version is the one the worker actually executed with (a swap
         broadcast can land between submission and execution, never
-        mid-batch).  Worker death is invisible here: a corpse popped
-        from the idle queue is swapped for its respawned slot occupant
-        before routing, and a batch that races a death mid-flight is
+        mid-batch).  Rows are **unrendered** ``(items, scores, paths)``
+        3-tuples on every transport — rendering happens lazily in the
+        serving layer (:func:`_finish_rows` is the eager helper).
+
+        ``traces`` carries one sampled trace id per example (0 = not
+        sampled) and rides either transport; the worker's batch spans
+        come back through ``span_sink`` (appended in place) so the
+        return shape stays ``(version, rows)`` for every caller.
+
+        Worker death is invisible here: a corpse popped from the idle
+        queue is swapped for its respawned slot occupant before
+        routing, and a batch that races a death mid-flight is
         re-executed once on a fresh respawn (idempotent — pure
         inference).  :class:`WorkerDied` escapes only if the respawned
         worker dies too.
@@ -800,7 +900,11 @@ class ProcessWorkerPool:
             if len(ks) != len(examples):
                 raise ValueError(
                     f"{len(examples)} examples but {len(ks)} ks")
+        n_sampled = sum(1 for t in traces if t) if traces else 0
         resp_bound = 64 + 4 * len(ks) + sum(ks) * self._resp_cell_bytes
+        if n_sampled:
+            # Telemetry trailer: header + trace echo + pad + spans.
+            resp_bound += 16 + 4 * n_sampled + 24 * _MAX_RESP_SPANS
         worker = self._idle.get()
         try:
             if worker.process.exitcode is not None:
@@ -809,13 +913,14 @@ class ProcessWorkerPool:
                 # occupant instead of failing the batch.
                 worker = self._respawn(worker)
             try:
-                used, version, rows = worker.exec_batch(
-                    examples, ks, self._max_len, resp_bound)
+                used, version, rows, spans, echo = worker.exec_batch(
+                    examples, ks, self._max_len, resp_bound, traces)
             except WorkerDied:
                 worker = self._respawn(worker)
                 try:
-                    used, version, rows = worker.exec_batch(
-                        examples, ks, self._max_len, resp_bound)
+                    used, version, rows, spans, echo = (
+                        worker.exec_batch(examples, ks, self._max_len,
+                                          resp_bound, traces))
                 except WorkerDied:
                     worker = self._respawn(worker)
                     raise
@@ -828,11 +933,14 @@ class ProcessWorkerPool:
                 self.pipe_batches += 1
                 if used == "fallback":
                     self.ring_fallbacks += 1
-        if used == "ring":
-            # Ring rows cross as pure numbers; explanations are
-            # rendered here from the shared KG (deterministic, so the
-            # strings are bit-identical to worker-side rendering).
-            rows = _finish_rows(rows, self._spec.built.kg)
+        if self._metrics is not None:
+            self._metrics.count("ring_batches_total"
+                                if used == "ring"
+                                else "pipe_batches_total")
+            if used == "fallback":
+                self._metrics.count("ring_fallbacks_total")
+        if span_sink is not None and spans:
+            span_sink.extend(spans)
         return int(version), rows
 
     # ------------------------------------------------------------------
@@ -1056,6 +1164,12 @@ class ProcessWorkerPool:
             self._health_thread.join(timeout=5.0)
         for worker in self._workers:
             worker.shutdown()
+        if self._metrics_registry is not None:
+            # Fold final worker counts into the retained accumulators
+            # (the blocks outlive their writers just long enough to be
+            # read) and unlink the segments.
+            for index in range(self.size):
+                self._metrics_registry.retire(f"worker{index}")
         for sid, plane in self._csr_planes.items():
             if sid not in self._shard_arenas:
                 plane.unlink()

@@ -14,6 +14,14 @@ Three measured phases per run:
 The emitted payload (``BENCH_serving.json``) carries throughput for
 all three, the coalesced-vs-naive speedup, latency percentiles, the
 batch-occupancy histogram, and the cache hit rate.
+
+A fourth phase exercises the telemetry plane end to end: a fresh
+server with the ``/metrics`` HTTP endpoint and (optionally) request
+tracing enabled takes a short warm+cold pass, the endpoint is scraped
+over real HTTP, the fleet snapshot is captured as JSON, and the
+declarative serving SLOs (:func:`repro.telemetry.exporters.serving_slos`)
+are evaluated against it — the CLI turns a violation into a non-zero
+exit so CI gates on it.
 """
 
 from __future__ import annotations
@@ -58,13 +66,59 @@ def _closed_loop(server: RecommendationServer, sessions: Sequence[Session],
     return elapsed
 
 
+def run_telemetry_phase(trainer, sessions: Sequence[Session], *,
+                        concurrency: int = 32, k: int = 20,
+                        trace_sample: float = 0.0,
+                        slo_p99_ms: float = 1000.0,
+                        slo_swap_max_ms: float = 5000.0,
+                        slo_cache_hit_floor: float = 0.25,
+                        slo_ring_fallback_ceiling: float = 0.5,
+                        overrides: Optional[dict] = None) -> dict:
+    """Drive a fresh server with the full telemetry plane enabled.
+
+    Cold pass (misses) + warm replay (hits), a real HTTP scrape of the
+    ``/metrics`` endpoint, the merged fleet snapshot as JSON, and the
+    canonical serving SLO gates evaluated against it.  Returns the
+    JSON-ready ``telemetry`` section of a bench payload.
+    """
+    from urllib.request import urlopen
+
+    from repro.telemetry.exporters import evaluate_slos, serving_slos
+    from repro.telemetry.trace import spans_by_trace
+
+    with trainer.serve(metrics_port=0, trace_sample=trace_sample,
+                       **(overrides or {})) as server:
+        _closed_loop(server, sessions, concurrency, k)   # cold: misses
+        _closed_loop(server, sessions, concurrency, k)   # warm: hits
+        with urlopen(server.metrics_url, timeout=10) as resp:
+            scrape = resp.read().decode("utf-8")
+        snapshot = server.fleet_snapshot()
+        spans = server.tracer.drain()
+    slos = serving_slos(p99_ms=slo_p99_ms, swap_max_ms=slo_swap_max_ms,
+                        cache_hit_floor=slo_cache_hit_floor,
+                        ring_fallback_ceiling=slo_ring_fallback_ceiling)
+    results = evaluate_slos(snapshot, slos)
+    return {
+        "trace_sample": trace_sample,
+        "prometheus_bytes": len(scrape),
+        "prometheus_scraped": scrape.startswith("# "),
+        "snapshot": snapshot.to_dict(),
+        "spans_recorded": len(spans),
+        "traces_recorded": len(spans_by_trace(spans)),
+        "slo": [result.to_dict() for result in results],
+        "slo_ok": all(result.ok for result in results),
+    }
+
+
 def run_serving_bench(trainer, sessions: Sequence[Session], *,
                       concurrency: int = 32, k: int = 20,
                       max_batch: Optional[int] = None,
                       max_wait_ms: Optional[float] = None,
                       workers: Optional[int] = None,
                       min_requests: int = 512,
-                      naive_sessions: Optional[int] = None) -> dict:
+                      naive_sessions: Optional[int] = None,
+                      trace_sample: float = 0.0,
+                      slo: Optional[dict] = None) -> dict:
     """One load-generator run; returns the JSON-ready payload.
 
     The request stream repeats the session list until it is at least
@@ -125,6 +179,13 @@ def run_serving_bench(trainer, sessions: Sequence[Session], *,
         warm = server.stats()
         cache = server.cache
 
+    # Phase 4: telemetry plane — /metrics scrape + fleet snapshot +
+    # SLO gates on a short dedicated pass (phases 1-3 keep their
+    # historical shape for comparability).
+    telemetry = run_telemetry_phase(
+        trainer, sessions, concurrency=concurrency, k=k,
+        trace_sample=trace_sample, overrides=overrides, **(slo or {}))
+
     return {
         "benchmark": "serving",
         "concurrency": concurrency,
@@ -164,6 +225,7 @@ def run_serving_bench(trainer, sessions: Sequence[Session], *,
                   "by_version": warm.to_dict()["cache_by_version"]},
         "speedup_vs_naive": (len(stream) / cold_s) / naive_rps,
         "workspace_pool_bytes": pool_bytes,
+        "telemetry": telemetry,
     }
 
 
@@ -209,4 +271,13 @@ def format_report(payload: dict) -> str:
         f"  occupancy     : mean {cold['mean_occupancy']:.1f} "
         f"over {cold['batches']} batches",
     ]
+    tel = payload.get("telemetry")
+    if tel is not None:
+        failed = [r["name"] for r in tel["slo"] if not r["ok"]]
+        lines.append(
+            f"  telemetry     : /metrics scrape {tel['prometheus_bytes']}B, "
+            f"{tel['spans_recorded']} spans over "
+            f"{tel['traces_recorded']} traces "
+            f"(sample={tel['trace_sample']:.2f}), SLO "
+            + ("PASS" if tel["slo_ok"] else f"FAIL {failed}"))
     return "\n".join(lines)

@@ -31,13 +31,19 @@ class WorkspacePool:
     ``checkout`` behind it.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, metrics=None) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.size = size
+        # Optional repro.telemetry MetricBlock every pooled workspace
+        # carries (walk/gather instrumentation records through it);
+        # replacements inherit it so a swapped slot keeps reporting.
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._workspaces: List[RolloutWorkspace] = [
             RolloutWorkspace() for _ in range(size)]
+        for workspace in self._workspaces:
+            workspace.metrics = metrics
         self._idle: "queue.LifoQueue[RolloutWorkspace]" = queue.LifoQueue()
         for workspace in self._workspaces:
             self._idle.put(workspace)
@@ -45,6 +51,7 @@ class WorkspacePool:
     def _replace(self, broken: RolloutWorkspace) -> None:
         """Swap a suspect workspace for a fresh one (slot count kept)."""
         fresh = RolloutWorkspace()
+        fresh.metrics = self.metrics
         with self._lock:
             try:
                 index = self._workspaces.index(broken)

@@ -68,6 +68,10 @@ from repro.serving.scheduler import (
     SchedulerClosed,
 )
 from repro.serving.stats import ServerStats, StatsSnapshot
+from repro.telemetry.block import fleet_schema
+from repro.telemetry.httpd import MetricsEndpoint
+from repro.telemetry.registry import FleetSnapshot, MetricsRegistry
+from repro.telemetry.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,7 @@ class _Request:
     session: Session
     k: int
     base_key: tuple
+    trace: int = 0  # sampled trace id (0 = this request is not traced)
 
 
 class ServerClosed(RuntimeError):
@@ -117,7 +122,11 @@ class RecommendationServer:
                  worker_mode: str = "thread", mp_context: str = "auto",
                  plane_backend: str = "auto",
                  transport: str = "ring",
-                 health_interval_ms: float = 200.0) -> None:
+                 health_interval_ms: float = 200.0,
+                 trace_sample: float = 0.0,
+                 metrics: bool = True,
+                 metrics_port: Optional[int] = None,
+                 metrics_registry: Optional[MetricsRegistry] = None) -> None:
         if worker_mode not in ("thread", "process"):
             raise ValueError(
                 f"worker_mode must be 'thread' or 'process', "
@@ -136,6 +145,30 @@ class RecommendationServer:
         self.worker_mode = worker_mode
         self._scheduler = BatchScheduler(max_batch=max_batch,
                                          max_wait_ms=max_wait_ms)
+        # Telemetry plane (repro.telemetry): one shared-memory metric
+        # block per process in the serving fleet, all merged by a
+        # parent-side registry.  The server owns the "server" role
+        # block (request latency, cache, enqueue/flush/render timings
+        # — and, in thread mode, the walk/gather instrumentation that
+        # otherwise lands in the worker children's blocks).
+        self._tracer = Tracer(sample=trace_sample)
+        self._metrics_registry: Optional[MetricsRegistry] = None
+        self._owns_registry = False
+        self._metrics = None
+        if metrics:
+            self._metrics_registry = (metrics_registry
+                                      if metrics_registry is not None
+                                      else MetricsRegistry(
+                                          backend=plane_backend))
+            self._owns_registry = metrics_registry is None
+            store = agent.env.csr_tables()
+            schema = fleet_schema(num_shards=len(store.shards),
+                                  hops=agent.config.path_length)
+            self._metrics = self._metrics_registry.create_block(
+                "server", schema)
+            self._metrics.gauge("model_version", float(model_version))
+            self._metrics.gauge("trace_sample", float(trace_sample))
+            self._metrics.gauge("workers_alive", float(workers))
         # In process mode the dispatcher threads below only marshal
         # batches to/from the worker processes, which own their
         # workspaces; the thread-side WorkspacePool stays for thread
@@ -147,14 +180,20 @@ class RecommendationServer:
                 plane_backend=plane_backend, model_version=model_version,
                 transport=transport,
                 health_interval_s=(health_interval_ms / 1e3
-                                   if health_interval_ms else None))
+                                   if health_interval_ms else None),
+                metrics_registry=self._metrics_registry,
+                metrics_block=self._metrics)
             # The pool may downgrade ring -> pipe when the host has no
             # usable POSIX shared memory; report what actually runs.
             transport = self._procpool.transport
         self.transport = transport
-        self._pool = WorkspacePool(workers)
+        self._pool = WorkspacePool(workers, metrics=self._metrics)
         self._cache = ExplanationCache(cache_size)
-        self._stats = ServerStats()
+        self._stats = ServerStats(metrics=self._metrics)
+        self._endpoint: Optional[MetricsEndpoint] = None
+        if self._metrics_registry is not None and metrics_port is not None:
+            self._endpoint = MetricsEndpoint(self.fleet_snapshot,
+                                             port=int(metrics_port))
         self._shutdown_lock = threading.Lock()
         self._shut_down = False
         self._threads = [
@@ -177,7 +216,12 @@ class RecommendationServer:
                       mp_context=cfg.serve_mp_context,
                       plane_backend=cfg.runtime_plane_backend,
                       transport=cfg.serve_transport,
-                      health_interval_ms=cfg.serve_health_interval_ms)
+                      health_interval_ms=cfg.serve_health_interval_ms,
+                      trace_sample=cfg.serve_trace_sample,
+                      metrics=cfg.serve_metrics,
+                      metrics_port=(cfg.serve_metrics_port
+                                    if cfg.serve_metrics_port >= 0
+                                    else None))
         kwargs.update(overrides)
         return cls(trainer.agent, **kwargs)
 
@@ -199,14 +243,22 @@ class RecommendationServer:
         hit = self._cache.get(ExplanationCache.key(*base, version=version))
         self._stats.record_cache(hit is not None, version)
         if hit is not None:
+            if self._metrics is not None:
+                # Rendering happened once, at cache admission; a hit
+                # serves the stored strings without re-rendering.
+                self._metrics.count("render_deferred_total",
+                                    len(hit.explanations))
             latency = perf_counter() - started
             self._stats.record_request(latency)
             future: Future = Future()
             future.set_result(replace(hit, cached=True,
                                       latency_ms=latency * 1e3))
             return future
+        trace = self._tracer.maybe_start()
+        if trace and self._metrics is not None:
+            self._metrics.count("traces_sampled_total")
         try:
-            return self._scheduler.submit(_Request(session, k, base))
+            return self._scheduler.submit(_Request(session, k, base, trace))
         except SchedulerClosed as exc:
             # Lost the race against a concurrent shutdown(): surface
             # the server-level type the API documents.
@@ -277,6 +329,9 @@ class RecommendationServer:
                 self._model_version = int(version)
         latency = perf_counter() - started
         self._stats.record_swap(latency)
+        if self._metrics is not None:
+            self._metrics.gauge("model_version",
+                                float(self._model_version))
         return latency
 
     def _live(self) -> Tuple[REKSAgent, int]:
@@ -325,6 +380,28 @@ class RecommendationServer:
     def reset_stats(self) -> None:
         self._stats.reset()
 
+    def fleet_snapshot(self) -> FleetSnapshot:
+        """Merged metrics across every process in the serving fleet
+        (server block + worker children + any co-registered roles)."""
+        if self._metrics_registry is None:
+            raise RuntimeError("server was built with metrics=False")
+        return self._metrics_registry.snapshot()
+
+    @property
+    def metrics_registry(self) -> Optional[MetricsRegistry]:
+        """The fleet registry (None when metrics are disabled)."""
+        return self._metrics_registry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The request tracer (disabled unless ``trace_sample > 0``)."""
+        return self._tracer
+
+    @property
+    def metrics_url(self) -> Optional[str]:
+        """URL of the /metrics HTTP endpoint (None unless enabled)."""
+        return self._endpoint.url if self._endpoint is not None else None
+
     @property
     def cache(self) -> ExplanationCache:
         return self._cache
@@ -363,8 +440,17 @@ class RecommendationServer:
                 ServerClosed("server shut down before execution"))
         for thread in self._threads:
             thread.join()
+        if self._endpoint is not None:
+            self._endpoint.close()
         if self._procpool is not None:
             self._procpool.close()
+        if self._metrics_registry is not None:
+            # Fold the server block's final counters into the registry's
+            # retired accumulators: fleet_snapshot() keeps reporting the
+            # full run after shutdown, with the shared memory released.
+            self._stats.metrics = None
+            self._metrics = None
+            self._metrics_registry.retire("server")
 
     def __enter__(self) -> "RecommendationServer":
         return self
@@ -425,22 +511,62 @@ class RecommendationServer:
         per-k execution (pinned by the serving tests), unlike a naive
         prefix slice of the max-k ranking whose tie order can depend on
         the partition point.
+
+        Rows come back **unrendered** from both worker modes;
+        explanations are rendered here, exactly once, at the moment the
+        result is admitted to the cache (``render_path`` is
+        deterministic in the path values and the KG, so this is
+        bit-identical to the old render-in-worker wire format while
+        keeping strings out of the ring payloads).  Sampled requests
+        get enqueue/flush/transport/render/respond spans recorded
+        against their trace id, plus the worker-side collate/exec/walk/
+        top-k spans echoed over the transport.
         """
+        pickup = perf_counter()
         self._stats.record_batch(len(group))
+        metrics, tracer = self._metrics, self._tracer
+        sampled = [int(r.payload.trace) for r in group if r.payload.trace]
+        for request in group:
+            wait = pickup - request.enqueued_at
+            if metrics is not None:
+                metrics.observe("enqueue_wait_seconds", wait)
+            if request.payload.trace:
+                tracer.record(request.payload.trace, "enqueue", "server",
+                              request.enqueued_at, wait)
         ks = [int(request.payload.k) for request in group]
         examples = [(list(request.payload.session.items[:-1]),
                      request.payload.session.items[-1],
                      request.payload.session.user_id)
                     for request in group]
+        flush_dur = perf_counter() - pickup
+        if metrics is not None:
+            metrics.observe("batch_flush_seconds", flush_dur)
+        for trace in sampled:
+            tracer.record(trace, "flush", "server", pickup, flush_dur)
+        t0 = perf_counter()
         if self._procpool is not None:
             # Process mode: the worker process collates, walks, and
             # selects each row's own k; this dispatcher thread only
             # marshals.  The worker reports the model version it
             # actually executed with (a swap broadcast lands between
             # batches, never mid-batch), which is what the results are
-            # cached under.
-            version, rows = self._procpool.execute(examples, ks)
-            results = [self._unmarshal_row(row) for row in rows]
+            # cached under.  Sampled trace ids ride the request payload
+            # and the worker's batch spans come back on the response.
+            worker_spans: List[tuple] = []
+            version, rows = self._procpool.execute(
+                examples, ks,
+                traces=[int(r.payload.trace) for r in group]
+                if sampled else None,
+                span_sink=worker_spans)
+            raw = [(row[0], row[1],
+                    tuple(None if blob is None
+                          else SemanticPath(entities=blob[0],
+                                            relations=blob[1],
+                                            prob=blob[2])
+                          for blob in row[2]))
+                   for row in rows]
+            if sampled and worker_spans:
+                tracer.record_batch_spans(sampled, "worker", worker_spans)
         else:
             collated = collate_examples(examples, self._max_session_length)
             # One atomic read per batch: every row of this micro-batch
@@ -449,49 +575,75 @@ class RecommendationServer:
             # be newer than the version the submitter looked up).
             agent, version = self._live()
             kmax = max(ks)
+            local_spans: Optional[List[tuple]] = [] if sampled else None
             with self._pool.checkout() as workspace:
-                rec = agent.recommend(collated, k=kmax,
-                                      workspace=workspace)
-            results = [self._pack_row(rec, row, ks[row], kmax)
-                       for row in range(len(group))]
+                workspace.spans = local_spans
+                try:
+                    rec = agent.recommend(collated, k=kmax,
+                                          workspace=workspace)
+                finally:
+                    workspace.spans = None
+            raw = [self._pack_row(rec, row, ks[row], kmax)
+                   for row in range(len(group))]
+            exec_dur = perf_counter() - t0
+            if metrics is not None:
+                metrics.count("exec_batches_total")
+                metrics.count("exec_rows_total", len(group))
+                metrics.observe("exec_seconds", exec_dur)
+            if local_spans:
+                tracer.record_batch_spans(sampled, "server", local_spans)
+            for trace in sampled:
+                tracer.record(trace, "exec", "server", t0, exec_dur)
+        transport_dur = perf_counter() - t0
+        if metrics is not None:
+            metrics.observe("transport_seconds", transport_dur)
+        for trace in sampled:
+            tracer.record(trace, "transport", "server", t0, transport_dur)
+        r0 = perf_counter()
+        results = []
+        n_rendered = 0
+        for items, scores, paths in raw:
+            rendered = tuple(render_path(path, self._kg)
+                             if path is not None else ""
+                             for path in paths)
+            n_rendered += len(rendered)
+            results.append(ServedResult(items=tuple(items),
+                                        scores=tuple(scores),
+                                        paths=tuple(paths),
+                                        explanations=rendered))
+        render_dur = perf_counter() - r0
+        if metrics is not None:
+            metrics.observe("render_seconds", render_dur)
+            if n_rendered:
+                metrics.count("render_rows_total", n_rendered)
+        for trace in sampled:
+            tracer.record(trace, "render", "server", r0, render_dur)
         for result, request in zip(results, group):
-            latency = perf_counter() - request.enqueued_at
+            t_resp = perf_counter()
+            latency = t_resp - request.enqueued_at
             result = replace(result, latency_ms=latency * 1e3)
             self._cache.put(
                 ExplanationCache.key(*request.payload.base_key,
                                      version=version), result)
             self._stats.record_request(latency)
             request.future.set_result(result)
+            if request.payload.trace:
+                tracer.record(request.payload.trace, "respond", "server",
+                              t_resp, perf_counter() - t_resp)
 
-    @staticmethod
-    def _unmarshal_row(row: tuple) -> ServedResult:
-        """Rebuild a ServedResult from a process worker's wire row."""
-        items, scores, path_blobs, rendered = row
-        paths = tuple(
-            None if blob is None
-            else SemanticPath(entities=blob[0], relations=blob[1],
-                              prob=blob[2])
-            for blob in path_blobs)
-        return ServedResult(items=tuple(items), scores=tuple(scores),
-                            paths=paths, explanations=tuple(rendered))
-
-    def _pack_row(self, rec, row: int, k: int, kmax: int) -> ServedResult:
+    def _pack_row(self, rec, row: int, k: int, kmax: int) -> tuple:
+        """One unrendered ``(items, scores, paths)`` row (thread mode),
+        shape-identical to a process worker's unmarshalled wire row so
+        both modes share the render-at-admission path."""
         if k == kmax:
             ranked = rec.ranked_items[row]
         else:
             ranked = _top_k(rec.scores[row:row + 1], k)[0]
         items = [int(i) for i in ranked]
         scores = [float(rec.scores[row, i]) for i in items]
-        paths: List[Optional[SemanticPath]] = []
-        rendered: List[str] = []
-        for item in items:
-            path = rec.paths.get((row, item))
-            paths.append(path)
-            rendered.append(render_path(path, self._kg)
-                            if path is not None else "")
-        return ServedResult(items=tuple(items), scores=tuple(scores),
-                            paths=tuple(paths),
-                            explanations=tuple(rendered))
+        paths: List[Optional[SemanticPath]] = [
+            rec.paths.get((row, item)) for item in items]
+        return items, scores, tuple(paths)
 
 
 def naive_recommend_loop(trainer, sessions: Sequence[Session],

@@ -6,16 +6,36 @@ through a single lock (the recorded quantities are tiny relative to a
 batch execution, so contention is negligible).  :meth:`snapshot`
 returns an immutable :class:`StatsSnapshot` with the derived
 percentiles, suitable for JSON emission.
+
+Memory is **bounded at any request volume**: latencies feed a
+log-bucketed :class:`~repro.telemetry.block.LocalHistogram` (exact
+count/sum/min/max, ~1% bucketed quantiles) plus a fixed 4096-element
+:class:`~repro.telemetry.block.Reservoir` whose uniform sample gives
+exact percentiles until it overflows and unbiased ones after; swap
+latencies keep only the most recent window.  The old implementation
+appended every latency to a Python list — a 1M-request soak grew it
+without bound (pinned flat by ``tests/test_telemetry.py`` now).
+
+When a ``metrics`` block (:class:`~repro.telemetry.block.MetricBlock`)
+is attached, every recording is mirrored into it so the fleet
+registry's merged snapshot sees the serving parent's counters without
+a second instrumentation site.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+from repro.telemetry.block import LocalHistogram, Reservoir
+
+SWAP_WINDOW = 64
+RESERVOIR_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -85,16 +105,28 @@ class StatsSnapshot:
 class ServerStats:
     """Thread-safe recorder of per-request and per-batch telemetry."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self._lock = threading.Lock()
-        self._latencies_s: list = []
+        self._requests = 0
+        self._lat_hist = LocalHistogram()
+        self._lat_sample = Reservoir(RESERVOIR_SIZE)
         self._occupancy: Dict[int, int] = {}
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_by_version: Dict[int, Dict[str, int]] = {}
-        self._swap_latencies_s: list = []
+        self._swaps = 0
+        self._swap_latencies_s: deque = deque(maxlen=SWAP_WINDOW)
         self._started_at: Optional[float] = None
         self._last_event_at: Optional[float] = None
+        # Optional shared-memory mirror (repro.telemetry MetricBlock).
+        self.metrics = metrics
+
+    @property
+    def nbytes(self) -> int:
+        """Bound of the latency state (flat regardless of volume)."""
+        return int(self._lat_hist.buckets.nbytes
+                   + self._lat_sample.capacity * 8
+                   + SWAP_WINDOW * 8)
 
     # ------------------------------------------------------------------
     def record_request(self, latency_s: float) -> None:
@@ -104,12 +136,19 @@ class ServerStats:
             if self._started_at is None:
                 self._started_at = now - latency_s
             self._last_event_at = now
-            self._latencies_s.append(latency_s)
+            self._requests += 1
+            self._lat_hist.observe(latency_s)
+            self._lat_sample.add(latency_s)
+        if self.metrics is not None:
+            self.metrics.count("requests_total")
+            self.metrics.observe("request_latency_seconds", latency_s)
 
     def record_batch(self, size: int) -> None:
         """One executed micro-batch of ``size`` coalesced requests."""
         with self._lock:
             self._occupancy[size] = self._occupancy.get(size, 0) + 1
+        if self.metrics is not None:
+            self.metrics.count("batches_total")
 
     def record_cache(self, hit: bool, version: int = 0) -> None:
         """One cache lookup, attributed to the model version it keyed."""
@@ -122,20 +161,30 @@ class ServerStats:
             else:
                 self._cache_misses += 1
                 split["misses"] += 1
+        if self.metrics is not None:
+            self.metrics.count("cache_hits_total" if hit
+                               else "cache_misses_total")
 
     def record_swap(self, latency_s: float) -> None:
         """One completed model hot-swap."""
         with self._lock:
+            self._swaps += 1
             self._swap_latencies_s.append(latency_s)
+        if self.metrics is not None:
+            self.metrics.count("swaps_total")
+            self.metrics.observe("swap_latency_seconds", latency_s)
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark phases)."""
         with self._lock:
-            self._latencies_s.clear()
+            self._requests = 0
+            self._lat_hist.reset()
+            self._lat_sample.reset()
             self._occupancy.clear()
             self._cache_hits = 0
             self._cache_misses = 0
             self._cache_by_version.clear()
+            self._swaps = 0
             self._swap_latencies_s.clear()
             self._started_at = None
             self._last_event_at = None
@@ -143,20 +192,33 @@ class ServerStats:
     # ------------------------------------------------------------------
     def snapshot(self) -> StatsSnapshot:
         with self._lock:
-            lat = np.asarray(self._latencies_s, dtype=np.float64)
+            requests = self._requests
+            hist = self._lat_hist.snapshot()
+            sample = self._lat_sample.values()
+            sample_exact = self._lat_sample.seen <= self._lat_sample.capacity
             occupancy = dict(self._occupancy)
             hits, misses = self._cache_hits, self._cache_misses
             by_version = {v: dict(split) for v, split
                           in self._cache_by_version.items()}
+            swaps = self._swaps
             swap_ms = tuple(s * 1e3 for s in self._swap_latencies_s)
             if self._started_at is not None \
                     and self._last_event_at is not None:
                 duration = max(self._last_event_at - self._started_at, 1e-9)
             else:
                 duration = 0.0
-        if lat.size:
-            p50, p95, p99 = np.percentile(lat, (50, 95, 99)) * 1e3
-            mean = float(lat.mean() * 1e3)
+        if requests:
+            mean = hist.mean * 1e3  # exact (count/sum are exact)
+            if sample_exact:
+                # The reservoir still holds every observation: identical
+                # numbers to the old keep-everything implementation.
+                p50, p95, p99 = np.percentile(sample, (50, 95, 99)) * 1e3
+            else:
+                # Uniform 4096-sample percentiles, clamped by the exact
+                # histogram extremes.
+                p50, p95, p99 = np.clip(
+                    np.percentile(sample, (50, 95, 99)),
+                    hist.min, hist.max) * 1e3
         else:
             p50 = p95 = p99 = mean = 0.0
         sizes = np.array(sorted(occupancy), dtype=np.float64)
@@ -165,19 +227,19 @@ class ServerStats:
         mean_occ = float((sizes * counts).sum() / counts.sum()) \
             if counts.size else 0.0
         return StatsSnapshot(
-            requests=int(lat.size),
+            requests=requests,
             batches=int(counts.sum()),
             cache_hits=hits,
             cache_misses=misses,
             duration_s=duration,
-            throughput_rps=(lat.size / duration) if duration else 0.0,
-            latency_ms_mean=mean,
+            throughput_rps=(requests / duration) if duration else 0.0,
+            latency_ms_mean=float(mean),
             latency_ms_p50=float(p50),
             latency_ms_p95=float(p95),
             latency_ms_p99=float(p99),
             batch_occupancy=occupancy,
             mean_occupancy=mean_occ,
             cache_by_version=by_version,
-            swaps=len(swap_ms),
+            swaps=swaps,
             swap_latency_ms=swap_ms,
         )

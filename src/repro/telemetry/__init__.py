@@ -1,0 +1,43 @@
+"""Fleet-wide telemetry plane: shared-memory metrics, request tracing,
+and SLO-gated exporters.
+
+- :mod:`repro.telemetry.block` — per-process seqlock metric blocks
+  (counters / gauges / log-bucketed histograms) over shared memory,
+  plus in-process :class:`LocalHistogram` / :class:`Reservoir`.
+- :mod:`repro.telemetry.registry` — parent-side fleet registry:
+  create, retire (respawn-safe, no double counting), merge.
+- :mod:`repro.telemetry.trace` — sampled per-request trace ids and
+  span records riding the ring codec; JSONL + Chrome exports.
+- :mod:`repro.telemetry.exporters` — Prometheus text / JSON snapshot
+  and declarative SLO evaluation.
+- :mod:`repro.telemetry.httpd` — optional stdlib ``/metrics`` HTTP
+  endpoint.
+
+See ``src/repro/telemetry/README.md`` for layout and merge semantics.
+"""
+
+from .block import (BlockManifest, BlockSnapshot, HistSnapshot,
+                    LocalHistogram, MetricBlock, MetricSchema, Reservoir,
+                    bucket_index, bucket_upper_edges, fleet_schema,
+                    gather_shard_counter, merge_hists, walk_hop_hist)
+from .exporters import (SLO, SLOResult, evaluate_slos, json_snapshot,
+                        prometheus_text, serving_slos, slo_failures,
+                        split_labels)
+from .httpd import MetricsEndpoint
+from .registry import FleetSnapshot, MetricsRegistry
+from .trace import (SPAN_KINDS, SpanRecord, Tracer, span_kind_id,
+                    span_kind_name, spans_by_trace, spans_to_chrome_trace,
+                    spans_to_jsonl)
+
+__all__ = [
+    "BlockManifest", "BlockSnapshot", "HistSnapshot", "LocalHistogram",
+    "MetricBlock", "MetricSchema", "Reservoir", "bucket_index",
+    "bucket_upper_edges", "fleet_schema", "gather_shard_counter",
+    "merge_hists", "walk_hop_hist",
+    "SLO", "SLOResult", "evaluate_slos", "json_snapshot",
+    "prometheus_text", "serving_slos", "slo_failures", "split_labels",
+    "MetricsEndpoint", "FleetSnapshot", "MetricsRegistry",
+    "SPAN_KINDS", "SpanRecord", "Tracer", "span_kind_id",
+    "span_kind_name", "spans_by_trace", "spans_to_chrome_trace",
+    "spans_to_jsonl",
+]

@@ -1,0 +1,87 @@
+"""Optional stdlib HTTP ``/metrics`` endpoint for the serving parent.
+
+A daemon :class:`ThreadingHTTPServer` that renders the registry's
+fleet snapshot on demand — ``/metrics`` (Prometheus text) and
+``/metrics.json`` (JSON snapshot).  Zero dependencies; ``port=0``
+binds an ephemeral port (read it back from ``endpoint.port``), which
+is what the tests and CI smoke use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from .exporters import json_snapshot, prometheus_text
+from .registry import FleetSnapshot
+
+
+class MetricsEndpoint:
+    """Serves live metrics snapshots over HTTP until closed."""
+
+    def __init__(self, snapshot_fn: Callable[[], FleetSnapshot],
+                 host: str = "127.0.0.1", port: int = 0,
+                 namespace: str = "reks") -> None:
+        self._snapshot_fn = snapshot_fn
+        self._namespace = namespace
+        endpoint = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path in ("/metrics", "/"):
+                        body = prometheus_text(
+                            endpoint._snapshot_fn(),
+                            namespace=endpoint._namespace)
+                        ctype = "text/plain; version=0.0.4"
+                    elif path == "/metrics.json":
+                        body = json_snapshot(endpoint._snapshot_fn())
+                        ctype = "application/json"
+                    elif path == "/healthz":
+                        body, ctype = "ok\n", "text/plain"
+                    else:
+                        self.send_error(404)
+                        return
+                except Exception as exc:  # surface, don't hang the probe
+                    body = json.dumps({"error": repr(exc)})
+                    payload = body.encode()
+                    self.send_response(500)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length",
+                                     str(len(payload)))
+                    self.end_headers()
+                    self.wfile.write(payload)
+                    return
+                payload = body.encode()
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args) -> None:  # quiet
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="reks-metrics-http",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

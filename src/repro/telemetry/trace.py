@@ -1,0 +1,173 @@
+"""Sampled per-request tracing across the serving fleet.
+
+A trace follows one request through the pipeline:
+``enqueue -> flush -> transport -> exec (walk hops / top-k) -> render
+-> respond``.  The parent assigns each sampled request a nonzero
+31-bit trace id (int32-safe, so it rides the flat ring codec
+unchanged), threads the ids through the batch that the scheduler
+flushes, and the worker echoes them back alongside **batch-level span
+records** — ``(kind, t0, dur)`` float64 triples stamped with
+``time.perf_counter()``, which is CLOCK_MONOTONIC on Linux and hence
+directly comparable across the parent and its children.
+
+Spans from the worker cover the whole coalesced batch (one walk serves
+every request in the flush); the parent attributes them to each
+sampled trace id in the batch, which is exactly the cost model —
+a request pays for the batch it rode in.
+
+Exports: JSONL (one span per line, grep-able) and Chrome
+``trace_event`` JSON (load in ``chrome://tracing`` / Perfetto).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+# Worker-side span kinds, shipped over the ring as small ints.
+SPAN_KINDS: Tuple[str, ...] = ("exec", "walk", "topk", "collate")
+_KIND_INDEX = {name: i for i, name in enumerate(SPAN_KINDS)}
+
+
+def span_kind_id(name: str) -> int:
+    return _KIND_INDEX[name]
+
+
+def span_kind_name(kind_id: int) -> str:
+    if 0 <= kind_id < len(SPAN_KINDS):
+        return SPAN_KINDS[kind_id]
+    return f"kind{kind_id}"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span of one trace."""
+
+    trace_id: int
+    name: str          # enqueue|flush|transport|exec|walk|topk|render|respond
+    role: str          # which process/thread recorded it
+    t0: float          # perf_counter seconds
+    dur: float         # seconds
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "name": self.name,
+                "role": self.role, "t0": self.t0, "dur": self.dur}
+
+
+class Tracer:
+    """Samples requests and buffers their spans (bounded).
+
+    ``sample`` in [0, 1]: 0 disables tracing entirely (``maybe_start``
+    returns 0 and recording is a no-op); 1.0 traces every request.
+    Sampling uses a private ``random.Random`` so it never perturbs
+    global RNG state — the determinism differential suites run with
+    sampling at 1.0, where no randomness is consumed at all.
+    """
+
+    def __init__(self, sample: float = 0.0, capacity: int = 4096,
+                 seed: int = 0) -> None:
+        self.sample = float(sample)
+        self._rng = random.Random(seed)
+        self._id_rng = random.Random(seed ^ 0x5EED)
+        self._lock = threading.Lock()
+        self._spans: Deque[SpanRecord] = deque(maxlen=max(1, capacity))
+        self.started = 0
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample > 0.0
+
+    # ------------------------------------------------------------------
+    def maybe_start(self) -> int:
+        """Return a fresh nonzero 31-bit trace id for a sampled
+        request, or 0 (not sampled / tracing off)."""
+        if self.sample <= 0.0:
+            return 0
+        if self.sample < 1.0 and self._rng.random() >= self.sample:
+            return 0
+        with self._lock:
+            self.started += 1
+            # Nonzero, int32-positive: rides the ring codec as-is.
+            return self._id_rng.randrange(1, 1 << 31)
+
+    def record(self, trace_id: int, name: str, role: str, t0: float,
+               dur: float) -> None:
+        if trace_id == 0:
+            return
+        span = SpanRecord(trace_id=trace_id, name=name, role=role,
+                          t0=float(t0), dur=float(dur))
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(span)
+
+    def record_batch_spans(self, trace_ids: Sequence[int], role: str,
+                           spans: Iterable[Tuple[int, float, float]]
+                           ) -> None:
+        """Attribute worker batch-level spans to every sampled trace
+        id that rode the batch."""
+        live = [tid for tid in trace_ids if tid]
+        if not live:
+            return
+        for kind_id, t0, dur in spans:
+            name = span_kind_name(int(kind_id))
+            for tid in live:
+                self.record(tid, name, role, t0, dur)
+
+    # ------------------------------------------------------------------
+    def drain(self) -> List[SpanRecord]:
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+            return spans
+
+    def peek(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._spans)
+
+
+# ----------------------------------------------------------------------
+# Export formats
+# ----------------------------------------------------------------------
+def spans_to_jsonl(spans: Sequence[SpanRecord]) -> str:
+    """One JSON object per line, sorted by start time."""
+    ordered = sorted(spans, key=lambda s: (s.t0, s.trace_id))
+    return "\n".join(json.dumps(s.to_dict(), sort_keys=True)
+                     for s in ordered) + ("\n" if ordered else "")
+
+
+def spans_to_chrome_trace(spans: Sequence[SpanRecord]) -> dict:
+    """Chrome ``trace_event`` format: complete ("X") events, one
+    pseudo-thread per recording role, timestamps rebased to the
+    earliest span so the viewer opens at t=0."""
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    base = min(s.t0 for s in spans)
+    roles = sorted({s.role for s in spans})
+    tid_of = {role: i + 1 for i, role in enumerate(roles)}
+    events: List[dict] = [
+        {"ph": "M", "name": "thread_name", "pid": 1,
+         "tid": tid_of[role], "args": {"name": role}}
+        for role in roles]
+    for s in sorted(spans, key=lambda s: s.t0):
+        events.append({
+            "ph": "X", "name": s.name, "cat": "request",
+            "pid": 1, "tid": tid_of[s.role],
+            "ts": (s.t0 - base) * 1e6, "dur": s.dur * 1e6,
+            "args": {"trace_id": s.trace_id}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_by_trace(spans: Sequence[SpanRecord]
+                   ) -> Dict[int, List[SpanRecord]]:
+    grouped: Dict[int, List[SpanRecord]] = {}
+    for span in spans:
+        grouped.setdefault(span.trace_id, []).append(span)
+    for records in grouped.values():
+        records.sort(key=lambda s: s.t0)
+    return grouped

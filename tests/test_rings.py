@@ -135,15 +135,16 @@ class TestCodecs:
     def test_request_round_trip_mixed_k(self):
         examples = [([3, 1, 4, 1, 5], 9, 2), ([2, 7], 1, None)]
         payload = encode_request(examples, [5, 10], max_length=10)
-        got_examples, got_ks = decode_request(payload)
+        got_examples, got_ks, got_traces = decode_request(payload)
         assert got_examples == examples
         assert got_ks == [5, 10]
+        assert got_traces == [0, 0]
 
     def test_request_truncates_prefix_like_collate(self):
         long_prefix = list(range(1, 30))
         payload = encode_request([(long_prefix, 5, None)], [3],
                                  max_length=10)
-        examples, _ = decode_request(payload)
+        examples, _, _ = decode_request(payload)
         prefix, target, user = examples[0]
         assert prefix == long_prefix[-10:]
         assert target == 5 and user is None
@@ -155,14 +156,16 @@ class TestCodecs:
     def test_response_round_trip_with_and_without_paths(self):
         rows = [([4, 2], [1.5, 0.25], [([9, 4], [1], 0.5), None]),
                 ([7], [0.125], [None])]
-        version, got = decode_response(encode_response(11, rows))
+        version, got, spans, traces = decode_response(
+            encode_response(11, rows))
         assert version == 11
         assert got == rows
+        assert spans == [] and traces == []
 
     def test_response_preserves_float64_bits(self):
         scores = [0.1 + 0.2, 1e-300, np.nextafter(1.0, 2.0)]
         rows = [([1, 2, 3], scores, [None, None, None])]
-        _, got = decode_response(encode_response(0, rows))
+        _, got, _, _ = decode_response(encode_response(0, rows))
         assert all(a == b and np.float64(a).tobytes()
                    == np.float64(b).tobytes()
                    for a, b in zip(got[0][1], scores))

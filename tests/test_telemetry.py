@@ -1,0 +1,784 @@
+"""Telemetry plane: metric blocks, fleet registry, tracing, exporters.
+
+Unit layers (block seqlock, registry retire/merge, tracer, Prometheus
+text, SLO gates, HTTP endpoint) run against synthetic metrics; the
+integration layers drive a real :class:`RecommendationServer` — thread
+and process worker modes — and assert the fleet snapshot, trace-id
+propagation through the ring codec *and* its pipe fallback, bounded
+``ServerStats`` memory under a 1M-request soak, and zero steady-state
+scratch allocations in the grouped gather.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import replace
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import numpy as np
+import pytest
+
+from repro import REKSConfig, REKSTrainer
+from repro.serving.stats import RESERVOIR_SIZE, ServerStats
+from repro.telemetry.block import (
+    HIST_BUCKETS,
+    LocalHistogram,
+    MetricBlock,
+    MetricSchema,
+    Reservoir,
+    bucket_index,
+    bucket_upper_edges,
+    fleet_schema,
+    gather_shard_counter,
+    merge_hists,
+    walk_hop_hist,
+)
+from repro.telemetry.exporters import (
+    SLO,
+    evaluate_slos,
+    json_snapshot,
+    prometheus_text,
+    serving_slos,
+    split_labels,
+)
+from repro.telemetry.httpd import MetricsEndpoint
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import (
+    SPAN_KINDS,
+    Tracer,
+    span_kind_id,
+    spans_by_trace,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def trainer(beauty_tiny, beauty_kg, beauty_transe):
+    """Untrained (but inference-ready) REKS stack, shared per module."""
+    config = REKSConfig(dim=16, state_dim=16, sample_sizes=(20, 4),
+                        seed=0)
+    return REKSTrainer(beauty_tiny, beauty_kg, model_name="narm",
+                       config=config, transe=beauty_transe)
+
+
+@pytest.fixture(scope="module")
+def sharded_trainer(beauty_tiny, beauty_kg, beauty_transe):
+    """Same stack over a 2-shard graph store (grouped gathers)."""
+    config = REKSConfig(dim=16, state_dim=16, sample_sizes=(20, 4),
+                        graph_shards=2, seed=0)
+    return REKSTrainer(beauty_tiny, beauty_kg, model_name="narm",
+                       config=config, transe=beauty_transe)
+
+
+@pytest.fixture()
+def sessions(beauty_tiny):
+    return [s for s in beauty_tiny.split.test if len(s.items) >= 2]
+
+
+SMALL = MetricSchema(counters=("a_total", "b_total"),
+                     gauges=("level",),
+                     histograms=("lat_seconds",))
+
+
+# ----------------------------------------------------------------------
+# MetricBlock
+# ----------------------------------------------------------------------
+class TestMetricBlock:
+    def test_bucket_geometry(self):
+        edges = bucket_upper_edges()
+        assert len(edges) == HIST_BUCKETS
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0
+        assert bucket_index(1e-12) == 0      # underflow clamps low
+        assert bucket_index(1e12) == HIST_BUCKETS - 1  # overflow clamps
+        for value in (1e-6, 1e-3, 0.5, 1.0, 7.3):
+            i = bucket_index(value)
+            assert value <= edges[i]
+            if i:
+                # Exact powers of two sit on the boundary (frexp puts
+                # them in the upper bucket); everything else is strict.
+                assert value >= edges[i - 1]
+
+    @pytest.mark.parametrize("backend", ["shm", "mmap"])
+    def test_create_write_snapshot(self, backend):
+        block = MetricBlock.create(SMALL, role="t", backend=backend)
+        try:
+            block.count("a_total")
+            block.count("a_total", 4)
+            block.count("nonexistent_total")   # unknown names are no-ops
+            block.gauge("level", 2.5)
+            for v in (0.001, 0.002, 0.004):
+                block.observe("lat_seconds", v)
+            snap = block.snapshot()
+            assert not snap.torn
+            assert snap.role == "t"
+            assert snap.counters == {"a_total": 5, "b_total": 0}
+            assert snap.gauges["level"] == 2.5
+            hist = snap.hists["lat_seconds"]
+            assert hist.count == 3
+            assert hist.sum == pytest.approx(0.007)
+            assert hist.min == 0.001 and hist.max == 0.004
+            assert int(hist.buckets.sum()) == 3
+        finally:
+            block.unlink()
+
+    def test_attach_sees_writer_mutations(self):
+        block = MetricBlock.create(SMALL, role="w")
+        try:
+            reader = MetricBlock.attach(block.manifest, writer=False)
+            block.count("b_total", 7)
+            block.observe("lat_seconds", 0.25)
+            snap = reader.snapshot()
+            assert snap.counters["b_total"] == 7
+            assert snap.hists["lat_seconds"].count == 1
+            reader.close()
+        finally:
+            block.unlink()
+
+    def test_quantiles_clamped_to_observed_extremes(self):
+        block = MetricBlock.create(SMALL, role="q")
+        try:
+            for v in [0.010] * 99 + [0.100]:
+                block.observe("lat_seconds", v)
+            hist = block.snapshot().hists["lat_seconds"]
+            assert hist.quantile(0.5) == pytest.approx(0.010, rel=0.6)
+            assert hist.quantile(0.5) >= hist.min
+            assert hist.quantile(1.0) == pytest.approx(0.100)
+            assert hist.to_dict()["p99"] <= hist.max
+        finally:
+            block.unlink()
+
+    def test_empty_histogram_snapshot(self):
+        block = MetricBlock.create(SMALL, role="e")
+        try:
+            hist = block.snapshot().hists["lat_seconds"]
+            assert hist.count == 0
+            assert hist.quantile(0.99) == 0.0
+            assert hist.mean == 0.0
+            assert hist.to_dict()["min"] == 0.0  # not the +inf sentinel
+        finally:
+            block.unlink()
+
+    def test_seqlock_consistent_under_hammering_writer(self):
+        """Reader snapshots taken while a writer thread hammers the
+        block must be internally consistent: bucket mass == count and
+        count*value == sum (every observation is the same constant, so
+        any torn copy shows up as a mismatch)."""
+        block = MetricBlock.create(SMALL, role="h")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                block.observe("lat_seconds", 0.5)
+                block.count("a_total")
+
+        writer = threading.Thread(target=hammer)
+        writer.start()
+        try:
+            checked = 0
+            deadline = time.time() + 2.0
+            while checked < 300 and time.time() < deadline:
+                snap = block.snapshot()
+                if snap.torn:
+                    continue
+                hist = snap.hists["lat_seconds"]
+                assert int(hist.buckets.sum()) == hist.count
+                assert hist.sum == pytest.approx(0.5 * hist.count)
+                checked += 1
+            assert checked >= 100  # the seqlock actually admits readers
+        finally:
+            stop.set()
+            writer.join()
+            block.unlink()
+
+    def test_merge_hists_sums_mass_and_extremes(self):
+        a, b = LocalHistogram(), LocalHistogram()
+        for v in (0.001, 0.004):
+            a.observe(v)
+        b.observe(2.0)
+        merged = merge_hists((a.snapshot(), None, b.snapshot()))
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(2.005)
+        assert merged.min == 0.001 and merged.max == 2.0
+        empty = merge_hists(())
+        assert empty.count == 0 and empty.min == 0.0
+
+    def test_fleet_schema_labelled_families(self):
+        schema = fleet_schema(num_shards=3, hops=2)
+        assert gather_shard_counter(2) in schema.counters
+        assert gather_shard_counter(3) not in schema.counters
+        assert walk_hop_hist(1) in schema.histograms
+        assert walk_hop_hist(2) not in schema.histograms
+        # One shared schema: every core family present regardless.
+        assert "requests_total" in schema.counters
+        assert "request_latency_seconds" in schema.histograms
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_merges_counters_and_hists_across_roles(self):
+        with MetricsRegistry() as registry:
+            w0 = registry.create_block("w0", SMALL)
+            w1 = registry.create_block("w1", SMALL)
+            w0.count("a_total", 2)
+            w1.count("a_total", 3)
+            w0.observe("lat_seconds", 0.01)
+            w1.observe("lat_seconds", 0.03)
+            w0.gauge("level", 1.0)
+            w1.gauge("level", 2.0)
+            snap = registry.snapshot()
+            assert snap.roles == ("w0", "w1")
+            assert snap.counter("a_total") == 5
+            assert snap.hist("lat_seconds").count == 2
+            # Gauges stay per-role (point-in-time, not additive).
+            assert snap.gauges["level"] == {"w0": 1.0, "w1": 2.0}
+
+    def test_respawn_never_double_counts(self):
+        """create_block under a live role retires the stale block:
+        the fleet total is old + new, exactly once each."""
+        with MetricsRegistry() as registry:
+            old = registry.create_block("w0", SMALL)
+            old.count("a_total", 5)
+            old.observe("lat_seconds", 0.01)
+            fresh = registry.create_block("w0", SMALL)  # the respawn
+            fresh.count("a_total", 3)
+            snap = registry.snapshot()
+            assert snap.counter("a_total") == 8
+            assert snap.hist("lat_seconds").count == 1
+            assert snap.retired_blocks == 1
+            assert snap.roles == ("w0",)
+            # A second snapshot must not re-fold the retired mass.
+            assert registry.snapshot().counter("a_total") == 8
+
+    def test_retire_folds_and_is_idempotent(self):
+        with MetricsRegistry() as registry:
+            block = registry.create_block("u", SMALL)
+            block.count("b_total", 9)
+            block.gauge("level", 4.0)
+            assert registry.retire("u") is True
+            assert registry.retire("u") is False
+            snap = registry.snapshot()
+            assert snap.counter("b_total") == 9
+            assert snap.roles == ()
+            assert "level" not in snap.gauges  # gauges die with the role
+
+    def test_close_retires_everything_and_rejects_creates(self):
+        registry = MetricsRegistry()
+        block = registry.create_block("w0", SMALL)
+        block.count("a_total")
+        registry.close()
+        assert registry.snapshot().counter("a_total") == 1
+        with pytest.raises(RuntimeError):
+            registry.create_block("w1", SMALL)
+        registry.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(sample=0.0)
+        assert not tracer.enabled
+        assert tracer.maybe_start() == 0
+        tracer.record(0, "enqueue", "server", 0.0, 1.0)
+        assert tracer.drain() == []
+
+    def test_full_sampling_consumes_no_sampling_rng(self):
+        """At sample=1.0 the accept/reject RNG is untouched — the id
+        stream is a pure function of the seed, so traced differential
+        runs stay deterministic."""
+        a, b = Tracer(sample=1.0), Tracer(sample=1.0)
+        ids_a = [a.maybe_start() for _ in range(50)]
+        ids_b = [b.maybe_start() for _ in range(50)]
+        assert ids_a == ids_b
+        assert all(0 < tid < (1 << 31) for tid in ids_a)
+        assert a._rng.getstate() == Tracer(sample=1.0)._rng.getstate()
+
+    def test_partial_sampling_rate(self):
+        tracer = Tracer(sample=0.25)
+        ids = [tracer.maybe_start() for _ in range(2000)]
+        hit = sum(1 for tid in ids if tid)
+        assert 300 < hit < 700  # ~500 expected
+
+    def test_batch_span_attribution(self):
+        tracer = Tracer(sample=1.0)
+        t1, t2 = tracer.maybe_start(), tracer.maybe_start()
+        spans = [(span_kind_id("walk"), 1.0, 0.5),
+                 (span_kind_id("topk"), 1.5, 0.1)]
+        tracer.record_batch_spans([t1, 0, t2], "worker", spans)
+        grouped = spans_by_trace(tracer.drain())
+        assert set(grouped) == {t1, t2}
+        for records in grouped.values():
+            assert [s.name for s in records] == ["walk", "topk"]
+            assert all(s.role == "worker" for s in records)
+
+    def test_capacity_bounds_and_drops(self):
+        tracer = Tracer(sample=1.0, capacity=8)
+        for i in range(20):
+            tracer.record(i + 1, "enqueue", "server", float(i), 0.1)
+        assert len(tracer.peek()) == 8
+        assert tracer.dropped == 12
+        assert len(tracer.drain()) == 8
+        assert tracer.peek() == []
+
+    def test_export_formats(self):
+        tracer = Tracer(sample=1.0)
+        tid = tracer.maybe_start()
+        tracer.record(tid, "enqueue", "server", 10.0, 0.002)
+        tracer.record(tid, "exec", "worker", 10.002, 0.005)
+        spans = tracer.drain()
+        jsonl = spans_to_jsonl(spans)
+        lines = [json.loads(line) for line in jsonl.splitlines()]
+        assert [ln["name"] for ln in lines] == ["enqueue", "exec"]
+        assert all(ln["trace_id"] == tid for ln in lines)
+        chrome = spans_to_chrome_trace(spans)
+        events = chrome["traceEvents"]
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert names == {"server", "worker"}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs[0]["ts"] == 0.0  # rebased to the earliest span
+        assert xs[1]["dur"] == pytest.approx(5000.0)  # us
+        assert spans_to_chrome_trace([]) == {"traceEvents": [],
+                                             "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Exporters + SLO gates
+# ----------------------------------------------------------------------
+class TestExporters:
+    def test_split_labels(self):
+        assert split_labels("requests_total") == ("requests_total", {})
+        assert split_labels("gather_rows_total{shard=3}") == (
+            "gather_rows_total", {"shard": "3"})
+        assert split_labels("x_seconds{hop=1,kind=walk}") == (
+            "x_seconds", {"hop": "1", "kind": "walk"})
+
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        block = registry.create_block(
+            "w0", fleet_schema(num_shards=2, hops=1))
+        block.count("requests_total", 10)
+        block.count("cache_hits_total", 6)
+        block.count("cache_misses_total", 4)
+        block.count(gather_shard_counter(1), 33)
+        block.gauge("model_version", 3)
+        for v in (0.001, 0.002, 0.004, 0.008):
+            block.observe("request_latency_seconds", v)
+        block.observe(walk_hop_hist(0), 0.003)
+        snap = registry.snapshot()
+        registry.close()
+        return snap
+
+    def test_prometheus_text_shape(self):
+        text = prometheus_text(self._snapshot())
+        assert "# TYPE reks_requests_total counter" in text
+        assert "reks_requests_total 10" in text
+        # Inline labels round-trip into real Prometheus labels.
+        assert 'reks_gather_rows_total{shard="1"} 33' in text
+        assert 'reks_walk_hop_seconds_count{hop="0"} 1' in text
+        assert 'reks_model_version{role="w0"} 3' in text
+        assert "reks_request_latency_seconds_count 4" in text
+        assert 'le="+Inf"' in text
+        # Bucket series are cumulative and end at the total count.
+        bucket_counts = [int(line.rsplit(" ", 1)[1])
+                         for line in text.splitlines()
+                         if line.startswith(
+                             "reks_request_latency_seconds_bucket")]
+        assert bucket_counts == sorted(bucket_counts)
+        assert bucket_counts[-1] == 4
+
+    def test_json_snapshot_round_trips(self):
+        payload = json.loads(json_snapshot(self._snapshot()))
+        assert payload["counters"]["requests_total"] == 10
+        assert payload["histograms"]["request_latency_seconds"][
+            "count"] == 4
+        assert payload["roles"] == ["w0"]
+
+    def test_serving_slos_evaluate(self):
+        snap = self._snapshot()
+        results = evaluate_slos(snap, serving_slos(
+            p99_ms=1000.0, swap_max_ms=100.0,
+            cache_hit_floor=0.5, ring_fallback_ceiling=0.1))
+        by_name = {r.slo.name: r for r in results}
+        assert by_name["request_p99"].ok       # 8ms << 1s
+        assert by_name["swap_latency"].ok      # empty hist -> 0, passes
+        assert by_name["cache_hit_rate"].value == pytest.approx(0.6)
+        assert by_name["cache_hit_rate"].ok
+        # 0 ring/pipe batches: ratio defined as 0, passes the ceiling.
+        assert by_name["ring_fallback_rate"].value == 0.0
+        failing = evaluate_slos(snap, serving_slos(cache_hit_floor=0.9))
+        assert not failing[0].ok
+        assert "VIOLATED" in failing[0].describe()
+
+    def test_slo_stats_and_unknown_stat(self):
+        snap = self._snapshot()
+        count = evaluate_slos(snap, [SLO(name="n", stat="count",
+                                         metric="request_latency_seconds",
+                                         min_value=4)])[0]
+        assert count.ok and count.value == 4.0
+        value = evaluate_slos(snap, [SLO(name="v", stat="value",
+                                         metric="requests_total",
+                                         max_value=10)])[0]
+        assert value.ok
+        with pytest.raises(ValueError):
+            evaluate_slos(snap, [SLO(name="bad", stat="p42",
+                                     metric="request_latency_seconds")])
+
+    def test_serving_slos_none_skips_gates(self):
+        assert serving_slos() == ()
+        assert len(serving_slos(p99_ms=5.0)) == 1
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoint
+# ----------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_scrape_endpoints(self):
+        with MetricsRegistry() as registry:
+            block = registry.create_block("w0", SMALL)
+            block.count("a_total", 3)
+            endpoint = MetricsEndpoint(registry.snapshot, port=0)
+            try:
+                assert endpoint.port > 0
+                with urlopen(endpoint.url, timeout=5) as resp:
+                    text = resp.read().decode()
+                    assert resp.headers["Content-Type"].startswith(
+                        "text/plain")
+                assert "reks_a_total 3" in text
+                base = endpoint.url.rsplit("/", 1)[0]
+                with urlopen(f"{base}/metrics.json", timeout=5) as resp:
+                    payload = json.loads(resp.read().decode())
+                assert payload["counters"]["a_total"] == 3
+                with urlopen(f"{base}/healthz", timeout=5) as resp:
+                    assert resp.read() == b"ok\n"
+                with pytest.raises(HTTPError):
+                    urlopen(f"{base}/nope", timeout=5)
+            finally:
+                endpoint.close()
+
+    def test_scrape_sees_live_mutations(self):
+        with MetricsRegistry() as registry:
+            block = registry.create_block("w0", SMALL)
+            endpoint = MetricsEndpoint(registry.snapshot, port=0)
+            try:
+                block.count("a_total", 1)
+                with urlopen(endpoint.url, timeout=5) as resp:
+                    first = resp.read().decode()
+                block.count("a_total", 1)
+                with urlopen(endpoint.url, timeout=5) as resp:
+                    second = resp.read().decode()
+                assert "reks_a_total 1" in first
+                assert "reks_a_total 2" in second
+            finally:
+                endpoint.close()
+
+
+# ----------------------------------------------------------------------
+# Bounded ServerStats
+# ----------------------------------------------------------------------
+class TestBoundedStats:
+    def test_exact_percentiles_below_reservoir_capacity(self):
+        stats = ServerStats()
+        values = [i / 1000.0 for i in range(1, 101)]
+        for v in values:
+            stats.record_request(v)
+        snap = stats.snapshot()
+        want = np.percentile(values, (50, 95, 99)) * 1e3
+        assert snap.latency_ms_p50 == pytest.approx(want[0])
+        assert snap.latency_ms_p95 == pytest.approx(want[1])
+        assert snap.latency_ms_p99 == pytest.approx(want[2])
+        assert snap.latency_ms_mean == pytest.approx(
+            float(np.mean(values)) * 1e3)
+
+    def test_million_request_soak_stays_flat(self):
+        """Satellite (a): the old list-append implementation grew ~8MB
+        per million requests; the histogram+reservoir bound is a fixed
+        few tens of KB and the snapshot stays sane."""
+        stats = ServerStats()
+        bound = stats.nbytes
+        assert bound < 100_000
+        record = stats.record_request
+        for i in range(1_000_000):
+            record(0.002 if i % 10 else 0.020)
+        assert stats.nbytes == bound              # flat, by construction
+        assert stats._lat_sample.seen == 1_000_000
+        assert stats._lat_sample.capacity == RESERVOIR_SIZE
+        snap = stats.snapshot()
+        assert snap.requests == 1_000_000
+        assert snap.latency_ms_mean == pytest.approx(3.8, rel=0.01)
+        assert 1.0 <= snap.latency_ms_p50 <= 21.0  # clamped to extremes
+        assert snap.latency_ms_p99 <= 20.0 + 1e-6
+
+    def test_snapshot_api_unchanged(self):
+        """The StatsSnapshot surface every bench payload reads."""
+        stats = ServerStats()
+        stats.record_request(0.004)
+        stats.record_batch(3)
+        stats.record_cache(True, version=2)
+        stats.record_cache(False, version=2)
+        stats.record_swap(0.1)
+        snap = stats.snapshot()
+        payload = snap.to_dict()
+        assert payload["requests"] == 1
+        assert payload["batch_occupancy"] == {"3": 1}
+        assert payload["cache_by_version"]["2"]["hit_rate"] == 0.5
+        assert payload["swap_latency_ms"] == [pytest.approx(100.0)]
+        assert snap.cache_hit_rate == 0.5
+        stats.reset()
+        assert stats.snapshot().requests == 0
+
+    def test_mirrors_into_metric_block(self):
+        block = MetricBlock.create(fleet_schema(), role="server")
+        try:
+            stats = ServerStats(metrics=block)
+            stats.record_request(0.004)
+            stats.record_cache(True)
+            stats.record_swap(0.01)
+            snap = block.snapshot()
+            assert snap.counters["requests_total"] == 1
+            assert snap.counters["cache_hits_total"] == 1
+            assert snap.counters["swaps_total"] == 1
+            assert snap.hists["request_latency_seconds"].count == 1
+            assert snap.hists["swap_latency_seconds"].count == 1
+        finally:
+            block.unlink()
+
+    def test_reservoir_is_deterministic(self):
+        a, b = Reservoir(capacity=16, seed=0), Reservoir(capacity=16,
+                                                         seed=0)
+        for i in range(1000):
+            a.add(float(i))
+            b.add(float(i))
+        assert np.array_equal(a.values(), b.values())
+        assert a.seen == 1000 and a.capacity == 16
+
+
+# ----------------------------------------------------------------------
+# Server integration: fleet snapshot, tracing, lazy render
+# ----------------------------------------------------------------------
+class TestServerTelemetry:
+    def test_fleet_snapshot_thread_mode(self, trainer, sessions):
+        subset = sessions[:12]
+        with trainer.serve(trace_sample=1.0) as server:
+            server.recommend_many(subset, k=5)   # cold: misses
+            server.recommend_many(subset, k=5)   # warm: hits
+            snap = server.fleet_snapshot()
+            spans = server.tracer.drain()
+        assert "server" in snap.roles
+        assert snap.counter("requests_total") == 2 * len(subset)
+        assert snap.counter("cache_hits_total") == len(subset)
+        assert snap.counter("cache_misses_total") == len(subset)
+        assert snap.counter("exec_rows_total") == len(subset)
+        assert snap.hist("request_latency_seconds").count == 2 * len(subset)
+        assert snap.hist("walk_seconds").count >= 1
+        # Render happened once per explanation row, at cache admission;
+        # the warm replay deferred exactly those rows instead of
+        # re-rendering them.
+        assert snap.counter("render_rows_total") >= len(subset)
+        assert snap.counter("render_deferred_total") \
+            == snap.counter("render_rows_total")
+        grouped = spans_by_trace(spans)
+        assert len(grouped) == len(subset)  # only misses start traces
+        for records in grouped.values():
+            names = {s.name for s in records}
+            assert {"enqueue", "flush", "transport",
+                    "render", "respond"} <= names
+            assert "walk" in names and "topk" in names
+
+    def test_metrics_disabled_raises(self, trainer, sessions):
+        with trainer.serve(metrics=False) as server:
+            server.recommend_many(sessions[:4], k=5)
+            with pytest.raises(RuntimeError):
+                server.fleet_snapshot()
+
+    def test_http_endpoint_on_live_server(self, trainer, sessions):
+        with trainer.serve(metrics_port=0) as server:
+            server.recommend_many(sessions[:6], k=5)
+            with urlopen(server.metrics_url, timeout=5) as resp:
+                text = resp.read().decode()
+            assert text.startswith("# ")
+            assert "reks_requests_total 6" in text
+
+    def test_snapshot_survives_shutdown(self, trainer, sessions):
+        with trainer.serve() as server:
+            server.recommend_many(sessions[:5], k=5)
+        # The server role was retired at shutdown; its counts persist
+        # in the retained accumulators.
+        snap = server.fleet_snapshot()
+        assert snap.counter("requests_total") == 5
+        assert "server" not in snap.roles
+
+    def test_tracing_off_by_default_and_deterministic(self, trainer,
+                                                      sessions):
+        subset = sessions[:8]
+        with trainer.serve(cache_size=0) as plain:
+            baseline = [r.items for r in plain.recommend_many(subset, k=5)]
+        with trainer.serve(cache_size=0, trace_sample=1.0) as traced:
+            got = [r.items for r in traced.recommend_many(subset, k=5)]
+            assert traced.tracer.peek()   # spans actually recorded
+        assert got == baseline            # tracing never perturbs results
+
+    def test_gather_scratch_steady_state_allocates_nothing(
+            self, sharded_trainer):
+        """Satellite (b): the first grouped gather warms the workspace
+        scratch grids; every repeat runs without a single new
+        allocation, and the per-shard row counters split the frontier
+        across both shards."""
+        from repro.core.environment import RolloutWorkspace
+
+        store = sharded_trainer.env.csr_tables()
+        assert store.num_shards == 2
+        # A frontier straddling the shard boundary forces the
+        # shard-major grouped path on every call.
+        edge = int(store.boundaries[1])
+        entities = np.array([edge - 2, edge - 1, edge, edge + 1],
+                            dtype=np.int64)
+        degs = np.take(store.degrees, entities)
+        width = max(int(degs.max()), 1)
+        cols = np.arange(width, dtype=np.int32)
+        mask = cols[None, :] < degs[:, None]
+        idx = np.empty((len(entities), width), dtype=np.int32)
+        rels = np.empty_like(idx)
+        tails = np.empty_like(idx)
+        workspace = RolloutWorkspace()
+        block = MetricBlock.create(fleet_schema(num_shards=2), role="g")
+        try:
+            for _ in range(5):
+                store.gather_into(entities, cols, mask, idx, rels,
+                                  tails, scratch=workspace,
+                                  metrics=block)
+            snap = block.snapshot()
+            assert snap.counters["gather_multi_total"] == 5
+            assert snap.counters["gather_rows_total"] == 5 * len(entities)
+            assert snap.counters[gather_shard_counter(0)] == 5 * 2
+            assert snap.counters[gather_shard_counter(1)] == 5 * 2
+            # Both scatter grids allocated exactly once, on the first
+            # call; the four repeats recycled them.
+            assert snap.counters["gather_scratch_allocs_total"] == 2
+            assert workspace.allocations == 2
+        finally:
+            block.unlink()
+
+
+# ----------------------------------------------------------------------
+# Process-mode integration: cross-process blocks, traces, respawn
+# ----------------------------------------------------------------------
+class TestProcessFleetTelemetry:
+    def test_worker_blocks_merge_into_fleet_snapshot(self, trainer,
+                                                     sessions):
+        subset = sessions[:10]
+        with trainer.serve(worker_mode="process", workers=2,
+                           cache_size=0) as server:
+            server.recommend_many(subset, k=5)
+            snap = server.fleet_snapshot()
+        assert {"server", "worker0", "worker1"} <= set(snap.roles)
+        assert snap.counter("exec_rows_total") == len(subset)
+        assert snap.counter("exec_batches_total") >= 1
+        assert snap.counter("ring_batches_total") \
+            + snap.counter("pipe_batches_total") >= 1
+        assert snap.hist("exec_seconds").count >= 1
+
+    def test_trace_ids_cross_the_ring(self, trainer, sessions):
+        subset = sessions[:6]
+        with trainer.serve(worker_mode="process", workers=1,
+                           cache_size=0, trace_sample=1.0) as server:
+            server.recommend_many(subset, k=5)
+            spans = server.tracer.drain()
+            snap = server.fleet_snapshot()
+        grouped = spans_by_trace(spans)
+        assert len(grouped) == len(subset)
+        for records in grouped.values():
+            roles = {s.role for s in records}
+            assert "worker" in roles          # echoed back over the ring
+            names = {s.name for s in records}
+            assert "exec" in names and "walk" in names
+        assert snap.counter("worker_traces_total") == len(subset)
+
+    def test_trace_ids_survive_ring_to_pipe_fallback(self, trainer,
+                                                     sessions):
+        """Satellite (d): shrink the parent's view of the request slot
+        so every batch raises RingUnsuitable and rides the pickle pipe
+        — worker spans and trace echoes must come back regardless."""
+        subset = sessions[:6]
+        with trainer.serve(worker_mode="process", workers=1,
+                           cache_size=0, trace_sample=1.0) as server:
+            expected = [r.items for r in server.recommend_many(subset,
+                                                               k=5)]
+            server.tracer.drain()
+            pool = server.process_pool
+            for handle in pool._workers:
+                handle.ring.manifest = replace(handle.ring.manifest,
+                                               req_slot_bytes=8)
+            fallen = [r.items for r in server.recommend_many(subset,
+                                                             k=5)]
+            spans = server.tracer.drain()
+            snap = server.fleet_snapshot()
+        assert fallen == expected             # transport is invisible
+        assert snap.counter("ring_fallbacks_total") >= 1
+        grouped = spans_by_trace(spans)
+        assert len(grouped) == len(subset)
+        for records in grouped.values():
+            assert "worker" in {s.role for s in records}
+
+    def test_respawn_keeps_counts_without_double_counting(self, trainer,
+                                                          sessions):
+        subset = sessions[:6]
+        with trainer.serve(worker_mode="process", workers=2,
+                           cache_size=0) as server:
+            server.recommend_many(subset, k=5)
+            before = server.fleet_snapshot()
+            assert before.counter("exec_rows_total") == len(subset)
+            for handle in server.process_pool._workers:
+                handle.process.kill()
+            time.sleep(0.2)
+            server.recommend_many(subset, k=5)
+            after = server.fleet_snapshot()
+        # Old counts folded exactly once, new counts added on top.
+        assert after.counter("exec_rows_total") == 2 * len(subset)
+        assert after.counter("worker_respawns_total") >= 1
+        assert after.retired_blocks >= 1
+        assert {"worker0", "worker1"} <= set(after.roles)
+        # Stable across repeated snapshots (no re-folding).
+        assert after.counter("exec_rows_total") == 2 * len(subset)
+
+
+# ----------------------------------------------------------------------
+# Updater child block
+# ----------------------------------------------------------------------
+class TestUpdaterTelemetry:
+    @pytest.mark.parametrize("mode", ["thread", "subprocess"])
+    def test_round_metrics_flow_into_fleet(self, trainer, beauty_tiny,
+                                           tmp_path, mode):
+        from repro.online import (CheckpointRegistry, DeltaIngestor,
+                                  OnlineUpdater)
+
+        delta = [s for s in beauty_tiny.split.validation
+                 if len(s.items) >= 2][:8]
+        registry = CheckpointRegistry(tmp_path, keep_last=2)
+        ingestor = DeltaIngestor(trainer.built, trainer.env,
+                                 compact_every=10_000)
+        fleet = MetricsRegistry()
+        updater = OnlineUpdater(trainer, ingestor, registry,
+                                min_sessions=1, max_steps=1, mode=mode,
+                                metrics_registry=fleet)
+        try:
+            assert updater.run_once(force=True) is not None
+            ingestor.ingest_sessions(delta)
+            assert updater.run_once(force=True) is not None
+            snap = fleet.snapshot()
+        finally:
+            updater.stop()
+            fleet.close()
+        assert "updater" in snap.roles
+        assert snap.counter("online_rounds_total") == 2
+        assert snap.counter("online_sessions_total") == len(delta)
+        assert snap.hist("online_round_seconds").count == 2
+        assert snap.hist("online_publish_seconds").count == 2

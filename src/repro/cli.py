@@ -11,6 +11,9 @@ Subcommands cover the release workflow end to end:
 * ``ingest``      — demo the streaming ingest -> fine-tune -> publish loop
 * ``online-bench``— measure the continual-learning lifecycle (hot swap)
 * ``runtime-bench``— thread-vs-process serving + fine-tune isolation
+* ``metrics``     — emit the merged fleet metrics snapshot
+* ``top``         — live terminal fleet view (poll /metrics.json)
+* ``trace-soak``  — soak the tracer -> streaming-sink handoff
 
 Example::
 
@@ -263,6 +266,20 @@ def cmd_serve_bench(args) -> int:
         return 1
     if not slo_ok:
         print("FAIL: serving SLO violated (see gates above)")
+        return 1
+    win = payload["telemetry"].get("window") or {}
+    if win.get("available"):
+        print(f"  windowed burn max {win['burn_max']:.3g} over "
+              f"{win['seconds']:.2f}s "
+              f"[{'ok' if win['slo_ok'] else 'VIOLATED'}]")
+        if args.slo_burn_ceiling and \
+                win["burn_max"] > args.slo_burn_ceiling:
+            print(f"FAIL: windowed SLO burn rate {win['burn_max']:.3g} "
+                  f"> ceiling {args.slo_burn_ceiling:g}")
+            return 1
+    elif args.slo_burn_ceiling:
+        print("FAIL: --slo-burn-ceiling set but no rolling window was "
+              "recorded (metrics plane off?)")
         return 1
     return 0
 
@@ -557,6 +574,147 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    """Live fleet view: render consecutive ``/metrics.json`` snapshots
+    as terminal frames — per-role QPS, windowed request p50/p99, cache
+    hit rate, ring/pipe transport mix, trace pressure, and a per-shard
+    gather heat bar.  With ``--url`` it polls a running server's
+    metrics endpoint; without one it stands up a demo fleet and drives
+    a traffic pass between frames."""
+    import json
+    import time
+    from repro.telemetry.top import render_top
+
+    def show(curr: dict, prev, frame: int) -> None:
+        if frame and not args.no_clear:
+            print("\x1b[2J\x1b[H", end="")
+        print(render_top(curr, prev), end="", flush=True)
+
+    if args.url:
+        import urllib.request
+
+        url = args.url
+        if "metrics.json" not in url:
+            url = url.rstrip("/") + "/metrics.json"
+        prev = None
+        frame = 0
+        try:
+            while True:
+                with urllib.request.urlopen(url, timeout=5.0) as resp:
+                    curr = json.loads(resp.read().decode("utf-8"))
+                show(curr, prev, frame)
+                prev = curr
+                frame += 1
+                if args.frames and frame >= args.frames:
+                    break
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    # Demo fleet: a small process-mode server, one closed-loop traffic
+    # pass per frame so every frame diffs against real activity.
+    from repro.serving.bench import _closed_loop
+
+    dataset = make_dataset(args.dataset, args.scale, args.seed)
+    built = build_kg(dataset, include_users=not args.no_users)
+    config = REKSConfig(dim=args.dim, state_dim=args.dim,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        lr=args.lr, sample_sizes=(100, 4),
+                        transe_epochs=2, graph_shards=4,
+                        seed=args.seed)
+    trainer = REKSTrainer(dataset, built, model_name=args.model,
+                          config=config)
+    sessions = [s for s in dataset.split.test
+                if len(s.items) >= 2][:64]
+    if not sessions:
+        print("FAIL: dataset has no usable serving sessions")
+        return 1
+    frames = args.frames or 3
+    with trainer.serve(worker_mode="process", workers=2,
+                       trace_sample=1.0) as server:
+        prev = None
+        for frame in range(frames):
+            _closed_loop(server, sessions, args.concurrency, args.top_k)
+            curr = server.fleet_snapshot().to_dict()
+            show(curr, prev, frame)
+            prev = curr
+    return 0
+
+
+def cmd_trace_soak(args) -> int:
+    """Soak the tracer -> streaming-sink handoff: push ``--spans``
+    spans through a :class:`Tracer` with a :class:`TraceSink` attached
+    (rotation forced by a small ``--rotate-bytes``), then audit the
+    ledger: every span must be accounted for as written or as a
+    *counted* drop, drops must be zero at the default queue depth, and
+    rotation must actually have happened."""
+    import json
+    from pathlib import Path
+
+    from repro.telemetry.block import MetricBlock, fleet_schema
+    from repro.telemetry.sink import TraceSink
+    from repro.telemetry.trace import Tracer
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    live = out_dir / "trace.jsonl"
+    for stale in out_dir.glob("trace.jsonl*"):
+        stale.unlink()
+
+    block = MetricBlock.create(fleet_schema(), "soak")
+    sink = TraceSink(live, max_bytes=args.rotate_bytes,
+                     keep=args.keep, metrics=block)
+    tracer = Tracer(sample=1.0, capacity=1024, seed=args.seed,
+                    sink=sink, metrics=block)
+    for i in range(args.spans):
+        tracer.record(trace_id=(i % (1 << 30)) + 1, name="soak",
+                      role="soak", t0=float(i) * 1e-6, dur=1e-6)
+    sink.flush()
+    sink.close()
+
+    retained = 0
+    for path in sink.files():
+        if Path(path).exists():
+            retained += sum(1 for line in
+                            Path(path).read_text().splitlines() if line)
+    dropped = sink.dropped
+    counted = block.snapshot().counters.get("trace_dropped_total", 0)
+    block.unlink()
+    summary = {
+        "spans": args.spans,
+        "written": sink.written,
+        "retained": retained,
+        "rotations": sink.rotations,
+        "dropped": dropped,
+        "trace_dropped_total": int(counted),
+        "files": sink.files(),
+    }
+    (out_dir / "soak_summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True))
+    print(f"trace soak: {args.spans} spans -> {sink.written} written, "
+          f"{retained} retained across {len(sink.files())} files, "
+          f"{sink.rotations} rotations, {dropped} dropped")
+    print(f"-> {out_dir}/soak_summary.json")
+    if sink.written + dropped != args.spans:
+        print(f"FAIL: span ledger does not balance "
+              f"({sink.written} written + {dropped} dropped != "
+              f"{args.spans})")
+        return 1
+    if dropped != counted:
+        print(f"FAIL: {dropped} drops but trace_dropped_total={counted} "
+              f"(silent loss)")
+        return 1
+    if dropped:
+        print(f"FAIL: {dropped} spans dropped during the soak")
+        return 1
+    if args.spans and not sink.rotations:
+        print("FAIL: soak never rotated the live file "
+              "(--rotate-bytes too large?)")
+        return 1
+    return 0
+
+
 def _print_metrics(label: str, metrics: dict) -> None:
     rows = [[k, f"{v:.2f}"] for k, v in metrics.items()
             if k.startswith(("HR", "NDCG"))]
@@ -643,6 +801,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=0.5,
                        help="fail when the ring->pipe fallback rate "
                             "exceeds this")
+    p_srv.add_argument("--slo-burn-ceiling", type=float, default=0.0,
+                       help="fail when the rolling-window SLO burn "
+                            "rate exceeds this multiple of budget "
+                            "(0 disables the gate)")
     p_srv.add_argument("--out", default=default_bench_path(
         "BENCH_serving.json"))
     p_srv.set_defaults(func=cmd_serve_bench)
@@ -755,6 +917,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write drained spans as JSONL here (plus a "
                             "sibling Chrome trace_event file)")
     p_met.set_defaults(func=cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal fleet view (polls /metrics.json)")
+    _add_common(p_top)
+    p_top.add_argument("--model", choices=MODELS, default="narm")
+    p_top.add_argument("--no-users", action="store_true")
+    p_top.add_argument("--url", default=None,
+                       help="metrics endpoint of a running server "
+                            "(e.g. http://127.0.0.1:9201); omitted = "
+                            "stand up a demo fleet")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between frames in --url mode")
+    p_top.add_argument("--frames", type=int, default=0,
+                       help="stop after this many frames (0 = until "
+                            "Ctrl-C in --url mode, 3 in demo mode)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the "
+                            "screen (headless/CI logs)")
+    p_top.add_argument("--concurrency", type=int, default=8)
+    p_top.add_argument("--top-k", type=int, default=10)
+    p_top.set_defaults(func=cmd_top)
+
+    p_soak = sub.add_parser(
+        "trace-soak",
+        help="soak the tracer -> streaming trace sink handoff")
+    p_soak.add_argument("--spans", type=int, default=100_000,
+                        help="spans pushed through the sink")
+    p_soak.add_argument("--rotate-bytes", type=int, default=1 << 20,
+                        help="live-file size that forces a rotation")
+    p_soak.add_argument("--keep", type=int, default=64,
+                        help="rotated generations retained (large "
+                             "enough that the soak keeps every span)")
+    p_soak.add_argument("--seed", type=int, default=7)
+    p_soak.add_argument("--out", default="traces",
+                        help="directory for trace.jsonl* and the soak "
+                             "summary")
+    p_soak.set_defaults(func=cmd_trace_soak)
 
     return parser
 

@@ -110,6 +110,9 @@ class REKSAgent(Module):
         # Per-hop wall time lands in the owner's metric block (if any);
         # the guard keeps the no-telemetry walk free of clock reads.
         metrics = None if workspace is None else workspace.metrics
+        # Per-row frontier census for sampled batches: one bincount per
+        # executed hop, appended to the owner's list (None = off).
+        row_frontier = getattr(workspace, "row_frontier", None)
 
         for hop, k in enumerate(sizes):
             if len(sess_idx) == 0:
@@ -143,6 +146,9 @@ class REKSAgent(Module):
                 ent_hist = ent_hist[:0]
                 rel_hist = rel_hist[:0]
                 log_prob = None
+                if row_frontier is not None:
+                    row_frontier.append(
+                        np.zeros(batch_size, dtype=np.int64))
                 if metrics is not None:
                     metrics.observe(walk_hop_hist(hop),
                                     perf_counter() - hop_t0)
@@ -158,6 +164,9 @@ class REKSAgent(Module):
             rel_hist = np.concatenate(
                 [rel_hist[rows], np.concatenate(sel_rels)[:, None]], axis=1)
             prev_rel = rel_hist[:, -1]
+            if row_frontier is not None:
+                row_frontier.append(
+                    np.bincount(sess_idx, minlength=batch_size))
             if metrics is not None:
                 metrics.observe(walk_hop_hist(hop),
                                 perf_counter() - hop_t0)

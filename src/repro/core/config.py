@@ -109,6 +109,18 @@ class REKSConfig:
     # parent registry) and sampled cross-process request tracing.
     serve_metrics: bool = True       # False skips block creation entirely
     serve_trace_sample: float = 0.0  # fraction of requests traced (1 = all)
+    # Per-request span attribution: sampled batches additionally carry
+    # per-row frontier widths and walk/top-k duration shares back over
+    # the transport (a "row" span per sampled request).  Only active
+    # while sampling is on; False keeps spans batch-granular.
+    serve_trace_rows: bool = True
+    # Streaming trace export: path of the rotating JSONL file the
+    # tracer's sink appends to ("" = no sink, drain-or-drop deque).
+    serve_trace_path: str = ""
+    # Rolling-window sampling period for windowed SLOs / the live view
+    # (0 = no background sampler; server.window() still samples on
+    # demand).
+    serve_window_interval_ms: float = 0.0
     # >= 0 exposes a stdlib-HTTP /metrics endpoint on that port
     # (0 = ephemeral, read server.metrics_url); -1 disables it.
     serve_metrics_port: int = -1
@@ -176,6 +188,10 @@ class REKSConfig:
             raise ValueError(
                 f"serve_metrics_port must be >= -1 (-1 = off), "
                 f"got {self.serve_metrics_port}")
+        if self.serve_window_interval_ms < 0:
+            raise ValueError(
+                f"serve_window_interval_ms must be >= 0 (0 = off), "
+                f"got {self.serve_window_interval_ms}")
         if self.serve_max_batch < 1:
             raise ValueError(
                 f"serve_max_batch must be >= 1, got {self.serve_max_batch}")

@@ -148,6 +148,11 @@ class RolloutWorkspace:
         # requests (or None).
         self.metrics = None
         self.spans = None
+        # When set to a list, the walk appends one per-row surviving
+        # path census (np.bincount over the batch) per executed hop —
+        # the raw material for per-request cost attribution (see
+        # repro.telemetry.trace.attribute_rows).
+        self.row_frontier = None
 
     def checkout(self) -> "RolloutWorkspace":
         """Mark this workspace as owned by one rollout/worker.

@@ -86,6 +86,7 @@ def run_online_bench(trainer, sessions: Sequence[Session],
     """
     from repro.telemetry.exporters import evaluate_slos, serving_slos
     from repro.telemetry.registry import MetricsRegistry
+    from repro.telemetry.window import RollingWindow
 
     sessions = [s for s in sessions if len(s.items) >= 2]
     delta = [s for s in delta if len(s.items) >= 2]
@@ -141,6 +142,12 @@ def run_online_bench(trainer, sessions: Sequence[Session],
         "publish": {"seconds": publish_s,
                     "registry_versions": registry.versions()},
     }
+
+    # Rolling window bracketing the serving phases (stages 3-5): the
+    # windowed SLO view isolates swap/steady-state traffic from the
+    # ingest and publish counters accumulated above.
+    rolling = RollingWindow()
+    rolling.record(metrics_registry.snapshot())
 
     with trainer.serve(registry=registry,
                        metrics_registry=metrics_registry) as server:
@@ -238,8 +245,13 @@ def run_online_bench(trainer, sessions: Sequence[Session],
     slo_params = dict(slo or {})
     slo_params.setdefault("swap_max_ms", 30_000.0)
     snapshot = metrics_registry.snapshot()
+    rolling.record(snapshot)
     metrics_registry.close()
-    results = evaluate_slos(snapshot, serving_slos(**slo_params))
+    slos = serving_slos(**slo_params)
+    results = evaluate_slos(snapshot, slos)
+    win = rolling.window(None)  # full span: serving phases only
+    windowed = evaluate_slos(snapshot, slos, window=win)
+    burns = [r.burn_rate for r in windowed if r.burn_rate is not None]
     payload["telemetry"] = {
         "snapshot": snapshot.to_dict(),
         "online_rounds": snapshot.counter("online_rounds_total"),
@@ -247,6 +259,13 @@ def run_online_bench(trainer, sessions: Sequence[Session],
         "swaps": snapshot.counter("swaps_total"),
         "slo": [result.to_dict() for result in results],
         "slo_ok": all(result.ok for result in results),
+        "window": {
+            "available": win is not None,
+            "seconds": win.seconds if win is not None else 0.0,
+            "slo": [result.to_dict() for result in windowed],
+            "slo_ok": all(result.ok for result in windowed),
+            "burn_max": max(burns) if burns else 0.0,
+        },
     }
     return payload
 
@@ -280,4 +299,11 @@ def format_report(payload: dict) -> str:
         f"cold restart",
         f"  deterministic : {payload['determinism_bit_identical']}",
     ]
+    tel = payload.get("telemetry", {})
+    win = tel.get("window")
+    if win and win.get("available"):
+        lines.append(
+            f"  serve window  : {win['seconds']:.2f}s, "
+            f"burn max {win['burn_max']:.3g}, SLO "
+            + ("PASS" if win["slo_ok"] else "FAIL"))
     return "\n".join(lines)

@@ -257,9 +257,13 @@ def run_runtime_bench(trainer, sessions: Sequence[Session],
     variants = (("thread", {"worker_mode": "thread"}),
                 ("process", {"worker_mode": "process",
                              "transport": "ring"}),
+                ("process_traced", {"worker_mode": "process",
+                                    "transport": "ring",
+                                    "trace_sample": 1.0}),
                 ("process_pipe", {"worker_mode": "process",
                                   "transport": "pipe"}))
     fleet_snapshot = None
+    window_section = None
     for label, overrides in variants:
         with trainer.serve(workers=workers, cache_size=0,
                            **overrides) as server:
@@ -274,6 +278,25 @@ def run_runtime_bench(trainer, sessions: Sequence[Session],
                 # children's per-shard gather counters and exec/walk
                 # timings next to the parent's transport counters.
                 fleet_snapshot = server.fleet_snapshot().to_dict()
+                # Rolling-window view over the same run: the server
+                # records a snapshot at construction, so the full-span
+                # window isolates this variant's traffic from the
+                # other variants' registries entirely.
+                win = server.window()
+                if win is not None:
+                    from repro.telemetry.exporters import (
+                        evaluate_slos, serving_slos)
+                    snap = server.fleet_snapshot()
+                    windowed = evaluate_slos(snap, serving_slos(),
+                                             window=win)
+                    burns = [r.burn_rate for r in windowed
+                             if r.burn_rate is not None]
+                    window_section = {
+                        "seconds": win.seconds,
+                        "slo": [r.to_dict() for r in windowed],
+                        "slo_ok": all(r.ok for r in windowed),
+                        "burn_max": max(burns) if burns else 0.0,
+                    }
             batches = max(1, round(best.requests
                                    / max(best.mean_occupancy, 1e-9)))
             entry = {
@@ -298,7 +321,7 @@ def run_runtime_bench(trainer, sessions: Sequence[Session],
         serve_section["process"]["throughput_rps"]
         / serve_section["thread"]["throughput_rps"])
     thread_batch_ms = serve_section["thread"]["per_batch_ms"]
-    for label in ("process", "process_pipe"):
+    for label in ("process", "process_traced", "process_pipe"):
         serve_section[label]["per_batch_vs_thread"] = (
             serve_section[label]["per_batch_ms"]
             / max(thread_batch_ms, 1e-12))
@@ -320,7 +343,12 @@ def run_runtime_bench(trainer, sessions: Sequence[Session],
     payload["telemetry"] = {
         "ring_per_batch_vs_thread": serve_section["process"][
             "per_batch_vs_thread"],
+        # Every request traced with per-row span attribution: the
+        # fully-observed ring batch against bare thread mode.
+        "ring_traced_per_batch_vs_thread": serve_section[
+            "process_traced"]["per_batch_vs_thread"],
         "snapshot": fleet_snapshot,
+        "window": window_section,
     }
 
     # ------------------------------------------------------------------
@@ -429,6 +457,13 @@ def format_report(payload: dict) -> str:
         f"via {serve['process'].get('mp_start_method', '?')}, "
         f"fallbacks {serve['process'].get('ring_fallbacks', 0)})",
     ]
+    traced = serve.get("process_traced")
+    if traced is not None:
+        lines.append(
+            f"  process traced : {traced['throughput_rps']:>8.1f} "
+            f"req/s  p95={traced['latency_ms']['p95']:.1f}ms "
+            f"(batch {traced.get('per_batch_vs_thread', 0):.2f}x "
+            f"thread, per-row spans @ sample=1.0)")
     if pipe is not None:
         lines.append(
             f"  process (pipe) : {pipe['throughput_rps']:>8.1f} "
@@ -456,4 +491,10 @@ def format_report(payload: dict) -> str:
         f"({online['during_subprocess_round']['p95_vs_idle']:.2f}x idle)",
         f"  isolation gain : {online['isolation_gain']:.2f}x",
     ]
+    win = payload.get("telemetry", {}).get("window")
+    if win:
+        lines.append(
+            f"  ring window    : {win['seconds']:.2f}s, "
+            f"burn max {win['burn_max']:.3g}, SLO "
+            + ("PASS" if win["slo_ok"] else "FAIL"))
     return "\n".join(lines)

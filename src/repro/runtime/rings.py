@@ -348,7 +348,8 @@ def encode_error(traceback_text: str, capacity: int) -> bytes:
 
 def encode_response(version: int, rows: Sequence[tuple],
                     spans: Sequence[tuple] = (),
-                    traces: Sequence[int] = ()) -> bytes:
+                    traces: Sequence[int] = (),
+                    rowrecs: Sequence[tuple] = ()) -> bytes:
     """Marshal executed rows: ``(items, scores, path_blobs)`` per row.
 
     ``path_blobs[i]`` is ``None`` or ``(entities, relations, prob)``.
@@ -366,9 +367,20 @@ def encode_response(version: int, rows: Sequence[tuple],
     trailer** follows: ``[n_spans i32][n_traces i32]
     [traces i32*n_traces][pad8][spans f64*3*n_spans]`` — each span is
     a ``(kind_id, t0, dur)`` triple (see
-    :data:`repro.telemetry.trace.SPAN_KINDS`).  No trailer is emitted
-    when both sections are empty, keeping the tracing-off payload
-    byte-identical to the pre-telemetry format.
+    :data:`repro.telemetry.trace.SPAN_KINDS`).
+
+    ``rowrecs`` (optional) appends a **per-row section** after the
+    spans: ``[n_rows i32][hops i32][(trace i32, widths i32*hops) *
+    n_rows][pad8][(walk_s f64, topk_s f64) * n_rows]`` — one record
+    per sampled row, carrying its per-hop frontier width and its
+    attributed walk / top-k duration share (see
+    :func:`repro.telemetry.trace.attribute_rows`).  Every record in a
+    batch shares the same executed-hop count.
+
+    No trailer is emitted when every telemetry section is empty,
+    keeping the tracing-off payload byte-identical to the
+    pre-telemetry format (and the rowrecs-off payload byte-identical
+    to the span-only trailer).
     """
     n = len(rows)
     ks = [len(row[0]) for row in rows]
@@ -398,7 +410,7 @@ def encode_response(version: int, rows: Sequence[tuple],
     size = sum(len(p) for p in parts)
     parts.append(b"\x00" * (_align(size, 8) - size))
     parts.append(np.asarray(probs, dtype=_F64).tobytes())
-    if spans or traces:
+    if spans or traces or rowrecs:
         parts.append(np.asarray([len(spans), len(traces)]
                                 + [_check_i32(t, "trace id")
                                    for t in traces],
@@ -409,15 +421,31 @@ def encode_response(version: int, rows: Sequence[tuple],
         for kind_id, t0, dur in spans:
             flat_spans += [float(kind_id), float(t0), float(dur)]
         parts.append(np.asarray(flat_spans, dtype=_F64).tobytes())
+    if rowrecs:
+        hops = len(rowrecs[0][1])
+        ints: List[int] = [len(rowrecs), hops]
+        durs: List[float] = []
+        for trace_id, widths, walk_s, topk_s in rowrecs:
+            if len(widths) != hops:
+                raise RingUnsuitable(
+                    f"row record has {len(widths)} hop widths, "
+                    f"batch has {hops}")
+            ints.append(_check_i32(trace_id, "trace id"))
+            ints += [_check_i32(w, "frontier width") for w in widths]
+            durs += [float(walk_s), float(topk_s)]
+        parts.append(np.asarray(ints, dtype=_I32).tobytes())
+        size = sum(len(p) for p in parts)
+        parts.append(b"\x00" * (_align(size, 8) - size))
+        parts.append(np.asarray(durs, dtype=_F64).tobytes())
     return b"".join(parts)
 
 
 def decode_response(payload: bytes
                     ) -> Tuple[int, List[tuple], List[tuple],
-                               List[int]]:
+                               List[int], List[tuple]]:
     """Inverse of :func:`encode_response`; returns
-    ``(version, rows, spans, traces)`` (spans/traces empty when the
-    payload has no telemetry trailer).
+    ``(version, rows, spans, traces, rowrecs)`` (telemetry sections
+    empty when the payload has no trailer).
 
     Raises :class:`WorkerExecError` when the slot carries a worker
     traceback (status=1).
@@ -453,6 +481,7 @@ def decode_response(payload: bytes
     offset += 8 * n_paths
     spans: List[tuple] = []
     traces: List[int] = []
+    rowrecs: List[tuple] = []
     if offset + 8 <= len(payload):
         trailer = np.frombuffer(payload, dtype=_I32, count=2,
                                 offset=offset)
@@ -466,6 +495,22 @@ def decode_response(payload: bytes
         spans = [(int(flat_spans[3 * i]), float(flat_spans[3 * i + 1]),
                   float(flat_spans[3 * i + 2]))
                  for i in range(n_spans)]
+        offset += 24 * n_spans
+    if offset + 8 <= len(payload):
+        rowhead = np.frombuffer(payload, dtype=_I32, count=2,
+                                offset=offset)
+        n_rowrecs, hops = int(rowhead[0]), int(rowhead[1])
+        offset += 8
+        stride = 1 + hops
+        ints = np.frombuffer(payload, dtype=_I32,
+                             count=n_rowrecs * stride, offset=offset)
+        offset = _align(offset + 4 * n_rowrecs * stride, 8)
+        durs = np.frombuffer(payload, dtype=_F64, count=2 * n_rowrecs,
+                             offset=offset)
+        for i in range(n_rowrecs):
+            rec = ints[i * stride:(i + 1) * stride]
+            rowrecs.append((int(rec[0]), tuple(rec[1:].tolist()),
+                            float(durs[2 * i]), float(durs[2 * i + 1])))
     rows: List[tuple] = []
     cell = 0
     cursor = 0
@@ -489,7 +534,7 @@ def decode_response(payload: bytes
             path_idx += 1
         cell += k
         rows.append((row_items, row_scores, row_paths))
-    return version, rows, spans, traces
+    return version, rows, spans, traces, rowrecs
 
 
 class WorkerExecError(RuntimeError):

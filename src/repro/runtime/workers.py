@@ -84,7 +84,7 @@ from repro.runtime.rings import (
     encode_response,
 )
 from repro.telemetry.block import BlockManifest, MetricBlock, fleet_schema
-from repro.telemetry.trace import span_kind_id
+from repro.telemetry.trace import attribute_rows, span_kind_id
 
 _SPAN_EXEC = span_kind_id("exec")
 _SPAN_COLLATE = span_kind_id("collate")
@@ -343,24 +343,35 @@ def _worker_main(conn, spec: AgentSpec,
     workspace.metrics = metrics
     max_len = agent.config.max_session_length
 
-    def run_exec(examples, ks, traces) -> Tuple[list, list, list]:
+    def run_exec(examples, ks, traces
+                 ) -> Tuple[list, list, list, list]:
         """Execute + instrument one batch; returns (rows, spans,
-        sampled trace-id echo)."""
+        sampled trace-id echo, per-row records)."""
         sampled = [t for t in traces if t] if traces else []
         spans: List[tuple] = []
+        rowrecs: List[tuple] = []
+        if sampled:
+            # The walk appends one per-row surviving-path census per
+            # hop; attribute_rows splits the batch cost across rows.
+            workspace.row_frontier = []
         t0 = perf_counter()
-        rows = _exec_rows(agent, examples, ks, workspace, max_len,
-                          span_sink=spans if sampled else None)
+        try:
+            rows = _exec_rows(agent, examples, ks, workspace, max_len,
+                              span_sink=spans if sampled else None)
+        finally:
+            frontier = workspace.row_frontier
+            workspace.row_frontier = None
         dur = perf_counter() - t0
         if sampled:
             spans.append((_SPAN_EXEC, t0, dur))
+            rowrecs = attribute_rows(traces, ks, frontier, spans)
         if metrics is not None:
             metrics.count("exec_batches_total")
             metrics.count("exec_rows_total", len(examples))
             metrics.observe("exec_seconds", dur)
             if sampled:
                 metrics.count("worker_traces_total", len(sampled))
-        return rows, spans, sampled
+        return rows, spans, sampled, rowrecs
 
     def serve_ring_request() -> None:
         # The doorbell byte is consumed by the caller; the request is
@@ -371,10 +382,12 @@ def _worker_main(conn, spec: AgentSpec,
             raise RuntimeError("ring doorbell without a published slot")
         try:
             examples, ks, traces = decode_request(payload)
-            rows, spans, sampled = run_exec(examples, ks, traces)
+            rows, spans, sampled, rowrecs = run_exec(examples, ks,
+                                                     traces)
             ring.post_response(encode_response(version, rows,
                                                spans=spans,
-                                               traces=sampled))
+                                               traces=sampled,
+                                               rowrecs=rowrecs))
         except Exception:
             ring.post_response(encode_error(
                 traceback.format_exc(),
@@ -398,12 +411,13 @@ def _worker_main(conn, spec: AgentSpec,
                     traces = message[3] if len(message) > 3 else None
                     if isinstance(ks, int):
                         ks = [ks] * len(examples)
-                    rows, spans, sampled = run_exec(examples, ks,
-                                                    traces)
+                    rows, spans, sampled, rowrecs = run_exec(
+                        examples, ks, traces)
                     # Rows cross unrendered on both transports; the
                     # parent renders lazily behind the cache (see
                     # serving.server.ServedResult).
-                    conn.send(("ok", version, rows, spans, sampled))
+                    conn.send(("ok", version, rows, spans, sampled,
+                               rowrecs))
                 elif op == "swap":
                     _, new_version, state = message
                     # Partial: frozen plane-backed tables are not
@@ -523,17 +537,18 @@ class _Worker:
     def exec_batch(self, examples: Sequence[tuple], ks: Sequence[int],
                    max_len: int, resp_bound: int,
                    traces: Optional[Sequence[int]] = None
-                   ) -> Tuple[str, int, list, list, list]:
+                   ) -> Tuple[str, int, list, list, list, list]:
         """Run one micro-batch over the best transport available.
 
-        Returns ``(used, version, rows, spans, trace_echo)`` where
-        ``used`` is ``"ring"``, ``"pipe"`` (this worker has no ring),
-        or ``"fallback"`` (it has one, but this batch could not ride
-        it — oversize payload, un-encodable values, or a full ring).
-        Rows are unrendered 3-tuples on every transport; ``spans`` are
-        the worker's ``(kind_id, t0, dur)`` batch spans and
-        ``trace_echo`` the sampled ids it attributed them to (both
-        empty when no row was sampled).
+        Returns ``(used, version, rows, spans, trace_echo, rowrecs)``
+        where ``used`` is ``"ring"``, ``"pipe"`` (this worker has no
+        ring), or ``"fallback"`` (it has one, but this batch could not
+        ride it — oversize payload, un-encodable values, or a full
+        ring).  Rows are unrendered 3-tuples on every transport;
+        ``spans`` are the worker's ``(kind_id, t0, dur)`` batch spans,
+        ``trace_echo`` the sampled ids it attributed them to, and
+        ``rowrecs`` the per-row ``(trace, widths, walk_s, topk_s)``
+        attribution records (all empty when no row was sampled).
         """
         used = "pipe"
         if self.ring is not None:
@@ -557,16 +572,17 @@ class _Worker:
                         self._db_req.send_bytes(b"\x01")
                         raw = self._await_ring_response()
                         try:
-                            version, rows, spans, echo = (
+                            version, rows, spans, echo, rowrecs = (
                                 decode_response(raw))
                         except WorkerExecError as exc:
                             raise WorkerError(str(exc)) from None
-                        return "ring", version, rows, spans, echo
+                        return ("ring", version, rows, spans, echo,
+                                rowrecs)
         message = ("exec", list(examples), list(ks))
         if traces is not None and any(traces):
             message += (list(traces),)
-        version, rows, spans, echo = self.request(message)
-        return used, version, rows, spans, echo
+        version, rows, spans, echo, rowrecs = self.request(message)
+        return used, version, rows, spans, echo, rowrecs
 
     def _await_ring_response(self) -> bytes:
         """Block on the response doorbell (or the child's death).
@@ -864,7 +880,8 @@ class ProcessWorkerPool:
     def execute(self, examples: Sequence[tuple],
                 k: Union[int, Sequence[int]],
                 traces: Optional[Sequence[int]] = None,
-                span_sink: Optional[list] = None
+                span_sink: Optional[list] = None,
+                row_sink: Optional[list] = None
                 ) -> Tuple[int, List[tuple]]:
         """Run one micro-batch on an idle worker.
 
@@ -880,7 +897,8 @@ class ProcessWorkerPool:
 
         ``traces`` carries one sampled trace id per example (0 = not
         sampled) and rides either transport; the worker's batch spans
-        come back through ``span_sink`` (appended in place) so the
+        come back through ``span_sink`` and its per-row attribution
+        records through ``row_sink`` (both appended in place) so the
         return shape stays ``(version, rows)`` for every caller.
 
         Worker death is invisible here: a corpse popped from the idle
@@ -903,8 +921,13 @@ class ProcessWorkerPool:
         n_sampled = sum(1 for t in traces if t) if traces else 0
         resp_bound = 64 + 4 * len(ks) + sum(ks) * self._resp_cell_bytes
         if n_sampled:
-            # Telemetry trailer: header + trace echo + pad + spans.
+            # Telemetry trailer: header + trace echo + pad + spans,
+            # then the per-row section (header + int records + pad +
+            # two f64 durations per sampled row).
+            hops = self._spec.config.path_length
             resp_bound += 16 + 4 * n_sampled + 24 * _MAX_RESP_SPANS
+            resp_bound += (16 + 4 * (1 + hops) * n_sampled
+                           + 16 * n_sampled)
         worker = self._idle.get()
         try:
             if worker.process.exitcode is not None:
@@ -913,12 +936,13 @@ class ProcessWorkerPool:
                 # occupant instead of failing the batch.
                 worker = self._respawn(worker)
             try:
-                used, version, rows, spans, echo = worker.exec_batch(
-                    examples, ks, self._max_len, resp_bound, traces)
+                used, version, rows, spans, echo, rowrecs = (
+                    worker.exec_batch(examples, ks, self._max_len,
+                                      resp_bound, traces))
             except WorkerDied:
                 worker = self._respawn(worker)
                 try:
-                    used, version, rows, spans, echo = (
+                    used, version, rows, spans, echo, rowrecs = (
                         worker.exec_batch(examples, ks, self._max_len,
                                           resp_bound, traces))
                 except WorkerDied:
@@ -941,6 +965,8 @@ class ProcessWorkerPool:
                 self._metrics.count("ring_fallbacks_total")
         if span_sink is not None and spans:
             span_sink.extend(spans)
+        if row_sink is not None and rowrecs:
+            row_sink.extend(rowrecs)
         return int(version), rows
 
     # ------------------------------------------------------------------

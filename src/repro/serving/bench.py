@@ -69,6 +69,7 @@ def _closed_loop(server: RecommendationServer, sessions: Sequence[Session],
 def run_telemetry_phase(trainer, sessions: Sequence[Session], *,
                         concurrency: int = 32, k: int = 20,
                         trace_sample: float = 0.0,
+                        window_interval_ms: float = 50.0,
                         slo_p99_ms: float = 1000.0,
                         slo_swap_max_ms: float = 5000.0,
                         slo_cache_hit_floor: float = 0.25,
@@ -77,36 +78,68 @@ def run_telemetry_phase(trainer, sessions: Sequence[Session], *,
     """Drive a fresh server with the full telemetry plane enabled.
 
     Cold pass (misses) + warm replay (hits), a real HTTP scrape of the
-    ``/metrics`` endpoint, the merged fleet snapshot as JSON, and the
-    canonical serving SLO gates evaluated against it.  Returns the
-    JSON-ready ``telemetry`` section of a bench payload.
+    ``/metrics`` endpoint plus ``/metrics.json?window=`` and
+    ``/healthz``, the merged fleet snapshot as JSON, and the canonical
+    serving SLO gates evaluated **twice** — against the cumulative
+    snapshot (historical gate) and against the rolling window covering
+    the warm pass (burn-rate gate).  Returns the JSON-ready
+    ``telemetry`` section of a bench payload.
     """
     from urllib.request import urlopen
 
     from repro.telemetry.exporters import evaluate_slos, serving_slos
-    from repro.telemetry.trace import spans_by_trace
+    from repro.telemetry.trace import ROW_SPAN, spans_by_trace
 
     with trainer.serve(metrics_port=0, trace_sample=trace_sample,
+                       window_interval_ms=window_interval_ms,
                        **(overrides or {})) as server:
         _closed_loop(server, sessions, concurrency, k)   # cold: misses
+        warm_t0 = perf_counter()
         _closed_loop(server, sessions, concurrency, k)   # warm: hits
+        warm_s = perf_counter() - warm_t0
+        # Slice the window NOW, before the HTTP scrapes below — the
+        # sampler keeps ticking while we scrape, and a trailing
+        # ``warm_s``-deep window taken afterwards would cover the
+        # scrape idle time instead of the warm traffic.
+        win = server.window(seconds=warm_s)
         with urlopen(server.metrics_url, timeout=10) as resp:
             scrape = resp.read().decode("utf-8")
+        base = server.metrics_url.rsplit("/metrics", 1)[0]
+        with urlopen(f"{base}/healthz", timeout=10) as resp:
+            healthz_ok = resp.read().decode("utf-8").strip() == "ok"
+        with urlopen(f"{base}/metrics.json?window=all",
+                     timeout=10) as resp:
+            window_scrape = json.loads(resp.read().decode("utf-8"))
         snapshot = server.fleet_snapshot()
         spans = server.tracer.drain()
     slos = serving_slos(p99_ms=slo_p99_ms, swap_max_ms=slo_swap_max_ms,
                         cache_hit_floor=slo_cache_hit_floor,
                         ring_fallback_ceiling=slo_ring_fallback_ceiling)
     results = evaluate_slos(snapshot, slos)
+    windowed = evaluate_slos(snapshot, slos, window=win)
+    burns = [r.burn_rate for r in windowed if r.burn_rate is not None]
     return {
         "trace_sample": trace_sample,
         "prometheus_bytes": len(scrape),
         "prometheus_scraped": scrape.startswith("# "),
+        "healthz_ok": healthz_ok,
+        "window_endpoint_ok": bool(
+            window_scrape.get("window_seconds") is not None
+            or window_scrape.get("available") is False),
         "snapshot": snapshot.to_dict(),
         "spans_recorded": len(spans),
         "traces_recorded": len(spans_by_trace(spans)),
+        "row_spans_recorded": sum(1 for s in spans
+                                  if s.name == ROW_SPAN),
         "slo": [result.to_dict() for result in results],
         "slo_ok": all(result.ok for result in results),
+        "window": {
+            "available": win is not None,
+            "seconds": win.seconds if win is not None else None,
+            "slo": [result.to_dict() for result in windowed],
+            "slo_ok": all(result.ok for result in windowed),
+            "burn_max": max(burns) if burns else 0.0,
+        },
     }
 
 
@@ -280,4 +313,11 @@ def format_report(payload: dict) -> str:
             f"{tel['traces_recorded']} traces "
             f"(sample={tel['trace_sample']:.2f}), SLO "
             + ("PASS" if tel["slo_ok"] else f"FAIL {failed}"))
+        win = tel.get("window")
+        if win and win.get("available"):
+            wfailed = [r["name"] for r in win["slo"] if not r["ok"]]
+            lines.append(
+                f"  window        : {win['seconds']:.2f}s, "
+                f"burn max {win['burn_max']:.3g}, SLO "
+                + ("PASS" if win["slo_ok"] else f"FAIL {wfailed}"))
     return "\n".join(lines)

@@ -71,7 +71,10 @@ from repro.serving.stats import ServerStats, StatsSnapshot
 from repro.telemetry.block import fleet_schema
 from repro.telemetry.httpd import MetricsEndpoint
 from repro.telemetry.registry import FleetSnapshot, MetricsRegistry
-from repro.telemetry.trace import Tracer
+from repro.telemetry.sink import TraceSink
+from repro.telemetry.trace import Tracer, attribute_rows
+from repro.telemetry.window import (RollingWindow, WindowSampler,
+                                    WindowSnapshot)
 
 
 @dataclass(frozen=True)
@@ -124,6 +127,9 @@ class RecommendationServer:
                  transport: str = "ring",
                  health_interval_ms: float = 200.0,
                  trace_sample: float = 0.0,
+                 trace_rows: bool = True,
+                 trace_path: Optional[str] = None,
+                 window_interval_ms: float = 0.0,
                  metrics: bool = True,
                  metrics_port: Optional[int] = None,
                  metrics_registry: Optional[MetricsRegistry] = None) -> None:
@@ -152,6 +158,8 @@ class RecommendationServer:
         # — and, in thread mode, the walk/gather instrumentation that
         # otherwise lands in the worker children's blocks).
         self._tracer = Tracer(sample=trace_sample)
+        self._trace_rows = bool(trace_rows)
+        self._sink: Optional[TraceSink] = None
         self._metrics_registry: Optional[MetricsRegistry] = None
         self._owns_registry = False
         self._metrics = None
@@ -169,6 +177,13 @@ class RecommendationServer:
             self._metrics.gauge("model_version", float(model_version))
             self._metrics.gauge("trace_sample", float(trace_sample))
             self._metrics.gauge("workers_alive", float(workers))
+            self._tracer.attach_metrics(self._metrics)
+        if trace_path and trace_sample > 0.0:
+            # Streaming export: spans flow to a rotating JSONL file
+            # through a bounded handoff queue (drops counted, never
+            # silent) instead of dying in the drain-or-drop deque.
+            self._sink = TraceSink(trace_path, metrics=self._metrics)
+            self._tracer.attach_sink(self._sink)
         # In process mode the dispatcher threads below only marshal
         # batches to/from the worker processes, which own their
         # workspaces; the thread-side WorkspacePool stays for thread
@@ -190,10 +205,26 @@ class RecommendationServer:
         self._pool = WorkspacePool(workers, metrics=self._metrics)
         self._cache = ExplanationCache(cache_size)
         self._stats = ServerStats(metrics=self._metrics)
+        # Rolling-window plane: a bounded ring of fleet snapshots that
+        # turns the cumulative counters into windowed rates/quantiles
+        # (burn-rate SLOs, cli top).  The background sampler only runs
+        # when an interval is configured; window() also records a
+        # fresh sample on demand, so the ring is usable without it.
+        self._window: Optional[RollingWindow] = None
+        self._window_sampler: Optional[WindowSampler] = None
+        if self._metrics_registry is not None:
+            self._window = RollingWindow()
+            self._window.record(self._metrics_registry.snapshot())
+            if window_interval_ms and window_interval_ms > 0:
+                self._window_sampler = WindowSampler(
+                    self._metrics_registry.snapshot, self._window,
+                    interval_s=window_interval_ms / 1e3)
         self._endpoint: Optional[MetricsEndpoint] = None
         if self._metrics_registry is not None and metrics_port is not None:
-            self._endpoint = MetricsEndpoint(self.fleet_snapshot,
-                                             port=int(metrics_port))
+            self._endpoint = MetricsEndpoint(
+                self.fleet_snapshot, port=int(metrics_port),
+                window_fn=self.window,
+                health_fn=self._metrics_registry.health)
         self._shutdown_lock = threading.Lock()
         self._shut_down = False
         self._threads = [
@@ -218,6 +249,9 @@ class RecommendationServer:
                       transport=cfg.serve_transport,
                       health_interval_ms=cfg.serve_health_interval_ms,
                       trace_sample=cfg.serve_trace_sample,
+                      trace_rows=cfg.serve_trace_rows,
+                      trace_path=(cfg.serve_trace_path or None),
+                      window_interval_ms=cfg.serve_window_interval_ms,
                       metrics=cfg.serve_metrics,
                       metrics_port=(cfg.serve_metrics_port
                                     if cfg.serve_metrics_port >= 0
@@ -387,6 +421,29 @@ class RecommendationServer:
             raise RuntimeError("server was built with metrics=False")
         return self._metrics_registry.snapshot()
 
+    def window(self, seconds: Optional[float] = None
+               ) -> Optional[WindowSnapshot]:
+        """The rolling-window delta ending *now* (a fresh snapshot is
+        recorded on demand, so this works without a background
+        sampler).  ``seconds=None`` spans the whole retained ring.
+        Returns None when metrics are disabled or fewer than two
+        samples exist (a just-started server)."""
+        if self._window is None or self._metrics_registry is None:
+            return None
+        try:
+            self._window.record(self._metrics_registry.snapshot())
+        except RuntimeError:  # registry closed mid-shutdown
+            return None
+        return self._window.window(seconds)
+
+    def health(self) -> dict:
+        """Fleet liveness report (see
+        :meth:`~repro.telemetry.registry.MetricsRegistry.health`);
+        trivially ok when metrics are disabled."""
+        if self._metrics_registry is None:
+            return {"ok": True, "roles": {}}
+        return self._metrics_registry.health()
+
     @property
     def metrics_registry(self) -> Optional[MetricsRegistry]:
         """The fleet registry (None when metrics are disabled)."""
@@ -396,6 +453,12 @@ class RecommendationServer:
     def tracer(self) -> Tracer:
         """The request tracer (disabled unless ``trace_sample > 0``)."""
         return self._tracer
+
+    @property
+    def trace_sink(self) -> Optional[TraceSink]:
+        """The streaming JSONL sink (None unless ``trace_path`` was
+        given with sampling enabled)."""
+        return self._sink
 
     @property
     def metrics_url(self) -> Optional[str]:
@@ -440,17 +503,34 @@ class RecommendationServer:
                 ServerClosed("server shut down before execution"))
         for thread in self._threads:
             thread.join()
+        if self._window_sampler is not None:
+            self._window_sampler.close()
         if self._endpoint is not None:
+            # joins the HTTP thread: no dangling daemon thread holding
+            # the port after close() returns.
             self._endpoint.close()
         if self._procpool is not None:
             self._procpool.close()
+        if self._sink is not None:
+            # Drain the handoff queue to disk before the file closes —
+            # a clean shutdown never loses an offered span.  The tracer
+            # reverts to deque mode so a late record() cannot touch the
+            # closed sink (or the about-to-retire metric block).
+            self._sink.close()
+            self._tracer.attach_sink(None)
         if self._metrics_registry is not None:
             # Fold the server block's final counters into the registry's
             # retired accumulators: fleet_snapshot() keeps reporting the
             # full run after shutdown, with the shared memory released.
             self._stats.metrics = None
             self._metrics = None
+            self._tracer.attach_metrics(None)
             self._metrics_registry.retire("server")
+
+    def close(self, drain: bool = True) -> None:
+        """Alias for :meth:`shutdown` (context-manager symmetry with
+        the other fleet components)."""
+        self.shutdown(drain=drain)
 
     def __enter__(self) -> "RecommendationServer":
         return self
@@ -553,11 +633,13 @@ class RecommendationServer:
             # cached under.  Sampled trace ids ride the request payload
             # and the worker's batch spans come back on the response.
             worker_spans: List[tuple] = []
+            worker_rows: List[tuple] = []
             version, rows = self._procpool.execute(
                 examples, ks,
                 traces=[int(r.payload.trace) for r in group]
                 if sampled else None,
-                span_sink=worker_spans)
+                span_sink=worker_spans,
+                row_sink=worker_rows if self._trace_rows else None)
             raw = [(row[0], row[1],
                     tuple(None if blob is None
                           else SemanticPath(entities=blob[0],
@@ -567,6 +649,10 @@ class RecommendationServer:
                    for row in rows]
             if sampled and worker_spans:
                 tracer.record_batch_spans(sampled, "worker", worker_spans)
+            if worker_rows:
+                # Per-request attribution records computed worker-side
+                # (frontier mass / k share) — one "row" span each.
+                tracer.record_rows(worker_rows, "worker", t0)
         else:
             collated = collate_examples(examples, self._max_session_length)
             # One atomic read per batch: every row of this micro-batch
@@ -576,13 +662,17 @@ class RecommendationServer:
             agent, version = self._live()
             kmax = max(ks)
             local_spans: Optional[List[tuple]] = [] if sampled else None
+            row_frontier: Optional[List] = (
+                [] if (sampled and self._trace_rows) else None)
             with self._pool.checkout() as workspace:
                 workspace.spans = local_spans
+                workspace.row_frontier = row_frontier
                 try:
                     rec = agent.recommend(collated, k=kmax,
                                           workspace=workspace)
                 finally:
                     workspace.spans = None
+                    workspace.row_frontier = None
             raw = [self._pack_row(rec, row, ks[row], kmax)
                    for row in range(len(group))]
             exec_dur = perf_counter() - t0
@@ -592,6 +682,14 @@ class RecommendationServer:
                 metrics.observe("exec_seconds", exec_dur)
             if local_spans:
                 tracer.record_batch_spans(sampled, "server", local_spans)
+            if row_frontier is not None and local_spans:
+                # Same attribution math the process workers run: walk
+                # time by frontier-mass share, top-k time by k share.
+                tracer.record_rows(
+                    attribute_rows(
+                        [int(r.payload.trace) for r in group], ks,
+                        row_frontier, local_spans),
+                    "server", t0)
             for trace in sampled:
                 tracer.record(trace, "exec", "server", t0, exec_dur)
         transport_dur = perf_counter() - t0

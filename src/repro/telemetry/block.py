@@ -560,6 +560,7 @@ def fleet_schema(num_shards: int = 0, hops: int = 0) -> MetricSchema:
         "gather_calls_total", "gather_rows_total",
         "gather_multi_total", "gather_scratch_allocs_total",
         "traces_sampled_total", "worker_traces_total",
+        "trace_dropped_total",
         "swaps_total",
         "online_rounds_total", "online_sessions_total",
     ]

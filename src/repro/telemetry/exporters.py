@@ -15,6 +15,7 @@ so the same objects gate benches, CI smoke, and ``cli metrics``.
 from __future__ import annotations
 
 import json
+import math
 import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -138,9 +139,21 @@ class SLO:
 
 @dataclass(frozen=True)
 class SLOResult:
+    """One evaluated gate.
+
+    ``burn_rate`` normalizes the value against its bound: for a
+    ceiling it is ``value / max_value`` (1.0 = exactly at budget,
+    above 1 = burning), for a floor ``min_value / value`` — so "any
+    burn rate > 1" is the violation condition regardless of gate
+    direction.  ``window_seconds`` is set when the evaluation ran
+    against a rolling window rather than the cumulative snapshot.
+    """
+
     slo: SLO
     value: float
     ok: bool
+    burn_rate: Optional[float] = None
+    window_seconds: Optional[float] = None
 
     def describe(self) -> str:
         bounds = []
@@ -149,15 +162,21 @@ class SLOResult:
         if self.slo.max_value is not None:
             bounds.append(f"<= {self.slo.max_value:g}")
         verdict = "ok" if self.ok else "VIOLATED"
+        scope = (f" over {self.window_seconds:.1f}s"
+                 if self.window_seconds is not None else "")
+        burn = (f" burn={self.burn_rate:.3g}"
+                if self.burn_rate is not None else "")
         return (f"{self.slo.name}: {self.slo.stat}({self.slo.metric})"
-                f" = {self.value:.6g} (want {' and '.join(bounds) or 'anything'}) "
+                f"{scope} = {self.value:.6g} "
+                f"(want {' and '.join(bounds) or 'anything'}){burn} "
                 f"[{verdict}]")
 
     def to_dict(self) -> dict:
         return {"name": self.slo.name, "metric": self.slo.metric,
                 "stat": self.slo.stat, "value": self.value,
                 "min": self.slo.min_value, "max": self.slo.max_value,
-                "ok": self.ok}
+                "ok": self.ok, "burn_rate": self.burn_rate,
+                "window_seconds": self.window_seconds}
 
 
 def _slo_value(snapshot: FleetSnapshot, slo: SLO) -> float:
@@ -181,17 +200,64 @@ def _slo_value(snapshot: FleetSnapshot, slo: SLO) -> float:
     raise ValueError(f"unknown SLO stat: {slo.stat!r}")
 
 
-def evaluate_slos(snapshot: FleetSnapshot,
-                  slos: Sequence[SLO]) -> List[SLOResult]:
+def _burn_rate(slo: SLO, value: float) -> Optional[float]:
+    """Value normalized against its bound (> 1 means violating)."""
+    if slo.max_value is not None:
+        if slo.max_value > 0:
+            return value / slo.max_value
+        return math.inf if value > 0 else 0.0
+    if slo.min_value is not None:
+        if value > 0:
+            return slo.min_value / value
+        return math.inf if slo.min_value > 0 else 0.0
+    return None
+
+
+def _no_window_data(target, slo: SLO) -> bool:
+    """True when the window carries no observations for this gate:
+    a ratio whose denominator counters never moved, or a histogram
+    stat over an empty histogram."""
+    if slo.stat == "ratio":
+        return float(sum(target.counter(d)
+                         for d in slo.denominator)) <= 0
+    if slo.stat in ("p50", "p95", "p99", "max", "mean", "count"):
+        hist = target.hist(slo.metric)
+        return hist is None or hist.count == 0
+    return False
+
+
+def evaluate_slos(snapshot: FleetSnapshot, slos: Sequence[SLO],
+                  window=None) -> List[SLOResult]:
+    """Evaluate gates against the cumulative ``snapshot`` — or, when
+    ``window`` (a :class:`~repro.telemetry.window.WindowSnapshot`) is
+    given, against that rolling window instead: same declarative SLO
+    objects, burn rates scoped to the window's interval.  ``window``
+    may be None even when requested (fewer than two samples yet), in
+    which case the cumulative snapshot is used.
+
+    A window with no observations of a gated metric (quiet interval:
+    ratio denominator never moved, histogram empty) passes vacuously
+    with ``burn_rate=None`` — an idle service is not burning its
+    cache-hit floor."""
+    target = window if window is not None else snapshot
+    window_seconds = (float(window.seconds) if window is not None
+                      else None)
     results = []
     for slo in slos:
-        value = _slo_value(snapshot, slo)
+        value = _slo_value(target, slo)
+        if window is not None and _no_window_data(target, slo):
+            results.append(SLOResult(slo=slo, value=value, ok=True,
+                                     burn_rate=None,
+                                     window_seconds=window_seconds))
+            continue
         ok = True
         if slo.max_value is not None and value > slo.max_value:
             ok = False
         if slo.min_value is not None and value < slo.min_value:
             ok = False
-        results.append(SLOResult(slo=slo, value=value, ok=ok))
+        results.append(SLOResult(slo=slo, value=value, ok=ok,
+                                 burn_rate=_burn_rate(slo, value),
+                                 window_seconds=window_seconds))
     return results
 
 

@@ -1,8 +1,11 @@
 """Optional stdlib HTTP ``/metrics`` endpoint for the serving parent.
 
 A daemon :class:`ThreadingHTTPServer` that renders the registry's
-fleet snapshot on demand — ``/metrics`` (Prometheus text) and
-``/metrics.json`` (JSON snapshot).  Zero dependencies; ``port=0``
+fleet snapshot on demand — ``/metrics`` (Prometheus text),
+``/metrics.json`` (JSON snapshot; add ``?window=SECONDS`` for the
+rolling-window delta when the owner wired a window function), and
+``/healthz`` (200 ``ok`` / 503 degraded when any writer block reads
+torn or its writer process is dead).  Zero dependencies; ``port=0``
 binds an ephemeral port (read it back from ``endpoint.port``), which
 is what the tests and CI smoke use.
 """
@@ -13,50 +16,61 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
+from urllib.parse import parse_qs, urlsplit
 
 from .exporters import json_snapshot, prometheus_text
 from .registry import FleetSnapshot
 
 
 class MetricsEndpoint:
-    """Serves live metrics snapshots over HTTP until closed."""
+    """Serves live metrics snapshots over HTTP until closed.
+
+    ``window_fn`` (optional) maps a window length in seconds (or None
+    for the full retained span) to a
+    :class:`~repro.telemetry.window.WindowSnapshot` or None; it backs
+    ``/metrics.json?window=``.  ``health_fn`` (optional) returns a
+    dict with an ``ok`` bool (see
+    :meth:`~repro.telemetry.registry.MetricsRegistry.health`); without
+    one ``/healthz`` is unconditionally ``ok``.
+    """
 
     def __init__(self, snapshot_fn: Callable[[], FleetSnapshot],
                  host: str = "127.0.0.1", port: int = 0,
-                 namespace: str = "reks") -> None:
+                 namespace: str = "reks",
+                 window_fn: Optional[Callable] = None,
+                 health_fn: Optional[Callable[[], dict]] = None) -> None:
         self._snapshot_fn = snapshot_fn
         self._namespace = namespace
+        self._window_fn = window_fn
+        self._health_fn = health_fn
         endpoint = self
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (stdlib API)
-                path = self.path.split("?", 1)[0]
+                parts = urlsplit(self.path)
+                path = parts.path
+                params = parse_qs(parts.query)
                 try:
+                    status = 200
                     if path in ("/metrics", "/"):
                         body = prometheus_text(
                             endpoint._snapshot_fn(),
                             namespace=endpoint._namespace)
                         ctype = "text/plain; version=0.0.4"
                     elif path == "/metrics.json":
-                        body = json_snapshot(endpoint._snapshot_fn())
+                        status, body = endpoint._metrics_json(params)
                         ctype = "application/json"
                     elif path == "/healthz":
-                        body, ctype = "ok\n", "text/plain"
+                        status, body, ctype = endpoint._healthz()
                     else:
                         self.send_error(404)
                         return
                 except Exception as exc:  # surface, don't hang the probe
+                    status = 500
                     body = json.dumps({"error": repr(exc)})
-                    payload = body.encode()
-                    self.send_response(500)
-                    self.send_header("Content-Type", "application/json")
-                    self.send_header("Content-Length",
-                                     str(len(payload)))
-                    self.end_headers()
-                    self.wfile.write(payload)
-                    return
+                    ctype = "application/json"
                 payload = body.encode()
-                self.send_response(200)
+                self.send_response(status)
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(payload)))
                 self.end_headers()
@@ -72,6 +86,32 @@ class MetricsEndpoint:
                                         daemon=True)
         self._thread.start()
 
+    # ------------------------------------------------------------------
+    def _metrics_json(self, params) -> tuple:
+        raw = params.get("window", [None])[0]
+        if raw is None:
+            return 200, json_snapshot(self._snapshot_fn())
+        if self._window_fn is None:
+            return 400, json.dumps(
+                {"error": "no rolling window configured on this "
+                          "endpoint"})
+        seconds = float(raw) if raw not in ("", "all") else None
+        win = self._window_fn(seconds)
+        if win is None:  # fewer than two samples retained yet
+            return 200, json.dumps({"window_seconds": seconds,
+                                    "available": False})
+        return 200, json.dumps(win.to_dict(), indent=2, sort_keys=True)
+
+    def _healthz(self) -> tuple:
+        if self._health_fn is None:
+            return 200, "ok\n", "text/plain"
+        health = self._health_fn()
+        if health.get("ok", True):
+            return 200, "ok\n", "text/plain"
+        return (503, json.dumps(health, indent=2, sort_keys=True),
+                "application/json")
+
+    # ------------------------------------------------------------------
     @property
     def port(self) -> int:
         return self._server.server_address[1]
@@ -80,6 +120,12 @@ class MetricsEndpoint:
     def url(self) -> str:
         host, port = self._server.server_address[:2]
         return f"http://{host}:{port}/metrics"
+
+    @property
+    def alive(self) -> bool:
+        """Whether the serving thread is still running (False after a
+        clean :meth:`close` — the no-dangling-thread contract)."""
+        return self._thread.is_alive()
 
     def close(self) -> None:
         self._server.shutdown()

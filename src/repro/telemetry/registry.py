@@ -20,6 +20,7 @@ point-in-time per role and are dropped on retirement.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -27,6 +28,21 @@ from typing import Dict, List, Optional, Tuple
 
 from .block import (BlockSnapshot, HistSnapshot, MetricBlock,
                     MetricSchema, merge_hists)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; pid 0 = writer not attached yet."""
+    if pid <= 0:
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return True
+    return True
 
 
 @dataclass
@@ -54,7 +70,12 @@ class _RetiredAccum:
 
 @dataclass(frozen=True)
 class FleetSnapshot:
-    """Merged view over every live + retired block."""
+    """Merged view over every live + retired block.
+
+    ``per_role`` carries each *live* role's own nonzero counters (the
+    merged ``counters`` fold retired mass in; the per-role view is
+    what a live fleet display diffs for per-role rates).
+    """
 
     counters: Dict[str, int]
     gauges: Dict[str, Dict[str, float]]   # name -> role -> value
@@ -63,6 +84,7 @@ class FleetSnapshot:
     retired_blocks: int
     torn_snapshots: int
     generated_at: float
+    per_role: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -78,6 +100,9 @@ class FleetSnapshot:
             "torn_snapshots": self.torn_snapshots,
             "counters": {k: v for k, v in sorted(self.counters.items())
                          if v},
+            "per_role": {role: dict(sorted(counters.items()))
+                         for role, counters
+                         in sorted(self.per_role.items())},
             "gauges": {name: dict(sorted(per_role.items()))
                        for name, per_role in sorted(self.gauges.items())},
             "histograms": {name: hist.to_dict()
@@ -164,11 +189,45 @@ class MetricsRegistry:
                         hist_parts.setdefault(name, []).append(hist)
             hists = {name: merge_hists(parts)
                      for name, parts in hist_parts.items()}
+            per_role = {
+                role: {name: value
+                       for name, value in snap.counters.items() if value}
+                for role, snap in live}
             return FleetSnapshot(
                 counters=counters, gauges=gauges, hists=hists,
                 roles=tuple(role for role, _ in live),
                 retired_blocks=retired.blocks, torn_snapshots=torn,
-                generated_at=time.time())
+                generated_at=time.time(), per_role=per_role)
+
+    # ------------------------------------------------------------------
+    # Health / per-role introspection
+    # ------------------------------------------------------------------
+    def role_snapshots(self) -> Dict[str, BlockSnapshot]:
+        """A fresh seqlock snapshot of every live block, by role."""
+        with self._lock:
+            blocks = list(sorted(self._blocks.items()))
+        return {role: block.snapshot() for role, block in blocks}
+
+    def health(self) -> dict:
+        """Liveness report over the live writer blocks.
+
+        A role is degraded when its latest snapshot read torn (writer
+        died mid-mutation — the seqlock never recovered to even) or
+        its recorded writer pid no longer exists.  ``pid == 0`` means
+        the writer has not attached yet (a just-spawned worker), which
+        is healthy.  The serving ``/healthz`` endpoint turns
+        ``ok=False`` into a 503.
+        """
+        roles: Dict[str, dict] = {}
+        ok = True
+        for role, snap in self.role_snapshots().items():
+            alive = _pid_alive(snap.pid)
+            degraded = snap.torn or not alive
+            roles[role] = {"pid": snap.pid, "alive": alive,
+                           "torn": snap.torn, "ok": not degraded}
+            if degraded:
+                ok = False
+        return {"ok": ok, "roles": roles}
 
     # ------------------------------------------------------------------
     def close(self) -> None:

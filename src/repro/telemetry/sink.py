@@ -1,0 +1,204 @@
+"""Streaming trace export: a background JSONL sink with rotation.
+
+PR 7's :class:`~repro.telemetry.trace.Tracer` buffered the last 4096
+spans in a deque — fine for a bench that drains at the end, useless
+for a long soak where everything before the final window is silently
+gone.  A :class:`TraceSink` turns the buffer into a **bounded handoff
+queue** drained by a daemon thread that appends one JSON object per
+span to a rotating JSONL file:
+
+* **bounded, never silent** — ``offer`` is non-blocking; when the
+  queue is full the span is dropped *and counted* (``sink.dropped``
+  plus the fleet's ``trace_dropped_total`` counter when a metric
+  block is attached).  The hot path never blocks on disk;
+* **size/age rotation** — when the live file exceeds ``max_bytes`` or
+  ``max_age_s`` it is rotated logrotate-style (``trace.jsonl`` →
+  ``trace.jsonl.1`` → … → ``trace.jsonl.<keep>``, oldest deleted), so
+  a soak's disk footprint is bounded at ``(keep + 1) * max_bytes``;
+* **lossless under load** — the queue default (64k spans) absorbs any
+  burst the serving fleet can produce between writer wakeups; the
+  100k-span soak test pins zero drops end to end.
+
+The writer thread batches: it blocks on the queue, then drains
+everything immediately available before touching the file, so steady
+load costs one ``write`` + ``flush`` per wakeup, not per span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+from time import monotonic
+from typing import Iterable, List, Optional
+
+from .trace import SpanRecord
+
+
+class TraceSink:
+    """Background JSONL exporter with size/age rotation.
+
+    ``path`` is the live file; rotated generations live next to it as
+    ``<path>.1`` (newest) through ``<path>.<keep>`` (oldest).  The
+    sink owns the file and its writer thread; ``close()`` drains the
+    queue, flushes, and joins.  ``metrics`` (optional) is a
+    :class:`~repro.telemetry.block.MetricBlock` whose
+    ``trace_dropped_total`` counter takes every queue-full drop.
+    """
+
+    def __init__(self, path, *, max_bytes: int = 16 << 20,
+                 max_age_s: Optional[float] = None, keep: int = 4,
+                 queue_capacity: int = 65536, metrics=None) -> None:
+        self.path = str(path)
+        self.max_bytes = int(max_bytes)
+        self.max_age_s = max_age_s
+        self.keep = max(0, int(keep))
+        self.metrics = metrics
+        self.dropped = 0
+        self.written = 0
+        self.rotations = 0
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._queue: "queue.Queue[Optional[SpanRecord]]" = queue.Queue(
+            maxsize=max(1, int(queue_capacity)))
+        self._file_lock = threading.Lock()
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._opened_at = monotonic()
+        self._closed = False
+        self._drop_lock = threading.Lock()
+        self._thread = threading.Thread(target=self._run,
+                                        name="reks-trace-sink",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (any thread; non-blocking)
+    # ------------------------------------------------------------------
+    def offer(self, span: SpanRecord) -> bool:
+        """Enqueue one span; False (and a counted drop) when full."""
+        if self._closed:
+            return self._drop()
+        try:
+            self._queue.put_nowait(span)
+            return True
+        except queue.Full:
+            return self._drop()
+
+    def offer_many(self, spans: Iterable[SpanRecord]) -> int:
+        """Enqueue spans; returns how many were accepted."""
+        accepted = 0
+        for span in spans:
+            if self.offer(span):
+                accepted += 1
+        return accepted
+
+    def _drop(self) -> bool:
+        with self._drop_lock:
+            self.dropped += 1
+        if self.metrics is not None:
+            self.metrics.count("trace_dropped_total")
+        return False
+
+    # ------------------------------------------------------------------
+    # Writer thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            span = self._queue.get()
+            if span is None:
+                self._queue.task_done()
+                return
+            batch: List[SpanRecord] = [span]
+            while True:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    self._write(batch)
+                    self._queue.task_done()  # the sentinel
+                    for _ in batch:
+                        self._queue.task_done()
+                    return
+                batch.append(extra)
+            self._write(batch)
+            for _ in batch:
+                self._queue.task_done()
+
+    def _write(self, batch: List[SpanRecord]) -> None:
+        lines = "".join(json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                        for span in batch)
+        with self._file_lock:
+            self._file.write(lines)
+            self._file.flush()
+            self.written += len(batch)
+            if self._should_rotate():
+                self._rotate_locked()
+
+    def _should_rotate(self) -> bool:
+        if self._file.tell() >= self.max_bytes:
+            return True
+        return (self.max_age_s is not None
+                and monotonic() - self._opened_at >= self.max_age_s)
+
+    def _rotate_locked(self) -> None:
+        """Shift ``path.i`` → ``path.i+1`` (oldest falls off), move the
+        live file to ``path.1``, reopen a fresh live file."""
+        self._file.close()
+        oldest = f"{self.path}.{self.keep}"
+        if self.keep == 0:
+            # No retained generations: truncate in place.
+            self._file = open(self.path, "w", encoding="utf-8")
+        else:
+            try:
+                os.unlink(oldest)
+            except FileNotFoundError:
+                pass
+            for i in range(self.keep - 1, 0, -1):
+                src = f"{self.path}.{i}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{i + 1}")
+            os.replace(self.path, f"{self.path}.1")
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._opened_at = monotonic()
+        self.rotations += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Block until everything offered so far is on disk."""
+        self._queue.join()
+        with self._file_lock:
+            self._file.flush()
+
+    def files(self) -> List[str]:
+        """Live + rotated files, newest first, that exist on disk."""
+        out = [self.path]
+        out += [f"{self.path}.{i}" for i in range(1, self.keep + 1)]
+        return [p for p in out if os.path.exists(p)]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)  # sentinel: unbounded-safe (queue drains)
+        self._thread.join(timeout=30.0)
+        with self._file_lock:
+            try:
+                self._file.flush()
+                self._file.close()
+            except ValueError:  # pragma: no cover - already closed
+                pass
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"TraceSink(path={self.path!r}, written={self.written}, "
+                f"dropped={self.dropped}, rotations={self.rotations})")

@@ -25,12 +25,16 @@ import json
 import random
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 # Worker-side span kinds, shipped over the ring as small ints.
 SPAN_KINDS: Tuple[str, ...] = ("exec", "walk", "topk", "collate")
 _KIND_INDEX = {name: i for i, name in enumerate(SPAN_KINDS)}
+
+# Span name of a per-request row record (one per sampled row of a
+# batch — see attribute_rows).
+ROW_SPAN = "row"
 
 
 def span_kind_id(name: str) -> int:
@@ -45,17 +49,27 @@ def span_kind_name(kind_id: int) -> str:
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One completed span of one trace."""
+    """One completed span of one trace.
+
+    ``args`` carries optional structured attributes (per-row records
+    put their frontier widths and walk/top-k shares here); it is
+    omitted from the JSON when empty so plain spans serialize exactly
+    as before.
+    """
 
     trace_id: int
-    name: str          # enqueue|flush|transport|exec|walk|topk|render|respond
+    name: str          # enqueue|flush|transport|exec|walk|topk|render|respond|row
     role: str          # which process/thread recorded it
     t0: float          # perf_counter seconds
     dur: float         # seconds
+    args: Optional[dict] = field(default=None, compare=False)
 
     def to_dict(self) -> dict:
-        return {"trace_id": self.trace_id, "name": self.name,
-                "role": self.role, "t0": self.t0, "dur": self.dur}
+        out = {"trace_id": self.trace_id, "name": self.name,
+               "role": self.role, "t0": self.t0, "dur": self.dur}
+        if self.args:
+            out["args"] = self.args
+        return out
 
 
 class Tracer:
@@ -66,10 +80,20 @@ class Tracer:
     Sampling uses a private ``random.Random`` so it never perturbs
     global RNG state — the determinism differential suites run with
     sampling at 1.0, where no randomness is consumed at all.
+
+    Without a sink the deque is the only store: when it is full the
+    oldest span is evicted and counted as dropped (drain-or-drop, the
+    bench-friendly mode).  With :meth:`attach_sink` every span is
+    handed to a :class:`~repro.telemetry.sink.TraceSink`'s bounded
+    queue for streaming JSONL export — the deque then keeps only a
+    *recent window* for ``peek``/``drain``, and a span counts as
+    dropped only if the sink queue rejected it.  Either way, drops are
+    mirrored into the fleet's ``trace_dropped_total`` counter when a
+    metric block is attached — never silent.
     """
 
     def __init__(self, sample: float = 0.0, capacity: int = 4096,
-                 seed: int = 0) -> None:
+                 seed: int = 0, sink=None, metrics=None) -> None:
         self.sample = float(sample)
         self._rng = random.Random(seed)
         self._id_rng = random.Random(seed ^ 0x5EED)
@@ -77,10 +101,24 @@ class Tracer:
         self._spans: Deque[SpanRecord] = deque(maxlen=max(1, capacity))
         self.started = 0
         self.dropped = 0
+        self._sink = sink
+        self._metrics = metrics
 
     @property
     def enabled(self) -> bool:
         return self.sample > 0.0
+
+    @property
+    def sink(self):
+        return self._sink
+
+    def attach_sink(self, sink) -> None:
+        """Stream every subsequent span to ``sink`` (a TraceSink)."""
+        self._sink = sink
+
+    def attach_metrics(self, metrics) -> None:
+        """Mirror drops into ``metrics``' ``trace_dropped_total``."""
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     def maybe_start(self) -> int:
@@ -96,15 +134,35 @@ class Tracer:
             return self._id_rng.randrange(1, 1 << 31)
 
     def record(self, trace_id: int, name: str, role: str, t0: float,
-               dur: float) -> None:
+               dur: float, args: Optional[dict] = None) -> None:
         if trace_id == 0:
             return
-        span = SpanRecord(trace_id=trace_id, name=name, role=role,
-                          t0=float(t0), dur=float(dur))
+        self._push(SpanRecord(trace_id=trace_id, name=name, role=role,
+                              t0=float(t0), dur=float(dur), args=args))
+
+    def _push(self, span: SpanRecord) -> None:
+        delivered = True
+        if self._sink is not None:
+            delivered = self._sink.offer(span)
         with self._lock:
-            if len(self._spans) == self._spans.maxlen:
+            if (self._sink is None
+                    and len(self._spans) == self._spans.maxlen):
                 self.dropped += 1
+                self._count_drop()
             self._spans.append(span)
+        if not delivered:
+            with self._lock:
+                self.dropped += 1
+            # The sink already counted trace_dropped_total for its own
+            # rejection when it shares the metric block; count here
+            # only when the tracer has one and the sink does not.
+            if (self._metrics is not None
+                    and getattr(self._sink, "metrics", None) is None):
+                self._metrics.count("trace_dropped_total")
+
+    def _count_drop(self) -> None:
+        if self._metrics is not None:
+            self._metrics.count("trace_dropped_total")
 
     def record_batch_spans(self, trace_ids: Sequence[int], role: str,
                            spans: Iterable[Tuple[int, float, float]]
@@ -119,6 +177,21 @@ class Tracer:
             for tid in live:
                 self.record(tid, name, role, t0, dur)
 
+    def record_rows(self, records: Sequence[tuple], role: str,
+                    t0: float = 0.0) -> None:
+        """Record per-request row records (see :func:`attribute_rows`)
+        as ``"row"`` spans whose args carry the frontier widths and the
+        walk/top-k duration shares."""
+        for trace_id, widths, walk_s, topk_s in records:
+            if not trace_id:
+                continue
+            self._push(SpanRecord(
+                trace_id=int(trace_id), name=ROW_SPAN, role=role,
+                t0=float(t0), dur=float(walk_s) + float(topk_s),
+                args={"frontier": [int(w) for w in widths],
+                      "walk_s": float(walk_s),
+                      "topk_s": float(topk_s)}))
+
     # ------------------------------------------------------------------
     def drain(self) -> List[SpanRecord]:
         with self._lock:
@@ -129,6 +202,55 @@ class Tracer:
     def peek(self) -> List[SpanRecord]:
         with self._lock:
             return list(self._spans)
+
+
+# ----------------------------------------------------------------------
+# Per-request cost attribution
+# ----------------------------------------------------------------------
+def attribute_rows(traces: Sequence[int], ks: Sequence[int],
+                   frontier: Sequence, spans: Sequence[tuple]
+                   ) -> List[tuple]:
+    """Split one batch's walk/top-k cost across its sampled rows.
+
+    ``frontier`` is the walk's per-hop surviving-path census — one
+    array of per-row path counts per executed hop (captured through
+    ``RolloutWorkspace.row_frontier``).  The walk's wall time is
+    attributed to each row proportional to its share of the total
+    frontier mass (a request whose paths survive wide and deep pays
+    more of the batch than one that dead-ends at hop 1), and the
+    top-k time proportional to its ``k`` share — exact batch total,
+    per-request resolution.
+
+    Returns one ``(trace_id, widths, walk_s, topk_s)`` tuple per
+    *sampled* row (``widths`` is the row's per-hop path count).  Rows
+    with trace id 0 are skipped; ``spans`` are the batch's
+    ``(kind_id, t0, dur)`` triples (walk/top-k located by kind).
+    """
+    n = len(ks)
+    if n == 0:
+        return []
+    walk_s = sum(float(dur) for kind, _, dur in spans
+                 if int(kind) == _KIND_INDEX["walk"])
+    topk_s = sum(float(dur) for kind, _, dur in spans
+                 if int(kind) == _KIND_INDEX["topk"])
+    hops = list(frontier) if frontier else []
+    mass = [0.0] * n
+    for census in hops:
+        for row in range(n):
+            mass[row] += float(census[row])
+    total_mass = sum(mass)
+    total_k = float(sum(ks)) or 1.0
+    records: List[tuple] = []
+    for row, trace_id in enumerate(traces):
+        if not trace_id:
+            continue
+        widths = tuple(int(census[row]) for census in hops)
+        walk_share = (mass[row] / total_mass if total_mass > 0.0
+                      else 1.0 / n)
+        records.append((int(trace_id), widths,
+                        walk_s * walk_share,
+                        topk_s * (float(ks[row]) / total_k)))
+    return records
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,228 @@
+"""Rolling-window aggregation over fleet snapshots.
+
+Every metric in the fleet plane is cumulative-since-start — the right
+shape for shared-memory seqlock blocks (writers only ever add), but
+useless for questions like "what was p99 over the *last 30 seconds* of
+a two-hour soak".  This module derives windowed views without touching
+the writers: a :class:`RollingWindow` keeps a bounded ring of
+timestamped :class:`~repro.telemetry.registry.FleetSnapshot` samples,
+and :meth:`RollingWindow.window` subtracts the snapshot at the window's
+start from the one at its end:
+
+* **counters** difference exactly (they are monotone — the registry's
+  retire-and-fold keeps them so across worker respawns);
+* **histograms** difference bucket-wise (buckets are monotone too),
+  with exact windowed ``count``/``sum``/``mean`` — the windowed
+  ``min``/``max`` are *bucket-edge bounds* (the cumulative extremes
+  can lie outside the window), so windowed quantiles are accurate to
+  one log-2 bucket, which is the same resolution every cumulative
+  quantile already has;
+* **gauges** are point-in-time: the window reports the end sample's.
+
+A :class:`WindowSnapshot` duck-types the ``counter()`` / ``hist()``
+interface of :class:`FleetSnapshot`, so
+:func:`repro.telemetry.exporters.evaluate_slos` evaluates the same
+declarative SLOs against a window (``evaluate_slos(snapshot, slos,
+window=win)``) — that is what turns a cumulative gate into a
+burn-rate gate.
+
+:class:`WindowSampler` is the optional background thread that feeds a
+window from a snapshot function at a fixed interval (the serving
+parent runs one when ``window_interval_ms`` is set).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from .block import HIST_BUCKETS, HistSnapshot, bucket_upper_edges
+from .registry import FleetSnapshot
+
+
+def hist_delta(end: HistSnapshot,
+               start: Optional[HistSnapshot]) -> HistSnapshot:
+    """End-minus-start histogram over one window.
+
+    Bucket counts and ``count``/``sum`` subtract exactly.  The window's
+    true min/max are unknowable from cumulative extremes, so they are
+    bounded by the edges of the lowest/highest bucket that gained mass
+    — quantiles stay within one log-2 bucket of exact.
+    """
+    if start is None or start.count == 0:
+        return end
+    buckets = np.maximum(end.buckets - start.buckets, 0)
+    count = max(int(end.count) - int(start.count), 0)
+    total = max(float(end.sum) - float(start.sum), 0.0)
+    if count == 0:
+        return HistSnapshot(count=0, sum=0.0, min=0.0, max=0.0,
+                            buckets=np.zeros(HIST_BUCKETS,
+                                             dtype=np.int64))
+    edges = bucket_upper_edges()
+    nz = np.flatnonzero(buckets)
+    lo = float(edges[nz[0] - 1]) if nz.size and nz[0] > 0 else 0.0
+    hi = float(edges[nz[-1]]) if nz.size else 0.0
+    # The cumulative extremes still bound the window when they tighten
+    # the bucket edges (e.g. every observation landed in one bucket).
+    lo = max(lo, float(end.min) if end.count else lo)
+    hi = min(hi, float(end.max)) if end.count else hi
+    if hi < lo:
+        lo = hi
+    return HistSnapshot(count=count, sum=total, min=lo, max=hi,
+                        buckets=buckets)
+
+
+def hist_from_dict(payload: dict) -> HistSnapshot:
+    """Rebuild a :class:`HistSnapshot` from ``HistSnapshot.to_dict``
+    output (the JSON the ``/metrics.json`` endpoint serves) — lets a
+    remote reader (``cli top``) window histograms it only has as
+    JSON."""
+    edges = bucket_upper_edges()
+    buckets = np.zeros(HIST_BUCKETS, dtype=np.int64)
+    index = {float(edge): i for i, edge in enumerate(edges)}
+    for edge, n in payload.get("buckets", []):
+        i = index.get(float(edge))
+        if i is not None:
+            buckets[i] = int(n)
+    return HistSnapshot(count=int(payload.get("count", 0)),
+                        sum=float(payload.get("sum", 0.0)),
+                        min=float(payload.get("min", 0.0)),
+                        max=float(payload.get("max", 0.0)),
+                        buckets=buckets)
+
+
+class WindowSnapshot:
+    """Delta view between two fleet snapshots (end minus start).
+
+    Implements the ``counter(name)`` / ``hist(name)`` interface the
+    SLO evaluator consumes, plus per-second ``rate`` helpers for live
+    views.
+    """
+
+    def __init__(self, start: FleetSnapshot, end: FleetSnapshot) -> None:
+        self.start = start
+        self.end = end
+        self.seconds = max(float(end.generated_at)
+                           - float(start.generated_at), 0.0)
+        self.counters: Dict[str, int] = {}
+        for name, value in end.counters.items():
+            delta = int(value) - int(start.counters.get(name, 0))
+            if delta > 0:
+                self.counters[name] = delta
+        self.hists: Dict[str, HistSnapshot] = {}
+        for name, hist in end.hists.items():
+            delta = hist_delta(hist, start.hists.get(name))
+            if delta.count:
+                self.hists[name] = delta
+        self.gauges = end.gauges
+
+    # -- FleetSnapshot duck interface (what evaluate_slos reads) -------
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def hist(self, name: str) -> Optional[HistSnapshot]:
+        return self.hists.get(name)
+
+    # -- windowed extras ----------------------------------------------
+    def rate(self, name: str) -> float:
+        """Counter increments per second over the window."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.counter(name) / self.seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "window_seconds": self.seconds,
+            "start_at": self.start.generated_at,
+            "end_at": self.end.generated_at,
+            "counters": dict(sorted(self.counters.items())),
+            "rates": {name: self.rate(name)
+                      for name in sorted(self.counters)},
+            "gauges": {name: dict(sorted(per_role.items()))
+                       for name, per_role in sorted(self.gauges.items())},
+            "histograms": {name: hist.to_dict()
+                           for name, hist in sorted(self.hists.items())},
+        }
+
+
+class RollingWindow:
+    """Bounded ring of timestamped fleet snapshots.
+
+    ``record`` appends (typically from a :class:`WindowSampler` or at
+    phase boundaries of a bench); ``window(seconds)`` pairs the newest
+    sample with the newest one at least ``seconds`` older and returns
+    their delta.  ``seconds=None`` spans the whole retained ring.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._snaps: Deque[FleetSnapshot] = deque(maxlen=max(2, capacity))
+
+    def record(self, snapshot: FleetSnapshot) -> None:
+        with self._lock:
+            self._snaps.append(snapshot)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snaps)
+
+    @property
+    def span_seconds(self) -> float:
+        with self._lock:
+            if len(self._snaps) < 2:
+                return 0.0
+            return (self._snaps[-1].generated_at
+                    - self._snaps[0].generated_at)
+
+    def window(self, seconds: Optional[float] = None
+               ) -> Optional[WindowSnapshot]:
+        """The delta ending at the newest sample; None with < 2
+        samples.  The start is the *newest* sample at least ``seconds``
+        older than the end (so the window covers at least the asked
+        span), clamped to the oldest retained sample."""
+        with self._lock:
+            if len(self._snaps) < 2:
+                return None
+            snaps = tuple(self._snaps)
+        end = snaps[-1]
+        start = snaps[0]
+        if seconds is not None and seconds > 0:
+            cutoff = end.generated_at - float(seconds)
+            for snap in snaps[-2::-1]:
+                if snap.generated_at <= cutoff:
+                    start = snap
+                    break
+        return WindowSnapshot(start, end)
+
+
+class WindowSampler:
+    """Daemon thread feeding a :class:`RollingWindow` at an interval.
+
+    Snapshot failures are swallowed (a torn read mid-shutdown must not
+    kill the sampler); ``close`` wakes and joins the thread.
+    """
+
+    def __init__(self, snapshot_fn: Callable[[], FleetSnapshot],
+                 window: RollingWindow, interval_s: float) -> None:
+        self.window = window
+        self.interval_s = max(0.01, float(interval_s))
+        self._snapshot_fn = snapshot_fn
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run,
+                                        name="reks-window-sampler",
+                                        daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.window.record(self._snapshot_fn())
+            except Exception:  # pragma: no cover - shutdown races
+                pass
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)

@@ -156,19 +156,126 @@ class TestCodecs:
     def test_response_round_trip_with_and_without_paths(self):
         rows = [([4, 2], [1.5, 0.25], [([9, 4], [1], 0.5), None]),
                 ([7], [0.125], [None])]
-        version, got, spans, traces = decode_response(
+        version, got, spans, traces, rowrecs = decode_response(
             encode_response(11, rows))
         assert version == 11
         assert got == rows
-        assert spans == [] and traces == []
+        assert spans == [] and traces == [] and rowrecs == []
 
     def test_response_preserves_float64_bits(self):
         scores = [0.1 + 0.2, 1e-300, np.nextafter(1.0, 2.0)]
         rows = [([1, 2, 3], scores, [None, None, None])]
-        _, got, _, _ = decode_response(encode_response(0, rows))
+        _, got, _, _, _ = decode_response(encode_response(0, rows))
         assert all(a == b and np.float64(a).tobytes()
                    == np.float64(b).tobytes()
                    for a, b in zip(got[0][1], scores))
+
+    def test_response_span_trailer_round_trip(self):
+        rows = [([4, 2], [1.5, 0.25], [None, None])]
+        spans = [(0, 1.25, 0.5), (1, 1.5, 0.125)]
+        traces = [77, 0]
+        _, got, got_spans, got_traces, got_rowrecs = decode_response(
+            encode_response(3, rows, spans=spans, traces=traces))
+        assert got == rows
+        assert got_spans == spans
+        assert got_traces == traces
+        assert got_rowrecs == []
+
+    def test_response_per_row_section_round_trip(self):
+        rows = [([4, 2], [1.5, 0.25], [([9, 4], [1], 0.5), None]),
+                ([7], [0.125], [None])]
+        spans = [(1, 0.5, 0.25), (2, 0.75, 0.0625)]
+        traces = [101, 202]
+        rowrecs = [(101, (5, 3, 1), 0.1875, 0.03125),
+                   (202, (2, 0, 0), 0.0625, 0.03125)]
+        got = decode_response(encode_response(
+            9, rows, spans=spans, traces=traces, rowrecs=rowrecs))
+        version, got_rows, got_spans, got_traces, got_rowrecs = got
+        assert version == 9
+        assert got_rows == rows
+        assert got_spans == spans
+        assert got_traces == traces
+        assert got_rowrecs == rowrecs
+
+    def test_response_rowrecs_without_spans_round_trip(self):
+        rows = [([7], [0.5], [None])]
+        rowrecs = [(55, (4,), 0.25, 0.125)]
+        _, got_rows, got_spans, _, got_rowrecs = decode_response(
+            encode_response(1, rows, rowrecs=rowrecs))
+        assert got_rows == rows
+        assert got_spans == []
+        assert got_rowrecs == rowrecs
+
+    def test_response_rowrecs_reject_mismatched_hop_counts(self):
+        rows = [([7], [0.5], [None])]
+        with pytest.raises(RingUnsuitable, match="hop widths"):
+            encode_response(1, rows,
+                            rowrecs=[(1, (3, 2), 0.1, 0.1),
+                                     (2, (3,), 0.1, 0.1)])
+
+    def test_absent_telemetry_is_byte_identical_to_prior_codecs(self):
+        """The telemetry sections must be invisible when absent: a
+        tracing-off payload is byte-identical to the pre-telemetry
+        layout, and a rowrecs-off payload is byte-identical to the
+        span-only trailer layout (frozen here as references)."""
+
+        def align(value: int) -> int:
+            return (value + 7) & ~7
+
+        def reference_base(version, rows):
+            # Frozen pre-telemetry response layout.
+            n = len(rows)
+            ks = [len(r[0]) for r in rows]
+            items, scores, path_len, path_nodes, probs = \
+                [], [], [], [], []
+            for row_items, row_scores, row_paths in rows:
+                items += [int(i) for i in row_items]
+                scores += [float(s) for s in row_scores]
+                for blob in row_paths:
+                    if blob is None:
+                        path_len.append(-1)
+                        continue
+                    entities, relations, prob = blob
+                    path_len.append(len(relations))
+                    path_nodes += [int(e) for e in entities]
+                    path_nodes += [int(r) for r in relations]
+                    probs.append(float(prob))
+            parts = [np.array([0, int(version)],
+                              dtype=np.int64).tobytes(),
+                     np.asarray([n] + ks + items,
+                                dtype=np.int32).tobytes()]
+            size = sum(len(p) for p in parts)
+            parts.append(b"\x00" * (align(size) - size))
+            parts.append(np.asarray(scores, dtype=np.float64).tobytes())
+            parts.append(np.asarray(path_len + path_nodes,
+                                    dtype=np.int32).tobytes())
+            size = sum(len(p) for p in parts)
+            parts.append(b"\x00" * (align(size) - size))
+            parts.append(np.asarray(probs, dtype=np.float64).tobytes())
+            return b"".join(parts)
+
+        def reference_span_trailer(base, spans, traces):
+            # Frozen span-only trailer layout.
+            parts = [base,
+                     np.asarray([len(spans), len(traces)]
+                                + [int(t) for t in traces],
+                                dtype=np.int32).tobytes()]
+            size = sum(len(p) for p in parts)
+            parts.append(b"\x00" * (align(size) - size))
+            flat = []
+            for kind_id, t0, dur in spans:
+                flat += [float(kind_id), float(t0), float(dur)]
+            parts.append(np.asarray(flat, dtype=np.float64).tobytes())
+            return b"".join(parts)
+
+        rows = [([4, 2], [1.5, 0.25], [([9, 4], [1], 0.5), None]),
+                ([7], [0.125], [None])]
+        assert encode_response(11, rows) == reference_base(11, rows)
+        spans = [(0, 1.0, 0.5), (2, 1.5, 0.25), (3, 2.0, 0.125)]
+        traces = [42]
+        assert encode_response(11, rows, spans=spans, traces=traces) \
+            == reference_span_trailer(reference_base(11, rows),
+                                      spans, traces)
 
     def test_error_slot_raises_worker_exec_error(self):
         blob = encode_error("Traceback: kaboom", 4096)

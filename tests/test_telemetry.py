@@ -47,13 +47,24 @@ from repro.telemetry.exporters import (
 )
 from repro.telemetry.httpd import MetricsEndpoint
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sink import TraceSink
+from repro.telemetry.top import heat_bar, render_top, shard_heat
 from repro.telemetry.trace import (
+    ROW_SPAN,
     SPAN_KINDS,
+    SpanRecord,
     Tracer,
+    attribute_rows,
     span_kind_id,
     spans_by_trace,
     spans_to_chrome_trace,
     spans_to_jsonl,
+)
+from repro.telemetry.window import (
+    RollingWindow,
+    WindowSampler,
+    hist_delta,
+    hist_from_dict,
 )
 
 
@@ -782,3 +793,458 @@ class TestUpdaterTelemetry:
         assert snap.counter("online_sessions_total") == len(delta)
         assert snap.hist("online_round_seconds").count == 2
         assert snap.hist("online_publish_seconds").count == 2
+
+
+# ----------------------------------------------------------------------
+# Streaming trace sink
+# ----------------------------------------------------------------------
+class TestTraceSink:
+    def test_streams_jsonl_with_args(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceSink(path) as sink:
+            tracer = Tracer(sample=1.0, sink=sink)
+            tid = tracer.maybe_start()
+            tracer.record(tid, "enqueue", "server", 1.0, 0.25)
+            tracer.record_rows([(tid, (4, 2), 0.5, 0.125)], "server")
+            sink.flush()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [ln["name"] for ln in lines] == ["enqueue", ROW_SPAN]
+        assert lines[1]["args"] == {"frontier": [4, 2], "walk_s": 0.5,
+                                    "topk_s": 0.125}
+
+    def test_size_rotation_keeps_generations(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceSink(path, max_bytes=2048, keep=3) as sink:
+            tracer = Tracer(sample=1.0, sink=sink)
+            for i in range(400):
+                tracer.record(i + 1, "soak", "t", float(i), 1e-3)
+            sink.flush()
+            assert sink.rotations >= 1
+            files = sink.files()
+        assert str(path) in files
+        assert any(f.endswith(".1") for f in files)
+        assert len(files) <= 4  # live + keep generations
+        for f in files:  # every retained line parses
+            for line in open(f, encoding="utf-8"):
+                assert json.loads(line)["name"] == "soak"
+
+    def test_100k_span_soak_is_lossless_with_sink_attached(self,
+                                                           tmp_path):
+        """Satellite: the drain-or-drop tracer buffer loses nothing on
+        a 100k-span soak once the streaming sink takes the handoff —
+        the deque alone would have evicted all but its tail."""
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(path, max_bytes=1 << 20, keep=200)
+        tracer = Tracer(sample=1.0, capacity=64, sink=sink)
+        total = 100_000
+        for i in range(total):
+            tracer.record((i % 997) + 1, "soak", "t", float(i), 1e-6)
+        sink.flush()
+        sink.close()
+        assert tracer.dropped == 0
+        assert sink.dropped == 0
+        assert sink.written == total
+        assert sink.rotations >= 1
+        retained = sum(1 for f in sink.files()
+                       for line in open(f, encoding="utf-8") if line)
+        assert retained == total
+
+    def test_closed_sink_counts_drops_in_metrics(self, tmp_path):
+        block = MetricBlock.create(fleet_schema(), "sink")
+        try:
+            sink = TraceSink(tmp_path / "t.jsonl", metrics=block)
+            sink.close()
+            span = SpanRecord(trace_id=1, name="late", role="t",
+                              t0=0.0, dur=0.0)
+            assert sink.offer(span) is False
+            assert sink.dropped == 1
+            assert block.snapshot().counters["trace_dropped_total"] == 1
+        finally:
+            block.unlink()
+
+    def test_tracer_does_not_double_count_sink_drops(self, tmp_path):
+        """When tracer and sink share the metric block, a rejected
+        span lands in ``trace_dropped_total`` exactly once."""
+        block = MetricBlock.create(fleet_schema(), "t")
+        try:
+            sink = TraceSink(tmp_path / "t.jsonl", metrics=block)
+            sink.close()  # every offer now rejects
+            tracer = Tracer(sample=1.0, sink=sink, metrics=block)
+            tracer.record(5, "x", "t", 0.0, 0.0)
+            assert tracer.dropped == 1
+            assert block.snapshot().counters["trace_dropped_total"] == 1
+        finally:
+            block.unlink()
+
+
+# ----------------------------------------------------------------------
+# Rolling windows + burn-rate SLOs
+# ----------------------------------------------------------------------
+class TestRollingWindow:
+    def _observe(self, block, values):
+        for v in values:
+            block.observe("request_latency_seconds", v)
+
+    def test_window_matches_cumulative_oracle(self):
+        """Windowed count/sum are exact; windowed quantiles match an
+        oracle histogram fed only the window's values to within one
+        log-2 bucket (the resolution every quantile here has)."""
+        registry = MetricsRegistry()
+        block = registry.create_block("w0", fleet_schema())
+        phase_a = [0.001 * (i % 7 + 1) for i in range(200)]
+        phase_b = [0.004 * (i % 13 + 1) for i in range(300)]
+        self._observe(block, phase_a)
+        block.count("requests_total", len(phase_a))
+        rolling = RollingWindow()
+        rolling.record(registry.snapshot())
+        self._observe(block, phase_b)
+        block.count("requests_total", len(phase_b))
+        rolling.record(registry.snapshot())
+        registry.close()
+
+        win = rolling.window(None)
+        assert win.counter("requests_total") == len(phase_b)
+        hist = win.hist("request_latency_seconds")
+        oracle = LocalHistogram()
+        for v in phase_b:
+            oracle.observe(v)
+        want = oracle.snapshot()
+        assert hist.count == want.count
+        assert hist.sum == pytest.approx(want.sum)
+        assert np.array_equal(hist.buckets, want.buckets)
+        for q in (0.5, 0.95, 0.99):
+            got = hist.quantile(q)
+            ref = want.quantile(q)
+            assert ref / 2 <= got <= ref * 2
+
+    def test_hist_delta_zero_window(self):
+        hist = LocalHistogram()
+        hist.observe(0.25)
+        snap = hist.snapshot()
+        delta = hist_delta(snap, snap)
+        assert delta.count == 0 and delta.sum == 0.0
+        # No start: the cumulative end IS the window.
+        assert hist_delta(snap, None) is snap
+
+    def test_hist_from_dict_round_trips(self):
+        hist = LocalHistogram()
+        for v in (0.001, 0.01, 0.3):
+            hist.observe(v)
+        snap = hist.snapshot()
+        back = hist_from_dict(snap.to_dict())
+        assert back.count == snap.count
+        assert back.sum == pytest.approx(snap.sum)
+        assert np.array_equal(back.buckets, snap.buckets)
+
+    def test_window_seconds_selects_start_sample(self):
+        registry = MetricsRegistry()
+        block = registry.create_block("w0", fleet_schema())
+        rolling = RollingWindow()
+        for round_id in range(3):
+            block.count("requests_total", 10)
+            snap = registry.snapshot()
+            # Synthetic timestamps: one sample per second.
+            object.__setattr__(snap, "generated_at", float(round_id))
+            rolling.record(snap)
+        registry.close()
+        # Full span: both increments since the first sample.
+        assert rolling.window(None).counter("requests_total") == 20
+        # A 1s window starts at the middle sample.
+        win = rolling.window(1.0)
+        assert win.counter("requests_total") == 10
+        assert win.seconds == pytest.approx(1.0)
+        assert win.rate("requests_total") == pytest.approx(10.0)
+
+    def test_windowed_slos_and_burn_rate(self):
+        registry = MetricsRegistry()
+        block = registry.create_block("w0", fleet_schema())
+        rolling = RollingWindow()
+        self._observe(block, [0.001] * 50)  # calm cumulative past
+        rolling.record(registry.snapshot())
+        self._observe(block, [0.9] * 50)    # the window is on fire
+        rolling.record(registry.snapshot())
+        snapshot = registry.snapshot()
+        registry.close()
+        slos = serving_slos(p99_ms=100.0)
+        cumulative = evaluate_slos(snapshot, slos)[0]
+        windowed = evaluate_slos(snapshot, slos,
+                                 window=rolling.window(None))[0]
+        # The cumulative p99 already trips here too, but the windowed
+        # value isolates the hot phase and burns hotter.
+        assert not windowed.ok
+        assert windowed.burn_rate > 1.0
+        assert windowed.window_seconds is not None
+        assert windowed.value >= cumulative.value
+        assert "burn=" in windowed.describe()
+        assert "over" in windowed.describe()
+
+    def test_burn_rate_floor_direction(self):
+        registry = MetricsRegistry()
+        block = registry.create_block("w0", fleet_schema())
+        block.count("cache_hits_total", 1)
+        block.count("cache_misses_total", 9)
+        snapshot = registry.snapshot()
+        registry.close()
+        result = evaluate_slos(snapshot,
+                               serving_slos(cache_hit_floor=0.5))[0]
+        assert not result.ok
+        assert result.burn_rate == pytest.approx(5.0)  # 0.5 / 0.1
+
+    def test_quiet_window_passes_vacuously(self):
+        # A window with no traffic cannot burn a floor: the windowed
+        # cache-hit ratio is 0/0, not 0, and the windowed p99 has no
+        # observations — both must pass with burn_rate None even while
+        # the cumulative snapshot is violating.
+        registry = MetricsRegistry()
+        block = registry.create_block("w0", fleet_schema())
+        block.count("cache_hits_total", 1)
+        block.count("cache_misses_total", 9)
+        block.observe("request_latency_seconds", 0.5)
+        rolling = RollingWindow()
+        rolling.record(registry.snapshot())
+        rolling.record(registry.snapshot())   # nothing moved between
+        snapshot = registry.snapshot()
+        registry.close()
+        win = rolling.window(None)
+        assert win is not None
+        slos = serving_slos(cache_hit_floor=0.5, p99_ms=100.0)
+        cumulative = evaluate_slos(snapshot, slos)
+        assert not all(r.ok for r in cumulative)
+        windowed = evaluate_slos(snapshot, slos, window=win)
+        assert all(r.ok for r in windowed)
+        assert all(r.burn_rate is None for r in windowed)
+
+    def test_window_sampler_feeds_rolling_window(self):
+        registry = MetricsRegistry()
+        block = registry.create_block("w0", fleet_schema())
+        rolling = RollingWindow()
+        sampler = WindowSampler(registry.snapshot, rolling,
+                                interval_s=0.02)
+        try:
+            deadline = time.monotonic() + 5.0
+            while len(rolling) < 3 and time.monotonic() < deadline:
+                block.count("requests_total", 1)
+                time.sleep(0.02)
+        finally:
+            sampler.close()
+            registry.close()
+        assert len(rolling) >= 3
+        assert rolling.window(None).counter("requests_total") >= 1
+
+
+# ----------------------------------------------------------------------
+# Per-row span attribution (unit)
+# ----------------------------------------------------------------------
+class TestRowAttribution:
+    def test_walk_time_splits_by_frontier_mass(self):
+        spans = [(span_kind_id("walk"), 0.0, 0.8),
+                 (span_kind_id("topk"), 0.8, 0.2)]
+        # Row 0 carries 3x the frontier mass of row 1; row 2 unsampled.
+        frontier = [np.array([6, 2, 4]), np.array([3, 1, 2])]
+        records = attribute_rows([11, 22, 0], [5, 10, 5],
+                                 frontier, spans)
+        assert [r[0] for r in records] == [11, 22]
+        (t1, w1, walk1, topk1), (t2, w2, walk2, topk2) = records
+        assert w1 == (6, 3) and w2 == (2, 1)
+        assert walk1 == pytest.approx(0.8 * 9 / 18)
+        assert walk2 == pytest.approx(0.8 * 3 / 18)
+        assert topk1 == pytest.approx(0.2 * 5 / 20)
+        assert topk2 == pytest.approx(0.2 * 10 / 20)
+
+    def test_zero_mass_falls_back_to_equal_split(self):
+        spans = [(span_kind_id("walk"), 0.0, 0.4)]
+        frontier = [np.zeros(2, dtype=np.int64)]
+        records = attribute_rows([7, 9], [5, 5], frontier, spans)
+        assert [r[2] for r in records] == pytest.approx([0.2, 0.2])
+
+    def test_no_frontier_yields_empty_widths(self):
+        records = attribute_rows([3], [5], None,
+                                 [(span_kind_id("walk"), 0.0, 0.1)])
+        assert records == [(3, (), pytest.approx(0.1), 0.0)]
+
+
+# ----------------------------------------------------------------------
+# Live fleet view rendering
+# ----------------------------------------------------------------------
+class TestTopView:
+    def _snapshot_dict(self, requests, latencies, at):
+        registry = MetricsRegistry()
+        block = registry.create_block(
+            "server", fleet_schema(num_shards=2))
+        block.count("requests_total", requests)
+        block.count("cache_hits_total", requests // 2)
+        block.count("cache_misses_total", requests - requests // 2)
+        block.count(gather_shard_counter(0), requests * 3)
+        block.count(gather_shard_counter(1), requests)
+        block.gauge("model_version", 4)
+        for v in latencies:
+            block.observe("request_latency_seconds", v)
+        snap = registry.snapshot()
+        object.__setattr__(snap, "generated_at", float(at))
+        payload = snap.to_dict()
+        registry.close()
+        return payload
+
+    def test_heat_bar_scales_to_peak(self):
+        assert heat_bar([]) == ""
+        assert heat_bar([0.0, 0.0]) == "  "
+        bar = heat_bar([1.0, 4.0, 8.0])
+        assert len(bar) == 3
+        assert bar[-1] == "█"
+
+    def test_shard_heat_diffs_labelled_counters(self):
+        prev = self._snapshot_dict(10, [0.001], at=0.0)
+        curr = self._snapshot_dict(30, [0.001, 0.002], at=2.0)
+        heat = shard_heat(curr, prev)
+        assert heat == [(0, 60), (1, 20)]
+
+    def test_render_cumulative_and_windowed_frames(self):
+        prev = self._snapshot_dict(10, [0.001] * 10, at=0.0)
+        curr = self._snapshot_dict(30, [0.001] * 30, at=2.0)
+        first = render_top(prev)
+        assert "cumulative" in first
+        assert "requests" in first
+        frame = render_top(curr, prev)
+        assert "2.0s window" in frame
+        assert "model v4" in frame
+        assert "p50" in frame and "p99" in frame
+        assert "server" in frame      # per-role table row
+        # 20 new requests over 2s.
+        assert "10/s" in frame
+
+
+# ----------------------------------------------------------------------
+# Continuous serving integration: row spans, windows, health, close
+# ----------------------------------------------------------------------
+class TestContinuousServing:
+    def test_per_row_spans_thread_mode(self, trainer, sessions):
+        subset = sessions[:8]
+        with trainer.serve(cache_size=0, trace_sample=1.0) as server:
+            server.recommend_many(subset, k=5)
+            spans = server.tracer.drain()
+        rows = [s for s in spans if s.name == ROW_SPAN]
+        grouped = spans_by_trace(spans)
+        assert len(rows) == len(subset)  # one row record per request
+        for span in rows:
+            assert span.args is not None
+            widths = span.args["frontier"]
+            assert len(widths) >= 1       # at least one executed hop
+            assert all(w >= 0 for w in widths)
+            assert span.dur == pytest.approx(span.args["walk_s"]
+                                             + span.args["topk_s"])
+        # Row spans attribute the batch's walk time exactly: per-trace
+        # walk shares of one batch sum to that batch's walk span.
+        for records in grouped.values():
+            walk = sum(s.dur for s in records if s.name == "walk")
+            row = [s for s in records if s.name == ROW_SPAN]
+            assert len(row) == 1
+            assert row[0].args["walk_s"] <= walk + 1e-9
+
+    def test_per_row_spans_cross_the_ring(self, trainer, sessions):
+        subset = sessions[:6]
+        with trainer.serve(worker_mode="process", workers=1,
+                           cache_size=0, trace_sample=1.0) as server:
+            server.recommend_many(subset, k=5)
+            spans = server.tracer.drain()
+        rows = [s for s in spans if s.name == ROW_SPAN]
+        assert len(rows) == len(subset)
+        assert {s.role for s in rows} == {"worker"}
+        for span in rows:
+            assert len(span.args["frontier"]) >= 1
+
+    def test_trace_rows_off_suppresses_row_spans(self, trainer,
+                                                 sessions):
+        subset = sessions[:4]
+        with trainer.serve(cache_size=0, trace_sample=1.0,
+                           trace_rows=False) as server:
+            server.recommend_many(subset, k=5)
+            spans = server.tracer.drain()
+        assert [s for s in spans if s.name == ROW_SPAN] == []
+        assert spans  # batch-level tracing still on
+
+    def test_row_spans_do_not_perturb_results(self, trainer, sessions):
+        subset = sessions[:8]
+        with trainer.serve(cache_size=0) as plain:
+            want = [r.items for r in plain.recommend_many(subset, k=5)]
+        for mode in ("thread", "process"):
+            with trainer.serve(worker_mode=mode, cache_size=0,
+                               trace_sample=1.0,
+                               trace_rows=True) as server:
+                got = [r.items
+                       for r in server.recommend_many(subset, k=5)]
+            assert got == want
+
+    def test_trace_path_streams_spans_to_jsonl(self, trainer, sessions,
+                                               tmp_path):
+        path = tmp_path / "server_trace.jsonl"
+        with trainer.serve(cache_size=0, trace_sample=1.0,
+                           trace_path=str(path)) as server:
+            server.recommend_many(sessions[:5], k=5)
+            assert server.trace_sink is not None
+            server.trace_sink.flush()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines
+        names = {ln["name"] for ln in lines}
+        assert ROW_SPAN in names and "walk" in names
+
+    def test_window_endpoint_and_healthz(self, trainer, sessions):
+        subset = sessions[:6]
+        with trainer.serve(metrics_port=0, cache_size=0) as server:
+            server.recommend_many(subset, k=5)
+            base = server.metrics_url.rsplit("/metrics", 1)[0]
+            with urlopen(f"{base}/metrics.json?window=all",
+                         timeout=5) as resp:
+                win = json.loads(resp.read().decode())
+            assert win["window_seconds"] >= 0.0
+            assert win["counters"]["requests_total"] == len(subset)
+            assert "request_latency_seconds" in win["histograms"]
+            with urlopen(f"{base}/healthz", timeout=5) as resp:
+                assert resp.read() == b"ok\n"
+            assert server.health()["roles"]["server"]["ok"] is True
+            # server.window() serves the same view programmatically.
+            assert server.window().counter("requests_total") \
+                == len(subset)
+
+    def test_healthz_degraded_on_torn_block(self, trainer, sessions):
+        from repro.telemetry.block import _SEQ
+
+        with trainer.serve(metrics_port=0) as server:
+            server.recommend_many(sessions[:3], k=5)
+            base = server.metrics_url.rsplit("/metrics", 1)[0]
+            block = server._metrics_registry.block("server")
+            block._hdr[_SEQ] += 1  # odd seqlock: writer died mid-write
+            try:
+                with pytest.raises(HTTPError) as err:
+                    urlopen(f"{base}/healthz", timeout=10)
+                assert err.value.code == 503
+                body = json.loads(err.value.read().decode())
+                assert body["ok"] is False
+                assert body["roles"]["server"]["torn"] is True
+            finally:
+                block._hdr[_SEQ] += 1  # restore even for shutdown
+
+    def test_close_shuts_endpoint_thread_down(self, trainer, sessions):
+        server = trainer.serve(metrics_port=0)
+        try:
+            server.recommend_many(sessions[:3], k=5)
+            endpoint = server._endpoint
+            assert endpoint.alive
+        finally:
+            server.close()
+        assert not endpoint.alive          # no dangling HTTP thread
+        server.close()                     # idempotent
+
+    def test_window_sampler_on_live_server(self, trainer, sessions):
+        with trainer.serve(cache_size=0,
+                           window_interval_ms=20.0) as server:
+            server.recommend_many(sessions[:6], k=5)
+            time.sleep(0.1)                # a few sampler ticks
+            win = server.window(seconds=60.0)
+            assert win is not None
+            assert win.counter("requests_total") == 6
+            sampler = server._window_sampler
+            assert sampler is not None
+        # shutdown joined the sampler thread with everything else
+        assert not sampler._thread.is_alive()

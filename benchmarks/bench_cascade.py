@@ -1,0 +1,299 @@
+"""Accuracy-vs-latency Pareto for cascade serving (PR 9).
+
+Sweeps the first-stage candidate budget ``M`` and measures, per point:
+
+* closed-loop serving latency (p50/p99, cache off so every request
+  walks) against the cascade-off baseline on the same request stream;
+* HR@10 / NDCG@10 of the candidate-constrained rankings vs the
+  unconstrained walk (last item of each test session is the target);
+* per-hop frontier-width reduction (surviving-path census from the
+  walk's ``row_frontier`` instrumentation).
+
+The emitted ``benchmarks/results/BENCH_cascade.json`` carries the full
+sweep plus a declarative SLO table evaluated on the best Pareto point:
+
+* ``cascade_p99_speedup`` >= 2.0x,
+* absolute HR@10 loss <= 0.02 (two points of hit rate),
+* cascade-off serving must stay **bit-identical** to the plain batch
+  path (the no-regression gate for everyone not opting in).
+
+``METRICS_cascade.json`` snapshots the fleet metrics of a cascade
+server (candidate / pruned-frontier counters) for the CI artifact.
+
+Run it any of three ways::
+
+    python -m benchmarks.bench_cascade --quick   # CI smoke config
+    python benchmarks/bench_cascade.py           # full M sweep
+    pytest benchmarks/bench_cascade.py -m slow -s # sweep as a test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RESULTS_DIR, bench_scale, get_world  # noqa: E402
+from repro import REKSConfig, REKSTrainer  # noqa: E402
+from repro.cascade import build_constraint, provider_from_trainer  # noqa: E402
+from repro.eval.metrics import evaluate_rankings  # noqa: E402
+from repro.serving.bench import _closed_loop, check_determinism, emit  # noqa: E402
+
+M_SWEEP = (10, 25, 50, 100)
+M_SWEEP_QUICK = (10, 25)
+
+def cascade_slos(p99_floor: float = 2.0):
+    """Declarative acceptance gates, evaluated on the best Pareto
+    point (max p99 speedup among points within the accuracy budget).
+    Same shape as the telemetry-plane SLOs: metric + bound,
+    machine-checkable from the emitted JSON alone.  ``p99_floor`` is
+    2.0 for the acceptance run; CI smoke passes a loose floor because
+    shared runners make absolute latency ratios noisy — the committed
+    BENCH_cascade.json carries the real number.
+    """
+    return (
+        {"name": "cascade_p99_speedup_floor", "metric": "p99_speedup",
+         "min_value": p99_floor},
+        {"name": "cascade_hr10_loss_ceiling", "metric": "hr10_loss",
+         "max_value": 0.02},
+        {"name": "cascade_off_bit_identical", "metric": "off_identical",
+         "min_value": 1.0},
+    )
+
+
+def make_trainer() -> REKSTrainer:
+    """Inference-ready REKS stack (same shape as bench_serving)."""
+    scale = bench_scale()
+    world = get_world("beauty")
+    dim = world.transe.config.dim
+    config = REKSConfig(dim=dim, state_dim=dim,
+                        sample_sizes=(100, scale.final_beam),
+                        action_cap=scale.action_cap,
+                        frontier_buckets=scale.frontier_buckets, seed=0)
+    return REKSTrainer(world.dataset, world.built, model_name="narm",
+                       config=config, transe=world.transe)
+
+
+def evaluate_slos(point: dict, p99_floor: float = 2.0) -> list:
+    results = []
+    for slo in cascade_slos(p99_floor):
+        value = float(point[slo["metric"]])
+        ok = True
+        if "min_value" in slo:
+            ok = ok and value >= slo["min_value"]
+        if "max_value" in slo:
+            ok = ok and value <= slo["max_value"]
+        results.append({**slo, "value": value, "ok": ok})
+    return results
+
+
+def _accuracy(server, sessions, k: int = 10) -> dict:
+    results = server.recommend_many(sessions, k=k)
+    ranked = [np.asarray(r.items, dtype=np.int64) for r in results]
+    targets = [s.items[-1] for s in sessions]
+    metrics = evaluate_rankings(ranked, targets, ks=(k,))
+    return {f"hr@{k}": metrics[f"HR@{k}"] / 100.0,
+            f"ndcg@{k}": metrics[f"NDCG@{k}"] / 100.0}
+
+
+def _latency(trainer, stream, concurrency: int, k: int,
+             **server_kwargs) -> dict:
+    """Best-of-5 closed-loop pass; cache off so every request walks.
+
+    The pass with the lowest p99 wins: the closed loop runs dozens of
+    client threads on a shared host, so any single pass's tail can be
+    scheduler noise — best-of-N on the gated statistic itself keeps
+    the SLO comparison about the dataplane, not the host.
+    """
+    with trainer.serve(cache_size=0, **server_kwargs) as server:
+        best_s, best = float("inf"), None
+        for _ in range(5):
+            elapsed = _closed_loop(server, stream, concurrency, k)
+            stats = server.stats()
+            if (best is None
+                    or stats.latency_ms_p99 < best.latency_ms_p99):
+                best_s, best = elapsed, stats
+            server.reset_stats()
+    return {"seconds": best_s,
+            "throughput_rps": len(stream) / best_s,
+            "p50_ms": best.latency_ms_p50,
+            "p95_ms": best.latency_ms_p95,
+            "p99_ms": best.latency_ms_p99}
+
+
+def _frontier_mass(trainer, sessions, constraint=None) -> int:
+    """Total surviving-path census across hops (row_frontier sums)."""
+    from repro.data.loader import SessionBatcher
+
+    agent = trainer.agent
+    total = 0
+    batcher = SessionBatcher(sessions, batch_size=256,
+                             max_length=trainer.config.max_session_length,
+                             augment=False, shuffle=False)
+    ws = agent.workspace
+    ws.row_frontier = []
+    try:
+        for batch in batcher:
+            agent.recommend(batch, k=10, candidates=constraint)
+        total = sum(int(c.sum()) for c in ws.row_frontier)
+    finally:
+        ws.row_frontier = None
+    return total
+
+
+def _truncated_prefix(trainer, session):
+    items = list(session.items)[:-1]
+    return tuple(items[-trainer.config.max_session_length:])
+
+
+def run_cascade_bench(trainer: REKSTrainer, quick: bool = False,
+                      p99_floor: float = 2.0) -> dict:
+    scale = bench_scale()
+    sessions = [s for s in trainer.dataset.split.test
+                if len(s.items) >= 2]
+    eval_sessions = sessions[:128] if quick else sessions[:512]
+    concurrency = 32
+    min_requests = 1024
+    rounds = max(1, -(-min_requests // len(eval_sessions)))
+    stream = list(eval_sessions) * rounds
+    sweep = M_SWEEP_QUICK if quick else M_SWEEP
+    k = 10
+
+    # Gate 0: cascade off == plain batch path, bit for bit.
+    off_identical = check_determinism(trainer, eval_sessions[:64], k=k)
+
+    # Baseline: unconstrained serving on the identical stream.
+    base_lat = _latency(trainer, stream, concurrency, k)
+    with trainer.serve(cache_size=0) as server:
+        base_acc = _accuracy(server, eval_sessions, k=k)
+    frontier_sessions = eval_sessions[:64]
+    base_frontier = _frontier_mass(trainer, frontier_sessions)
+    print(f"baseline        : p50={base_lat['p50_ms']:.1f}ms "
+          f"p99={base_lat['p99_ms']:.1f}ms "
+          f"hr@10={base_acc['hr@10']:.3f} "
+          f"frontier={base_frontier}")
+
+    provider = provider_from_trainer(trainer, "neighbors")
+    points = []
+    for m in sweep:
+        lat = _latency(trainer, stream, concurrency, k,
+                       cascade=provider, cascade_m=m)
+        with trainer.serve(cache_size=0, cascade=provider,
+                           cascade_m=m) as server:
+            acc = _accuracy(server, eval_sessions, k=k)
+        cand_rows = [provider.top_m(_truncated_prefix(trainer, s), m)
+                     for s in frontier_sessions]
+        constraint = build_constraint(trainer.agent, cand_rows,
+                                      trainer.config.path_length)
+        frontier = _frontier_mass(trainer, frontier_sessions, constraint)
+        point = {
+            "m": m,
+            "provider": provider.provider_id,
+            "latency": lat,
+            "accuracy": acc,
+            "p99_speedup": base_lat["p99_ms"] / max(lat["p99_ms"], 1e-9),
+            "p50_speedup": base_lat["p50_ms"] / max(lat["p50_ms"], 1e-9),
+            "hr10_loss": max(0.0, base_acc["hr@10"] - acc["hr@10"]),
+            "ndcg10_loss": max(0.0,
+                               base_acc["ndcg@10"] - acc["ndcg@10"]),
+            "frontier_mass": frontier,
+            "frontier_reduction": base_frontier / max(frontier, 1),
+        }
+        points.append(point)
+        print(f"cascade M={m:>3}   : p50={lat['p50_ms']:.1f}ms "
+              f"p99={lat['p99_ms']:.1f}ms "
+              f"({point['p99_speedup']:.2f}x p99)  "
+              f"hr@10={acc['hr@10']:.3f} "
+              f"(loss {point['hr10_loss']:.3f})  "
+              f"frontier {point['frontier_reduction']:.1f}x smaller")
+
+    # Best Pareto point: max p99 speedup within the accuracy budget
+    # (fall back to max speedup so the SLO table still reports).
+    within = [p for p in points if p["hr10_loss"] <= 0.02]
+    best = max(within or points, key=lambda p: p["p99_speedup"])
+    slo = evaluate_slos({**best, "off_identical": float(off_identical)},
+                        p99_floor)
+
+    # Fleet-metrics artifact: one short pass on a cascade server so the
+    # cascade_* counters land in METRICS_cascade.json.
+    with trainer.serve(cache_size=0, cascade=provider,
+                       cascade_m=best["m"], trace_sample=1.0) as server:
+        server.recommend_many(eval_sessions[:32], k=k)
+        snapshot = server.fleet_snapshot().to_dict()
+        spans = server.tracer.drain()
+    snapshot["cascade_spans_recorded"] = sum(
+        1 for s in spans if s.name == "cascade")
+
+    return {
+        "benchmark": "cascade",
+        "scale": scale.name,
+        "quick": quick,
+        "k": k,
+        "concurrency": concurrency,
+        "requests": len(stream),
+        "eval_sessions": len(eval_sessions),
+        "off_identical": bool(off_identical),
+        "baseline": {"latency": base_lat, "accuracy": base_acc,
+                     "frontier_mass": base_frontier},
+        "points": points,
+        "best": {"m": best["m"], "p99_speedup": best["p99_speedup"],
+                 "hr10_loss": best["hr10_loss"],
+                 "frontier_reduction": best["frontier_reduction"]},
+        "slo": slo,
+        "slo_ok": all(r["ok"] for r in slo),
+        "metrics_snapshot": snapshot,
+    }
+
+
+def emit_results(payload: dict, out_path=None) -> Path:
+    out = emit(payload, out_path or RESULTS_DIR / "BENCH_cascade.json")
+    metrics_out = out.parent / "METRICS_cascade.json"
+    metrics_out.write_text(
+        json.dumps(payload["metrics_snapshot"], indent=2))
+    print(f"-> {out}")
+    print(f"-> {metrics_out}")
+    return out
+
+
+@pytest.mark.slow
+def test_cascade_pareto_sweep():
+    """Full M sweep; >= 2x p99 at <= 2 points of HR@10 loss."""
+    payload = run_cascade_bench(make_trainer(), quick=False)
+    emit_results(payload)
+    failed = [r["name"] for r in payload["slo"] if not r["ok"]]
+    assert payload["slo_ok"], f"cascade SLO violations: {failed}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short stream + two-point M sweep "
+                             "(the CI smoke configuration)")
+    parser.add_argument("--p99-floor", type=float, default=2.0,
+                        help="gated p99 speedup floor (CI passes a "
+                             "loose value; acceptance is 2.0)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="payload path (default "
+                             "benchmarks/results/BENCH_cascade.json; "
+                             "METRICS_cascade.json lands next to it)")
+    args = parser.parse_args(argv)
+    t0 = perf_counter()
+    payload = run_cascade_bench(make_trainer(), quick=args.quick,
+                                p99_floor=args.p99_floor)
+    emit_results(payload, args.out)
+    print(f"total {perf_counter() - t0:.1f}s; SLO "
+          + ("PASS" if payload["slo_ok"]
+             else "FAIL " + str([r["name"] for r in payload["slo"]
+                                 if not r["ok"]])))
+    return 0 if payload["slo_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Cascade serving: cheap first-stage candidate pre-rank feeding a
+candidate-constrained REKS beam walk (ROADMAP direction 3)."""
+
+from repro.cascade.planner import (CascadePlanner, WalkConstraint,
+                                   build_constraint)
+from repro.cascade.providers import (CandidateCache, CandidateProvider,
+                                     EncoderProvider, NeighborsProvider,
+                                     provider_from_trainer)
+from repro.cascade.reachability import ReachabilityIndex, get_index
+
+__all__ = [
+    "CandidateCache",
+    "CandidateProvider",
+    "CascadePlanner",
+    "EncoderProvider",
+    "NeighborsProvider",
+    "ReachabilityIndex",
+    "WalkConstraint",
+    "build_constraint",
+    "get_index",
+    "provider_from_trainer",
+]

@@ -1,0 +1,109 @@
+"""Second-stage orchestration: candidate plans and walk constraints.
+
+The planner sits parent-side in the serving dispatcher: for each row
+of a flushed micro-batch it asks the (memoized) first-stage provider
+for top-``M`` candidates; the resulting per-row candidate lists travel
+with the batch to wherever the walk runs (thread mode, pipe fallback,
+or the ring codec's candidate section) and are turned into a
+:class:`WalkConstraint` next to the agent, where the reachability
+index lives.
+
+Candidate sets are strictly **per row** — never unioned across a
+batch — so a session's ranking can never depend on which other
+sessions happened to coalesce into the same flush (the same
+batch-composition invariance the unconstrained walk already has).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cascade.providers import CandidateCache, CandidateProvider
+from repro.cascade.reachability import ReachabilityIndex, get_index
+
+
+class WalkConstraint:
+    """Resolved per-batch masks the constrained walk consumes.
+
+    ``entity_levels[r]`` is the (B, num_entities) bool mask of tails
+    allowed when ``r`` hops remain *after* the current expansion;
+    ``item_allowed`` is the (B, n_items + 1) bool candidate-set mask
+    final scoring restricts to.
+    """
+
+    def __init__(self, entity_levels: List[np.ndarray],
+                 item_allowed: np.ndarray) -> None:
+        self.entity_levels = entity_levels
+        self.item_allowed = item_allowed
+
+    def hop_mask(self, hop: int, total_hops: int) -> Optional[np.ndarray]:
+        """Allowed-tail mask for expansion ``hop`` of ``total_hops``.
+
+        After selecting tails at hop ``h`` there are
+        ``total_hops - 1 - h`` expansions left, so a tail is useful iff
+        it reaches a candidate in exactly that many hops.  Returns
+        ``None`` (no pruning) if the constraint was built for fewer
+        hops than the walk runs — correctness over pruning.
+        """
+        remaining = total_hops - 1 - hop
+        if remaining < 0 or remaining >= len(self.entity_levels):
+            return None
+        return self.entity_levels[remaining]
+
+
+def build_constraint(agent, candidate_rows: Sequence[Sequence[int]],
+                     num_hops: int,
+                     index: Optional[ReachabilityIndex] = None,
+                     ) -> WalkConstraint:
+    """Resolve per-row candidate id lists into walk masks.
+
+    Runs next to the agent (dispatcher thread in thread mode, worker
+    process otherwise) so the reachability index is built from — and
+    cached against — that process's own attached store.
+    """
+    if index is None or index.hops < num_hops:
+        index = get_index(agent.env, num_hops)
+    rows = [np.asarray(c, dtype=np.int64) for c in candidate_rows]
+    levels = [index.entity_mask(rows, r) for r in range(num_hops)]
+    n_items = agent.n_items
+    item_allowed = np.zeros((len(rows), n_items + 1), dtype=bool)
+    for b, cands in enumerate(rows):
+        item_allowed[b, cands] = True
+    item_allowed[:, 0] = False
+    return WalkConstraint(levels, item_allowed)
+
+
+class CascadePlanner:
+    """First-stage front door: provider + LRU memoization + identity.
+
+    ``identity`` — ``(provider_id, m)`` — is folded into explanation
+    cache keys so answers computed under one cascade configuration are
+    never replayed under another.
+    """
+
+    def __init__(self, provider: CandidateProvider, m: int,
+                 cache_size: int = 1024) -> None:
+        if m < 1:
+            raise ValueError(f"cascade m must be >= 1, got {m}")
+        self.provider = provider
+        self.m = int(m)
+        self.cache = CandidateCache(cache_size)
+
+    @property
+    def identity(self) -> Tuple[str, int]:
+        return (self.provider.provider_id, self.m)
+
+    def plan(self, prefix_items: Sequence[int],
+             user_id: Optional[int] = None) -> np.ndarray:
+        """Top-``M`` candidate item ids for one session prefix."""
+        key = (tuple(int(i) for i in prefix_items), user_id)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        cands = np.asarray(
+            self.provider.top_m(prefix_items, self.m, user_id=user_id),
+            dtype=np.int64)
+        self.cache.put(key, cands)
+        return cands

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # avoid a core -> cascade import cycle at runtime
+    from repro.cascade.planner import WalkConstraint
 
 import numpy as np
 
@@ -89,12 +92,21 @@ class REKSAgent(Module):
     def walk(self, session_repr: Tensor, batch: SessionBatch,
              sizes: Optional[Tuple[int, ...]] = None,
              stochastic: bool = False,
-             workspace: Optional[RolloutWorkspace] = None) -> Rollout:
+             workspace: Optional[RolloutWorkspace] = None,
+             candidates: Optional["WalkConstraint"] = None) -> Rollout:
         """Beam-walk the KG; gradient flows when grad mode is enabled.
 
         ``workspace`` overrides the agent's own scratch buffers for
         this walk — serving workers each pin their own workspace so
         concurrent walks over one shared agent never collide.
+
+        ``candidates`` (a :class:`repro.cascade.WalkConstraint`)
+        restricts each hop's expansion to tails that can still reach a
+        candidate item in the hops that remain.  Pruned actions are
+        excluded from *selection only* — the policy still normalizes
+        over the full valid action set, so the log-probability of every
+        kept action (and hence every candidate item's score) is
+        unchanged from the unconstrained walk.
         """
         cfg = self.config
         sizes = sizes or cfg.sample_sizes
@@ -118,6 +130,8 @@ class REKSAgent(Module):
             if len(sess_idx) == 0:
                 break
             hop_t0 = perf_counter() if metrics is not None else 0.0
+            hop_allowed = (None if candidates is None
+                           else candidates.hop_mask(hop, len(sizes)))
             sel_rows, sel_rels, sel_tails, logp_parts = [], [], [], []
             # Buckets are consumed one at a time so the workspace's
             # scratch buffers can be recycled between them.
@@ -126,19 +140,43 @@ class REKSAgent(Module):
                     num_buckets=cfg.frontier_buckets,
                     workspace=workspace):
                 rows_g = bucket.rows
+                rels, tails, mask = bucket.rels, bucket.tails, bucket.mask
+                allowed = None
+                if hop_allowed is not None:
+                    allowed = hop_allowed[sess_idx[rows_g][:, None], tails]
+                    if metrics is not None:
+                        pruned = np.count_nonzero(
+                            (mask & ~allowed).any(axis=1))
+                        if pruned:
+                            metrics.count(
+                                "cascade_pruned_frontier_rows_total",
+                                pruned)
+                    # Rows with no candidate-reachable action dead-end
+                    # in _select anyway; dropping them *before* the
+                    # policy forward skips their whole log-prob
+                    # computation.  Exact: the softmax is per-row, so
+                    # surviving rows score identically either way.
+                    live = (mask & allowed).any(axis=1)
+                    if not live.all():
+                        if not live.any():
+                            continue
+                        rows_g = rows_g[live]
+                        rels, tails, mask = (rels[live], tails[live],
+                                             mask[live])
+                        allowed = allowed[live]
                 se_paths = session_repr[sess_idx[rows_g]]
                 prev = None if prev_rel is None else prev_rel[rows_g]
                 log_probs = self.policy.step(
                     se_paths, ent_hist[rows_g, -1], prev,
-                    bucket.rels, bucket.tails, bucket.mask)
-                rows, cols = self._select(log_probs.data, bucket.mask, k,
-                                          stochastic)
+                    rels, tails, mask)
+                rows, cols = self._select(log_probs.data, mask, k,
+                                          stochastic, allowed=allowed)
                 if len(rows) == 0:
                     continue
                 logp_parts.append(log_probs[rows, cols])
                 sel_rows.append(rows_g[rows])
-                sel_rels.append(bucket.rels[rows, cols])
-                sel_tails.append(bucket.tails[rows, cols])
+                sel_rels.append(rels[rows, cols])
+                sel_tails.append(tails[rows, cols])
             if not sel_rows:
                 # Every surviving path dead-ended: return a rollout
                 # that is empty but shape-consistent.
@@ -177,12 +215,21 @@ class REKSAgent(Module):
                        relations=rel_hist, prob=prob, log_prob=log_prob)
 
     def _select(self, logp: np.ndarray, mask: np.ndarray, k: int,
-                stochastic: bool) -> Tuple[np.ndarray, np.ndarray]:
+                stochastic: bool,
+                allowed: Optional[np.ndarray] = None
+                ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-row top-k (or Gumbel top-k) over valid actions.
+
+        ``allowed`` (same shape as ``mask``) further restricts which
+        valid actions are *selectable* — used by the cascade to skip
+        tails that cannot reach a candidate.  It never feeds the
+        policy, so scores of surviving actions are unaffected.
 
         Returns flat (row_index, col_index) arrays of the kept actions.
         """
         n, width = logp.shape
+        if allowed is not None:
+            mask = mask & allowed
         scores = np.where(mask, logp, NEG_INF)
         if stochastic:
             gumbel = -np.log(-np.log(
@@ -290,7 +337,8 @@ class REKSAgent(Module):
     # ------------------------------------------------------------------
     def recommend(self, batch: SessionBatch, k: int = 20,
                   sizes: Optional[Tuple[int, ...]] = None,
-                  workspace: Optional[RolloutWorkspace] = None
+                  workspace: Optional[RolloutWorkspace] = None,
+                  candidates: Optional["WalkConstraint"] = None
                   ) -> Recommendations:
         """Top-``k`` items plus the best explanation path per item.
 
@@ -299,6 +347,13 @@ class REKSAgent(Module):
         Note the train/eval flag is module state, not per-thread:
         serving an agent while another thread trains it is not
         supported (grad mode is thread-local, dropout mode is not).
+
+        ``candidates`` constrains the walk (see :meth:`walk`) and
+        restricts final scoring to the candidate set: non-candidate
+        columns score ``-1.0``, strictly below every reachable item
+        (path probabilities are non-negative), so the tie-safe top-k
+        here — and any downstream per-row re-selection from
+        ``Recommendations.scores`` — can never surface them.
         """
         if self.training:
             self.eval()
@@ -309,11 +364,13 @@ class REKSAgent(Module):
             session_repr = self.encoder.encode(batch)
             walk_t0 = perf_counter()
             rollout = self.walk(session_repr, batch, sizes=sizes,
-                                workspace=workspace)
+                                workspace=workspace, candidates=candidates)
             walk_dur = perf_counter() - walk_t0
             scores = self.aggregate_scores_numpy(rollout, batch.batch_size)
             if cfg.fallback_to_encoder:
                 scores = self._encoder_fallback(scores, session_repr)
+            if candidates is not None:
+                scores = np.where(candidates.item_allowed, scores, -1.0)
         topk_t0 = perf_counter()
         ranked = _top_k(scores, k)
         paths = self._best_paths(rollout)

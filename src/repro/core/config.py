@@ -124,6 +124,15 @@ class REKSConfig:
     # >= 0 exposes a stdlib-HTTP /metrics endpoint on that port
     # (0 = ephemeral, read server.metrics_url); -1 disables it.
     serve_metrics_port: int = -1
+    # Cascade serving (repro.cascade): a cheap first-stage provider
+    # pre-ranks top-M candidates per request and the beam walk is
+    # constrained to candidate-reachable entities.  "" disables the
+    # cascade entirely (bit-identical to pre-cascade serving);
+    # "neighbors" fits session-kNN on the train split, "encoder"
+    # reuses the agent's own fitted session encoder.
+    serve_cascade_provider: str = ""
+    serve_cascade_m: int = 50           # first-stage candidate count
+    serve_cascade_cache_size: int = 1024  # LRU candidate lists (0 = off)
 
     # Continual learning (repro.online): checkpoint publishing, delta
     # ingestion, and background fine-tuning.  ``OnlineUpdater`` and
@@ -223,6 +232,17 @@ class REKSConfig:
             raise ValueError(
                 f"serve_transport must be 'pipe' or 'ring', "
                 f"got {self.serve_transport!r}")
+        if self.serve_cascade_provider not in ("", "neighbors", "encoder"):
+            raise ValueError(
+                f"serve_cascade_provider must be '' (off), 'neighbors', "
+                f"or 'encoder', got {self.serve_cascade_provider!r}")
+        if self.serve_cascade_m < 1:
+            raise ValueError(
+                f"serve_cascade_m must be >= 1, got {self.serve_cascade_m}")
+        if self.serve_cascade_cache_size < 0:
+            raise ValueError(
+                f"serve_cascade_cache_size must be >= 0, "
+                f"got {self.serve_cascade_cache_size}")
         if self.online_updater_mode not in ("thread", "subprocess"):
             raise ValueError(
                 f"online_updater_mode must be 'thread' or 'subprocess', "

@@ -6,24 +6,37 @@ batch of padded session prefixes to a dense session representation
 (tied) item embedding table.  REKS consumes ``Se`` inside its policy
 network; the standalone trainer turns any encoder into the paper's
 baseline column.
+
+Model classes are exported **lazily** (PEP 562): ``from repro.models
+import NARM`` imports only ``repro.models.narm`` — a serving process
+that needs one encoder (or a cascade provider) no longer pays import
+cost for all eight baselines.  Registry helpers and the standalone
+trainer stay eager; they are cheap and ubiquitous.
 """
 
 from repro.models.base import SessionEncoder
-from repro.models.gru4rec import GRU4REC
-from repro.models.narm import NARM
-from repro.models.srgnn import SRGNN
-from repro.models.gcsan import GCSAN
-from repro.models.bert4rec import BERT4REC
-from repro.models.registry import MODEL_NAMES, create_encoder
+from repro.models.registry import (EXTENSION_MODELS, MODEL_NAMES,
+                                   create_encoder, resolve_encoder_class)
 from repro.models.standalone import StandaloneTrainer, StandaloneConfig
-from repro.models.neighbors import (
-    CLASSIC_BASELINES,
-    ItemKNNRecommender,
-    MarkovChainRecommender,
-    PopRecommender,
-    SessionPopRecommender,
-    create_classic_baseline,
-)
+
+# attribute -> (module, name) for deferred imports.
+_LAZY = {
+    "GRU4REC": ("repro.models.gru4rec", "GRU4REC"),
+    "NARM": ("repro.models.narm", "NARM"),
+    "SRGNN": ("repro.models.srgnn", "SRGNN"),
+    "GCSAN": ("repro.models.gcsan", "GCSAN"),
+    "BERT4REC": ("repro.models.bert4rec", "BERT4REC"),
+    "FGNN": ("repro.models.fgnn", "FGNN"),
+    "CLASSIC_BASELINES": ("repro.models.neighbors", "CLASSIC_BASELINES"),
+    "PopRecommender": ("repro.models.neighbors", "PopRecommender"),
+    "SessionPopRecommender": ("repro.models.neighbors",
+                              "SessionPopRecommender"),
+    "MarkovChainRecommender": ("repro.models.neighbors",
+                               "MarkovChainRecommender"),
+    "ItemKNNRecommender": ("repro.models.neighbors", "ItemKNNRecommender"),
+    "create_classic_baseline": ("repro.models.neighbors",
+                                "create_classic_baseline"),
+}
 
 __all__ = [
     "SessionEncoder",
@@ -32,8 +45,11 @@ __all__ = [
     "SRGNN",
     "GCSAN",
     "BERT4REC",
+    "FGNN",
+    "EXTENSION_MODELS",
     "MODEL_NAMES",
     "create_encoder",
+    "resolve_encoder_class",
     "StandaloneTrainer",
     "StandaloneConfig",
     "CLASSIC_BASELINES",
@@ -43,3 +59,20 @@ __all__ = [
     "ItemKNNRecommender",
     "create_classic_baseline",
 ]
+
+
+def __getattr__(name: str):
+    try:
+        module_path, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_path), attr)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,28 +1,31 @@
-"""Name-based construction of the five encoders."""
+"""Name-based construction of the five encoders.
+
+Resolution is **lazy**: the registry maps names to dotted paths and
+imports a model's module only when that model is actually constructed.
+A serving process that only needs one provider (or none — REKS itself
+constructs its wrapped encoder through here) no longer pays import +
+module-level initialization for all eight baselines.
+"""
 
 from __future__ import annotations
 
+import importlib
 import inspect
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.models.base import SessionEncoder
-from repro.models.bert4rec import BERT4REC
-from repro.models.fgnn import FGNN
-from repro.models.gcsan import GCSAN
-from repro.models.gru4rec import GRU4REC
-from repro.models.narm import NARM
-from repro.models.srgnn import SRGNN
 
-_REGISTRY = {
-    "gru4rec": GRU4REC,
-    "narm": NARM,
-    "srgnn": SRGNN,
-    "sr-gnn": SRGNN,
-    "gcsan": GCSAN,
-    "bert4rec": BERT4REC,
-    "fgnn": FGNN,
+# name -> (module, class); modules import on first use.
+_REGISTRY: dict = {
+    "gru4rec": ("repro.models.gru4rec", "GRU4REC"),
+    "narm": ("repro.models.narm", "NARM"),
+    "srgnn": ("repro.models.srgnn", "SRGNN"),
+    "sr-gnn": ("repro.models.srgnn", "SRGNN"),
+    "gcsan": ("repro.models.gcsan", "GCSAN"),
+    "bert4rec": ("repro.models.bert4rec", "BERT4REC"),
+    "fgnn": ("repro.models.fgnn", "FGNN"),
 }
 
 # The paper's evaluated five; FGNN is an extension instantiation.
@@ -30,15 +33,21 @@ MODEL_NAMES = ("gru4rec", "narm", "srgnn", "gcsan", "bert4rec")
 EXTENSION_MODELS = ("fgnn",)
 
 
+def resolve_encoder_class(name: str) -> type:
+    """Import-on-demand lookup of an encoder class by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+    module_path, cls_name = _REGISTRY[key]
+    return getattr(importlib.import_module(module_path), cls_name)
+
+
 def create_encoder(name: str, n_items: int, dim: int,
                    item_init: Optional[np.ndarray] = None,
                    rng: Optional[np.random.Generator] = None,
                    **kwargs) -> SessionEncoder:
     """Instantiate an encoder by (case-insensitive) name."""
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
-    cls = _REGISTRY[key]
+    cls = resolve_encoder_class(name)
     # Keep only kwargs the specific constructor accepts, so callers can
     # pass a uniform knob set (e.g. dropout) across all five models.
     accepted = set(inspect.signature(cls.__init__).parameters)

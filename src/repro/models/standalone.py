@@ -20,7 +20,6 @@ from repro.data.loader import SessionBatch, SessionBatcher
 from repro.data.schema import Session
 from repro.eval.metrics import evaluate_rankings, top_k_from_scores
 from repro.models.base import SessionEncoder
-from repro.models.bert4rec import BERT4REC
 
 
 @dataclass
@@ -107,7 +106,9 @@ class StandaloneTrainer:
     def _train_step(self, batch: SessionBatch) -> float:
         cfg = self.config
         self.optimizer.zero_grad()
-        if cfg.cloze_prob > 0 and isinstance(self.encoder, BERT4REC):
+        # Duck-typed so importing the trainer doesn't import BERT4REC:
+        # cloze_forward is its masked-LM training interface.
+        if cfg.cloze_prob > 0 and hasattr(self.encoder, "cloze_forward"):
             logits, targets, _ = self.encoder.cloze_forward(
                 batch, cfg.cloze_prob, self.rng)
             loss = F.cross_entropy(logits, targets)

@@ -272,7 +272,9 @@ def _check_i32(value: int, what: str) -> int:
 
 def encode_request(examples: Sequence[tuple], ks: Sequence[int],
                    max_length: int,
-                   traces: Optional[Sequence[int]] = None) -> bytes:
+                   traces: Optional[Sequence[int]] = None,
+                   candidates: Optional[Sequence[Sequence[int]]] = None
+                   ) -> bytes:
     """Flatten ``(prefix_items, target, user)`` examples + per-row k.
 
     Prefixes are pre-truncated to ``max_length`` — bit-identical to
@@ -282,6 +284,14 @@ def encode_request(examples: Sequence[tuple], ks: Sequence[int],
     ``traces`` (optional) carries one 31-bit trace id per row (0 = not
     sampled); a section of ``n`` int32 is appended only when at least
     one row is sampled, so the tracing-off payload is unchanged.
+
+    ``candidates`` (optional) carries per-row cascade candidate item
+    ids: a lengths section of ``n`` int32 followed by the concatenated
+    ids.  Because the decoder tells the trailing sections apart by
+    size (``n`` trailing words = traces only; ``> n`` = traces then
+    candidates), a candidate section **forces** the traces section —
+    all zeros when nothing is sampled.  With ``candidates=None`` the
+    payload is byte-identical to the prior codec.
     """
     n = len(examples)
     if n == 0 or len(ks) != n:
@@ -290,6 +300,9 @@ def encode_request(examples: Sequence[tuple], ks: Sequence[int],
     if traces is not None and len(traces) != n:
         raise RingUnsuitable(f"bad trace shape ({n} examples, "
                              f"{len(traces)} traces)")
+    if candidates is not None and len(candidates) != n:
+        raise RingUnsuitable(f"bad candidate shape ({n} examples, "
+                             f"{len(candidates)} rows)")
     flat: List[int] = [n]
     items: List[int] = []
     lengths: List[int] = []
@@ -305,13 +318,21 @@ def encode_request(examples: Sequence[tuple], ks: Sequence[int],
             items.append(_check_i32(item, "session item"))
     flat += [_check_i32(k, "k") for k in ks]
     flat += lengths + targets + users + items
-    if traces is not None and any(traces):
+    if candidates is not None:
+        flat += ([_check_i32(t, "trace id") for t in traces]
+                 if traces is not None else [0] * n)
+        flat += [_check_i32(len(row), "candidate count")
+                 for row in candidates]
+        for row in candidates:
+            flat += [_check_i32(item, "candidate item") for item in row]
+    elif traces is not None and any(traces):
         flat += [_check_i32(t, "trace id") for t in traces]
     return np.asarray(flat, dtype=_I32).tobytes()
 
 
 def decode_request(payload: bytes
-                   ) -> Tuple[List[tuple], List[int], List[int]]:
+                   ) -> Tuple[List[tuple], List[int], List[int],
+                              Optional[List[List[int]]]]:
     flat = np.frombuffer(payload, dtype=_I32)
     n = int(flat[0])
     ks = flat[1:1 + n].tolist()
@@ -320,16 +341,25 @@ def decode_request(payload: bytes
     users = flat[1 + 3 * n:1 + 4 * n].tolist()
     total_items = int(lengths.sum())
     items = flat[1 + 4 * n:1 + 4 * n + total_items]
-    trace_sec = flat[1 + 4 * n + total_items:]
-    traces = (trace_sec[:n].tolist() if trace_sec.size >= n
-              else [0] * n)
+    tail = flat[1 + 4 * n + total_items:]
+    candidates: Optional[List[List[int]]] = None
+    if tail.size > n:
+        # traces (n) + candidate lengths (n) + concatenated ids
+        cand_lengths = tail[n:2 * n]
+        cand_items = tail[2 * n:]
+        stops_c = np.cumsum(cand_lengths)
+        starts_c = stops_c - cand_lengths
+        candidates = [
+            cand_items[int(starts_c[i]):int(stops_c[i])].tolist()
+            for i in range(n)]
+    traces = tail[:n].tolist() if tail.size >= n else [0] * n
     stops = np.cumsum(lengths)
     starts = stops - lengths
     examples = [
         (items[int(starts[i]):int(stops[i])].tolist(), targets[i],
          None if users[i] == _NO_USER else users[i])
         for i in range(n)]
-    return examples, ks, traces
+    return examples, ks, traces, candidates
 
 
 # ----------------------------------------------------------------------

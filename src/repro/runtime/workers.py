@@ -88,6 +88,7 @@ from repro.telemetry.trace import attribute_rows, span_kind_id
 
 _SPAN_EXEC = span_kind_id("exec")
 _SPAN_COLLATE = span_kind_id("collate")
+_SPAN_CASCADE = span_kind_id("cascade")
 # Worst-case telemetry trailer per sampled batch: header + trace echo
 # + pad + (collate/walk/topk/exec) span triples.
 _MAX_RESP_SPANS = 8
@@ -240,7 +241,9 @@ def build_worker_agent(spec: AgentSpec,
 # ----------------------------------------------------------------------
 def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
                ks: Sequence[int], workspace, max_len: int,
-               span_sink: Optional[list] = None) -> List[tuple]:
+               span_sink: Optional[list] = None,
+               candidates: Optional[Sequence[Sequence[int]]] = None
+               ) -> List[tuple]:
     """Execute one (possibly mixed-k) micro-batch as a superset walk.
 
     The walk and the score matrix are k-independent, so one
@@ -251,6 +254,11 @@ def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
     naive prefix slice of the max-k ranking, whose tie ordering can
     depend on ``kth``.
 
+    ``candidates`` (one item-id list per row) turns the walk into its
+    candidate-constrained cascade form: the reachability masks are
+    resolved here, next to the agent, against this process's own
+    attached store (the index is digest-cached per process).
+
     Each returned row is ``(items, scores, path_blobs)`` with paths as
     raw ``(entities, relations, prob)`` tuples — no repro classes, so
     rows marshal through either transport unchanged.
@@ -260,9 +268,20 @@ def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
     if span_sink is not None:
         span_sink.append((_SPAN_COLLATE, t0, perf_counter() - t0))
         workspace.spans = span_sink  # recommend appends walk/topk
+    constraint = None
+    if candidates is not None:
+        from repro.cascade.planner import build_constraint
+
+        casc_t0 = perf_counter()
+        constraint = build_constraint(agent, candidates,
+                                      agent.config.path_length)
+        if span_sink is not None:
+            span_sink.append((_SPAN_CASCADE, casc_t0,
+                              perf_counter() - casc_t0))
     try:
         kmax = max(ks)
-        rec = agent.recommend(batch, k=kmax, workspace=workspace)
+        rec = agent.recommend(batch, k=kmax, workspace=workspace,
+                              candidates=constraint)
     finally:
         if span_sink is not None:
             workspace.spans = None
@@ -343,7 +362,7 @@ def _worker_main(conn, spec: AgentSpec,
     workspace.metrics = metrics
     max_len = agent.config.max_session_length
 
-    def run_exec(examples, ks, traces
+    def run_exec(examples, ks, traces, candidates=None
                  ) -> Tuple[list, list, list, list]:
         """Execute + instrument one batch; returns (rows, spans,
         sampled trace-id echo, per-row records)."""
@@ -357,7 +376,8 @@ def _worker_main(conn, spec: AgentSpec,
         t0 = perf_counter()
         try:
             rows = _exec_rows(agent, examples, ks, workspace, max_len,
-                              span_sink=spans if sampled else None)
+                              span_sink=spans if sampled else None,
+                              candidates=candidates)
         finally:
             frontier = workspace.row_frontier
             workspace.row_frontier = None
@@ -381,9 +401,9 @@ def _worker_main(conn, spec: AgentSpec,
         if payload is None:  # pragma: no cover - protocol violation
             raise RuntimeError("ring doorbell without a published slot")
         try:
-            examples, ks, traces = decode_request(payload)
-            rows, spans, sampled, rowrecs = run_exec(examples, ks,
-                                                     traces)
+            examples, ks, traces, candidates = decode_request(payload)
+            rows, spans, sampled, rowrecs = run_exec(
+                examples, ks, traces, candidates)
             ring.post_response(encode_response(version, rows,
                                                spans=spans,
                                                traces=sampled,
@@ -409,10 +429,12 @@ def _worker_main(conn, spec: AgentSpec,
                 if op == "exec":
                     examples, ks = message[1], message[2]
                     traces = message[3] if len(message) > 3 else None
+                    candidates = (message[4] if len(message) > 4
+                                  else None)
                     if isinstance(ks, int):
                         ks = [ks] * len(examples)
                     rows, spans, sampled, rowrecs = run_exec(
-                        examples, ks, traces)
+                        examples, ks, traces, candidates)
                     # Rows cross unrendered on both transports; the
                     # parent renders lazily behind the cache (see
                     # serving.server.ServedResult).
@@ -536,7 +558,8 @@ class _Worker:
 
     def exec_batch(self, examples: Sequence[tuple], ks: Sequence[int],
                    max_len: int, resp_bound: int,
-                   traces: Optional[Sequence[int]] = None
+                   traces: Optional[Sequence[int]] = None,
+                   candidates: Optional[Sequence[Sequence[int]]] = None
                    ) -> Tuple[str, int, list, list, list, list]:
         """Run one micro-batch over the best transport available.
 
@@ -555,7 +578,8 @@ class _Worker:
             payload = None
             try:
                 payload = encode_request(examples, ks, max_len,
-                                         traces=traces)
+                                         traces=traces,
+                                         candidates=candidates)
                 if (len(payload) > self.ring.manifest.req_slot_bytes
                         or resp_bound
                         > self.ring.manifest.resp_slot_bytes):
@@ -579,7 +603,13 @@ class _Worker:
                         return ("ring", version, rows, spans, echo,
                                 rowrecs)
         message = ("exec", list(examples), list(ks))
-        if traces is not None and any(traces):
+        if candidates is not None:
+            # The candidates slot is positional (message[4]), so the
+            # traces slot must be present — None when nothing sampled.
+            message += (list(traces) if traces is not None
+                        and any(traces) else None,
+                        [list(row) for row in candidates])
+        elif traces is not None and any(traces):
             message += (list(traces),)
         version, rows, spans, echo, rowrecs = self.request(message)
         return used, version, rows, spans, echo, rowrecs
@@ -881,7 +911,8 @@ class ProcessWorkerPool:
                 k: Union[int, Sequence[int]],
                 traces: Optional[Sequence[int]] = None,
                 span_sink: Optional[list] = None,
-                row_sink: Optional[list] = None
+                row_sink: Optional[list] = None,
+                candidates: Optional[Sequence[Sequence[int]]] = None
                 ) -> Tuple[int, List[tuple]]:
         """Run one micro-batch on an idle worker.
 
@@ -938,13 +969,14 @@ class ProcessWorkerPool:
             try:
                 used, version, rows, spans, echo, rowrecs = (
                     worker.exec_batch(examples, ks, self._max_len,
-                                      resp_bound, traces))
+                                      resp_bound, traces, candidates))
             except WorkerDied:
                 worker = self._respawn(worker)
                 try:
                     used, version, rows, spans, echo, rowrecs = (
                         worker.exec_batch(examples, ks, self._max_len,
-                                          resp_bound, traces))
+                                          resp_bound, traces,
+                                          candidates))
                 except WorkerDied:
                     worker = self._respawn(worker)
                     raise

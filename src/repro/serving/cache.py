@@ -42,17 +42,23 @@ class ExplanationCache:
 
     @staticmethod
     def key(prefix_items: Tuple[int, ...], k: int,
-            user_id: Optional[int] = None, version: int = 0) -> Tuple:
+            user_id: Optional[int] = None,
+            cascade: Optional[Tuple[str, int]] = None,
+            version: int = 0) -> Tuple:
         """Cache key for one request.
 
         ``prefix_items`` must already be truncated to the suffix the
         model consumes (``max_session_length`` last prefix items);
         ``user_id`` is only part of the identity for user-anchored
-        walks (``start_from="user"``); ``version`` is the model version
-        whose weights computed (or would compute) the answer.
+        walks (``start_from="user"``); ``cascade`` is the serving
+        cascade identity ``(provider_id, M)`` (None when the cascade
+        is off) — candidate-constrained answers must never be replayed
+        under a different cascade configuration, or after toggling it;
+        ``version`` is the model version whose weights computed (or
+        would compute) the answer.
         """
         return (tuple(int(i) for i in prefix_items), int(k), user_id,
-                int(version))
+                cascade, int(version))
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable):

@@ -132,7 +132,9 @@ class RecommendationServer:
                  window_interval_ms: float = 0.0,
                  metrics: bool = True,
                  metrics_port: Optional[int] = None,
-                 metrics_registry: Optional[MetricsRegistry] = None) -> None:
+                 metrics_registry: Optional[MetricsRegistry] = None,
+                 cascade=None, cascade_m: int = 50,
+                 cascade_cache_size: int = 1024) -> None:
         if worker_mode not in ("thread", "process"):
             raise ValueError(
                 f"worker_mode must be 'thread' or 'process', "
@@ -140,6 +142,19 @@ class RecommendationServer:
         if transport not in ("pipe", "ring"):
             raise ValueError(
                 f"transport must be 'pipe' or 'ring', got {transport!r}")
+        # Cascade serving: ``cascade`` is a CandidateProvider (wrapped
+        # in a planner with an LRU candidate cache) or an already-built
+        # CascadePlanner; None serves the full unconstrained walk,
+        # bit-identical to a server without the feature.
+        self._cascade = None
+        if cascade is not None:
+            from repro.cascade import CascadePlanner
+
+            self._cascade = (cascade if isinstance(cascade, CascadePlanner)
+                             else CascadePlanner(cascade, cascade_m,
+                                                 cascade_cache_size))
+        self._cascade_id = (None if self._cascade is None
+                            else self._cascade.identity)
         self._agent = agent
         self._model_version = int(model_version)
         self._agent_lock = threading.Lock()
@@ -256,6 +271,14 @@ class RecommendationServer:
                       metrics_port=(cfg.serve_metrics_port
                                     if cfg.serve_metrics_port >= 0
                                     else None))
+        if cfg.serve_cascade_provider:
+            from repro.cascade import provider_from_trainer
+
+            kwargs.update(
+                cascade=provider_from_trainer(trainer,
+                                              cfg.serve_cascade_provider),
+                cascade_m=cfg.serve_cascade_m,
+                cascade_cache_size=cfg.serve_cascade_cache_size)
         kwargs.update(overrides)
         return cls(trainer.agent, **kwargs)
 
@@ -274,7 +297,8 @@ class RecommendationServer:
         started = perf_counter()
         base = self._base_key(session, k)
         version = self._model_version
-        hit = self._cache.get(ExplanationCache.key(*base, version=version))
+        hit = self._cache.get(ExplanationCache.key(
+            *base, cascade=self._cascade_id, version=version))
         self._stats.record_cache(hit is not None, version)
         if hit is not None:
             if self._metrics is not None:
@@ -623,6 +647,23 @@ class RecommendationServer:
             metrics.observe("batch_flush_seconds", flush_dur)
         for trace in sampled:
             tracer.record(trace, "flush", "server", pickup, flush_dur)
+        cand_rows = None
+        if self._cascade is not None:
+            # First stage: per-row candidate sets from the (memoized)
+            # provider, keyed by the same truncated prefix + user the
+            # cache key uses.  Strictly per row — never unioned — so a
+            # session's ranking can't depend on its batch-mates.
+            c0 = perf_counter()
+            cand_rows = [
+                self._cascade.plan(request.payload.base_key[0],
+                                   request.payload.base_key[2])
+                for request in group]
+            cascade_dur = perf_counter() - c0
+            if metrics is not None:
+                metrics.count("cascade_candidates_total",
+                              sum(len(c) for c in cand_rows))
+            for trace in sampled:
+                tracer.record(trace, "cascade", "server", c0, cascade_dur)
         t0 = perf_counter()
         if self._procpool is not None:
             # Process mode: the worker process collates, walks, and
@@ -639,7 +680,10 @@ class RecommendationServer:
                 traces=[int(r.payload.trace) for r in group]
                 if sampled else None,
                 span_sink=worker_spans,
-                row_sink=worker_rows if self._trace_rows else None)
+                row_sink=worker_rows if self._trace_rows else None,
+                candidates=(None if cand_rows is None
+                            else [[int(i) for i in c]
+                                  for c in cand_rows]))
             raw = [(row[0], row[1],
                     tuple(None if blob is None
                           else SemanticPath(entities=blob[0],
@@ -661,6 +705,12 @@ class RecommendationServer:
             # be newer than the version the submitter looked up).
             agent, version = self._live()
             kmax = max(ks)
+            constraint = None
+            if cand_rows is not None:
+                from repro.cascade import build_constraint
+
+                constraint = build_constraint(
+                    agent, cand_rows, agent.config.path_length)
             local_spans: Optional[List[tuple]] = [] if sampled else None
             row_frontier: Optional[List] = (
                 [] if (sampled and self._trace_rows) else None)
@@ -669,7 +719,8 @@ class RecommendationServer:
                 workspace.row_frontier = row_frontier
                 try:
                     rec = agent.recommend(collated, k=kmax,
-                                          workspace=workspace)
+                                          workspace=workspace,
+                                          candidates=constraint)
                 finally:
                     workspace.spans = None
                     workspace.row_frontier = None
@@ -722,6 +773,7 @@ class RecommendationServer:
             result = replace(result, latency_ms=latency * 1e3)
             self._cache.put(
                 ExplanationCache.key(*request.payload.base_key,
+                                     cascade=self._cascade_id,
                                      version=version), result)
             self._stats.record_request(latency)
             request.future.set_result(result)

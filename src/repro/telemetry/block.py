@@ -563,6 +563,7 @@ def fleet_schema(num_shards: int = 0, hops: int = 0) -> MetricSchema:
         "trace_dropped_total",
         "swaps_total",
         "online_rounds_total", "online_sessions_total",
+        "cascade_candidates_total", "cascade_pruned_frontier_rows_total",
     ]
     counters += [gather_shard_counter(sid)
                  for sid in range(min(num_shards, MAX_SHARD_COUNTERS))]

@@ -29,7 +29,9 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 # Worker-side span kinds, shipped over the ring as small ints.
-SPAN_KINDS: Tuple[str, ...] = ("exec", "walk", "topk", "collate")
+# Append-only: ids ride the wire, so reordering breaks mixed-version
+# trace decoding.
+SPAN_KINDS: Tuple[str, ...] = ("exec", "walk", "topk", "collate", "cascade")
 _KIND_INDEX = {name: i for i, name in enumerate(SPAN_KINDS)}
 
 # Span name of a per-request row record (one per sampled row of a

@@ -135,16 +135,18 @@ class TestCodecs:
     def test_request_round_trip_mixed_k(self):
         examples = [([3, 1, 4, 1, 5], 9, 2), ([2, 7], 1, None)]
         payload = encode_request(examples, [5, 10], max_length=10)
-        got_examples, got_ks, got_traces = decode_request(payload)
+        got_examples, got_ks, got_traces, got_cands = (
+            decode_request(payload))
         assert got_examples == examples
         assert got_ks == [5, 10]
         assert got_traces == [0, 0]
+        assert got_cands is None
 
     def test_request_truncates_prefix_like_collate(self):
         long_prefix = list(range(1, 30))
         payload = encode_request([(long_prefix, 5, None)], [3],
                                  max_length=10)
-        examples, _, _ = decode_request(payload)
+        examples, _, _, _ = decode_request(payload)
         prefix, target, user = examples[0]
         assert prefix == long_prefix[-10:]
         assert target == 5 and user is None
@@ -152,6 +154,64 @@ class TestCodecs:
     def test_request_rejects_oversize_ids(self):
         with pytest.raises(RingUnsuitable):
             encode_request([([2 ** 40], 1, None)], [5], max_length=10)
+
+    def test_request_candidate_round_trip(self):
+        examples = [([3, 1, 4], 9, 2), ([2, 7], 1, None)]
+        cands = [[5, 9, 12], [4]]
+        payload = encode_request(examples, [5, 10], max_length=10,
+                                 candidates=cands)
+        got_examples, got_ks, got_traces, got_cands = (
+            decode_request(payload))
+        assert got_examples == examples
+        assert got_ks == [5, 10]
+        assert got_traces == [0, 0]
+        assert got_cands == cands
+
+    def test_request_candidates_with_traces_round_trip(self):
+        examples = [([3, 1], 9, 2), ([2, 7], 1, None)]
+        cands = [[5, 9], [4, 6, 8]]
+        payload = encode_request(examples, [5, 10], max_length=10,
+                                 traces=[101, 0], candidates=cands)
+        _, _, got_traces, got_cands = decode_request(payload)
+        assert got_traces == [101, 0]
+        assert got_cands == cands
+
+    def test_request_candidates_reject_mismatched_rows(self):
+        with pytest.raises(RingUnsuitable):
+            encode_request([([1], 2, None)], [5], max_length=10,
+                           candidates=[[3], [4]])
+
+    def test_absent_candidates_byte_identical_to_prior_request_codec(self):
+        """The candidate section must be invisible when absent: with
+        ``candidates=None`` the payload is byte-identical to the
+        pre-cascade request layout (frozen here as a reference), both
+        with and without a trace section."""
+
+        def reference_request(examples, ks, max_length, traces=None):
+            # Frozen pre-cascade request layout (PR 8).
+            no_user = -(1 << 31)
+            n = len(examples)
+            flat = [n]
+            items, lengths, targets, users = [], [], [], []
+            for prefix, target, user in examples:
+                prefix = list(prefix)[-max_length:]
+                lengths.append(len(prefix))
+                targets.append(int(target))
+                users.append(no_user if user is None else int(user))
+                items += [int(i) for i in prefix]
+            flat += [int(k) for k in ks]
+            flat += lengths + targets + users + items
+            if traces is not None and any(traces):
+                flat += [int(t) for t in traces]
+            return np.asarray(flat, dtype=np.int32).tobytes()
+
+        examples = [([3, 1, 4, 1, 5], 9, 2), ([2, 7], 1, None)]
+        assert (encode_request(examples, [5, 10], max_length=10)
+                == reference_request(examples, [5, 10], 10))
+        assert (encode_request(examples, [5, 10], max_length=10,
+                               traces=[7, 0])
+                == reference_request(examples, [5, 10], 10,
+                                     traces=[7, 0]))
 
     def test_response_round_trip_with_and_without_paths(self):
         rows = [([4, 2], [1.5, 0.25], [([9, 4], [1], 0.5), None]),

@@ -135,8 +135,13 @@ _CACHE_LOCK = threading.Lock()
 _CACHE_KEEP = 2  # current generation + the one a compaction just retired
 
 
-def get_index(env, hops: int) -> ReachabilityIndex:
-    """The (cached) reachability index for ``env``'s current store."""
+def get_index(env, hops: int, metrics=None) -> ReachabilityIndex:
+    """The (cached) reachability index for ``env``'s current store.
+
+    ``metrics`` (a telemetry view) counts ``reachability_rebuilds_total``
+    once per *actual* build — cache hits are free and uncounted, so the
+    counter measures real post-compaction rebuild work, not lookups.
+    """
     store = env.csr_tables()
     key = (store.digest(), int(hops))
     with _CACHE_LOCK:
@@ -144,8 +149,74 @@ def get_index(env, hops: int) -> ReachabilityIndex:
         if hit is not None:
             return hit
     index = ReachabilityIndex.build(store, env.built, hops)
+    if metrics is not None:
+        metrics.count("reachability_rebuilds_total")
     with _CACHE_LOCK:
         _CACHE[key] = index
         while len(_CACHE) > _CACHE_KEEP:
             _CACHE.pop(next(iter(_CACHE)))
     return index
+
+
+class ReachabilityPrewarmer:
+    """Rebuild the reachability index off the request path.
+
+    Lazily building on the first post-compaction request puts the whole
+    O(hops * n_items * E / 8) build inside one unlucky request's
+    latency.  The prewarmer watches the store digest and rebuilds in a
+    background thread the moment it changes, so by the time traffic
+    arrives :func:`get_index` is a cache hit.
+
+    :meth:`poll_once` is the deterministic unit (used directly by tests
+    and by the serving health loop); :meth:`start`/:meth:`stop` wrap it
+    in a daemon thread for standalone use.  Duplicate concurrent builds
+    are benign — both insert under the same digest key.
+    """
+
+    def __init__(self, env, hops: int, metrics=None,
+                 interval_s: float = 0.25) -> None:
+        self._env = env
+        self._hops = int(hops)
+        self._metrics = metrics
+        self._interval = float(interval_s)
+        self._last_key: Tuple[str, int] = ("", -1)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def poll_once(self) -> bool:
+        """Check the digest; build if it moved.  True if a build ran."""
+        store = self._env.csr_tables()
+        key = (store.digest(), self._hops)
+        if key == self._last_key:
+            return False
+        with _CACHE_LOCK:
+            cached = key in _CACHE
+        if not cached:
+            get_index(self._env, self._hops, metrics=self._metrics)
+        self._last_key = key
+        return not cached
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="reach-prewarm")
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            self.poll_once()  # warm the current generation immediately
+        except Exception:  # pragma: no cover - best-effort warmer
+            pass
+        while not self._stop.wait(self._interval):
+            try:
+                self.poll_once()
+            except Exception:  # pragma: no cover - best-effort warmer
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

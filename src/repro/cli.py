@@ -248,7 +248,11 @@ def cmd_serve_bench(args) -> int:
         trace_sample=args.trace_sample,
         slo={"slo_p99_ms": args.slo_p99_ms,
              "slo_cache_hit_floor": args.slo_cache_hit_floor,
-             "slo_ring_fallback_ceiling": args.slo_ring_fallback_ceiling})
+             "slo_ring_fallback_ceiling": args.slo_ring_fallback_ceiling},
+        hot_replay=({"requests": 256 if args.quick else 768,
+                     "slo_p99_ms": args.slo_p99_ms,
+                     "slo_memo_hit_floor": args.slo_memo_hit_floor}
+                    if args.hot_replay else None))
     path = emit(payload, args.out)
     print(format_report(payload))
     print(f"-> {path}")
@@ -267,6 +271,16 @@ def cmd_serve_bench(args) -> int:
     if not slo_ok:
         print("FAIL: serving SLO violated (see gates above)")
         return 1
+    replay = payload.get("hot_replay")
+    if replay is not None:
+        if not replay["bit_identical"]:
+            print("FAIL: hot-replay results diverge between shared-"
+                  "computation on and off")
+            return 1
+        if not replay["slo_ok"]:
+            failed = [r["name"] for r in replay["slo"] if not r["ok"]]
+            print(f"FAIL: hot-replay SLO violated: {failed}")
+            return 1
     win = payload["telemetry"].get("window") or {}
     if win.get("available"):
         print(f"  windowed burn max {win['burn_max']:.3g} over "
@@ -637,6 +651,9 @@ def cmd_top(args) -> int:
         for frame in range(frames):
             _closed_loop(server, sessions, args.concurrency, args.top_k)
             curr = server.fleet_snapshot().to_dict()
+            # Same extra section /metrics.json serves: per-version
+            # entry counts for the explanation cache and walk memo.
+            curr["serving"] = server.serving_state()
             show(curr, prev, frame)
             prev = curr
     return 0
@@ -801,6 +818,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default=0.5,
                        help="fail when the ring->pipe fallback rate "
                             "exceeds this")
+    p_srv.add_argument("--hot-replay", action="store_true",
+                       help="run the Zipf hot-session replay stage "
+                            "gating the shared-computation layer "
+                            "(in-flush dedup + walk memo) on bit-"
+                            "identity and the memo-hit floor")
+    p_srv.add_argument("--slo-memo-hit-floor", type=float, default=0.25,
+                       help="hot-replay walk-memo hit-rate floor "
+                            "(hits / (hits + misses))")
     p_srv.add_argument("--slo-burn-ceiling", type=float, default=0.0,
                        help="fail when the rolling-window SLO burn "
                             "rate exceeds this multiple of budget "

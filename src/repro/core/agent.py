@@ -385,14 +385,26 @@ class REKSAgent(Module):
 
     def _encoder_fallback(self, scores: np.ndarray,
                           session_repr: Tensor) -> np.ndarray:
-        """Fill unreached items with down-scaled encoder scores."""
+        """Fill unreached items with down-scaled encoder scores.
+
+        The floor is **per row** (each row's own smallest positive walk
+        score; 1.0 for rows the walk reached nothing from), so a row's
+        filled scores never depend on its batch-mates — required for
+        row-level result reuse (in-flush dedup, the cross-flush walk
+        memo) to be bit-exact, and sufficient for correctness: the fill
+        is ``1e-6 * floor * probs`` with ``probs <= 1``, strictly below
+        every genuine path score of that row.
+        """
         logits = self.encoder.score_items(session_repr).data
         probs = np.exp(logits - logits.max(axis=1, keepdims=True))
         probs /= probs.sum(axis=1, keepdims=True)
-        floor = scores[scores > 0].min() if (scores > 0).any() else 1.0
+        positive = np.where(scores > 0, scores, np.inf)
+        floor = positive.min(axis=1, keepdims=True)
+        floor = np.where(np.isfinite(floor), floor, 1.0)
         unreached = scores <= 0
         out = scores.copy()
-        out[unreached] = 1e-6 * floor * probs[unreached]
+        fill = 1e-6 * floor * probs
+        out[unreached] = fill[unreached]
         out[:, 0] = 0.0
         return out
 

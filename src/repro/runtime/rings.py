@@ -42,7 +42,7 @@ pipe-vs-ring decision table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -261,6 +261,10 @@ _I32_MAX = (1 << 31) - 1
 # users slot for "no user id" (sessions always carry one today; the
 # sentinel keeps the codec total).
 _NO_USER = _I32_MIN
+# First word of the request tail when an in-flush dedup map is present.
+# Legacy tails always start with a trace id (>= 0) or a candidate
+# section forced behind traces, so a negative marker is unambiguous.
+_DEDUP_MARKER = -2
 
 
 def _check_i32(value: int, what: str) -> int:
@@ -273,7 +277,9 @@ def _check_i32(value: int, what: str) -> int:
 def encode_request(examples: Sequence[tuple], ks: Sequence[int],
                    max_length: int,
                    traces: Optional[Sequence[int]] = None,
-                   candidates: Optional[Sequence[Sequence[int]]] = None
+                   candidates: Optional[Sequence[Sequence[int]]] = None,
+                   dedup: Optional[Tuple[Sequence[int],
+                                         Sequence[int]]] = None
                    ) -> bytes:
     """Flatten ``(prefix_items, target, user)`` examples + per-row k.
 
@@ -292,13 +298,32 @@ def encode_request(examples: Sequence[tuple], ks: Sequence[int],
     candidates), a candidate section **forces** the traces section —
     all zeros when nothing is sampled.  With ``candidates=None`` the
     payload is byte-identical to the prior codec.
+
+    ``dedup`` (optional) is ``(row_map, orig_ks)``: the in-flush dedup
+    map from original rows to the unique rows actually shipped.  When
+    present, the main body carries the **unique** rows (walked at the
+    max k over their duplicate group) and the tail *starts* with a
+    dedup section ``[_DEDUP_MARKER][n_orig][row_map i32*n_orig]
+    [orig_ks i32*n_orig]`` — unambiguous because legacy tails always
+    begin with a non-negative trace id.  After it, ``traces`` is sized
+    per **original** row while ``candidates`` stays per unique row.
+    With ``dedup=None`` the payload is byte-identical to the prior
+    codec.
     """
     n = len(examples)
     if n == 0 or len(ks) != n:
         raise RingUnsuitable(f"bad batch shape ({n} examples, "
                              f"{len(ks)} ks)")
-    if traces is not None and len(traces) != n:
-        raise RingUnsuitable(f"bad trace shape ({n} examples, "
+    n_rows = n
+    if dedup is not None:
+        row_map, orig_ks = dedup
+        n_rows = len(row_map)
+        if n_rows < n or len(orig_ks) != n_rows:
+            raise RingUnsuitable(
+                f"bad dedup shape ({n} uniques, {len(row_map)} rows, "
+                f"{len(orig_ks)} orig ks)")
+    if traces is not None and len(traces) != n_rows:
+        raise RingUnsuitable(f"bad trace shape ({n_rows} rows, "
                              f"{len(traces)} traces)")
     if candidates is not None and len(candidates) != n:
         raise RingUnsuitable(f"bad candidate shape ({n} examples, "
@@ -318,9 +343,13 @@ def encode_request(examples: Sequence[tuple], ks: Sequence[int],
             items.append(_check_i32(item, "session item"))
     flat += [_check_i32(k, "k") for k in ks]
     flat += lengths + targets + users + items
+    if dedup is not None:
+        flat += [_DEDUP_MARKER, n_rows]
+        flat += [_check_i32(u, "dedup row index") for u in row_map]
+        flat += [_check_i32(k, "dedup k") for k in orig_ks]
     if candidates is not None:
         flat += ([_check_i32(t, "trace id") for t in traces]
-                 if traces is not None else [0] * n)
+                 if traces is not None else [0] * n_rows)
         flat += [_check_i32(len(row), "candidate count")
                  for row in candidates]
         for row in candidates:
@@ -332,7 +361,8 @@ def encode_request(examples: Sequence[tuple], ks: Sequence[int],
 
 def decode_request(payload: bytes
                    ) -> Tuple[List[tuple], List[int], List[int],
-                              Optional[List[List[int]]]]:
+                              Optional[List[List[int]]],
+                              Optional[Tuple[List[int], List[int]]]]:
     flat = np.frombuffer(payload, dtype=_I32)
     n = int(flat[0])
     ks = flat[1:1 + n].tolist()
@@ -342,24 +372,58 @@ def decode_request(payload: bytes
     total_items = int(lengths.sum())
     items = flat[1 + 4 * n:1 + 4 * n + total_items]
     tail = flat[1 + 4 * n + total_items:]
+    dedup: Optional[Tuple[List[int], List[int]]] = None
+    n_rows = n
+    if tail.size >= 2 and int(tail[0]) == _DEDUP_MARKER:
+        n_rows = int(tail[1])
+        row_map = tail[2:2 + n_rows].tolist()
+        orig_ks = tail[2 + n_rows:2 + 2 * n_rows].tolist()
+        dedup = (row_map, orig_ks)
+        tail = tail[2 + 2 * n_rows:]
     candidates: Optional[List[List[int]]] = None
-    if tail.size > n:
-        # traces (n) + candidate lengths (n) + concatenated ids
-        cand_lengths = tail[n:2 * n]
-        cand_items = tail[2 * n:]
+    if tail.size > n_rows:
+        # traces (n_rows) + candidate lengths (n) + concatenated ids
+        cand_lengths = tail[n_rows:n_rows + n]
+        cand_items = tail[n_rows + n:]
         stops_c = np.cumsum(cand_lengths)
         starts_c = stops_c - cand_lengths
         candidates = [
             cand_items[int(starts_c[i]):int(stops_c[i])].tolist()
             for i in range(n)]
-    traces = tail[:n].tolist() if tail.size >= n else [0] * n
+    traces = tail[:n_rows].tolist() if tail.size >= n_rows else [0] * n_rows
     stops = np.cumsum(lengths)
     starts = stops - lengths
     examples = [
         (items[int(starts[i]):int(stops[i])].tolist(), targets[i],
          None if users[i] == _NO_USER else users[i])
         for i in range(n)]
-    return examples, ks, traces, candidates
+    return examples, ks, traces, candidates, dedup
+
+
+def dedup_pairs(row_map: Sequence[int], orig_ks: Sequence[int]
+                ) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Canonical response plan for a dedup'd batch.
+
+    The worker answers one response row per distinct ``(unique_idx,
+    k)`` pair, in first-occurrence order over the original rows; the
+    parent fans each pair's row out to every original row that maps to
+    it.  Both sides derive this plan independently from the wire's
+    ``(row_map, orig_ks)``, so it is part of the protocol: returns
+    ``(pairs, row_pair)`` where ``pairs[p] = (unique_idx, k)`` and
+    ``row_pair[i]`` is original row i's pair index.
+    """
+    index: Dict[Tuple[int, int], int] = {}
+    pairs: List[Tuple[int, int]] = []
+    row_pair: List[int] = []
+    for u, k in zip(row_map, orig_ks):
+        key = (int(u), int(k))
+        p = index.get(key)
+        if p is None:
+            p = len(pairs)
+            index[key] = p
+            pairs.append(key)
+        row_pair.append(p)
+    return pairs, row_pair
 
 
 # ----------------------------------------------------------------------

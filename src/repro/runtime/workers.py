@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from multiprocessing.connection import wait as _mp_wait
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -79,6 +79,7 @@ from repro.runtime.rings import (
     WorkerExecError,
     decode_request,
     decode_response,
+    dedup_pairs,
     encode_error,
     encode_request,
     encode_response,
@@ -239,32 +240,29 @@ def build_worker_agent(spec: AgentSpec,
 # ----------------------------------------------------------------------
 # Child process loop
 # ----------------------------------------------------------------------
-def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
-               ks: Sequence[int], workspace, max_len: int,
-               span_sink: Optional[list] = None,
-               candidates: Optional[Sequence[Sequence[int]]] = None
-               ) -> List[tuple]:
-    """Execute one (possibly mixed-k) micro-batch as a superset walk.
+def _walk_batch(agent: REKSAgent, examples: Sequence[tuple],
+                ks: Sequence[int], workspace, max_len: int,
+                span_sink: Optional[list] = None,
+                candidates: Optional[Sequence[Sequence[int]]] = None,
+                width: Optional[int] = None):
+    """Collate + (optionally constrained) superset walk at ``max(ks)``.
 
     The walk and the score matrix are k-independent, so one
-    ``recommend`` at ``max(ks)`` serves every row; rows whose k is
-    smaller re-run the deterministic row-local :func:`_top_k` selection
-    on their own score row — **bit-identical** to a separate per-k
-    execution (``_top_k`` partitions each row independently), unlike a
-    naive prefix slice of the max-k ranking, whose tie ordering can
-    depend on ``kth``.
+    ``recommend`` at the batch's max k serves every row; callers select
+    each row's own k afterwards with the deterministic row-local
+    :func:`_top_k`.
 
     ``candidates`` (one item-id list per row) turns the walk into its
     candidate-constrained cascade form: the reachability masks are
     resolved here, next to the agent, against this process's own
     attached store (the index is digest-cached per process).
 
-    Each returned row is ``(items, scores, path_blobs)`` with paths as
-    raw ``(entities, relations, prob)`` tuples — no repro classes, so
-    rows marshal through either transport unchanged.
+    ``width`` pins the padded batch width (shared-computation callers
+    pass the flush width so a miss-subset walk reproduces the full
+    flush's layout bit-for-bit); ``None`` keeps the batch-max layout.
     """
     t0 = perf_counter()
-    batch = collate_examples(examples, max_len)
+    batch = collate_examples(examples, max_len, width=width)
     if span_sink is not None:
         span_sink.append((_SPAN_COLLATE, t0, perf_counter() - t0))
         workspace.spans = span_sink  # recommend appends walk/topk
@@ -279,12 +277,61 @@ def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
             span_sink.append((_SPAN_CASCADE, casc_t0,
                               perf_counter() - casc_t0))
     try:
-        kmax = max(ks)
-        rec = agent.recommend(batch, k=kmax, workspace=workspace,
-                              candidates=constraint)
+        return agent.recommend(batch, k=max(ks), workspace=workspace,
+                               candidates=constraint)
     finally:
         if span_sink is not None:
             workspace.spans = None
+
+
+def _row_paths(rec, rows: int) -> List[dict]:
+    """Group ``rec.paths`` (keyed ``(row, item)``) into one
+    ``{item: (entities, relations, prob)}`` blob dict per row.
+
+    ``_best_paths`` keeps one best path per *terminal item* regardless
+    of ``k``, so each dict covers any top-k selection from its row —
+    this is what makes memo entries k-agnostic.
+    """
+    grouped: List[dict] = [dict() for _ in range(rows)]
+    for (row, item), path in rec.paths.items():
+        grouped[row][int(item)] = (list(path.entities),
+                                   list(path.relations),
+                                   float(path.prob))
+    return grouped
+
+
+def _select_row(scores_row: np.ndarray, paths: dict, k: int) -> tuple:
+    """One ``(items, scores, path_blobs)`` row selected at ``k`` from a
+    full dense score row — bit-identical to a fresh walk's own
+    selection (``_top_k`` partitions each row independently; a prefix
+    slice of a larger-k ranking would not be tie-safe)."""
+    ranked = _top_k(scores_row.reshape(1, -1), int(k))[0]
+    items = [int(i) for i in ranked]
+    return (items, [float(scores_row[i]) for i in items],
+            [paths.get(i) for i in items])
+
+
+def _exec_rows(agent: REKSAgent, examples: Sequence[tuple],
+               ks: Sequence[int], workspace, max_len: int,
+               span_sink: Optional[list] = None,
+               candidates: Optional[Sequence[Sequence[int]]] = None
+               ) -> List[tuple]:
+    """Execute one (possibly mixed-k) micro-batch as a superset walk.
+
+    One ``recommend`` at ``max(ks)`` serves every row; rows whose k is
+    smaller re-run the deterministic row-local :func:`_top_k` selection
+    on their own score row — **bit-identical** to a separate per-k
+    execution (``_top_k`` partitions each row independently), unlike a
+    naive prefix slice of the max-k ranking, whose tie ordering can
+    depend on ``kth``.
+
+    Each returned row is ``(items, scores, path_blobs)`` with paths as
+    raw ``(entities, relations, prob)`` tuples — no repro classes, so
+    rows marshal through either transport unchanged.
+    """
+    rec = _walk_batch(agent, examples, ks, workspace, max_len,
+                      span_sink=span_sink, candidates=candidates)
+    kmax = max(ks)
     rows = []
     for row, k in enumerate(ks):
         if k == kmax:
@@ -361,49 +408,171 @@ def _worker_main(conn, spec: AgentSpec,
     # any global sink (single-owner scratch contract extends to it).
     workspace.metrics = metrics
     max_len = agent.config.max_session_length
+    # Walk memo: worker-resident (the full score rows it stores are far
+    # too large for the response slots — memoizing here keeps the
+    # numeric outputs next to the matrices that produced them).  Keyed
+    # by version + environment fingerprint, both maintained below.
+    from repro.serving.memo import WalkMemo
 
-    def run_exec(examples, ks, traces, candidates=None
+    memo = WalkMemo(int(getattr(spec.config, "serve_walk_memo_size",
+                                0) or 0))
+    memo_evictions_seen = 0
+    store_token = agent.env.fingerprint()
+    # Whether this worker has ever built a cascade constraint — the
+    # trigger for pre-warming the reachability index after a "tables"
+    # re-attach (a config-independent signal, unlike the provider knob).
+    saw_candidates = False
+    spin_us = float(getattr(spec.config, "serve_ring_spin_us", 0.0)
+                    or 0.0)
+
+    def run_exec(examples, ks, traces, candidates=None, dedup=None
                  ) -> Tuple[list, list, list, list]:
         """Execute + instrument one batch; returns (rows, spans,
-        sampled trace-id echo, per-row records)."""
+        sampled trace-id echo, per-row records).
+
+        With ``dedup`` (the parent's in-flush collapse) and/or a live
+        memo, the batch takes the shared-computation path: memo-hit
+        rows skip the walk entirely, the remaining rows walk as one
+        superset batch, and every response row is a tie-safe
+        :func:`_top_k` re-selection from a full score row — bit-
+        identical to the legacy per-row path, which still runs verbatim
+        when both features are off.
+        """
+        nonlocal memo_evictions_seen
         sampled = [t for t in traces if t] if traces else []
-        spans: List[tuple] = []
-        rowrecs: List[tuple] = []
-        if sampled:
-            # The walk appends one per-row surviving-path census per
-            # hop; attribute_rows splits the batch cost across rows.
-            workspace.row_frontier = []
+        if dedup is None and memo.capacity == 0:
+            # Legacy path (byte-for-byte the PR 9 behavior).
+            spans: List[tuple] = []
+            rowrecs: List[tuple] = []
+            if sampled:
+                # The walk appends one per-row surviving-path census
+                # per hop; attribute_rows splits the cost across rows.
+                workspace.row_frontier = []
+            t0 = perf_counter()
+            try:
+                rows = _exec_rows(agent, examples, ks, workspace,
+                                  max_len,
+                                  span_sink=spans if sampled else None,
+                                  candidates=candidates)
+            finally:
+                frontier = workspace.row_frontier
+                workspace.row_frontier = None
+            dur = perf_counter() - t0
+            if sampled:
+                spans.append((_SPAN_EXEC, t0, dur))
+                rowrecs = attribute_rows(traces, ks, frontier, spans)
+            if metrics is not None:
+                metrics.count("exec_batches_total")
+                metrics.count("exec_rows_total", len(examples))
+                metrics.observe("exec_seconds", dur)
+                if sampled:
+                    metrics.count("worker_traces_total", len(sampled))
+            return rows, spans, sampled, rowrecs
+        # Shared-computation path.
+        n = len(examples)
+        if dedup is not None:
+            row_map, orig_ks = dedup
+        else:
+            row_map, orig_ks = list(range(n)), [int(k) for k in ks]
+        u_data: List[Optional[tuple]] = [None] * n
+        # Per-row numeric outputs are width-sensitive: pin every memo
+        # key and miss walk to the flush's padded width so subset walks
+        # and memo replays reproduce the full flush bit-for-bit.
+        flush_width = max(len(list(ex[0])[-max_len:]) for ex in examples)
+        keys: Optional[list] = None
+        miss = list(range(n))
+        if memo.capacity:
+            keys = []
+            miss = []
+            for j in range(n):
+                prefix, _target, user = examples[j]
+                cand = (tuple(int(c) for c in candidates[j])
+                        if candidates is not None else None)
+                mkey = WalkMemo.key(list(prefix)[-max_len:], user,
+                                    cand, version, store_token,
+                                    width=flush_width)
+                keys.append(mkey)
+                entry = memo.get(mkey)
+                if entry is None:
+                    miss.append(j)
+                else:
+                    u_data[j] = entry
+        spans = []
+        rowrecs = []
         t0 = perf_counter()
-        try:
-            rows = _exec_rows(agent, examples, ks, workspace, max_len,
-                              span_sink=spans if sampled else None,
-                              candidates=candidates)
-        finally:
-            frontier = workspace.row_frontier
-            workspace.row_frontier = None
+        if miss:
+            walk_traces = None
+            if sampled:
+                # One representative trace per walked row: the first
+                # sampled original row in its duplicate group (memo-hit
+                # rows did no walk, so they honestly get no row span).
+                rep = [0] * n
+                for i, u in enumerate(row_map):
+                    if traces[i] and not rep[u]:
+                        rep[u] = int(traces[i])
+                walk_traces = [rep[j] for j in miss]
+                workspace.row_frontier = []
+            miss_examples = [examples[j] for j in miss]
+            miss_ks = [int(ks[j]) for j in miss]
+            miss_cands = ([candidates[j] for j in miss]
+                          if candidates is not None else None)
+            try:
+                rec = _walk_batch(agent, miss_examples, miss_ks,
+                                  workspace, max_len,
+                                  span_sink=spans if sampled else None,
+                                  candidates=miss_cands,
+                                  width=flush_width)
+            finally:
+                frontier = workspace.row_frontier
+                workspace.row_frontier = None
+            walk_dur = perf_counter() - t0
+            grouped = _row_paths(rec, len(miss))
+            for idx, j in enumerate(miss):
+                entry = (rec.scores[idx].copy(), grouped[idx])
+                u_data[j] = entry
+                if keys is not None:
+                    memo.put(keys[j], entry)
+            memo.note_walk_cost(len(miss), walk_dur)
+            if sampled:
+                spans.append((_SPAN_EXEC, t0, walk_dur))
+                rowrecs = attribute_rows(walk_traces, miss_ks,
+                                         frontier, spans)
+        if dedup is not None:
+            out_plan, _row_pair = dedup_pairs(row_map, orig_ks)
+        else:
+            out_plan = [(j, int(ks[j])) for j in range(n)]
+        rows = [_select_row(u_data[u][0], u_data[u][1], k)
+                for u, k in out_plan]
         dur = perf_counter() - t0
-        if sampled:
-            spans.append((_SPAN_EXEC, t0, dur))
-            rowrecs = attribute_rows(traces, ks, frontier, spans)
         if metrics is not None:
             metrics.count("exec_batches_total")
-            metrics.count("exec_rows_total", len(examples))
+            metrics.count("exec_rows_total", len(miss))
             metrics.observe("exec_seconds", dur)
             if sampled:
                 metrics.count("worker_traces_total", len(sampled))
+            if memo.capacity:
+                if len(miss) < n:
+                    metrics.count("walk_memo_hits_total", n - len(miss))
+                if miss:
+                    metrics.count("walk_memo_misses_total", len(miss))
+                fresh_evictions = memo.evictions - memo_evictions_seen
+                if fresh_evictions:
+                    metrics.count("walk_memo_evictions_total",
+                                  fresh_evictions)
+                    memo_evictions_seen = memo.evictions
+                metrics.gauge("walk_seconds_saved_total",
+                              memo.seconds_saved)
         return rows, spans, sampled, rowrecs
 
-    def serve_ring_request() -> None:
-        # The doorbell byte is consumed by the caller; the request is
-        # already published (the parent posts payload-then-doorbell),
-        # so a short sequence-number poll always finds it.
-        payload = ring.poll_request(spin=4096)
-        if payload is None:  # pragma: no cover - protocol violation
-            raise RuntimeError("ring doorbell without a published slot")
+    def serve_ring_payload(payload) -> None:
+        nonlocal saw_candidates
         try:
-            examples, ks, traces, candidates = decode_request(payload)
+            examples, ks, traces, candidates, dedup = (
+                decode_request(payload))
+            if candidates is not None:
+                saw_candidates = True
             rows, spans, sampled, rowrecs = run_exec(
-                examples, ks, traces, candidates)
+                examples, ks, traces, candidates, dedup)
             ring.post_response(encode_response(version, rows,
                                                spans=spans,
                                                traces=sampled,
@@ -414,9 +583,47 @@ def _worker_main(conn, spec: AgentSpec,
                 ring.manifest.resp_slot_bytes))
         db_resp.send_bytes(b"\x01")
 
+    def serve_ring_request() -> None:
+        # The doorbell byte is consumed by the caller; the request is
+        # already published (the parent posts payload-then-doorbell),
+        # so a short sequence-number poll always finds it.
+        payload = ring.poll_request(spin=4096)
+        if payload is None:  # pragma: no cover - protocol violation
+            raise RuntimeError("ring doorbell without a published slot")
+        serve_ring_payload(payload)
+
+    def prewarm_reachability() -> None:
+        """Rebuild the cascade reachability index for the just-attached
+        store off the request path (daemon thread; a racing request
+        building the same index concurrently is benign — both insert
+        the same digest-keyed entry)."""
+        from repro.cascade.reachability import get_index
+
+        try:
+            get_index(agent.env, agent.config.path_length,
+                      metrics=metrics)
+        except Exception:  # pragma: no cover - prewarm is best-effort
+            pass
+
     try:
         while True:
             if ring is not None:
+                if spin_us > 0:
+                    # Adaptive spin-then-block: briefly poll the ring's
+                    # sequence word before paying the select() wakeup.
+                    # A spin hit must still drain its doorbell byte —
+                    # the parent sends it right after publishing, so
+                    # the strict one-byte-per-message lockstep holds.
+                    payload = None
+                    deadline = perf_counter() + spin_us * 1e-6
+                    while payload is None and perf_counter() < deadline:
+                        payload = ring.poll_request(spin=64)
+                        if payload is None and conn.poll(0):
+                            break
+                    if payload is not None:
+                        db_req.recv_bytes()
+                        serve_ring_payload(payload)
+                        continue
                 ready = _mp_wait([conn, db_req])
                 if db_req in ready:
                     db_req.recv_bytes()
@@ -431,10 +638,13 @@ def _worker_main(conn, spec: AgentSpec,
                     traces = message[3] if len(message) > 3 else None
                     candidates = (message[4] if len(message) > 4
                                   else None)
+                    dedup = message[5] if len(message) > 5 else None
+                    if candidates is not None:
+                        saw_candidates = True
                     if isinstance(ks, int):
                         ks = [ks] * len(examples)
                     rows, spans, sampled, rowrecs = run_exec(
-                        examples, ks, traces, candidates)
+                        examples, ks, traces, candidates, dedup)
                     # Rows cross unrendered on both transports; the
                     # parent renders lazily behind the cache (see
                     # serving.server.ServedResult).
@@ -450,6 +660,7 @@ def _worker_main(conn, spec: AgentSpec,
                 elif op == "stage":
                     _, heads, rels, tails = message
                     added = agent.env.stage_edges(heads, rels, tails)
+                    store_token = agent.env.fingerprint()
                     conn.send(("ok", added))
                 elif op == "tables":
                     # Delta re-attach: only the dirty shards arrive.
@@ -468,6 +679,10 @@ def _worker_main(conn, spec: AgentSpec,
                     for sid, plane in fresh.items():
                         shard_planes[sid].close()
                         shard_planes[sid] = plane
+                    store_token = agent.env.fingerprint()
+                    if saw_candidates:
+                        threading.Thread(target=prewarm_reachability,
+                                         daemon=True).start()
                     conn.send(("ok", agent.env.fingerprint()))
                 elif op == "ping":
                     conn.send(("ok", version))
@@ -516,6 +731,8 @@ class _Worker:
                  metrics_manifest: Optional[BlockManifest] = None
                  ) -> None:
         self.index = index
+        self._spin_us = float(getattr(spec.config, "serve_ring_spin_us",
+                                      0.0) or 0.0)
         self._lock = threading.Lock()
         self.conn, child_conn = context.Pipe(duplex=True)
         self.ring: Optional[RingPair] = None
@@ -559,7 +776,9 @@ class _Worker:
     def exec_batch(self, examples: Sequence[tuple], ks: Sequence[int],
                    max_len: int, resp_bound: int,
                    traces: Optional[Sequence[int]] = None,
-                   candidates: Optional[Sequence[Sequence[int]]] = None
+                   candidates: Optional[Sequence[Sequence[int]]] = None,
+                   dedup: Optional[Tuple[Sequence[int],
+                                         Sequence[int]]] = None
                    ) -> Tuple[str, int, list, list, list, list]:
         """Run one micro-batch over the best transport available.
 
@@ -572,6 +791,12 @@ class _Worker:
         ``trace_echo`` the sampled ids it attributed them to, and
         ``rowrecs`` the per-row ``(trace, widths, walk_s, topk_s)``
         attribution records (all empty when no row was sampled).
+
+        ``dedup`` is the in-flush ``(row_map, orig_ks)`` collapse map:
+        ``examples``/``ks``/``candidates`` then carry the unique rows
+        only, ``traces`` stays per original row, and the worker answers
+        one row per canonical ``(unique, k)`` pair (the caller fans
+        them back out — see :func:`repro.runtime.rings.dedup_pairs`).
         """
         used = "pipe"
         if self.ring is not None:
@@ -579,7 +804,8 @@ class _Worker:
             try:
                 payload = encode_request(examples, ks, max_len,
                                          traces=traces,
-                                         candidates=candidates)
+                                         candidates=candidates,
+                                         dedup=dedup)
                 if (len(payload) > self.ring.manifest.req_slot_bytes
                         or resp_bound
                         > self.ring.manifest.resp_slot_bytes):
@@ -603,25 +829,50 @@ class _Worker:
                         return ("ring", version, rows, spans, echo,
                                 rowrecs)
         message = ("exec", list(examples), list(ks))
-        if candidates is not None:
+        traces_slot = (list(traces) if traces is not None and any(traces)
+                       else None)
+        if dedup is not None:
+            # Positional slots 3..5; dedup forces its predecessors.
+            message += (traces_slot,
+                        None if candidates is None
+                        else [list(row) for row in candidates],
+                        ([int(u) for u in dedup[0]],
+                         [int(k) for k in dedup[1]]))
+        elif candidates is not None:
             # The candidates slot is positional (message[4]), so the
             # traces slot must be present — None when nothing sampled.
-            message += (list(traces) if traces is not None
-                        and any(traces) else None,
-                        [list(row) for row in candidates])
-        elif traces is not None and any(traces):
-            message += (list(traces),)
+            message += (traces_slot, [list(row) for row in candidates])
+        elif traces_slot:
+            message += (traces_slot,)
         version, rows, spans, echo, rowrecs = self.request(message)
         return used, version, rows, spans, echo, rowrecs
 
     def _await_ring_response(self) -> bytes:
-        """Block on the response doorbell (or the child's death).
+        """Spin briefly (``serve_ring_spin_us``), then block on the
+        response doorbell (or the child's death).
 
         Strict accounting — exactly one doorbell byte per response —
         keeps the ring tickets and the doorbell pipe in lockstep, so a
         wake always finds its slot published (the worker posts the
-        payload before ringing).
+        payload before ringing).  A spin hit still drains its doorbell
+        byte: the worker sends it right after publishing, so the
+        ``recv_bytes`` below is at worst a momentary wait — and an
+        EOF there means the child died between publishing and ringing.
         """
+        if self._spin_us > 0:
+            deadline = perf_counter() + self._spin_us * 1e-6
+            while perf_counter() < deadline:
+                payload = self.ring.poll_response(spin=64)
+                if payload is None:
+                    continue
+                try:
+                    self._db_resp.recv_bytes()
+                except (EOFError, OSError) as exc:
+                    raise WorkerDied(
+                        f"worker {self.process.name} (pid "
+                        f"{self.process.pid}) died mid-batch") from exc
+                self.ring.note_response_consumed()
+                return payload
         while True:
             try:
                 ready = _mp_wait([self._db_resp, self.process.sentinel])
@@ -718,7 +969,9 @@ class ProcessWorkerPool:
                  health_interval_s: Optional[float] = None,
                  transport: str = "ring",
                  metrics_registry=None,
-                 metrics_block=None) -> None:
+                 metrics_block=None,
+                 walk_memo_size: Optional[int] = None,
+                 ring_spin_us: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError(f"need >= 1 worker, got {workers}")
         if transport not in ("pipe", "ring"):
@@ -726,6 +979,15 @@ class ProcessWorkerPool:
                 f"transport must be 'pipe' or 'ring', got {transport!r}")
         self._context = resolve_context(mp_context)
         self._spec = AgentSpec.from_agent(agent, model_version=model_version)
+        # Worker-resident knobs ride the spec's config (no wire change);
+        # explicit overrides beat whatever the agent config carries.
+        overrides = {}
+        if walk_memo_size is not None:
+            overrides["serve_walk_memo_size"] = int(walk_memo_size)
+        if ring_spin_us is not None:
+            overrides["serve_ring_spin_us"] = float(ring_spin_us)
+        if overrides:
+            self._spec.config = dc_replace(self._spec.config, **overrides)
         self._backend = plane_backend
         if transport == "ring":
             # Probe once: a host without usable POSIX shared memory
@@ -912,7 +1174,9 @@ class ProcessWorkerPool:
                 traces: Optional[Sequence[int]] = None,
                 span_sink: Optional[list] = None,
                 row_sink: Optional[list] = None,
-                candidates: Optional[Sequence[Sequence[int]]] = None
+                candidates: Optional[Sequence[Sequence[int]]] = None,
+                dedup: Optional[Tuple[Sequence[int],
+                                      Sequence[int]]] = None
                 ) -> Tuple[int, List[tuple]]:
         """Run one micro-batch on an idle worker.
 
@@ -932,6 +1196,14 @@ class ProcessWorkerPool:
         records through ``row_sink`` (both appended in place) so the
         return shape stays ``(version, rows)`` for every caller.
 
+        ``dedup`` is the in-flush ``(row_map, orig_ks)`` collapse:
+        ``examples``/``k``/``candidates`` then carry the **unique**
+        rows only (each at the max k over its duplicate group) while
+        ``traces`` stays per original row; the worker executes the
+        uniques once, answers per canonical ``(unique, k)`` pair, and
+        this parent fans the pair rows back out so callers always see
+        one row per original request.
+
         Worker death is invisible here: a corpse popped from the idle
         queue is swapped for its respawned slot occupant before
         routing, and a batch that races a death mid-flight is
@@ -949,8 +1221,17 @@ class ProcessWorkerPool:
             if len(ks) != len(examples):
                 raise ValueError(
                     f"{len(examples)} examples but {len(ks)} ks")
+        row_pair = None
+        if dedup is not None:
+            dedup = ([int(u) for u in dedup[0]],
+                     [int(v) for v in dedup[1]])
+            pairs, row_pair = dedup_pairs(*dedup)
+            resp_ks = [k for _unique, k in pairs]
+        else:
+            resp_ks = ks
         n_sampled = sum(1 for t in traces if t) if traces else 0
-        resp_bound = 64 + 4 * len(ks) + sum(ks) * self._resp_cell_bytes
+        resp_bound = (64 + 4 * len(resp_ks)
+                      + sum(resp_ks) * self._resp_cell_bytes)
         if n_sampled:
             # Telemetry trailer: header + trace echo + pad + spans,
             # then the per-row section (header + int records + pad +
@@ -969,19 +1250,24 @@ class ProcessWorkerPool:
             try:
                 used, version, rows, spans, echo, rowrecs = (
                     worker.exec_batch(examples, ks, self._max_len,
-                                      resp_bound, traces, candidates))
+                                      resp_bound, traces, candidates,
+                                      dedup))
             except WorkerDied:
                 worker = self._respawn(worker)
                 try:
                     used, version, rows, spans, echo, rowrecs = (
                         worker.exec_batch(examples, ks, self._max_len,
                                           resp_bound, traces,
-                                          candidates))
+                                          candidates, dedup))
                 except WorkerDied:
                     worker = self._respawn(worker)
                     raise
         finally:
             self._idle.put(worker)
+        if row_pair is not None:
+            # Fan the canonical (unique, k) pair rows back out: one row
+            # per original request, duplicates sharing the pair's row.
+            rows = [rows[p] for p in row_pair]
         with self._counter_lock:
             if used == "ring":
                 self.ring_batches += 1

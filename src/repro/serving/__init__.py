@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro.serving.cache import ExplanationCache
+from repro.serving.memo import WalkMemo, dedup_plan
 from repro.serving.pool import WorkspacePool
 from repro.serving.scheduler import (
     BatchScheduler,
@@ -37,6 +38,8 @@ __all__ = [
     "PendingRequest",
     "SchedulerClosed",
     "ExplanationCache",
+    "WalkMemo",
+    "dedup_plan",
     "WorkspacePool",
     "RecommendationServer",
     "ServedResult",

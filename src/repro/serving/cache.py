@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 
 class ExplanationCache:
@@ -85,6 +85,19 @@ class ExplanationCache:
                 self.evictions += 1
 
     # ------------------------------------------------------------------
+    def entries_by_version(self) -> Dict[int, int]:
+        """Live entry counts per model version (key index 4).
+
+        After a hot swap the stale generation's count only shrinks as
+        the LRU evicts — this is how ``cli top`` and ``/metrics.json``
+        make that drain visible."""
+        with self._lock:
+            counts: Dict[int, int] = {}
+            for key in self._entries:
+                version = int(key[4])
+                counts[version] = counts.get(version, 0) + 1
+            return counts
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -61,6 +61,7 @@ from repro.data.schema import Session
 from repro.kg.paths import SemanticPath, render_path
 from repro.runtime import ProcessWorkerPool
 from repro.serving.cache import ExplanationCache
+from repro.serving.memo import WalkMemo, dedup_plan
 from repro.serving.pool import WorkspacePool
 from repro.serving.scheduler import (
     BatchScheduler,
@@ -134,7 +135,9 @@ class RecommendationServer:
                  metrics_port: Optional[int] = None,
                  metrics_registry: Optional[MetricsRegistry] = None,
                  cascade=None, cascade_m: int = 50,
-                 cascade_cache_size: int = 1024) -> None:
+                 cascade_cache_size: int = 1024,
+                 dedup: bool = True,
+                 walk_memo_size: int = 512) -> None:
         if worker_mode not in ("thread", "process"):
             raise ValueError(
                 f"worker_mode must be 'thread' or 'process', "
@@ -212,14 +215,39 @@ class RecommendationServer:
                 health_interval_s=(health_interval_ms / 1e3
                                    if health_interval_ms else None),
                 metrics_registry=self._metrics_registry,
-                metrics_block=self._metrics)
+                metrics_block=self._metrics,
+                walk_memo_size=int(walk_memo_size))
             # The pool may downgrade ring -> pipe when the host has no
             # usable POSIX shared memory; report what actually runs.
             transport = self._procpool.transport
         self.transport = transport
         self._pool = WorkspacePool(workers, metrics=self._metrics)
         self._cache = ExplanationCache(cache_size)
+        # Shared-computation layer (see repro.serving.memo): in-flush
+        # row dedup plus the cross-flush walk memo.  In process mode
+        # the memo lives inside each worker (full score rows don't fit
+        # the fixed response slots), so the server-side instance stays
+        # disabled there and the worker blocks carry the counters.
+        self._dedup = bool(dedup)
+        self._memo = WalkMemo(int(walk_memo_size)
+                              if worker_mode == "thread" else 0)
+        self._memo_metrics_lock = threading.Lock()
+        self._memo_evictions_seen = 0
         self._stats = ServerStats(metrics=self._metrics)
+        self._stats.attach_caches(cache=self._cache, memo=self._memo)
+        # Reachability prewarm (thread mode with the cascade on): a
+        # background watcher rebuilds the pruning index the moment the
+        # store digest moves, so the first post-compaction request
+        # doesn't pay the build.  Process workers prewarm themselves
+        # after every tables broadcast.
+        self._prewarmer = None
+        if self._cascade is not None and worker_mode == "thread":
+            from repro.cascade.reachability import ReachabilityPrewarmer
+
+            self._prewarmer = ReachabilityPrewarmer(
+                agent.env, agent.config.path_length,
+                metrics=self._metrics)
+            self._prewarmer.start()
         # Rolling-window plane: a bounded ring of fleet snapshots that
         # turns the cumulative counters into windowed rates/quantiles
         # (burn-rate SLOs, cli top).  The background sampler only runs
@@ -239,7 +267,8 @@ class RecommendationServer:
             self._endpoint = MetricsEndpoint(
                 self.fleet_snapshot, port=int(metrics_port),
                 window_fn=self.window,
-                health_fn=self._metrics_registry.health)
+                health_fn=self._metrics_registry.health,
+                extra_fn=self.serving_state)
         self._shutdown_lock = threading.Lock()
         self._shut_down = False
         self._threads = [
@@ -270,7 +299,9 @@ class RecommendationServer:
                       metrics=cfg.serve_metrics,
                       metrics_port=(cfg.serve_metrics_port
                                     if cfg.serve_metrics_port >= 0
-                                    else None))
+                                    else None),
+                      dedup=cfg.serve_dedup,
+                      walk_memo_size=cfg.serve_walk_memo_size)
         if cfg.serve_cascade_provider:
             from repro.cascade import provider_from_trainer
 
@@ -426,6 +457,12 @@ class RecommendationServer:
         ``process_pool.last_publish`` records what actually shipped).
         Returns the generation key, or None in thread mode."""
         if self._procpool is None:
+            if self._prewarmer is not None:
+                # Thread mode reads the compacted store directly, so a
+                # refresh is the caller telling us the store moved —
+                # rebuild the reachability index now, deterministically,
+                # instead of waiting for the background watcher's tick.
+                self._prewarmer.poll_once()
             return None
         return self._procpool.publish_tables(self._agent.env)
 
@@ -459,6 +496,32 @@ class RecommendationServer:
         except RuntimeError:  # registry closed mid-shutdown
             return None
         return self._window.window(seconds)
+
+    def serving_state(self) -> dict:
+        """JSON-safe shared-computation state for ``/metrics.json``:
+        per-version entry counts for both caches (the post-swap
+        stale-entry drain) plus the walk memo's own counters.  In
+        process mode the memo section reflects the (empty) server-side
+        instance — the workers' memo counters live in the fleet
+        metrics."""
+        memo = self._memo
+        return {
+            "dedup": self._dedup,
+            "cache_entries_by_version": {
+                str(v): n for v, n
+                in sorted(self._cache.entries_by_version().items())},
+            "walk_memo": {
+                "capacity": memo.capacity,
+                "entries": len(memo),
+                "hits": memo.hits,
+                "misses": memo.misses,
+                "evictions": memo.evictions,
+                "seconds_saved": memo.seconds_saved,
+                "entries_by_version": {
+                    str(v): n for v, n
+                    in sorted(memo.entries_by_version().items())},
+            },
+        }
 
     def health(self) -> dict:
         """Fleet liveness report (see
@@ -494,6 +557,12 @@ class RecommendationServer:
         return self._cache
 
     @property
+    def walk_memo(self) -> WalkMemo:
+        """The cross-flush walk memo (disabled — capacity 0 — in
+        process mode, where each worker owns its own)."""
+        return self._memo
+
+    @property
     def pool(self) -> WorkspacePool:
         return self._pool
 
@@ -527,6 +596,8 @@ class RecommendationServer:
                 ServerClosed("server shut down before execution"))
         for thread in self._threads:
             thread.join()
+        if self._prewarmer is not None:
+            self._prewarmer.stop()
         if self._window_sampler is not None:
             self._window_sampler.close()
         if self._endpoint is not None:
@@ -621,7 +692,18 @@ class RecommendationServer:
         result is admitted to the cache (``render_path`` is
         deterministic in the path values and the KG, so this is
         bit-identical to the old render-in-worker wire format while
-        keeping strings out of the ring payloads).  Sampled requests
+        keeping strings out of the ring payloads).
+
+        Shared computation (when ``dedup``/``walk_memo_size`` are on):
+        duplicate rows within the flush collapse to one walk at the max
+        ``k`` of their group, and thread mode consults the cross-flush
+        :class:`WalkMemo` before walking at all — rankings and
+        explanations exact by construction because every original row
+        re-runs the tie-safe row-local ``_top_k`` on a full score row;
+        score bits additionally match dedup-off whenever the walk-batch
+        composition is preserved, and sit within the documented
+        last-ulp batch-shape tolerance when collapsing shrinks a
+        multi-row flush (see ``repro.serving.memo``).  Sampled requests
         get enqueue/flush/transport/render/respond spans recorded
         against their trace id, plus the worker-side collate/exec/walk/
         top-k spans echoed over the transport.
@@ -664,6 +746,36 @@ class RecommendationServer:
                               sum(len(c) for c in cand_rows))
             for trace in sampled:
                 tracer.record(trace, "cascade", "server", c0, cascade_dur)
+        n = len(group)
+        # Shared-computation plan (repro.serving.memo): collapse
+        # duplicate rows before any transport or walk.  The within-
+        # flush identity is the walk input — (truncated suffix, user
+        # anchor, exact per-row candidate set); model version, store
+        # generation, and cascade identity are batch-constant, so they
+        # ride the memo key, not the plan.
+        keys = None
+        uniq: List[int] = list(range(n))
+        row_map: List[int] = list(range(n))
+        if self._dedup or self._memo.capacity > 0:
+            keys = [(request.payload.base_key[0],
+                     request.payload.base_key[2],
+                     None if cand_rows is None
+                     else tuple(int(c) for c in cand_rows[row]))
+                    for row, request in enumerate(group)]
+        if self._dedup and keys is not None:
+            uniq, row_map = dedup_plan(keys)
+            if len(uniq) < n:
+                self._stats.record_dedup(n - len(uniq))
+                if metrics is not None:
+                    metrics.count("dedup_rows_total", n - len(uniq))
+        # Each unique row walks once at the max k over its duplicate
+        # group; every original row re-selects its own top-k from the
+        # shared full score row (tie-safe: _top_k partitions each row
+        # independently, so single-row re-selection is bit-identical
+        # to what a dedicated walk would have picked).
+        uniq_ks = [0] * len(uniq)
+        for row, j in enumerate(row_map):
+            uniq_ks[j] = max(uniq_ks[j], ks[row])
         t0 = perf_counter()
         if self._procpool is not None:
             # Process mode: the worker process collates, walks, and
@@ -673,17 +785,32 @@ class RecommendationServer:
             # batches, never mid-batch), which is what the results are
             # cached under.  Sampled trace ids ride the request payload
             # and the worker's batch spans come back on the response.
+            # When the flush collapsed rows, only the unique rows
+            # travel; the dedup trailer tells the worker how to map
+            # them back and the pool fans results out per original row.
             worker_spans: List[tuple] = []
             worker_rows: List[tuple] = []
+            if len(uniq) < n:
+                exec_examples = [examples[i] for i in uniq]
+                exec_ks = uniq_ks
+                exec_cands = (None if cand_rows is None
+                              else [[int(c) for c in cand_rows[i]]
+                                    for i in uniq])
+                dedup_arg: Optional[tuple] = (row_map, ks)
+            else:
+                exec_examples, exec_ks = examples, ks
+                exec_cands = (None if cand_rows is None
+                              else [[int(c) for c in row]
+                                    for row in cand_rows])
+                dedup_arg = None
             version, rows = self._procpool.execute(
-                examples, ks,
+                exec_examples, exec_ks,
                 traces=[int(r.payload.trace) for r in group]
                 if sampled else None,
                 span_sink=worker_spans,
                 row_sink=worker_rows if self._trace_rows else None,
-                candidates=(None if cand_rows is None
-                            else [[int(i) for i in c]
-                                  for c in cand_rows]))
+                candidates=exec_cands,
+                dedup=dedup_arg)
             raw = [(row[0], row[1],
                     tuple(None if blob is None
                           else SemanticPath(entities=blob[0],
@@ -697,7 +824,9 @@ class RecommendationServer:
                 # Per-request attribution records computed worker-side
                 # (frontier mass / k share) — one "row" span each.
                 tracer.record_rows(worker_rows, "worker", t0)
-        else:
+        elif not self._dedup and self._memo.capacity == 0:
+            # Legacy thread path, byte-for-byte the pre-shared-compute
+            # behavior (the differential tests diff against this).
             collated = collate_examples(examples, self._max_session_length)
             # One atomic read per batch: every row of this micro-batch
             # is answered by the same model generation, and the results
@@ -740,6 +869,115 @@ class RecommendationServer:
                     attribute_rows(
                         [int(r.payload.trace) for r in group], ks,
                         row_frontier, local_spans),
+                    "server", t0)
+            for trace in sampled:
+                tracer.record(trace, "exec", "server", t0, exec_dur)
+        else:
+            # Shared-computation thread path: memo lookup per unique
+            # row, one walk over the misses, per-original-row top-k
+            # re-selection from full score rows.  Memo entries store
+            # the full dense row (any k re-selects exactly) plus the
+            # per-item path dict (k-independent by construction).
+            agent, version = self._live()
+            store_token = agent.env.fingerprint()
+            use_memo = self._memo.capacity > 0
+            # The flush width (max truncated prefix length over ALL
+            # rows) is what legacy collation would pad to; keying and
+            # collating by it keeps row reuse bit-exact (see
+            # repro.serving.memo).
+            flush_width = max(len(key[0]) for key in keys)
+            memo_keys = [WalkMemo.key(keys[i][0], keys[i][1], keys[i][2],
+                                      version, store_token,
+                                      width=flush_width)
+                         for i in uniq]
+            u_data = [self._memo.get(mk) if use_memo else None
+                      for mk in memo_keys]
+            miss = [j for j, data in enumerate(u_data) if data is None]
+            local_spans = [] if sampled else None
+            row_frontier = ([] if (sampled and self._trace_rows)
+                            else None)
+            miss_ks: List[int] = []
+            if miss:
+                miss_examples = [examples[uniq[j]] for j in miss]
+                miss_ks = [uniq_ks[j] for j in miss]
+                constraint = None
+                if cand_rows is not None:
+                    from repro.cascade import build_constraint
+
+                    constraint = build_constraint(
+                        agent, [cand_rows[uniq[j]] for j in miss],
+                        agent.config.path_length)
+                collated = collate_examples(miss_examples,
+                                            self._max_session_length,
+                                            width=flush_width)
+                w0 = perf_counter()
+                with self._pool.checkout() as workspace:
+                    workspace.spans = local_spans
+                    workspace.row_frontier = row_frontier
+                    try:
+                        rec = agent.recommend(collated, k=max(miss_ks),
+                                              workspace=workspace,
+                                              candidates=constraint)
+                    finally:
+                        workspace.spans = None
+                        workspace.row_frontier = None
+                walk_dur = perf_counter() - w0
+                grouped: List[dict] = [{} for _ in miss]
+                for (r, item), path in rec.paths.items():
+                    grouped[r][int(item)] = path
+                for idx, j in enumerate(miss):
+                    entry = (rec.scores[idx].copy(), grouped[idx])
+                    u_data[j] = entry
+                    if use_memo:
+                        self._memo.put(memo_keys[j], entry)
+                self._memo.note_walk_cost(len(miss), walk_dur)
+            raw = []
+            for row in range(n):
+                scores_row, paths = u_data[row_map[row]]
+                ranked = _top_k(scores_row.reshape(1, -1),
+                                int(ks[row]))[0]
+                items = [int(it) for it in ranked]
+                raw.append((items,
+                            [float(scores_row[it]) for it in items],
+                            tuple(paths.get(it) for it in items)))
+            exec_dur = perf_counter() - t0
+            if metrics is not None:
+                metrics.count("exec_batches_total")
+                # exec_rows_total counts rows actually walked; the
+                # hit/dedup'd remainder shows up in the memo/dedup
+                # counters instead.
+                metrics.count("exec_rows_total", len(miss))
+                metrics.observe("exec_seconds", exec_dur)
+                if use_memo:
+                    metrics.count("walk_memo_hits_total",
+                                  len(uniq) - len(miss))
+                    metrics.count("walk_memo_misses_total", len(miss))
+                    with self._memo_metrics_lock:
+                        evictions = self._memo.evictions
+                        delta = evictions - self._memo_evictions_seen
+                        self._memo_evictions_seen = evictions
+                    if delta > 0:
+                        metrics.count("walk_memo_evictions_total", delta)
+                    metrics.gauge("walk_seconds_saved_total",
+                                  self._memo.seconds_saved)
+            if local_spans:
+                tracer.record_batch_spans(sampled, "server", local_spans)
+            if row_frontier is not None and local_spans and miss:
+                # Row attribution only covers walked rows; each walked
+                # unique is represented by the first sampled original
+                # row that mapped to it (memo-hit rows did no walk, so
+                # they honestly get no row span).
+                rep = []
+                for j in miss:
+                    trace = 0
+                    for row in range(n):
+                        if row_map[row] == j and group[row].payload.trace:
+                            trace = int(group[row].payload.trace)
+                            break
+                    rep.append(trace)
+                tracer.record_rows(
+                    attribute_rows(rep, miss_ks, row_frontier,
+                                   local_spans),
                     "server", t0)
             for trace in sampled:
                 tracer.record(trace, "exec", "server", t0, exec_dur)

@@ -63,11 +63,25 @@ class StatsSnapshot:
     cache_by_version: Dict[int, Dict[str, int]] = field(default_factory=dict)
     swaps: int = 0
     swap_latency_ms: Tuple[float, ...] = ()
+    # Shared-computation plane: rows collapsed by in-flush dedup, the
+    # walk memo's counters, and live entry counts per model version for
+    # both caches (how stale-entry drain after a hot swap is observed).
+    dedup_rows: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
+    cache_entries_by_version: Dict[int, int] = field(default_factory=dict)
+    memo_entries_by_version: Dict[int, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
 
     def to_dict(self) -> dict:
         by_version = {}
@@ -99,6 +113,19 @@ class StatsSnapshot:
             "batch_occupancy": {str(size): count for size, count
                                 in sorted(self.batch_occupancy.items())},
             "mean_occupancy": self.mean_occupancy,
+            "dedup_rows": self.dedup_rows,
+            "walk_memo": {
+                "hits": self.memo_hits,
+                "misses": self.memo_misses,
+                "evictions": self.memo_evictions,
+                "hit_rate": self.memo_hit_rate,
+                "entries_by_version": {
+                    str(v): n for v, n
+                    in sorted(self.memo_entries_by_version.items())},
+            },
+            "cache_entries_by_version": {
+                str(v): n for v, n
+                in sorted(self.cache_entries_by_version.items())},
         }
 
 
@@ -116,10 +143,23 @@ class ServerStats:
         self._cache_by_version: Dict[int, Dict[str, int]] = {}
         self._swaps = 0
         self._swap_latencies_s: deque = deque(maxlen=SWAP_WINDOW)
+        self._dedup_rows = 0
         self._started_at: Optional[float] = None
         self._last_event_at: Optional[float] = None
         # Optional shared-memory mirror (repro.telemetry MetricBlock).
         self.metrics = metrics
+        # Optional cache/memo references (attach_caches): snapshots
+        # read their live per-version entry counts and the memo's own
+        # hit/miss/eviction counters (each has its own lock, so the
+        # reads happen outside ours).
+        self._cache_ref = None
+        self._memo_ref = None
+
+    def attach_caches(self, cache=None, memo=None) -> None:
+        """Let snapshots report the live ExplanationCache / WalkMemo
+        state (per-version entry counts + memo counters)."""
+        self._cache_ref = cache
+        self._memo_ref = memo
 
     @property
     def nbytes(self) -> int:
@@ -165,6 +205,15 @@ class ServerStats:
             self.metrics.count("cache_hits_total" if hit
                                else "cache_misses_total")
 
+    def record_dedup(self, collapsed: int) -> None:
+        """``collapsed`` duplicate rows folded away by in-flush dedup
+        (the metric mirror happens in the server, which knows whether a
+        flush actually collapsed anything)."""
+        if collapsed <= 0:
+            return
+        with self._lock:
+            self._dedup_rows += int(collapsed)
+
     def record_swap(self, latency_s: float) -> None:
         """One completed model hot-swap."""
         with self._lock:
@@ -186,6 +235,7 @@ class ServerStats:
             self._cache_by_version.clear()
             self._swaps = 0
             self._swap_latencies_s.clear()
+            self._dedup_rows = 0
             self._started_at = None
             self._last_event_at = None
 
@@ -202,6 +252,7 @@ class ServerStats:
                           in self._cache_by_version.items()}
             swaps = self._swaps
             swap_ms = tuple(s * 1e3 for s in self._swap_latencies_s)
+            dedup_rows = self._dedup_rows
             if self._started_at is not None \
                     and self._last_event_at is not None:
                 duration = max(self._last_event_at - self._started_at, 1e-9)
@@ -221,6 +272,16 @@ class ServerStats:
                     hist.min, hist.max) * 1e3
         else:
             p50 = p95 = p99 = mean = 0.0
+        cache_ref, memo_ref = self._cache_ref, self._memo_ref
+        cache_entries = (cache_ref.entries_by_version()
+                         if cache_ref is not None else {})
+        if memo_ref is not None:
+            memo_entries = memo_ref.entries_by_version()
+            memo_hits, memo_misses = memo_ref.hits, memo_ref.misses
+            memo_evictions = memo_ref.evictions
+        else:
+            memo_entries = {}
+            memo_hits = memo_misses = memo_evictions = 0
         sizes = np.array(sorted(occupancy), dtype=np.float64)
         counts = np.array([occupancy[int(s)] for s in sizes],
                           dtype=np.float64)
@@ -242,4 +303,10 @@ class ServerStats:
             cache_by_version=by_version,
             swaps=swaps,
             swap_latency_ms=swap_ms,
+            dedup_rows=dedup_rows,
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
+            memo_evictions=memo_evictions,
+            cache_entries_by_version=cache_entries,
+            memo_entries_by_version=memo_entries,
         )

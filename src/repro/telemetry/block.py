@@ -564,11 +564,18 @@ def fleet_schema(num_shards: int = 0, hops: int = 0) -> MetricSchema:
         "swaps_total",
         "online_rounds_total", "online_sessions_total",
         "cascade_candidates_total", "cascade_pruned_frontier_rows_total",
+        "dedup_rows_total",
+        "walk_memo_hits_total", "walk_memo_misses_total",
+        "walk_memo_evictions_total",
+        "reachability_rebuilds_total",
     ]
     counters += [gather_shard_counter(sid)
                  for sid in range(min(num_shards, MAX_SHARD_COUNTERS))]
     gauges = ["model_version", "workers_alive", "trace_sample",
-              "workspace_bytes"]
+              "workspace_bytes",
+              # float accumulator (counters are int64): estimated walk
+              # time avoided by the memo, set from WalkMemo.seconds_saved
+              "walk_seconds_saved_total"]
     hists = [
         "request_latency_seconds", "enqueue_wait_seconds",
         "batch_flush_seconds", "transport_seconds", "exec_seconds",

@@ -31,18 +31,24 @@ class MetricsEndpoint:
     ``/metrics.json?window=``.  ``health_fn`` (optional) returns a
     dict with an ``ok`` bool (see
     :meth:`~repro.telemetry.registry.MetricsRegistry.health`); without
-    one ``/healthz`` is unconditionally ``ok``.
+    one ``/healthz`` is unconditionally ``ok``.  ``extra_fn``
+    (optional) returns a JSON-safe dict merged into ``/metrics.json``
+    under a ``"serving"`` key — the server uses it to expose state the
+    shared-memory plane can't carry, like per-version entry counts of
+    the explanation cache and the walk memo.
     """
 
     def __init__(self, snapshot_fn: Callable[[], FleetSnapshot],
                  host: str = "127.0.0.1", port: int = 0,
                  namespace: str = "reks",
                  window_fn: Optional[Callable] = None,
-                 health_fn: Optional[Callable[[], dict]] = None) -> None:
+                 health_fn: Optional[Callable[[], dict]] = None,
+                 extra_fn: Optional[Callable[[], dict]] = None) -> None:
         self._snapshot_fn = snapshot_fn
         self._namespace = namespace
         self._window_fn = window_fn
         self._health_fn = health_fn
+        self._extra_fn = extra_fn
         endpoint = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -90,7 +96,11 @@ class MetricsEndpoint:
     def _metrics_json(self, params) -> tuple:
         raw = params.get("window", [None])[0]
         if raw is None:
-            return 200, json_snapshot(self._snapshot_fn())
+            if self._extra_fn is None:
+                return 200, json_snapshot(self._snapshot_fn())
+            payload = self._snapshot_fn().to_dict()
+            payload["serving"] = self._extra_fn()
+            return 200, json.dumps(payload, indent=2, sort_keys=True)
         if self._window_fn is None:
             return 400, json.dumps(
                 {"error": "no rolling window configured on this "

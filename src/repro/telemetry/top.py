@@ -154,6 +154,32 @@ def render_top(curr: dict, prev: Optional[dict] = None) -> str:
         lines.append(f"  cache      {rate * 100:5.1f}% hit "
                      f"({hits}/{hits + misses})")
 
+    dedup = _counter_delta(curr, prev, "dedup_rows_total")
+    memo_hits = _counter_delta(curr, prev, "walk_memo_hits_total")
+    memo_misses = _counter_delta(curr, prev, "walk_memo_misses_total")
+    if dedup or memo_hits + memo_misses:
+        line = f"  shared     {dedup} rows deduped"
+        if memo_hits + memo_misses:
+            rate = memo_hits / (memo_hits + memo_misses)
+            line += (f", memo {rate * 100:5.1f}% hit "
+                     f"({memo_hits}/{memo_hits + memo_misses})")
+        lines.append(line)
+
+    # Per-version live entry counts (the "serving" extra section of
+    # /metrics.json): after a hot swap the stale version's counts only
+    # shrink — this is where that drain is watched.
+    serving = curr.get("serving") or {}
+    cache_bv = serving.get("cache_entries_by_version") or {}
+    memo_bv = (serving.get("walk_memo") or {}).get(
+        "entries_by_version") or {}
+    if cache_bv or memo_bv:
+        def _fmt_bv(bv: Dict[str, int]) -> str:
+            return " ".join(
+                f"v{v}:{bv[v]}" for v in sorted(bv, key=int))
+
+        lines.append(f"  entries    cache [{_fmt_bv(cache_bv)}]  "
+                     f"memo [{_fmt_bv(memo_bv)}]")
+
     ring = _counter_delta(curr, prev, "ring_batches_total")
     pipe = _counter_delta(curr, prev, "pipe_batches_total")
     fallbacks = _counter_delta(curr, prev, "ring_fallbacks_total")

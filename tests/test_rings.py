@@ -31,6 +31,7 @@ from repro.runtime.rings import (
     WorkerExecError,
     decode_request,
     decode_response,
+    dedup_pairs,
     encode_error,
     encode_request,
     encode_response,
@@ -135,18 +136,19 @@ class TestCodecs:
     def test_request_round_trip_mixed_k(self):
         examples = [([3, 1, 4, 1, 5], 9, 2), ([2, 7], 1, None)]
         payload = encode_request(examples, [5, 10], max_length=10)
-        got_examples, got_ks, got_traces, got_cands = (
+        got_examples, got_ks, got_traces, got_cands, got_dedup = (
             decode_request(payload))
         assert got_examples == examples
         assert got_ks == [5, 10]
         assert got_traces == [0, 0]
         assert got_cands is None
+        assert got_dedup is None
 
     def test_request_truncates_prefix_like_collate(self):
         long_prefix = list(range(1, 30))
         payload = encode_request([(long_prefix, 5, None)], [3],
                                  max_length=10)
-        examples, _, _, _ = decode_request(payload)
+        examples, _, _, _, _ = decode_request(payload)
         prefix, target, user = examples[0]
         assert prefix == long_prefix[-10:]
         assert target == 5 and user is None
@@ -160,19 +162,20 @@ class TestCodecs:
         cands = [[5, 9, 12], [4]]
         payload = encode_request(examples, [5, 10], max_length=10,
                                  candidates=cands)
-        got_examples, got_ks, got_traces, got_cands = (
+        got_examples, got_ks, got_traces, got_cands, got_dedup = (
             decode_request(payload))
         assert got_examples == examples
         assert got_ks == [5, 10]
         assert got_traces == [0, 0]
         assert got_cands == cands
+        assert got_dedup is None
 
     def test_request_candidates_with_traces_round_trip(self):
         examples = [([3, 1], 9, 2), ([2, 7], 1, None)]
         cands = [[5, 9], [4, 6, 8]]
         payload = encode_request(examples, [5, 10], max_length=10,
                                  traces=[101, 0], candidates=cands)
-        _, _, got_traces, got_cands = decode_request(payload)
+        _, _, got_traces, got_cands, _ = decode_request(payload)
         assert got_traces == [101, 0]
         assert got_cands == cands
 
@@ -180,6 +183,88 @@ class TestCodecs:
         with pytest.raises(RingUnsuitable):
             encode_request([([1], 2, None)], [5], max_length=10,
                            candidates=[[3], [4]])
+
+    def test_request_dedup_round_trip(self):
+        # 4 original rows collapsed onto 2 unique examples; traces are
+        # per ORIGINAL row, candidates per UNIQUE row.
+        uniques = [([3, 1, 4], 9, 2), ([2, 7], 1, None)]
+        row_map = [0, 1, 0, 0]
+        orig_ks = [5, 10, 3, 5]
+        payload = encode_request(uniques, [5, 10], max_length=10,
+                                 traces=[7, 0, 0, 9],
+                                 dedup=(row_map, orig_ks))
+        examples, ks, traces, cands, dedup = decode_request(payload)
+        assert examples == uniques
+        assert ks == [5, 10]
+        assert traces == [7, 0, 0, 9]
+        assert cands is None
+        assert dedup == (row_map, orig_ks)
+
+    def test_request_dedup_with_candidates_round_trip(self):
+        uniques = [([3, 1], 9, 2), ([2, 7], 1, None)]
+        cands = [[5, 9], [4, 6, 8]]
+        payload = encode_request(uniques, [5, 10], max_length=10,
+                                 candidates=cands,
+                                 dedup=([1, 0, 1], [10, 5, 7]))
+        examples, ks, traces, got_cands, dedup = decode_request(payload)
+        assert examples == uniques
+        assert ks == [5, 10]
+        assert traces == [0, 0, 0]  # forced, per original row
+        assert got_cands == cands
+        assert dedup == ([1, 0, 1], [10, 5, 7])
+
+    def test_request_dedup_rejects_bad_shapes(self):
+        with pytest.raises(RingUnsuitable):
+            encode_request([([1], 2, None), ([3], 4, None)], [5, 5],
+                           max_length=10, dedup=([0], [5]))
+        with pytest.raises(RingUnsuitable):
+            encode_request([([1], 2, None)], [5], max_length=10,
+                           dedup=([0, 0], [5]))
+
+    def test_dedup_pairs_first_occurrence_order(self):
+        pairs, row_pair = dedup_pairs([0, 1, 0, 0, 1],
+                                      [5, 10, 3, 5, 10])
+        assert pairs == [(0, 5), (1, 10), (0, 3)]
+        assert row_pair == [0, 1, 2, 0, 1]
+
+    def test_absent_dedup_byte_identical_to_prior_request_codec(self):
+        """With ``dedup=None`` the payload must be byte-identical to
+        the PR 9 request layout (frozen here as a reference), across
+        all trace/candidate combinations."""
+
+        def reference_request(examples, ks, max_length, traces=None,
+                              candidates=None):
+            # Frozen PR 9 request layout (candidates, no dedup).
+            no_user = -(1 << 31)
+            n = len(examples)
+            flat = [n]
+            items, lengths, targets, users = [], [], [], []
+            for prefix, target, user in examples:
+                prefix = list(prefix)[-max_length:]
+                lengths.append(len(prefix))
+                targets.append(int(target))
+                users.append(no_user if user is None else int(user))
+                items += [int(i) for i in prefix]
+            flat += [int(k) for k in ks]
+            flat += lengths + targets + users + items
+            if candidates is not None:
+                flat += ([int(t) for t in traces]
+                         if traces is not None else [0] * n)
+                flat += [len(row) for row in candidates]
+                for row in candidates:
+                    flat += [int(i) for i in row]
+            elif traces is not None and any(traces):
+                flat += [int(t) for t in traces]
+            return np.asarray(flat, dtype=np.int32).tobytes()
+
+        examples = [([3, 1, 4, 1, 5], 9, 2), ([2, 7], 1, None)]
+        cands = [[5, 9, 12], [4]]
+        for kwargs in ({}, {"traces": [7, 0]}, {"candidates": cands},
+                       {"traces": [7, 0], "candidates": cands}):
+            assert (encode_request(examples, [5, 10], max_length=10,
+                                   **kwargs)
+                    == reference_request(examples, [5, 10], 10,
+                                         **kwargs))
 
     def test_absent_candidates_byte_identical_to_prior_request_codec(self):
         """The candidate section must be invisible when absent: with

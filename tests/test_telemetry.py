@@ -587,7 +587,10 @@ class TestServerTelemetry:
         assert snap.counter("requests_total") == 2 * len(subset)
         assert snap.counter("cache_hits_total") == len(subset)
         assert snap.counter("cache_misses_total") == len(subset)
-        assert snap.counter("exec_rows_total") == len(subset)
+        # exec_rows_total counts rows actually *walked*; any in-flush
+        # duplicates (same suffix + user) collapse into dedup_rows_total.
+        assert (snap.counter("exec_rows_total")
+                + snap.counter("dedup_rows_total")) == len(subset)
         assert snap.hist("request_latency_seconds").count == 2 * len(subset)
         assert snap.hist("walk_seconds").count >= 1
         # Render happened once per explanation row, at cache admission;
@@ -719,8 +722,11 @@ class TestProcessFleetTelemetry:
         so every batch raises RingUnsuitable and rides the pickle pipe
         — worker spans and trace echoes must come back regardless."""
         subset = sessions[:6]
+        # Memo off: a warm replay would be all memo hits — no walk, no
+        # worker row spans — and this test is about transport fallback.
         with trainer.serve(worker_mode="process", workers=1,
-                           cache_size=0, trace_sample=1.0) as server:
+                           cache_size=0, walk_memo_size=0,
+                           trace_sample=1.0) as server:
             expected = [r.items for r in server.recommend_many(subset,
                                                                k=5)]
             server.tracer.drain()
